@@ -1,0 +1,105 @@
+"""Ablation — kernel fast paths.
+
+Two design choices DESIGN.md calls out:
+
+* **ufunc fast path**: predefined operators carry a numpy ufunc, letting
+  segment reductions run as ``reduceat``; a user-defined operator with the
+  same semantics but no ufunc falls back to Python loops.  The gap is the
+  price of generality — and why the predefined registry matters.
+* **thread-parallel SpGEMM**: contiguous row blocks on the shared pool.
+  numpy releases the GIL inside kernels, so even Python threads help once
+  the product is large enough.
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import parallel
+from repro.algebra import predefined
+from repro.io import erdos_renyi
+from repro.ops import binary
+
+from conftest import header, row
+
+
+@pytest.fixture(autouse=True)
+def restore_parallel():
+    yield
+    parallel.set_num_threads(1)
+    parallel.set_parallel_threshold(200_000)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return erdos_renyi(900, 18000, seed=61, domain=grb.INT64)
+
+
+@pytest.fixture(scope="module")
+def user_semiring():
+    """plus_times rebuilt from user-defined ops WITHOUT ufuncs."""
+    uplus = grb.binary_op_new(
+        lambda a, b: a + b, grb.INT64, grb.INT64, grb.INT64,
+        name="user_plus", associative=True, commutative=True,
+    )
+    utimes = grb.binary_op_new(
+        lambda a, b: a * b, grb.INT64, grb.INT64, grb.INT64,
+        name="user_times", commutative=True,
+    )
+    add = grb.monoid_new(uplus, 0)
+    return grb.semiring_new(add, utimes)
+
+
+class BenchUfuncFastPath:
+    def bench_predefined_semiring(self, benchmark, workload):
+        def run():
+            C = grb.Matrix(grb.INT64, 900, 900)
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], workload, workload)
+            return C
+
+        C = benchmark(run)
+        header("Ablation: ufunc fast path vs generic operator fallback")
+        row("predefined PLUS_TIMES (ufunc reduceat)", f"nvals={C.nvals()}")
+
+    def bench_user_defined_semiring(self, benchmark, workload, user_semiring):
+        def run():
+            C = grb.Matrix(grb.INT64, 900, 900)
+            grb.mxm(C, None, None, user_semiring, workload, workload)
+            return C
+
+        C = benchmark.pedantic(run, rounds=3, iterations=1)
+        row("user-defined plus/times (Python loops)", f"nvals={C.nvals()}")
+
+    def bench_results_identical(self, benchmark, workload, user_semiring):
+        def run():
+            C1 = grb.Matrix(grb.INT64, 900, 900)
+            grb.mxm(C1, None, None, predefined.PLUS_TIMES[grb.INT64], workload, workload)
+            C2 = grb.Matrix(grb.INT64, 900, 900)
+            grb.mxm(C2, None, None, user_semiring, workload, workload)
+            a, b = C1.extract_tuples(), C2.extract_tuples()
+            assert np.array_equal(a[0], b[0]) and np.array_equal(a[2], b[2])
+            return len(a[0])
+
+        n = benchmark.pedantic(run, rounds=1, iterations=1)
+        row("fast path == fallback", f"verified on {n} tuples")
+
+
+class BenchParallelSpGEMM:
+    @pytest.fixture(scope="class")
+    def big(self):
+        return erdos_renyi(3000, 120000, seed=62, domain=grb.INT64)
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def bench_threads(self, benchmark, big, threads):
+        parallel.set_num_threads(threads)
+        parallel.set_parallel_threshold(1)
+
+        def run():
+            C = grb.Matrix(grb.INT64, 3000, 3000)
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], big, big)
+            return C
+
+        C = benchmark.pedantic(run, rounds=3, iterations=1)
+        if threads == 1:
+            header("Ablation: row-blocked thread-parallel SpGEMM (3000^2)")
+        row(f"threads={threads}", f"nvals={C.nvals()}")

@@ -1,0 +1,194 @@
+"""The introduction's motivating workloads, as an end-to-end suite.
+
+The paper's premise is that a handful of semiring primitives compose into
+"a wide range of graph algorithms".  This bench times the composed
+algorithms themselves on the shared RMAT workload — the series downstream
+users actually care about — plus networkx comparators where a fair one
+exists (same algorithm, different substrate).
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algorithms import (
+    bfs_levels,
+    connected_components,
+    maximal_independent_set,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from repro.io import rmat, to_networkx
+
+from conftest import header, row
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(10, 8, seed=71)  # 1024 vertices
+
+
+@pytest.fixture(scope="module")
+def sym_graph(graph):
+    B = grb.Matrix(grb.BOOL, graph.nrows, graph.ncols)
+    grb.ewise_add(B, None, None, grb.LOR, graph, graph, grb.DESC_T1)
+    return B
+
+
+@pytest.fixture(scope="module")
+def weighted(graph):
+    from repro.io import erdos_renyi
+
+    return erdos_renyi(1024, 8192, seed=72, domain=grb.FP64, weighted=True)
+
+
+class BenchAlgorithms:
+    def bench_bfs(self, benchmark, graph):
+        lv = benchmark(lambda: bfs_levels(graph, 0))
+        header("Motivating workloads (RMAT-10, 1024 vertices)")
+        row("BFS levels", f"reached={lv.nvals()}")
+
+    def bench_bfs_networkx(self, benchmark, graph):
+        import networkx as nx
+
+        G = to_networkx(graph, weighted=False)
+        got = benchmark(lambda: nx.single_source_shortest_path_length(G, 0))
+        row("BFS (networkx comparator)", f"reached={len(got)}")
+
+    def bench_sssp(self, benchmark, weighted):
+        d = benchmark(lambda: sssp(weighted, 0))
+        row("SSSP min-plus", f"reached={d.nvals()}")
+
+    def bench_sssp_networkx(self, benchmark, weighted):
+        import networkx as nx
+
+        G = to_networkx(weighted)
+        got = benchmark(
+            lambda: nx.single_source_dijkstra_path_length(G, 0)
+        )
+        row("SSSP (networkx dijkstra)", f"reached={len(got)}")
+
+    def bench_pagerank(self, benchmark, graph):
+        pr = benchmark(lambda: pagerank(graph, tol=1e-8))
+        row("PageRank", f"top={int(np.argmax(pr))}")
+
+    def bench_pagerank_networkx(self, benchmark, graph):
+        import networkx as nx
+
+        G = to_networkx(graph)
+        got = benchmark(lambda: nx.pagerank(G, tol=1e-8 / 1024))
+        row("PageRank (networkx)", f"top={max(got, key=got.get)}")
+
+    def bench_triangles(self, benchmark, sym_graph):
+        tri = benchmark(lambda: triangle_count(sym_graph))
+        row("triangle count (masked SpGEMM)", tri)
+
+    def bench_triangles_networkx(self, benchmark, sym_graph):
+        import networkx as nx
+
+        G = to_networkx(sym_graph, weighted=False).to_undirected()
+        tri = benchmark(lambda: sum(nx.triangles(G).values()) // 3)
+        row("triangle count (networkx)", tri)
+
+    def bench_components(self, benchmark, sym_graph):
+        labels = benchmark(lambda: connected_components(sym_graph))
+        row("connected components", len(np.unique(labels)))
+
+    def bench_mis(self, benchmark, sym_graph):
+        mis = benchmark(lambda: maximal_independent_set(sym_graph, seed=3))
+        row("maximal independent set", len(mis))
+
+
+class BenchSecondWave:
+    """The extension algorithms (k-core, truss, closure, coloring)."""
+
+    def bench_core_numbers(self, benchmark, sym_graph):
+        from repro.algorithms import core_numbers
+
+        cores = benchmark.pedantic(
+            lambda: core_numbers(sym_graph), rounds=3, iterations=1
+        )
+        header("Second-wave workloads (same RMAT-10)")
+        row("core numbers", f"max k={int(cores.max())}")
+
+    def bench_core_numbers_networkx(self, benchmark, sym_graph):
+        import networkx as nx
+
+        G = to_networkx(sym_graph, weighted=False).to_undirected()
+        got = benchmark.pedantic(
+            lambda: nx.core_number(G), rounds=3, iterations=1
+        )
+        row("core numbers (networkx)", f"max k={max(got.values())}")
+
+    def bench_k_truss(self, benchmark, sym_graph):
+        from repro.algorithms import k_truss
+
+        T = benchmark.pedantic(
+            lambda: k_truss(sym_graph, 4), rounds=3, iterations=1
+        )
+        row("4-truss", f"edges={T.nvals() // 2}")
+
+    def bench_lcc(self, benchmark, sym_graph):
+        from repro.algorithms import local_clustering_coefficient
+
+        lcc = benchmark(lambda: local_clustering_coefficient(sym_graph))
+        row("local clustering coefficient", f"mean={lcc.mean():.4f}")
+
+    def bench_coloring(self, benchmark, sym_graph):
+        from repro.algorithms import greedy_coloring
+
+        colors = benchmark.pedantic(
+            lambda: greedy_coloring(sym_graph, seed=2), rounds=3, iterations=1
+        )
+        row("greedy coloring", f"colors={int(colors.max()) + 1}")
+
+    def bench_transitive_closure_small(self, benchmark):
+        from repro.algorithms import transitive_closure
+        from repro.io import erdos_renyi
+
+        G = erdos_renyi(300, 900, seed=81)
+        R = benchmark.pedantic(
+            lambda: transitive_closure(G), rounds=3, iterations=1
+        )
+        row("transitive closure (n=300)", f"reachable pairs={R.nvals()}")
+
+    def bench_apsp_small(self, benchmark):
+        from repro.algorithms import apsp
+        from repro.io import erdos_renyi
+
+        G = erdos_renyi(300, 1800, seed=82, domain=grb.FP64, weighted=True)
+        D = benchmark.pedantic(lambda: apsp(G), rounds=3, iterations=1)
+        finite = np.isfinite(D) & (D > 0)
+        row("APSP min-plus (n=300)", f"mean dist={D[finite].mean():.2f}")
+
+    def bench_scc(self, benchmark, graph):
+        from repro.algorithms import strongly_connected_components
+
+        labels = benchmark.pedantic(
+            lambda: strongly_connected_components(graph), rounds=3, iterations=1
+        )
+        row("strongly connected components", len(np.unique(labels)))
+
+    def bench_scc_networkx(self, benchmark, graph):
+        import networkx as nx
+
+        G = to_networkx(graph, weighted=False)
+        comps = benchmark.pedantic(
+            lambda: list(nx.strongly_connected_components(G)),
+            rounds=3, iterations=1,
+        )
+        row("SCC (networkx)", len(comps))
+
+    def bench_toposort(self, benchmark):
+        import networkx as nx
+
+        from repro.algorithms import topological_sort
+        from repro.io import from_networkx
+
+        dag = nx.gn_graph(1024, seed=7)
+        A = from_networkx(dag)
+        order = benchmark.pedantic(
+            lambda: topological_sort(A), rounds=3, iterations=1
+        )
+        row("topological sort (n=1024 DAG)", f"layers traversed, |V|={len(order)}")

@@ -1,0 +1,121 @@
+"""Section IV — blocking vs nonblocking execution.
+
+Measures (a) the method-call overhead the deferred queue removes from the
+issuing thread, (b) end-to-end cost of the same sequence in both modes —
+identical results guaranteed by section IV's equivalence — and (c) the one
+queue optimization this implementation performs: dead-op elimination, where
+results that are overwritten before being observed are never computed.
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import context
+from repro.algebra import predefined
+from repro.io import erdos_renyi
+from repro.ops import binary
+
+from conftest import header, row
+
+S = predefined.PLUS_TIMES[grb.INT64]
+
+
+def _sequence(A, reps=4):
+    """A chain with dead intermediates: only the last product is observed."""
+    C = grb.Matrix(grb.INT64, A.nrows, A.ncols)
+    for _ in range(reps):
+        grb.mxm(C, None, None, S, A, A)  # each overwrites the previous
+    return C
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(700, 9000, seed=41, domain=grb.INT64)
+
+
+class BenchModes:
+    def bench_blocking_sequence(self, benchmark, graph):
+        def run():
+            context._reset()
+            C = _sequence(graph)
+            return C.nvals()
+
+        n = benchmark(run)
+        header("Section IV: blocking vs nonblocking (4x overwritten mxm)")
+        row("blocking: executes all 4 products", f"nvals={n}")
+
+    def bench_nonblocking_sequence(self, benchmark, graph):
+        def run():
+            context._reset()
+            grb.init(grb.Mode.NONBLOCKING)
+            C = _sequence(graph)
+            n = C.nvals()  # forces completion
+            return n, grb.queue_stats()
+
+        n, stats = benchmark(run)
+        row(
+            "nonblocking: dead-op elimination",
+            f"executed={stats['executed']}, elided={stats['elided']}",
+        )
+
+    def bench_issue_latency_blocking(self, benchmark, graph):
+        # time to *issue* one mxm (blocking: includes the whole product)
+        C = grb.Matrix(grb.INT64, graph.nrows, graph.ncols)
+
+        def run():
+            grb.mxm(C, None, None, S, graph, graph)
+
+        benchmark(run)
+        row("blocking issue latency", "includes computation")
+
+    def bench_issue_latency_nonblocking(self, benchmark, graph):
+        def setup():
+            context._reset()
+            grb.init(grb.Mode.NONBLOCKING)
+            return (grb.Matrix(grb.INT64, graph.nrows, graph.ncols),), {}
+
+        def run(C):
+            grb.mxm(C, None, None, S, graph, graph)
+
+        benchmark.pedantic(run, setup=setup, rounds=200, iterations=1)
+        row("nonblocking issue latency", "validation only (section IV)")
+
+
+class BenchEquivalence:
+    def bench_results_identical(self, benchmark, graph):
+        def run():
+            context._reset()
+            b = _sequence(graph).extract_tuples()
+            context._reset()
+            grb.init(grb.Mode.NONBLOCKING)
+            nb = _sequence(graph).extract_tuples()
+            assert np.array_equal(b[0], nb[0])
+            assert np.array_equal(b[2], nb[2])
+            return len(b[0])
+
+        n = benchmark.pedantic(run, rounds=3, iterations=1)
+        row("blocking == nonblocking result", f"verified on {n} tuples")
+
+
+class BenchWaitGranularity:
+    """The paper's 'wait after every op' equivalence, as a cost series."""
+
+    @pytest.mark.parametrize("wait_every", [1, 2, 8])
+    def bench_wait_every(self, benchmark, graph, wait_every):
+        def run():
+            context._reset()
+            grb.init(grb.Mode.NONBLOCKING)
+            C = grb.Matrix(grb.INT64, graph.nrows, graph.ncols)
+            for k in range(8):
+                grb.mxm(C, None, None, S, graph, graph)
+                if (k + 1) % wait_every == 0:
+                    grb.wait()
+            grb.wait()
+            return grb.queue_stats()
+
+        stats = benchmark.pedantic(run, rounds=3, iterations=1)
+        row(
+            f"wait() every {wait_every} ops",
+            f"executed={stats['executed']}, elided={stats['elided']}",
+        )

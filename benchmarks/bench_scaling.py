@@ -1,0 +1,72 @@
+"""Scaling series — the figure-style sweeps downstream papers plot.
+
+Three series on RMAT graphs of growing scale:
+
+* ``mxm`` (A ⊕.⊗ A) time vs. edge count — should grow near-linearly in
+  flops for the expand-sort-reduce kernel;
+* BFS time vs. scale — frontier-bound, dominated by per-level overhead on
+  small graphs;
+* Fig. 3 ``BC_update`` (32-source batch) vs. scale.
+
+Each parametrized case is one point of the series; the pytest-benchmark
+table *is* the figure data.
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import PLUS_TIMES
+from repro.algorithms import bc_update, bfs_levels
+from repro.io import rmat
+
+from conftest import header, row
+
+SCALES = [7, 8, 9, 10]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {s: rmat(s, 8, seed=42, domain=grb.INT32) for s in SCALES}
+
+
+class BenchMxmScaling:
+    @pytest.mark.parametrize("scale", SCALES)
+    def bench_mxm_scale(self, benchmark, graphs, scale):
+        A = graphs[scale]
+
+        def run():
+            C = grb.Matrix(grb.INT32, A.nrows, A.ncols)
+            grb.mxm(C, None, None, PLUS_TIMES[grb.INT32], A, A)
+            return C
+
+        C = benchmark(run)
+        if scale == SCALES[0]:
+            header("Scaling series: mxm on RMAT (edge_factor 8)")
+        row(
+            f"scale {scale} (n={A.nrows}, m={A.nvals()})",
+            f"out nvals={C.nvals()}",
+        )
+
+
+class BenchBfsScaling:
+    @pytest.mark.parametrize("scale", SCALES)
+    def bench_bfs_scale(self, benchmark, graphs, scale):
+        A = graphs[scale]
+        lv = benchmark(lambda: bfs_levels(A, 0))
+        if scale == SCALES[0]:
+            header("Scaling series: BFS levels on RMAT")
+        row(f"scale {scale}", f"reached={lv.nvals()}")
+
+
+class BenchBcScaling:
+    @pytest.mark.parametrize("scale", SCALES[:3])
+    def bench_bc_scale(self, benchmark, graphs, scale):
+        A = graphs[scale]
+        batch = np.arange(32)
+        delta = benchmark.pedantic(
+            lambda: bc_update(A, batch), rounds=3, iterations=1
+        )
+        if scale == SCALES[0]:
+            header("Scaling series: BC_update (32-source batch) on RMAT")
+        row(f"scale {scale}", f"delta nvals={delta.nvals()}")

@@ -1,0 +1,100 @@
+"""Table IV — the predefined operators the paper names, exercised on the
+shared workload, plus the registry inventory.
+
+The paper lists six operators explicitly (the ones BC needs); the C API
+predefines typed families.  This bench regenerates the table rows and
+times the two usage patterns: ``apply`` with the unary ops and an
+``eWiseAdd``/``mxm`` with the binary ones.
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.ops import binary, unary
+from repro.ops.binary import BINARY_REGISTRY
+from repro.ops.unary import UNARY_REGISTRY
+
+from conftest import header, row
+
+
+@pytest.fixture(scope="module")
+def int_matrix(er_pair):
+    return er_pair[0]
+
+
+@pytest.fixture(scope="module")
+def fp_matrix(er_pair):
+    A = er_pair[0]
+    B = grb.Matrix(grb.FP32, A.nrows, A.ncols)
+    grb.apply(B, None, None, unary.ABS[grb.FP32], A)
+    return B
+
+
+class BenchTable4:
+    def bench_times_int32(self, benchmark, int_matrix):
+        def run():
+            C = grb.Matrix(grb.INT32, 1000, 1000)
+            grb.ewise_mult(
+                C, None, None, grb.binary_op("GrB_TIMES_INT32"),
+                int_matrix, int_matrix,
+            )
+            return C
+
+        benchmark(run)
+        header("Table IV: predefined operators (registry inventory)")
+        row("GrB_TIMES_INT32", "binary, product of int32")
+        row("GrB_PLUS_INT32", "binary, sum of int32")
+        row("GrB_PLUS_FP32", "binary, sum of fp32")
+        row("GrB_TIMES_FP32", "binary, product of fp32")
+        row("GrB_MINV_FP32", "unary, reciprocal of fp32")
+        row("GrB_IDENTITY_BOOL", "unary, identity on bool")
+        row("total predefined binary ops", len(BINARY_REGISTRY))
+        row("total predefined unary ops", len(UNARY_REGISTRY))
+
+    def bench_plus_int32(self, benchmark, int_matrix):
+        def run():
+            C = grb.Matrix(grb.INT32, 1000, 1000)
+            grb.ewise_add(
+                C, None, None, grb.binary_op("GrB_PLUS_INT32"),
+                int_matrix, int_matrix,
+            )
+            return C
+
+        benchmark(run)
+
+    def bench_plus_times_fp32(self, benchmark, fp_matrix):
+        def run():
+            C = grb.Matrix(grb.FP32, 1000, 1000)
+            grb.ewise_add(
+                C, None, None, grb.binary_op("GrB_PLUS_FP32"),
+                fp_matrix, fp_matrix,
+            )
+            grb.ewise_mult(
+                C, None, None, grb.binary_op("GrB_TIMES_FP32"),
+                fp_matrix, fp_matrix,
+            )
+            return C
+
+        benchmark(run)
+
+    def bench_minv_fp32(self, benchmark, fp_matrix):
+        def run():
+            C = grb.Matrix(grb.FP32, 1000, 1000)
+            grb.apply(C, None, None, grb.unary_op("GrB_MINV_FP32"), fp_matrix)
+            return C
+
+        benchmark(run)
+
+    def bench_identity_bool(self, benchmark, int_matrix):
+        def run():
+            C = grb.Matrix(grb.BOOL, 1000, 1000)
+            grb.apply(C, None, None, grb.unary_op("GrB_IDENTITY_BOOL"), int_matrix)
+            return C
+
+        benchmark(run)
+
+    def bench_registry_lookup(self, benchmark):
+        # name-based dispatch must be O(1): it sits on every hot call path
+        # of transliterated C code
+        benchmark(lambda: grb.binary_op("GrB_PLUS_INT32"))

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Community detection with Markov clustering (MCL).
+
+Builds a planted-partition graph (dense communities, sparse bridges) and
+recovers the communities with MCL — expansion is semiring ``mxm``,
+inflation is ``apply`` with a bound power operator, normalization uses
+``reduce`` + ``Matrix.diag``.  Reports the confusion against the planted
+truth and the color classes of a greedy coloring for comparison.
+
+Run:  python examples/mcl_communities.py [communities] [size]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+import repro as grb
+from repro.algorithms import greedy_coloring, markov_clustering
+from repro.io import from_networkx
+
+
+def planted_partition(k: int, size: int, p_in=0.6, p_out=0.01, seed=5):
+    import networkx as nx
+
+    sizes = [size] * k
+    G = nx.random_partition_graph(sizes, p_in, p_out, seed=seed)
+    truth = np.empty(k * size, dtype=int)
+    for c, block in enumerate(G.graph["partition"]):
+        for v in block:
+            truth[v] = c
+    return from_networkx(G), truth
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+    A, truth = planted_partition(k, size)
+    n = A.nrows
+    print(f"planted-partition graph: {k} communities x {size} vertices, "
+          f"{A.nvals() // 2} edges")
+
+    t0 = time.perf_counter()
+    labels = markov_clustering(A, inflation=2.0)
+    print(f"\nMCL converged in {time.perf_counter() - t0:.2f} s; "
+          f"found {len(set(labels.tolist()))} clusters")
+
+    # purity: fraction of vertices whose cluster's majority truth matches
+    correct = 0
+    for lab in set(labels.tolist()):
+        members = np.nonzero(labels == lab)[0]
+        counts = np.bincount(truth[members], minlength=k)
+        correct += counts.max()
+    print(f"cluster purity: {correct / n:.2%}")
+
+    for lab in sorted(set(labels.tolist()))[:6]:
+        members = np.nonzero(labels == lab)[0]
+        tc = np.bincount(truth[members], minlength=k)
+        print(f"  cluster {lab:3d}: {len(members):3d} vertices, "
+              f"truth histogram {tc.tolist()}")
+
+    colors = greedy_coloring(A, seed=1)
+    print(f"\ngreedy coloring for contrast: {colors.max() + 1} colors "
+          "(proper coloring, not communities)")
+    rows, cols, _ = A.extract_tuples()
+    assert all(colors[i] != colors[j] for i, j in zip(rows, cols))
+    print("coloring verified proper")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Modern installs read pyproject.toml.  This file exists so that fully
+offline environments without the ``wheel`` package can still do an
+editable install via the pre-PEP-517 path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

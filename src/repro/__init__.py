@@ -1,0 +1,193 @@
+"""repro — a Python reproduction of the GraphBLAS C API design.
+
+Implements the objects, operations, execution model, and error model of
+*"Design of the GraphBLAS API for C"* (Buluç, Mattson, McMillan, Moreira,
+Yang — GABB @ IPDPS 2017): opaque :class:`Vector`/:class:`Matrix`
+collections, user-composable monoids and semirings, write-masks with
+structural complement, accumulators, descriptors, blocking/nonblocking
+execution with deferred sequences, and the two-class error model.
+
+Quick start::
+
+    import repro as grb
+
+    A = grb.Matrix.from_coo(grb.INT32, 4, 4, [0,1,2,3], [1,2,3,0], [1]*4)
+    w = grb.Vector(grb.INT32, 4)
+    u = grb.Vector.from_coo(grb.INT32, 4, [0], [1])
+    grb.mxv(w, None, None, grb.PLUS_TIMES[grb.INT32], A, u, grb.DESC_T0)
+    print(w.extract_tuples())
+
+Higher-level graph algorithms built on the API live in
+:mod:`repro.algorithms`; graph generators and Matrix Market I/O in
+:mod:`repro.io`; a spec-literal reference implementation (the test oracle
+and benchmark baseline) in :mod:`repro.reference`.
+"""
+
+from . import algebra, algorithms, io, ops, reference, types, utils, validation
+from .algebra import (
+    EQ_EQ,
+    LAND_MONOID,
+    LOR_LAND,
+    LOR_MONOID,
+    LXOR_LAND,
+    LXOR_MONOID,
+    MAX_MIN,
+    MAX_MONOID,
+    MAX_PLUS,
+    MAX_SECOND,
+    MAX_TIMES,
+    MIN_FIRST,
+    MIN_MAX,
+    MIN_MONOID,
+    MIN_PLUS,
+    MIN_SECOND,
+    MIN_TIMES,
+    Monoid,
+    PLUS_MIN,
+    PLUS_MONOID,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    Semiring,
+    TIMES_MONOID,
+    monoid,
+    monoid_new,
+    powerset_semiring,
+    powerset_type,
+    semiring,
+    semiring_new,
+)
+from .containers import Matrix, Scalar, Vector, matrix_new, scalar_new, vector_new
+from .context import (
+    Mode,
+    complete,
+    current_mode,
+    error,
+    finalize,
+    init,
+    queue_stats,
+    wait,
+)
+from .descriptor import (
+    ALL,
+    DESC_R,
+    DESC_RSC,
+    DESC_SC,
+    DESC_T0,
+    DESC_T0T1,
+    DESC_T1,
+    DESC_TSR,
+    INP0,
+    INP1,
+    MASK,
+    NULL,
+    OUTP,
+    REPLACE,
+    SCMP,
+    STRUCTURE,
+    TRAN,
+    Descriptor,
+    descriptor_new,
+    descriptor_set,
+)
+from .info import (
+    ApiError,
+    DimensionMismatch,
+    DomainMismatch,
+    ExecutionError,
+    GraphBLASError,
+    IndexOutOfBounds,
+    Info,
+    InvalidIndex,
+    InvalidObject,
+    InvalidValue,
+    NoValue,
+    NullPointer,
+    OutputNotEmpty,
+    UninitializedObject,
+)
+from .operations import (
+    apply,
+    ewise_union,
+    reduce_scalar_object,
+    apply_bind_first,
+    apply_bind_second,
+    apply_index,
+    assign,
+    col_assign,
+    col_extract,
+    eWiseAdd,
+    eWiseMult,
+    ewise_add,
+    ewise_mult,
+    extract,
+    kronecker,
+    matrix_assign,
+    matrix_assign_scalar,
+    matrix_extract,
+    mxm,
+    mxv,
+    reduce,
+    reduce_to_scalar,
+    reduce_to_vector,
+    row_assign,
+    select,
+    transpose,
+    vector_assign,
+    vector_assign_scalar,
+    vector_extract,
+    vxm,
+)
+from .ops import (
+    ABS,
+    AINV,
+    DIV,
+    EQ,
+    FIRST,
+    GE,
+    GT,
+    IDENTITY,
+    LAND,
+    LE,
+    LNOT,
+    LOR,
+    LT,
+    LXOR,
+    MAX,
+    MIN,
+    MINUS,
+    MINV,
+    NE,
+    ONE,
+    PAIR,
+    PLUS,
+    SECOND,
+    TIMES,
+    TRIL,
+    TRIU,
+    BinaryOp,
+    IndexUnaryOp,
+    UnaryOp,
+    binary_op,
+    binary_op_new,
+    index_unary_op,
+    index_unary_op_new,
+    unary_op,
+    unary_op_new,
+)
+from .types import (
+    BOOL,
+    FP32,
+    FP64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    GrBType,
+    type_new,
+)
+
+__version__ = "1.0.0"

@@ -1,0 +1,111 @@
+"""GraphBLAS monoids (paper section III-B, Fig. 1).
+
+A monoid ``M = <D, ⊙, 0>`` is a single-domain associative binary operator
+with an identity element.  Per the paper, a monoid is built from a binary
+operator whose three domains coincide (``GrB_Monoid_new``); the identity is
+supplied by the caller and *must* be the identity of the operator — we
+verify this on a small probe set for built-in domains, which catches the
+common misuse without claiming to prove the algebraic law.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..info import DomainMismatch, InvalidValue
+from ..ops.base import BinaryOp
+from ..types import GrBType, cast_scalar
+
+__all__ = ["Monoid", "monoid_new"]
+
+
+class Monoid:
+    """``M = <D, ⊙, 0>``: an associative operator with identity over one domain."""
+
+    __slots__ = ("name", "op", "identity", "terminal")
+
+    def __init__(
+        self,
+        op: BinaryOp,
+        identity: Any,
+        *,
+        name: str | None = None,
+        terminal: Any = None,
+        _check: bool = True,
+    ):
+        if not op.has_monoid_domains:
+            raise DomainMismatch(
+                f"monoid requires a binary op with one domain; {op.name} has "
+                f"({op.d_in1.name}, {op.d_in2.name}) -> {op.d_out.name}"
+            )
+        if _check and not op.associative:
+            # The paper requires an associative ⊙ (footnote 1 tolerates
+            # IEEE-754).  User-defined ops must declare associative=True.
+            raise InvalidValue(
+                f"monoid requires an associative operator; {op.name} is not "
+                "flagged associative"
+            )
+        self.name = name or f"{op.name}_MONOID"
+        self.op = op
+        self.identity = (
+            identity
+            if op.d_out.is_udt
+            else cast_scalar(identity, op.d_out, op.d_out)
+        )
+        #: optional annihilator: once a reduction hits this value it cannot
+        #: change (e.g. +inf for MAX); kernels may early-exit on it.
+        self.terminal = terminal
+        if _check and not op.d_out.is_udt:
+            self._check_identity()
+
+    @property
+    def domain(self) -> GrBType:
+        return self.op.d_out
+
+    def _check_identity(self) -> None:
+        dtype = self.domain.np_dtype
+        if dtype.kind == "b":
+            probes = np.array([False, True])
+        elif dtype.kind in ("i", "u"):
+            probes = np.array([0, 1, 2, 5], dtype=dtype)
+        else:
+            probes = np.array([0.0, 1.0, -3.5], dtype=dtype)
+        ident = np.full(len(probes), self.identity, dtype=dtype)
+        left = self.op.apply_arrays(ident, probes)
+        right = self.op.apply_arrays(probes, ident)
+        same = np.array_equal(left, probes) and np.array_equal(right, probes)
+        if not same:
+            raise InvalidValue(
+                f"{self.identity!r} is not an identity of {self.op.name}"
+            )
+
+    def __call__(self, x: Any, y: Any) -> Any:
+        return self.op(x, y)
+
+    def reduce_array(self, values: np.ndarray) -> Any:
+        """Fold an array of domain values (returns identity when empty)."""
+        if len(values) == 0:
+            return self.identity
+        if self.op.ufunc is not None:
+            return self.op.ufunc.reduce(values)
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.op(acc, v)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"Monoid({self.name}, identity={self.identity!r})"
+
+
+def monoid_new(
+    op: BinaryOp,
+    identity: Any,
+    *,
+    name: str | None = None,
+    terminal: Any = None,
+) -> Monoid:
+    """Create a monoid from a binary operator and its identity
+    (``GrB_Monoid_new``, Table VI)."""
+    return Monoid(op, identity, name=name, terminal=terminal)

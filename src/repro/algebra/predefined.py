@@ -1,0 +1,274 @@
+"""Predefined monoids and semirings, including every row of Table I.
+
+Table I of the paper lists the semirings most used in graph algorithms:
+
+=====================  =====  =====  ==============  =========  ===
+Semiring               ⊕      ⊗      domain          0          1
+=====================  =====  =====  ==============  =========  ===
+standard arithmetic    ``+``  ``×``  reals           0          1
+max-plus algebra       max    ``+``  reals ∪ {-∞}    -∞         0
+min-max algebra        min    max    nonneg reals    +∞         0
+Galois field GF(2)     xor    and    {0, 1}          0          1
+power-set algebra      ∪      ∩      P(Z)            ∅          U
+=====================  =====  =====  ==============  =========  ===
+
+All of them (and the wider set the GraphBLAS community predefines, e.g.
+``MIN_PLUS`` for SSSP, ``LOR_LAND`` for reachability, ``PLUS_PAIR`` for
+triangle counting) are constructed here as :class:`OpFamily`-style maps
+indexed by domain, plus the power-set semiring over a user-defined
+frozenset domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..info import InvalidValue
+from ..ops import binary
+from ..ops.base import BinaryOp, OpFamily
+from ..types import (
+    BOOL,
+    BUILTIN_TYPES,
+    FLOAT_TYPES,
+    INTEGER_TYPES,
+    GrBType,
+    type_new,
+)
+from .monoid import Monoid
+from .semiring import Semiring
+
+__all__ = [
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "LAND_MONOID",
+    "LOR_MONOID",
+    "LXOR_MONOID",
+    "LXNOR_MONOID",
+    "BOR_MONOID",
+    "BAND_MONOID",
+    "BXOR_MONOID",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MIN_TIMES",
+    "MAX_TIMES",
+    "MIN_MAX",
+    "MAX_MIN",
+    "PLUS_MIN",
+    "PLUS_MAX",
+    "MIN_FIRST",
+    "MIN_SECOND",
+    "MAX_FIRST",
+    "MAX_SECOND",
+    "PLUS_FIRST",
+    "PLUS_SECOND",
+    "PLUS_PAIR",
+    "LOR_LAND",
+    "LAND_LOR",
+    "LXOR_LAND",
+    "EQ_EQ",
+    "monoid",
+    "semiring",
+    "MONOID_REGISTRY",
+    "SEMIRING_REGISTRY",
+    "powerset_type",
+    "powerset_semiring",
+    "TABLE1_SEMIRINGS",
+]
+
+MONOID_REGISTRY: dict[str, Monoid] = {}
+SEMIRING_REGISTRY: dict[str, Semiring] = {}
+
+
+def _domain_min(t: GrBType):
+    if t is BOOL:
+        return False
+    if t in FLOAT_TYPES:
+        return -np.inf
+    return np.iinfo(t.np_dtype).min
+
+
+def _domain_max(t: GrBType):
+    if t is BOOL:
+        return True
+    if t in FLOAT_TYPES:
+        return np.inf
+    return np.iinfo(t.np_dtype).max
+
+
+def _monoid_family(
+    name: str,
+    op_family: OpFamily | BinaryOp,
+    identity_of,
+    terminal_of=None,
+    domains: tuple[GrBType, ...] = BUILTIN_TYPES,
+) -> dict[GrBType, Monoid]:
+    fam: dict[GrBType, Monoid] = {}
+    for t in domains:
+        op = op_family if isinstance(op_family, BinaryOp) else op_family[t]
+        short = t.name.removeprefix("GrB_")
+        m = Monoid(
+            op,
+            identity_of(t),
+            name=f"GrB_{name}_MONOID_{short}",
+            terminal=None if terminal_of is None else terminal_of(t),
+        )
+        MONOID_REGISTRY[m.name] = m
+        fam[t] = m
+    return fam
+
+
+# --------------------------------------------------------------------------
+# Monoid families
+# --------------------------------------------------------------------------
+
+PLUS_MONOID = _monoid_family("PLUS", binary.PLUS, lambda t: False if t is BOOL else 0)
+TIMES_MONOID = _monoid_family(
+    "TIMES",
+    binary.TIMES,
+    lambda t: True if t is BOOL else 1,
+    terminal_of=lambda t: (False if t is BOOL else (0 if t in INTEGER_TYPES else None)),
+)
+MIN_MONOID = _monoid_family("MIN", binary.MIN, _domain_max, terminal_of=_domain_min)
+MAX_MONOID = _monoid_family("MAX", binary.MAX, _domain_min, terminal_of=_domain_max)
+
+LAND_MONOID = _monoid_family(
+    "LAND", binary.LAND, lambda t: True, terminal_of=lambda t: False, domains=(BOOL,)
+)
+LOR_MONOID = _monoid_family(
+    "LOR", binary.LOR, lambda t: False, terminal_of=lambda t: True, domains=(BOOL,)
+)
+LXOR_MONOID = _monoid_family("LXOR", binary.LXOR, lambda t: False, domains=(BOOL,))
+LXNOR_MONOID = _monoid_family("LXNOR", binary.LXNOR, lambda t: True, domains=(BOOL,))
+
+BOR_MONOID = _monoid_family(
+    "BOR", binary.BOR, lambda t: 0, domains=INTEGER_TYPES
+)
+BAND_MONOID = _monoid_family(
+    "BAND",
+    binary.BAND,
+    lambda t: np.iinfo(t.np_dtype).max
+    if t.np_dtype.kind == "u"
+    else np.int64(-1).astype(t.np_dtype)[()],
+    domains=INTEGER_TYPES,
+)
+BXOR_MONOID = _monoid_family("BXOR", binary.BXOR, lambda t: 0, domains=INTEGER_TYPES)
+
+
+# --------------------------------------------------------------------------
+# Semiring families
+# --------------------------------------------------------------------------
+
+def _semiring_family(
+    name: str,
+    add_family: dict[GrBType, Monoid],
+    mul_family: OpFamily | BinaryOp,
+    domains: tuple[GrBType, ...] | None = None,
+) -> dict[GrBType, Semiring]:
+    fam: dict[GrBType, Semiring] = {}
+    if domains is None:
+        domains = tuple(t for t in BUILTIN_TYPES if t in add_family)
+    for t in domains:
+        mul = mul_family if isinstance(mul_family, BinaryOp) else mul_family[t]
+        short = t.name.removeprefix("GrB_")
+        s = Semiring(
+            add_family[t], mul, name=f"GrB_{name}_SEMIRING_{short}"
+        )
+        SEMIRING_REGISTRY[s.name] = s
+        fam[t] = s
+    return fam
+
+
+PLUS_TIMES = _semiring_family("PLUS_TIMES", PLUS_MONOID, binary.TIMES)
+MIN_PLUS = _semiring_family("MIN_PLUS", MIN_MONOID, binary.PLUS)
+MAX_PLUS = _semiring_family("MAX_PLUS", MAX_MONOID, binary.PLUS)
+MIN_TIMES = _semiring_family("MIN_TIMES", MIN_MONOID, binary.TIMES)
+MAX_TIMES = _semiring_family("MAX_TIMES", MAX_MONOID, binary.TIMES)
+MIN_MAX = _semiring_family("MIN_MAX", MIN_MONOID, binary.MAX)
+MAX_MIN = _semiring_family("MAX_MIN", MAX_MONOID, binary.MIN)
+PLUS_MIN = _semiring_family("PLUS_MIN", PLUS_MONOID, binary.MIN)
+PLUS_MAX = _semiring_family("PLUS_MAX", PLUS_MONOID, binary.MAX)
+MIN_FIRST = _semiring_family("MIN_FIRST", MIN_MONOID, binary.FIRST)
+MIN_SECOND = _semiring_family("MIN_SECOND", MIN_MONOID, binary.SECOND)
+MAX_FIRST = _semiring_family("MAX_FIRST", MAX_MONOID, binary.FIRST)
+MAX_SECOND = _semiring_family("MAX_SECOND", MAX_MONOID, binary.SECOND)
+PLUS_FIRST = _semiring_family("PLUS_FIRST", PLUS_MONOID, binary.FIRST)
+PLUS_SECOND = _semiring_family("PLUS_SECOND", PLUS_MONOID, binary.SECOND)
+PLUS_PAIR = _semiring_family("PLUS_PAIR", PLUS_MONOID, binary.PAIR)
+
+LOR_LAND = _semiring_family("LOR_LAND", LOR_MONOID, binary.LAND, domains=(BOOL,))
+LAND_LOR = _semiring_family("LAND_LOR", LAND_MONOID, binary.LOR, domains=(BOOL,))
+#: GF(2): ⊕ = xor, ⊗ = and — Table I row 4.
+LXOR_LAND = _semiring_family("LXOR_LAND", LXOR_MONOID, binary.LAND, domains=(BOOL,))
+EQ_EQ = _semiring_family("EQ_EQ", LXNOR_MONOID, binary.LXNOR, domains=(BOOL,))
+
+
+# --------------------------------------------------------------------------
+# Power-set algebra (Table I row 5) — a user-defined-type semiring
+# --------------------------------------------------------------------------
+
+def powerset_type() -> GrBType:
+    """The UDT domain P(Z): values are ``frozenset`` instances."""
+    return type_new("PowerSet", frozenset)
+
+
+def powerset_semiring(
+    universe: frozenset | None = None, domain: GrBType | None = None
+) -> Semiring:
+    """Build the ``<P(Z), ∪, ∩, ∅, U>`` semiring of Table I.
+
+    ``universe`` is the multiplicative identity *U*; it is only needed when
+    callers want ``1`` explicitly (the GraphBLAS semiring does not require
+    one — exactly the point the paper makes about Fig. 1).
+    """
+    pset = domain or powerset_type()
+    union = BinaryOp(
+        "PSET_UNION",
+        pset,
+        pset,
+        pset,
+        scalar_fn=lambda x, y: x | y,
+        commutative=True,
+        associative=True,
+    )
+    intersect = BinaryOp(
+        "PSET_INTERSECT",
+        pset,
+        pset,
+        pset,
+        scalar_fn=lambda x, y: x & y,
+        commutative=True,
+        associative=True,
+    )
+    del universe  # the multiplicative identity U is not part of the object —
+    # exactly the point the paper makes about Fig. 1's hierarchy.
+    add = Monoid(union, frozenset(), name="PSET_UNION_MONOID")
+    return Semiring(add, intersect, name="PSET_UNION_INTERSECT_SEMIRING")
+
+
+#: The five Table I rows, as (label, semiring, domain-note, one-note).
+TABLE1_SEMIRINGS = [
+    ("standard arithmetic", lambda: PLUS_TIMES[FLOAT_TYPES[1]], "R", "1"),
+    ("max-plus algebra", lambda: MAX_PLUS[FLOAT_TYPES[1]], "R ∪ {-inf}", "0"),
+    ("min-max algebra", lambda: MIN_MAX[FLOAT_TYPES[1]], "R>=0 ∪ {inf}", "0"),
+    ("Galois field GF(2)", lambda: LXOR_LAND[BOOL], "{0,1}", "1"),
+    ("power set algebra", powerset_semiring, "P(Z)", "U"),
+]
+
+
+def monoid(name: str) -> Monoid:
+    """Look up a predefined monoid, e.g. ``"GrB_PLUS_MONOID_INT32"``."""
+    for candidate in (name, f"GrB_{name}", f"GxB_{name}"):
+        if candidate in MONOID_REGISTRY:
+            return MONOID_REGISTRY[candidate]
+    raise InvalidValue(f"unknown monoid {name!r}")
+
+
+def semiring(name: str) -> Semiring:
+    """Look up a predefined semiring, e.g. ``"GrB_PLUS_TIMES_SEMIRING_FP32"``."""
+    for candidate in (name, f"GrB_{name}", f"GxB_{name}"):
+        if candidate in SEMIRING_REGISTRY:
+            return SEMIRING_REGISTRY[candidate]
+    raise InvalidValue(f"unknown semiring {name!r}")

@@ -1,0 +1,70 @@
+"""GraphBLAS semirings (paper section III-B, Fig. 1).
+
+``S = <D1, D2, D3, ⊕, ⊗, 0>``: an *additive* monoid ``<D3, ⊕, 0>`` paired
+with a *multiplicative* binary operator ``⊗ : D1 × D2 → D3``.  As the paper
+notes, this differs from a textbook semiring: the inputs of ⊗ may come from
+different domains, and no multiplicative identity is required
+(``GrB_Semiring_new`` takes only a monoid and a binary op).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..info import DomainMismatch
+from ..ops.base import BinaryOp
+from ..types import GrBType
+from .monoid import Monoid
+
+__all__ = ["Semiring", "semiring_new"]
+
+
+class Semiring:
+    """``S = <M, F>``: additive monoid plus multiplicative binary operator."""
+
+    __slots__ = ("name", "add", "mul")
+
+    def __init__(self, add: Monoid, mul: BinaryOp, *, name: str | None = None):
+        if not (mul.d_out is add.domain or mul.d_out == add.domain):
+            raise DomainMismatch(
+                f"semiring: multiply output domain {mul.d_out.name} does not "
+                f"match additive monoid domain {add.domain.name}"
+            )
+        self.add = add
+        self.mul = mul
+        self.name = name or f"{add.op.name}_{mul.name}_SEMIRING"
+
+    # -- accessors mirroring the paper's <D1,D2,D3,⊕,⊗,0> tuple --------------
+    @property
+    def d_in1(self) -> GrBType:
+        return self.mul.d_in1
+
+    @property
+    def d_in2(self) -> GrBType:
+        return self.mul.d_in2
+
+    @property
+    def d_out(self) -> GrBType:
+        return self.add.domain
+
+    @property
+    def zero(self) -> Any:
+        """The additive identity — the semiring's *implied zero* (section II)."""
+        return self.add.identity
+
+    @property
+    def add_op(self) -> BinaryOp:
+        return self.add.op
+
+    def __repr__(self) -> str:
+        return (
+            f"Semiring({self.name}: <{self.d_in1.name}, {self.d_in2.name}, "
+            f"{self.d_out.name}, {self.add.op.name}, {self.mul.name}, "
+            f"{self.zero!r}>)"
+        )
+
+
+def semiring_new(add: Monoid, mul: BinaryOp, *, name: str | None = None) -> Semiring:
+    """Create a semiring from a monoid and a binary operator
+    (``GrB_Semiring_new``, Table VI)."""
+    return Semiring(add, mul, name=name)

@@ -1,0 +1,45 @@
+"""Graph algorithms composed from GraphBLAS primitives — the workloads the
+paper's introduction motivates (traversal, centrality, components) plus the
+batched-Brandes BC of section VII."""
+
+from .bc import bc_update, betweenness_centrality, brandes_baseline
+from .cores import core_numbers, k_core, k_truss, local_clustering_coefficient
+from .bfs import bfs_levels, bfs_parents
+from .closure import apsp, diameter, eccentricity, radius, transitive_closure
+from .coloring import greedy_coloring
+from .components import connected_components
+from .mcl import markov_clustering
+from .mis import maximal_independent_set
+from .pagerank import pagerank
+from .scc import is_dag, strongly_connected_components, topological_sort
+from .sssp import sssp, sssp_delta_log
+from .triangle import lower_triangle, triangle_count
+
+__all__ = [
+    "bc_update",
+    "k_core",
+    "core_numbers",
+    "k_truss",
+    "local_clustering_coefficient",
+    "betweenness_centrality",
+    "brandes_baseline",
+    "bfs_levels",
+    "bfs_parents",
+    "sssp",
+    "sssp_delta_log",
+    "pagerank",
+    "strongly_connected_components",
+    "topological_sort",
+    "is_dag",
+    "triangle_count",
+    "lower_triangle",
+    "connected_components",
+    "greedy_coloring",
+    "transitive_closure",
+    "apsp",
+    "eccentricity",
+    "diameter",
+    "radius",
+    "markov_clustering",
+    "maximal_independent_set",
+]

@@ -1,0 +1,102 @@
+"""Breadth-first search in the language of linear algebra.
+
+Level BFS is the canonical GraphBLAS loop: a Boolean frontier vector is
+pushed through the adjacency matrix with the ``LOR_LAND`` semiring, masked
+by the complement of the visited set — the same masked-``vxm`` pattern the
+paper's BC forward sweep batches across sources.
+
+Parent BFS demonstrates the ``MIN_FIRST`` "select a parent" semiring and
+the index-unary ``ROWINDEX`` operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra import LOR_LAND, MIN_FIRST
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..descriptor import (
+    ALL,
+    MASK,
+    OUTP,
+    REPLACE,
+    SCMP,
+    STRUCTURE,
+    Descriptor,
+)
+from ..info import DimensionMismatch
+from ..operations import apply_index, vector_assign, vector_assign_scalar, vxm
+from ..ops import ROWINDEX
+from ..types import BOOL, INT32, INT64
+
+__all__ = ["bfs_levels", "bfs_parents"]
+
+
+def _check_square(A: Matrix) -> None:
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("BFS requires a square adjacency matrix")
+
+
+def bfs_levels(A: Matrix, source: int) -> Vector:
+    """Levels of every vertex reachable from *source* (source = 0).
+
+    Unreachable vertices have no stored element — undefined, not ∞;
+    exactly the no-implied-zero semantics of section III-A.
+    """
+    _check_square(A)
+    n = A.nrows
+    levels = Vector(INT32, n)
+    frontier = Vector(BOOL, n)
+    frontier.set_element(int(source), True)
+
+    # mask on the *structure* of levels: level 0 is a stored false-y value,
+    # so a value mask would wrongly re-discover the source
+    desc = Descriptor()
+    desc.set(MASK, SCMP)
+    desc.set(MASK, STRUCTURE)
+    desc.set(OUTP, REPLACE)
+
+    level = 0
+    while frontier.nvals() > 0:
+        # levels<frontier-structure> = level  (merge mode)
+        sdesc = Descriptor()
+        sdesc.set(MASK, STRUCTURE)
+        vector_assign_scalar(levels, frontier, None, level, ALL, sdesc)
+        # frontier<¬levels-structure> = frontier ∨.∧ A
+        vxm(frontier, levels, None, LOR_LAND[BOOL], frontier, A, desc)
+        level += 1
+    return levels
+
+
+def bfs_parents(A: Matrix, source: int) -> Vector:
+    """BFS tree parents: ``parents(v)`` is the predecessor of v; the source
+    is its own parent.  Ties resolve to the minimum-index parent via the
+    ``MIN_FIRST`` semiring (deterministic, unlike the C API's ``ANY``)."""
+    _check_square(A)
+    n = A.nrows
+    parents = Vector(INT64, n)
+    parents.set_element(int(source), int(source))
+
+    # frontier carries, at each discovered vertex, the id of its parent;
+    # re-stamped to the vertex's own id before the next expansion
+    frontier = Vector(INT64, n)
+    frontier.set_element(int(source), int(source))
+
+    desc = Descriptor()
+    desc.set(MASK, SCMP)
+    desc.set(MASK, STRUCTURE)
+    desc.set(OUTP, REPLACE)
+
+    while True:
+        # next(j) = min over frontier i of frontier(i)  [FIRST selects u(i)]
+        vxm(frontier, parents, None, MIN_FIRST[INT64], frontier, A, desc)
+        if frontier.nvals() == 0:
+            break
+        # record parents for the newly discovered vertices (merge mode)
+        sdesc = Descriptor()
+        sdesc.set(MASK, STRUCTURE)
+        vector_assign(parents, frontier, None, frontier, ALL, sdesc)
+        # re-stamp the frontier with each vertex's own index
+        apply_index(frontier, None, None, ROWINDEX, frontier, 0, None)
+    return parents

@@ -1,0 +1,107 @@
+"""Algebraic-closure algorithms: transitive closure, all-pairs shortest
+paths, and the eccentricity family derived from them.
+
+These are the "matrix powers over exotic semirings" workloads: closure is
+repeated squaring over Boolean OR-AND; APSP is repeated squaring over
+min-plus (both converge in ⌈log₂ n⌉ rounds).  Quadratic memory — meant for
+the laptop-scale graphs of this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra import LOR_LAND, MIN_PLUS
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..info import DimensionMismatch
+from ..operations import apply, ewise_add, mxm
+from ..ops import LOR, MIN, ONE
+from ..types import BOOL, FP64
+
+__all__ = [
+    "transitive_closure",
+    "apsp",
+    "eccentricity",
+    "diameter",
+    "radius",
+]
+
+
+def transitive_closure(A: Matrix, reflexive: bool = False) -> Matrix:
+    """Reachability matrix: ``R(i,j)`` stored iff j is reachable from i.
+
+    Repeated squaring over the Boolean OR-AND semiring:
+    ``R ← R ∨ (R ∧.∨ R)`` until the pattern stops growing.
+    """
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("closure requires a square matrix")
+    n = A.nrows
+    R = Matrix(BOOL, n, n)
+    apply(R, None, None, ONE[BOOL], A, None)
+    if reflexive:
+        eye = Matrix.diag(
+            Vector.from_coo(BOOL, n, np.arange(n), np.ones(n, bool))
+        )
+        ewise_add(R, None, None, LOR, R, eye, None)
+        eye.free()
+    while True:
+        before = R.nvals()
+        sq = Matrix(BOOL, n, n)
+        mxm(sq, None, None, LOR_LAND[BOOL], R, R, None)
+        ewise_add(R, None, None, LOR, R, sq, None)
+        sq.free()
+        if R.nvals() == before:
+            return R
+
+
+def apsp(A: Matrix) -> np.ndarray:
+    """All-pairs shortest path distances as a dense array (∞ = unreachable).
+
+    Min-plus repeated squaring: ``D ← D min (D min.+ D)``, ⌈log₂ n⌉ rounds.
+    Matches ``scipy.sparse.csgraph.floyd_warshall``.
+    """
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("APSP requires a square matrix")
+    n = A.nrows
+    D = Matrix(FP64, n, n)
+    apply(D, None, None, _identity_fp64(), A, None)
+    # distance 0 to self (min with any stored self-loop)
+    zero_diag = Matrix.diag(
+        Vector.from_coo(FP64, n, np.arange(n), np.zeros(n))
+    )
+    ewise_add(D, None, None, MIN[FP64], D, zero_diag, None)
+    zero_diag.free()
+
+    rounds = max(1, int(np.ceil(np.log2(max(2, n)))))
+    for _ in range(rounds):
+        sq = Matrix(FP64, n, n)
+        mxm(sq, None, None, MIN_PLUS[FP64], D, D, None)
+        ewise_add(D, None, None, MIN[FP64], D, sq, None)
+        sq.free()
+    out = D.to_dense(np.inf)
+    D.free()
+    return out
+
+
+def _identity_fp64():
+    from ..ops import IDENTITY
+
+    return IDENTITY[FP64]
+
+
+def eccentricity(A: Matrix) -> np.ndarray:
+    """ecc(v) = max over reachable u of d(v, u); ∞ if some vertex is
+    unreachable (the standard convention on disconnected graphs)."""
+    D = apsp(A)
+    return D.max(axis=1)
+
+
+def diameter(A: Matrix) -> float:
+    """max eccentricity (∞ when not strongly connected)."""
+    return float(eccentricity(A).max())
+
+
+def radius(A: Matrix) -> float:
+    """min eccentricity."""
+    return float(eccentricity(A).min())

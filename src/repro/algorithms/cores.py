@@ -1,0 +1,157 @@
+"""Peeling algorithms: k-core, core numbers, k-truss, and local clustering
+coefficients — the second-wave workloads (all masked-SpGEMM and
+masked-reduce compositions over the PLUS_PAIR counting semiring).
+
+All expect an undirected graph given as a symmetric-pattern matrix without
+self-loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra import PLUS_MONOID, PLUS_PAIR
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..descriptor import MASK, OUTP, REPLACE, STRUCTURE, Descriptor
+from ..info import DimensionMismatch, InvalidValue
+from ..operations import (
+    apply_bind_second,
+    ewise_add,
+    mxm,
+    mxv,
+    reduce_to_vector,
+    select,
+)
+from ..ops import PLUS, TIMES, index_unary
+from ..types import BOOL, INT64
+
+__all__ = ["k_core", "core_numbers", "k_truss", "local_clustering_coefficient"]
+
+
+def _check_square(A: Matrix) -> None:
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("requires a square adjacency matrix")
+
+
+def _alive_degrees(A: Matrix, alive: Vector) -> Vector:
+    """deg(i) = |N(i) ∩ alive| for i ∈ alive, via one masked mxv."""
+    deg = Vector(INT64, A.nrows)
+    d = Descriptor().set(MASK, STRUCTURE).set(OUTP, REPLACE)
+    # PLUS_PAIR: every stored (A(i,j), alive(j)) intersection contributes 1
+    mxv(deg, alive, None, PLUS_PAIR[INT64], A, alive, d)
+    return deg
+
+
+def k_core(A: Matrix, k: int) -> np.ndarray:
+    """Vertex indices of the maximal subgraph with min degree >= k."""
+    _check_square(A)
+    if k < 0:
+        raise InvalidValue("k must be non-negative")
+    n = A.nrows
+    alive = Vector(BOOL, n)
+    alive.build(np.arange(n), np.ones(n, dtype=bool))
+    while True:
+        if alive.nvals() == 0:
+            return np.empty(0, dtype=np.int64)
+        deg = _alive_degrees(A, alive)
+        dense = deg.to_dense(0)
+        idx, _ = alive.extract_tuples()
+        survivors = idx[dense[idx] >= k]
+        if len(survivors) == len(idx):
+            return survivors
+        alive.clear()
+        if len(survivors):
+            alive.build(survivors, np.ones(len(survivors), dtype=bool))
+        else:
+            return np.empty(0, dtype=np.int64)
+
+
+def core_numbers(A: Matrix) -> np.ndarray:
+    """Core number of every vertex (the largest k whose k-core contains it).
+
+    Standard peeling by increasing k; matches ``networkx.core_number``.
+    """
+    _check_square(A)
+    n = A.nrows
+    core = np.zeros(n, dtype=np.int64)
+    remaining = np.arange(n)
+    k = 0
+    alive = Vector(BOOL, n)
+    alive.build(np.arange(n), np.ones(n, dtype=bool))
+    while alive.nvals() > 0:
+        deg = _alive_degrees(A, alive).to_dense(0)
+        idx, _ = alive.extract_tuples()
+        peel = idx[deg[idx] <= k]
+        if len(peel) == 0:
+            k += 1
+            continue
+        core[peel] = k
+        survivors = np.setdiff1d(idx, peel)
+        alive.clear()
+        if len(survivors):
+            alive.build(survivors, np.ones(len(survivors), dtype=bool))
+    return core
+
+
+def k_truss(A: Matrix, k: int) -> Matrix:
+    """The k-truss: the maximal subgraph where every edge lies in at least
+    ``k - 2`` triangles.  Returns the truss's (symmetric) pattern as an
+    INT64 matrix whose values are the edge supports.
+
+    The classic masked-SpGEMM loop: support(e) = (A ⊕.pair A)⟨A⟩, prune
+    edges below ``k-2``, repeat to fixpoint.
+    """
+    _check_square(A)
+    if k < 2:
+        raise InvalidValue("truss order k must be >= 2")
+    # working copy as INT64 pattern
+    work = Matrix(INT64, A.nrows, A.ncols)
+    from ..operations import apply
+    from ..ops import ONE
+
+    apply(work, None, None, ONE[INT64], A, None)
+    threshold = np.int64(k - 2)
+    while True:
+        nv_before = work.nvals()
+        if nv_before == 0:
+            return work
+        support = Matrix(INT64, A.nrows, A.ncols)
+        d = Descriptor().set(MASK, STRUCTURE).set(OUTP, REPLACE)
+        mxm(support, work, None, PLUS_PAIR[INT64], work, work, d)
+        # edges with no wedge at all have no entry in `support`; give every
+        # surviving edge an explicit (possibly 0) support before filtering
+        zeros = Matrix(INT64, A.nrows, A.ncols)
+        apply_bind_second(zeros, None, None, TIMES[INT64], work, 0, None)
+        full = Matrix(INT64, A.nrows, A.ncols)
+        ewise_add(full, None, None, PLUS[INT64], support, zeros, None)
+        pruned = Matrix(INT64, A.nrows, A.ncols)
+        select(
+            pruned, None, None, index_unary.VALUEGE[INT64], full, threshold
+        )
+        zeros.free()
+        full.free()
+        if pruned.nvals() == nv_before:
+            return pruned
+        work.free()
+        support.free()
+        work = pruned
+
+
+def local_clustering_coefficient(A: Matrix) -> np.ndarray:
+    """LCC(v) = 2·tri(v) / (deg(v)·(deg(v)−1)), 0 for degree < 2.
+
+    The LDBC Graphalytics kernel; triangles per vertex come from the
+    masked counting SpGEMM row-reduced.
+    """
+    _check_square(A)
+    n = A.nrows
+    C = Matrix(INT64, n, n)
+    mxm(C, A, None, PLUS_PAIR[INT64], A, A, Descriptor().set(OUTP, REPLACE))
+    wedge = Vector(INT64, n)
+    reduce_to_vector(wedge, None, None, PLUS_MONOID[INT64], C, None)
+    tri = wedge.to_dense(0) / 2.0
+    deg = np.diff(A.csr().indptr).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lcc = np.where(deg >= 2, 2.0 * tri / (deg * (deg - 1.0)), 0.0)
+    return lcc

@@ -1,0 +1,78 @@
+"""Luby's maximal independent set — the randomized masked-vector workout.
+
+Each round every remaining candidate draws a random score; vertices whose
+score strictly beats every remaining neighbour's join the set, and they and
+their neighbours leave the candidate pool.  All the per-round steps are
+masked GraphBLAS primitives (``mxv`` over ``MAX_SECOND``, eWise
+comparison, structural-complement masking), which is why this algorithm is
+a staple of GraphBLAS demo suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra import MAX_SECOND
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..info import DimensionMismatch
+from ..operations import vxm
+from ..types import BOOL, FP64
+
+__all__ = ["maximal_independent_set"]
+
+
+def maximal_independent_set(A: Matrix, seed: int = 42) -> np.ndarray:
+    """Vertex indices of a maximal independent set of the symmetric graph A.
+
+    Deterministic for a given seed.  Self-loops are treated as absent
+    (a self-looped vertex would otherwise exclude itself forever).
+    """
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("MIS requires a square matrix")
+    n = A.nrows
+    rng = np.random.default_rng(seed)
+
+    candidates = np.ones(n, dtype=bool)
+    in_set = np.zeros(n, dtype=bool)
+
+    # neighbour lookup handled in GraphBLAS; candidate bookkeeping is the
+    # non-opaque driver state, as in the reference implementations
+    while candidates.any():
+        cand_idx = np.nonzero(candidates)[0]
+        scores = Vector(FP64, n)
+        # score in (0,1]: strictly positive so a candidate with no
+        # remaining neighbours always wins its (empty) comparison
+        scores.build(cand_idx, rng.uniform(0.01, 1.0, len(cand_idx)))
+
+        # best neighbouring score among candidates: nbr = A max.second scores
+        nbr = Vector(FP64, n)
+        vxm(nbr, None, None, MAX_SECOND[FP64], scores, A, None)
+
+        nbr_dense = nbr.to_dense(0.0)
+        score_dense = scores.to_dense(0.0)
+        winners = candidates & (score_dense > nbr_dense)
+        # ignore self-loops: a vertex's own score reflected back would
+        # otherwise block it (score > score is false) — drop such blocks
+        # only when no *other* neighbour beats it
+        if not winners.any():
+            # break ties deterministically: highest score among candidates
+            best = cand_idx[np.argmax(score_dense[cand_idx])]
+            winners[best] = True
+
+        in_set |= winners
+        # remove winners and their neighbours from the pool
+        wv = Vector(BOOL, n)
+        widx = np.nonzero(winners)[0]
+        wv.build(widx, np.ones(len(widx), dtype=bool))
+        nbrs = Vector(BOOL, n)
+        vxm(nbrs, None, None, MAX_SECOND[BOOL], wv, A, None)
+        removed = winners.copy()
+        nidx, _ = nbrs.extract_tuples()
+        removed[nidx] = True
+        candidates &= ~removed
+
+        for v in (scores, nbr, wv, nbrs):
+            v.free()
+
+    return np.nonzero(in_set)[0]

@@ -1,0 +1,88 @@
+"""PageRank via semiring matrix-vector products.
+
+Power iteration on ``r ← α·Aᵀ(r/deg) + teleport``, entirely in GraphBLAS:
+out-degrees by row-reduce, the scaled rank by eWiseMult, the push by vxm
+over arithmetic +.×, dangling mass folded into the teleport term.  Matches
+``networkx.pagerank`` to the iteration tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra import PLUS_MONOID, PLUS_TIMES
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..descriptor import ALL
+from ..info import DimensionMismatch
+from ..operations import (
+    ewise_mult,
+    reduce_to_vector,
+    vector_assign_scalar,
+    vxm,
+)
+from ..ops import DIV, PLUS, TIMES
+from ..operations import apply_bind_first, apply_bind_second, ewise_add
+from ..types import FP64
+
+__all__ = ["pagerank"]
+
+
+def pagerank(
+    A: Matrix,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iters: int = 100,
+) -> np.ndarray:
+    """PageRank scores of the digraph *A* (any numeric domain; edge
+    multiplicity via values is honoured, like networkx's weighted default).
+
+    Returns a dense FP64 array summing to 1.
+    """
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("PageRank requires a square adjacency matrix")
+    n = A.nrows
+
+    # out-degree (weighted): deg(i) = Σ_j A(i, j)
+    deg = Vector(FP64, n)
+    reduce_to_vector(deg, None, None, PLUS_MONOID[FP64], A, None)
+    inv_deg = Vector(FP64, n)
+    # 1/deg on stored (non-dangling) vertices: bind the *first* operand
+    apply_bind_first(inv_deg, None, None, DIV[FP64], 1.0, deg, None)
+
+    # dangling detection: vertices with no stored out-degree
+    deg_dense = deg.to_dense(0.0)
+    dangling = np.nonzero(deg_dense == 0.0)[0]
+
+    r = Vector(FP64, n)
+    vector_assign_scalar(r, None, None, 1.0 / n, ALL, None)
+
+    scaled = Vector(FP64, n)
+    semiring = PLUS_TIMES[FP64]
+    for _ in range(max_iters):
+        r_dense = r.to_dense(0.0)
+        dangling_mass = float(r_dense[dangling].sum()) if len(dangling) else 0.0
+        teleport = (1.0 - damping) / n + damping * dangling_mass / n
+
+        # scaled = r ./ deg on non-dangling vertices
+        ewise_mult(scaled, None, None, TIMES[FP64], r, inv_deg, None)
+        # r_new = damping * (scaledᵀ A) + teleport, dense
+        r_new = Vector(FP64, n)
+        vector_assign_scalar(r_new, None, None, teleport, ALL, None)
+        push = Vector(FP64, n)
+        vxm(push, None, None, semiring, scaled, A, None)
+        apply_bind_second(push, None, None, TIMES[FP64], push, damping, None)
+        # fold the push into the dense teleport baseline
+        ewise_add(r_new, None, None, PLUS[FP64], r_new, push, None)
+
+        delta = float(np.abs(r_new.to_dense(0.0) - r_dense).sum())
+        r.free()
+        r = r_new
+        push.free()
+        if delta < tol * n:
+            break
+
+    out = r.to_dense(0.0)
+    for v in (deg, inv_deg, scaled, r):
+        v.free()
+    return out / out.sum()

@@ -1,0 +1,127 @@
+"""Strongly connected components (forward-backward reachability) and
+topological sorting (in-degree peeling).
+
+SCC uses the classic FW-BW-trim scheme: pick a pivot in an unassigned
+vertex set, compute its forward and backward reachable sets with masked
+BFS sweeps (``vxm`` and the same sweep on the transpose descriptor), and
+their intersection is the pivot's component; the three remainders recurse.
+Every reachability step is a GraphBLAS frontier expansion; the worklist
+bookkeeping is driver state, as in the LAGraph formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra import LOR_LAND
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..descriptor import DESC_T1, Descriptor, INP1, TRAN
+from ..info import DimensionMismatch, InvalidValue
+from ..operations import vxm
+from ..types import BOOL, INT64
+
+__all__ = ["strongly_connected_components", "topological_sort", "is_dag"]
+
+
+def _reachable(A: Matrix, start: np.ndarray, allowed: np.ndarray, backward: bool) -> np.ndarray:
+    """Vertices of *allowed* reachable from *start* (start ⊆ allowed)."""
+    n = A.nrows
+    visited = np.zeros(n, dtype=bool)
+    visited[start] = True
+    frontier_idx = start
+    desc = DESC_T1 if backward else None
+    while len(frontier_idx):
+        f = Vector(BOOL, n)
+        f.build(frontier_idx, np.ones(len(frontier_idx), dtype=bool))
+        nxt = Vector(BOOL, n)
+        vxm(nxt, None, None, LOR_LAND[BOOL], f, A, desc)
+        idx, _ = nxt.extract_tuples()
+        f.free()
+        nxt.free()
+        fresh = idx[allowed[idx] & ~visited[idx]]
+        visited[fresh] = True
+        frontier_idx = fresh
+    return np.nonzero(visited & allowed)[0]
+
+
+def strongly_connected_components(A: Matrix) -> np.ndarray:
+    """Component labels (smallest member id per SCC) for a digraph.
+
+    Matches ``networkx.strongly_connected_components``.
+    """
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("SCC requires a square adjacency matrix")
+    n = A.nrows
+    labels = np.full(n, -1, dtype=np.int64)
+    worklist: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    while worklist:
+        subset = worklist.pop()
+        if len(subset) == 0:
+            continue
+        if len(subset) == 1:
+            labels[subset[0]] = subset[0]
+            continue
+        allowed = np.zeros(n, dtype=bool)
+        allowed[subset] = True
+        pivot = np.array([subset[0]], dtype=np.int64)
+        fw = _reachable(A, pivot, allowed, backward=False)
+        bw = _reachable(A, pivot, allowed, backward=True)
+        fw_set = np.zeros(n, dtype=bool)
+        fw_set[fw] = True
+        bw_set = np.zeros(n, dtype=bool)
+        bw_set[bw] = True
+        scc = subset[fw_set[subset] & bw_set[subset]]
+        labels[scc] = scc.min()
+        worklist.append(subset[fw_set[subset] & ~bw_set[subset]])
+        worklist.append(subset[bw_set[subset] & ~fw_set[subset]])
+        worklist.append(subset[~fw_set[subset] & ~bw_set[subset]])
+    return labels
+
+
+def topological_sort(A: Matrix) -> np.ndarray:
+    """A topological order of the DAG *A* (edge i→j puts i before j).
+
+    In-degree peeling: each round removes the zero-in-degree layer; the
+    in-degrees come from a column reduce restricted to the surviving
+    subgraph.  Raises ``InvalidValue`` if the graph has a cycle.
+    """
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("topological sort requires a square matrix")
+    n = A.nrows
+    alive = np.ones(n, dtype=bool)
+    order: list[int] = []
+    from ..algebra import PLUS_PAIR
+    from ..operations import mxv
+
+    while alive.any():
+        alive_idx = np.nonzero(alive)[0]
+        av = Vector(BOOL, n)
+        av.build(alive_idx, np.ones(len(alive_idx), dtype=bool))
+        indeg = Vector(INT64, n)
+        # indeg(j) = |{i alive : A(i,j)}| — one transposed masked mxv
+        d = Descriptor()
+        from ..descriptor import INP0, MASK, OUTP, REPLACE, STRUCTURE
+
+        d.set(INP0, TRAN)
+        d.set(MASK, STRUCTURE)
+        d.set(OUTP, REPLACE)
+        mxv(indeg, av, None, PLUS_PAIR[INT64], A, av, d)
+        deg_dense = indeg.to_dense(0)
+        av.free()
+        indeg.free()
+        layer = alive_idx[deg_dense[alive_idx] == 0]
+        if len(layer) == 0:
+            raise InvalidValue("graph has a cycle: topological sort impossible")
+        order.extend(sorted(int(v) for v in layer))
+        alive[layer] = False
+    return np.array(order, dtype=np.int64)
+
+
+def is_dag(A: Matrix) -> bool:
+    """True iff the digraph has no directed cycle."""
+    try:
+        topological_sort(A)
+        return True
+    except InvalidValue:
+        return False

@@ -1,0 +1,72 @@
+"""Single-source shortest paths over the min-plus (tropical) semiring —
+Table I's "max-plus algebras" row mirrored for minimization.
+
+The Bellman-Ford relaxation is one line of GraphBLAS:
+``d ⊙min= d min.+ A`` — repeated until the distance vector reaches a fixed
+point.  Stored elements are reachable vertices; unreachable ones stay
+undefined (no +∞ bookkeeping, again the no-implied-zero payoff).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra import MIN_PLUS
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..info import DimensionMismatch, InvalidValue
+from ..operations import vxm
+from ..ops import MIN
+from ..types import FP64
+
+__all__ = ["sssp", "sssp_delta_log"]
+
+
+def sssp(A: Matrix, source: int, max_iters: int | None = None) -> Vector:
+    """Bellman-Ford SSSP distances from *source* on edge-weight matrix *A*.
+
+    Negative edge weights are allowed (no negative cycles — iteration is
+    capped at n rounds, the Bellman-Ford bound, and raises if the vector is
+    still improving, which certifies a negative cycle).
+    """
+    if A.nrows != A.ncols:
+        raise DimensionMismatch("SSSP requires a square matrix")
+    n = A.nrows
+    d = Vector(FP64, n)
+    d.set_element(int(source), 0.0)
+
+    rounds = max_iters if max_iters is not None else n
+    prev_idx, prev_vals = d.extract_tuples()
+    for _ in range(rounds):
+        # d = min(d, d min.+ A): the accumulator keeps already-settled
+        # distances; vxm relaxes every out-edge of the current estimate
+        vxm(d, None, MIN[FP64], MIN_PLUS[FP64], d, A, None)
+        idx, vals = d.extract_tuples()
+        if len(idx) == len(prev_idx) and np.array_equal(idx, prev_idx) and np.array_equal(vals, prev_vals):
+            return d
+        prev_idx, prev_vals = idx, vals
+    if max_iters is None:
+        # n relaxations without convergence ⇒ a negative cycle is reachable
+        vxm(d, None, MIN[FP64], MIN_PLUS[FP64], d, A, None)
+        idx, vals = d.extract_tuples()
+        if not (np.array_equal(idx, prev_idx) and np.array_equal(vals, prev_vals)):
+            raise InvalidValue("negative cycle reachable from source")
+    return d
+
+
+def sssp_delta_log(A: Matrix, source: int) -> list[int]:
+    """Instrumented SSSP: nvals of the distance vector after each
+    relaxation round (the frontier-growth series benchmarks plot)."""
+    n = A.nrows
+    d = Vector(FP64, n)
+    d.set_element(int(source), 0.0)
+    series = [d.nvals()]
+    prev = d.extract_tuples()
+    for _ in range(n):
+        vxm(d, None, MIN[FP64], MIN_PLUS[FP64], d, A, None)
+        cur = d.extract_tuples()
+        series.append(len(cur[0]))
+        if len(cur[0]) == len(prev[0]) and np.array_equal(cur[0], prev[0]) and np.array_equal(cur[1], prev[1]):
+            break
+        prev = cur
+    return series

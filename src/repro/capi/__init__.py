@@ -1,0 +1,436 @@
+"""C-style binding shim: the API exactly as the paper spells it.
+
+The Pythonic layer (:mod:`repro`) raises exceptions; the C API returns
+``GrB_Info`` and writes results through pointer out-parameters.  This
+module provides the literal surface so C listings — including the paper's
+Fig. 3 — transliterate line for line:
+
+* every function is named ``GrB_*`` (``GrB_mxm``, ``GrB_Matrix_nrows``, ...)
+  and **returns** an :class:`repro.Info` code instead of raising;
+* out-parameters are :class:`Ref` boxes standing in for C pointers::
+
+      A = Ref()
+      info = GrB_Matrix_new(A, GrB_INT32, n, n)   # GrB_Matrix_new(&A, ...)
+      assert info == GrB_SUCCESS
+      nrows = Ref()
+      GrB_Matrix_nrows(nrows, A.value)
+
+* the constants of Table V are re-exported under their C names
+  (``GrB_ALL``, ``GrB_NULL``, ``GrB_SCMP``, ``GrB_TRAN``, ``GrB_REPLACE``,
+  ``GrB_SUCCESS``, ``GrB_INT32``, ...), and ``GrB_free`` /
+  ``GrB_free_all`` (the convenience macro Fig. 3 mentions) are provided.
+
+See ``examples/bc_c_style.py`` for Fig. 3 rendered through this shim.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from .. import (
+    algebra,
+    containers,
+    context,
+    descriptor as _descriptor,
+    info as _info,
+    operations,
+    types as _types,
+)
+from ..info import GraphBLASError, Info, NoValue
+
+__all__ = [
+    "Ref",
+    "GrB_SUCCESS",
+    "GrB_NO_VALUE",
+    "GrB_ALL",
+    "GrB_NULL",
+    "GrB_OUTP",
+    "GrB_MASK",
+    "GrB_INP0",
+    "GrB_INP1",
+    "GrB_REPLACE",
+    "GrB_SCMP",
+    "GrB_TRAN",
+    "GxB_STRUCTURE",
+    "GrB_BOOL",
+    "GrB_INT8",
+    "GrB_INT16",
+    "GrB_INT32",
+    "GrB_INT64",
+    "GrB_UINT8",
+    "GrB_UINT16",
+    "GrB_UINT32",
+    "GrB_UINT64",
+    "GrB_FP32",
+    "GrB_FP64",
+    "GrB_BLOCKING",
+    "GrB_NONBLOCKING",
+    "GrB_init",
+    "GrB_finalize",
+    "GrB_wait",
+    "GrB_error",
+    "GrB_free",
+    "GrB_free_all",
+    "GrB_Matrix_new",
+    "GrB_Matrix_dup",
+    "GrB_Matrix_clear",
+    "GrB_Matrix_nrows",
+    "GrB_Matrix_ncols",
+    "GrB_Matrix_nvals",
+    "GrB_Matrix_build",
+    "GrB_Matrix_setElement",
+    "GrB_Matrix_extractElement",
+    "GrB_Matrix_removeElement",
+    "GrB_Matrix_extractTuples",
+    "GrB_Matrix_resize",
+    "GrB_Matrix_diag",
+    "GrB_Vector_new",
+    "GrB_Vector_dup",
+    "GrB_Vector_clear",
+    "GrB_Vector_size",
+    "GrB_Vector_nvals",
+    "GrB_Vector_build",
+    "GrB_Vector_setElement",
+    "GrB_Vector_extractElement",
+    "GrB_Vector_removeElement",
+    "GrB_Vector_extractTuples",
+    "GrB_Vector_resize",
+    "GrB_Scalar_new",
+    "GrB_Scalar_setElement",
+    "GrB_Scalar_extractElement",
+    "GrB_Scalar_clear",
+    "GrB_Scalar_nvals",
+    "GrB_Descriptor_new",
+    "GrB_Descriptor_set",
+    "GrB_Monoid_new",
+    "GrB_Semiring_new",
+    "GrB_Type_new",
+    "GrB_UnaryOp_new",
+    "GrB_BinaryOp_new",
+    "GrB_mxm",
+    "GrB_mxv",
+    "GrB_vxm",
+    "GrB_eWiseAdd",
+    "GrB_eWiseMult",
+    "GrB_apply",
+    "GrB_select",
+    "GrB_reduce",
+    "GrB_Matrix_reduce",
+    "GrB_transpose",
+    "GrB_extract",
+    "GrB_assign",
+    "GrB_kronecker",
+]
+
+
+class Ref:
+    """A one-slot box standing in for a C output pointer (``GrB_Matrix *``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Ref({self.value!r})"
+
+
+def _info_of(exc: BaseException) -> Info:
+    return getattr(exc, "info", Info.PANIC)
+
+
+def _c_call(fn: Callable[[], Any]) -> Info:
+    """Run a body; translate the Python error model back to GrB_Info."""
+    try:
+        fn()
+        return Info.SUCCESS
+    except NoValue:
+        return Info.NO_VALUE
+    except GraphBLASError as exc:
+        return _info_of(exc)
+    except Exception as exc:  # foreign failure
+        _info.set_last_error(f"[PANIC] {exc!r}")
+        return Info.PANIC
+
+
+def _creator(out: Ref, make: Callable[[], Any]) -> Info:
+    if not isinstance(out, Ref):
+        return Info.NULL_POINTER
+
+    def body():
+        out.value = make()
+
+    return _c_call(body)
+
+
+# ----------------------------------------------------------------- constants
+GrB_SUCCESS = Info.SUCCESS
+GrB_NO_VALUE = Info.NO_VALUE
+GrB_ALL = _descriptor.ALL
+GrB_NULL = None
+GrB_OUTP = _descriptor.OUTP
+GrB_MASK = _descriptor.MASK
+GrB_INP0 = _descriptor.INP0
+GrB_INP1 = _descriptor.INP1
+GrB_REPLACE = _descriptor.REPLACE
+GrB_SCMP = _descriptor.SCMP
+GrB_TRAN = _descriptor.TRAN
+GxB_STRUCTURE = _descriptor.STRUCTURE
+
+GrB_BOOL = _types.BOOL
+GrB_INT8 = _types.INT8
+GrB_INT16 = _types.INT16
+GrB_INT32 = _types.INT32
+GrB_INT64 = _types.INT64
+GrB_UINT8 = _types.UINT8
+GrB_UINT16 = _types.UINT16
+GrB_UINT32 = _types.UINT32
+GrB_UINT64 = _types.UINT64
+GrB_FP32 = _types.FP32
+GrB_FP64 = _types.FP64
+
+GrB_BLOCKING = context.Mode.BLOCKING
+GrB_NONBLOCKING = context.Mode.NONBLOCKING
+
+
+# ------------------------------------------------------------------- context
+def GrB_init(mode=GrB_BLOCKING) -> Info:
+    return _c_call(lambda: context.init(mode))
+
+
+def GrB_finalize() -> Info:
+    return _c_call(context.finalize)
+
+
+def GrB_wait() -> Info:
+    return _c_call(context.wait)
+
+
+def GrB_error() -> str:
+    return _info.error()
+
+
+def GrB_free(obj) -> Info:
+    fn = getattr(obj, "free", None)
+    if fn is None:
+        # algebraic objects (monoids, semirings, operators) are immutable
+        # value descriptors here; freeing their handle is a no-op
+        return Info.SUCCESS
+    return _c_call(fn)
+
+
+def GrB_free_all(*objs) -> Info:
+    """The convenience macro of Fig. 3 line 81: free every argument."""
+    worst = Info.SUCCESS
+    for obj in objs:
+        got = GrB_free(obj)
+        if got != Info.SUCCESS:
+            worst = got
+    return worst
+
+
+# -------------------------------------------------------------------- matrix
+def GrB_Matrix_new(out: Ref, domain, nrows, ncols) -> Info:
+    return _creator(out, lambda: containers.Matrix(domain, nrows, ncols))
+
+
+def GrB_Matrix_dup(out: Ref, A) -> Info:
+    return _creator(out, lambda: A.dup())
+
+
+def GrB_Matrix_clear(A) -> Info:
+    return _c_call(lambda: A.clear())
+
+
+def GrB_Matrix_nrows(out: Ref, A) -> Info:
+    return _creator(out, lambda: A.nrows)
+
+
+def GrB_Matrix_ncols(out: Ref, A) -> Info:
+    return _creator(out, lambda: A.ncols)
+
+
+def GrB_Matrix_nvals(out: Ref, A) -> Info:
+    return _creator(out, lambda: A.nvals())
+
+
+def GrB_Matrix_build(C, rows, cols, values, n=None, dup=None) -> Info:
+    del n  # the C API passes an explicit count; Python arrays know theirs
+    return _c_call(lambda: C.build(rows, cols, values, dup))
+
+
+def GrB_Matrix_setElement(C, value, row, col) -> Info:
+    return _c_call(lambda: C.set_element(row, col, value))
+
+
+def GrB_Matrix_extractElement(out: Ref, A, row, col) -> Info:
+    return _creator(out, lambda: A.extract_element(row, col))
+
+
+def GrB_Matrix_removeElement(C, row, col) -> Info:
+    return _c_call(lambda: C.remove_element(row, col))
+
+
+def GrB_Matrix_extractTuples(rows: Ref, cols: Ref, vals: Ref, A) -> Info:
+    def body():
+        i, j, x = A.extract_tuples()
+        rows.value, cols.value, vals.value = i, j, x
+
+    return _c_call(body)
+
+
+def GrB_Matrix_resize(C, nrows, ncols) -> Info:
+    return _c_call(lambda: C.resize(nrows, ncols))
+
+
+def GrB_Matrix_diag(out: Ref, v, k=0) -> Info:
+    return _creator(out, lambda: containers.Matrix.diag(v, k))
+
+
+# -------------------------------------------------------------------- vector
+def GrB_Vector_new(out: Ref, domain, size) -> Info:
+    return _creator(out, lambda: containers.Vector(domain, size))
+
+
+def GrB_Vector_dup(out: Ref, v) -> Info:
+    return _creator(out, lambda: v.dup())
+
+
+def GrB_Vector_clear(v) -> Info:
+    return _c_call(lambda: v.clear())
+
+
+def GrB_Vector_size(out: Ref, v) -> Info:
+    return _creator(out, lambda: v.size)
+
+
+def GrB_Vector_nvals(out: Ref, v) -> Info:
+    return _creator(out, lambda: v.nvals())
+
+
+def GrB_Vector_build(w, indices, values, n=None, dup=None) -> Info:
+    del n
+    return _c_call(lambda: w.build(indices, values, dup))
+
+
+def GrB_Vector_setElement(w, value, index) -> Info:
+    return _c_call(lambda: w.set_element(index, value))
+
+
+def GrB_Vector_extractElement(out: Ref, v, index) -> Info:
+    return _creator(out, lambda: v.extract_element(index))
+
+
+def GrB_Vector_removeElement(w, index) -> Info:
+    return _c_call(lambda: w.remove_element(index))
+
+
+def GrB_Vector_extractTuples(indices: Ref, vals: Ref, v) -> Info:
+    def body():
+        i, x = v.extract_tuples()
+        indices.value, vals.value = i, x
+
+    return _c_call(body)
+
+
+def GrB_Vector_resize(w, size) -> Info:
+    return _c_call(lambda: w.resize(size))
+
+
+# -------------------------------------------------------------------- scalar
+def GrB_Scalar_new(out: Ref, domain) -> Info:
+    return _creator(out, lambda: containers.Scalar(domain))
+
+
+def GrB_Scalar_setElement(s, value) -> Info:
+    return _c_call(lambda: s.set_value(value))
+
+
+def GrB_Scalar_extractElement(out: Ref, s) -> Info:
+    return _creator(out, lambda: s.extract_value())
+
+
+def GrB_Scalar_clear(s) -> Info:
+    return _c_call(lambda: s.clear())
+
+
+def GrB_Scalar_nvals(out: Ref, s) -> Info:
+    return _creator(out, lambda: s.nvals())
+
+
+# ------------------------------------------------------- algebra/descriptors
+def GrB_Descriptor_new(out: Ref) -> Info:
+    return _creator(out, _descriptor.Descriptor)
+
+
+def GrB_Descriptor_set(desc, field, value) -> Info:
+    return _c_call(lambda: _descriptor.descriptor_set(desc, field, value))
+
+
+def GrB_Monoid_new(out: Ref, domain, op, identity) -> Info:
+    # the C signature carries the domain explicitly; it must match the op
+    def make():
+        m = algebra.monoid_new(op, identity)
+        if domain is not None and m.domain != domain and m.domain is not domain:
+            raise _info.DomainMismatch(
+                f"monoid domain {m.domain.name} does not match {domain.name}"
+            )
+        return m
+
+    return _creator(out, make)
+
+
+def GrB_Semiring_new(out: Ref, add_monoid, mul_op) -> Info:
+    return _creator(out, lambda: algebra.semiring_new(add_monoid, mul_op))
+
+
+def GrB_Type_new(out: Ref, name, udt_class) -> Info:
+    return _creator(out, lambda: _types.type_new(name, udt_class))
+
+
+def GrB_UnaryOp_new(out: Ref, fn, d_out, d_in) -> Info:
+    from ..ops import unary_op_new
+
+    return _creator(out, lambda: unary_op_new(fn, d_in, d_out))
+
+
+def GrB_BinaryOp_new(out: Ref, fn, d_out, d_in1, d_in2) -> Info:
+    from ..ops import binary_op_new
+
+    return _creator(out, lambda: binary_op_new(fn, d_in1, d_in2, d_out))
+
+
+# ---------------------------------------------------------------- operations
+def _op_wrapper(pyfn):
+    @functools.wraps(pyfn)
+    def wrapper(*args, **kwargs) -> Info:
+        return _c_call(lambda: pyfn(*args, **kwargs))
+
+    wrapper.__name__ = f"GrB_{pyfn.__name__}"
+    return wrapper
+
+
+GrB_mxm = _op_wrapper(operations.mxm)
+GrB_mxv = _op_wrapper(operations.mxv)
+GrB_vxm = _op_wrapper(operations.vxm)
+GrB_eWiseAdd = _op_wrapper(operations.ewise_add)
+GrB_eWiseMult = _op_wrapper(operations.ewise_mult)
+GrB_apply = _op_wrapper(operations.apply)
+GrB_select = _op_wrapper(operations.select)
+GrB_reduce = _op_wrapper(operations.reduce)
+GrB_transpose = _op_wrapper(operations.transpose)
+GrB_extract = _op_wrapper(operations.extract)
+GrB_assign = _op_wrapper(operations.assign)
+GrB_kronecker = _op_wrapper(operations.kronecker)
+
+
+def GrB_Matrix_reduce(out: Ref, accum, monoid, A, desc=None) -> Info:
+    """Matrix → scalar reduce with a typed out-parameter."""
+    del desc
+
+    def make():
+        init = out.value
+        return operations.reduce_to_scalar(monoid, A, accum=accum, init=init)
+
+    return _creator(out, make)

@@ -1,0 +1,54 @@
+"""Opaque-object plumbing shared by collections.
+
+GraphBLAS collections are opaque: their content is reachable only through
+API methods, which lets implementations pick storage freely (section III-A).
+This base class carries the lifecycle states every opaque object has:
+
+* *valid* — usable;
+* *freed* — after ``free()``; any use is ``UNINITIALIZED_OBJECT``;
+* *poisoned* — a deferred op that was supposed to produce this object's
+  value failed; any use is ``INVALID_OBJECT`` ("caused by a previous
+  execution error", Fig. 2c).
+"""
+
+from __future__ import annotations
+
+from ..info import InvalidObject, UninitializedObject
+
+__all__ = ["OpaqueObject"]
+
+
+class OpaqueObject:
+    __slots__ = ("_freed", "_poisoned", "name")
+
+    def __init__(self, name: str = ""):
+        self._freed = False
+        self._poisoned = False
+        self.name = name
+
+    def _check_valid(self) -> None:
+        if self._freed:
+            raise UninitializedObject(
+                f"{type(self).__name__} {self.name or ''} has been freed"
+            )
+        if self._poisoned:
+            raise InvalidObject(
+                f"{type(self).__name__} {self.name or ''} is invalid: a prior "
+                "execution error prevented its value from being computed"
+            )
+
+    def _poison(self) -> None:
+        self._poisoned = True
+
+    def free(self) -> None:
+        """``GrB_free``: release the object; subsequent use is an API error.
+
+        If a deferred op in the current sequence still references this
+        object, the sequence is completed first (the paper's Fig. 3 frees
+        its temporaries without an intervening ``GrB_wait``; that must be
+        legal in nonblocking mode too).
+        """
+        from .. import context
+
+        context.complete_before_free(self)
+        self._freed = True

@@ -1,0 +1,12 @@
+"""Storage formats: COO assembly for builds and CSR/CSC views for kernels."""
+
+from .coo import assemble, check_indices
+from .csr import CSRView, csr_from_keys, transpose_permutation
+
+__all__ = [
+    "assemble",
+    "check_indices",
+    "CSRView",
+    "csr_from_keys",
+    "transpose_permutation",
+]

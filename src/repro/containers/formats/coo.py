@@ -1,0 +1,77 @@
+"""COO assembly: turning user tuple lists into the canonical sorted form.
+
+``GrB_Matrix_build`` / ``GrB_Vector_build`` accept tuples in any order and a
+``dup`` binary operator for combining duplicates ("in case there are any
+duplicate entries", Fig. 3 line 28); without ``dup`` a duplicate index is an
+API error.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...info import IndexOutOfBounds, InvalidValue
+from ..._sparseutil import group_starts
+from ...ops.base import BinaryOp
+
+__all__ = ["assemble"]
+
+
+def assemble(
+    keys: np.ndarray,
+    values: np.ndarray,
+    dup: BinaryOp | None,
+    out_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort flat *keys*, combine duplicates with *dup*, return canonical arrays.
+
+    ``values`` must already be in the collection's storage dtype.
+    """
+    if len(keys) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=out_dtype)
+
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values = values[order]
+
+    uniq, starts = group_starts(keys)
+    if len(uniq) == len(keys):
+        return keys, values
+
+    if dup is None:
+        raise InvalidValue(
+            "duplicate indices in build and no dup operator given"
+        )
+
+    ends = np.empty(len(starts), dtype=np.int64)
+    ends[:-1] = starts[1:]
+    ends[-1] = len(keys)
+
+    if dup.ufunc is not None and values.dtype != np.dtype(object):
+        out_vals = dup.ufunc.reduceat(values, starts)
+        if out_vals.dtype != out_dtype:
+            out_vals = out_vals.astype(out_dtype)
+    else:
+        out_vals = np.empty(len(starts), dtype=out_dtype)
+        for k in range(len(starts)):
+            seg = values[starts[k] : ends[k]]
+            acc = seg[0]
+            # dup combines in index order: acc = dup(acc, next)
+            for v in seg[1:]:
+                acc = dup(acc, v)
+            out_vals[k] = acc
+    return uniq, out_vals
+
+
+def check_indices(indices: np.ndarray, bound: int, what: str) -> np.ndarray:
+    """Validate a user index array against a dimension bound; returns int64."""
+    arr = np.asarray(indices, dtype=np.int64)
+    if arr.ndim != 1:
+        raise InvalidValue(f"{what} index array must be one-dimensional")
+    if len(arr) and (arr.min() < 0 or arr.max() >= bound):
+        raise IndexOutOfBounds(
+            f"{what} index out of range [0, {bound})"
+        )
+    return arr

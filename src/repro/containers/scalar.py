@@ -1,0 +1,125 @@
+"""GraphBLAS scalars (``GrB_Scalar``, introduced in spec 2.0).
+
+An opaque scalar is a 0-or-1-element collection: it either holds a value
+of its domain or is *empty* — the same "undefined, not zero" semantics as
+the other collections, lifted to rank 0.  It exists so that operations can
+produce and consume scalars without leaving the opaque world (e.g.
+``reduce`` into a Scalar keeps a nonblocking sequence deferrable).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .. import context
+from ..info import InvalidValue, NoValue, NullPointer
+from ..types import GrBType
+from .base import OpaqueObject
+
+__all__ = ["Scalar", "scalar_new"]
+
+
+class Scalar(OpaqueObject):
+    """An opaque scalar: a domain plus zero or one stored value."""
+
+    __slots__ = ("_type", "_has_value", "_value")
+
+    def __init__(self, domain: GrBType, *, name: str = ""):
+        super().__init__(name)
+        if domain is None:
+            raise NullPointer("scalar domain is GrB_NULL")
+        if not isinstance(domain, GrBType):
+            raise InvalidValue(f"{domain!r} is not a GraphBLAS type")
+        self._type = domain
+        self._has_value = False
+        self._value = None
+
+    @property
+    def type(self) -> GrBType:
+        self._check_valid()
+        return self._type
+
+    def nvals(self) -> int:
+        """``GrB_Scalar_nvals``: 0 (empty) or 1.  Forces completion."""
+        self._check_valid()
+        context.complete(self)
+        return 1 if self._has_value else 0
+
+    def is_empty(self) -> bool:
+        return self.nvals() == 0
+
+    def set_value(self, value: Any) -> "Scalar":
+        """``GrB_Scalar_setElement``."""
+        self._check_valid()
+        if self._type.is_udt:
+            coerced = self._type.validate_scalar(value)
+        else:
+            import numpy as np
+
+            coerced = np.asarray([value]).astype(self._type.np_dtype)[0]
+
+        def thunk():
+            self._has_value = True
+            self._value = coerced
+
+        context.submit(
+            thunk, reads=(self,), writes=self, label="Scalar_setElement",
+            deferrable=False,
+        )
+        return self
+
+    def extract_value(self) -> Any:
+        """``GrB_Scalar_extractElement``: the value, or ``NoValue`` if empty.
+
+        Forces completion (it exports a non-opaque value).
+        """
+        self._check_valid()
+        context.complete(self)
+        if not self._has_value:
+            raise NoValue("scalar holds no value")
+        return self._value
+
+    def clear(self) -> "Scalar":
+        """``GrB_Scalar_clear``: make the scalar empty."""
+        self._check_valid()
+
+        def thunk():
+            self._has_value = False
+            self._value = None
+
+        context.submit(
+            thunk, reads=(), writes=self, label="Scalar_clear",
+            overwrites_output=True,
+        )
+        return self
+
+    def dup(self) -> "Scalar":
+        """``GrB_Scalar_dup``."""
+        self._check_valid()
+        context.complete(self)
+        out = Scalar(self._type, name=f"dup({self.name})")
+        out._has_value = self._has_value
+        out._value = self._value
+        return out
+
+    # internal hook used by reduce-into-scalar
+    def _set_internal(self, value: Any) -> None:
+        self._has_value = True
+        self._value = value
+        self._poisoned = False
+
+    @classmethod
+    def from_value(cls, domain: GrBType, value: Any, *, name: str = "") -> "Scalar":
+        s = cls(domain, name=name)
+        s.set_value(value)
+        return s
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else ("invalid" if self._poisoned else "ok")
+        content = repr(self._value) if self._has_value else "empty"
+        return f"Scalar<{self._type.name}, {content}, {state}>"
+
+
+def scalar_new(domain: GrBType, *, name: str = "") -> Scalar:
+    """``GrB_Scalar_new``: create an empty scalar."""
+    return Scalar(domain, name=name)

@@ -1,0 +1,234 @@
+"""Execution context: ``GrB_init`` / ``GrB_finalize`` / ``GrB_wait`` (paper
+section IV) and the blocking/nonblocking execution modes.
+
+The mode is fixed when the context is created and "can be set only once in
+the execution of a program": calling :func:`init` twice, or again after
+:func:`finalize`, is an error.  For convenience (and because Python test
+suites would be unusable otherwise) a *default* blocking context exists
+before any explicit :func:`init`; an explicit ``init`` is only allowed while
+the default context is still untouched by ``finalize``.
+
+:func:`_reset` restores the pristine pre-init state — it is not part of the
+GraphBLAS API and exists for test isolation only.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable
+
+from .execution.sequence import DeferredOp, SequenceQueue
+from .execution.trace import wrap_thunk as _trace_wrap
+from .info import (
+    ExecutionError,
+    GraphBLASError,
+    InvalidValue,
+    Panic,
+    clear_last_error,
+    error,
+)
+
+__all__ = [
+    "Mode",
+    "init",
+    "finalize",
+    "wait",
+    "current_mode",
+    "error",
+    "submit",
+    "complete",
+    "queue_stats",
+    "is_initialized",
+]
+
+
+class Mode(enum.Enum):
+    BLOCKING = "GrB_BLOCKING"
+    NONBLOCKING = "GrB_NONBLOCKING"
+
+
+class _Context:
+    """Library context.
+
+    Sequences are *per thread* (section IV: "a multithreaded program may
+    have a distinct sequence per thread, but those sequences must not
+    share objects unless the shared objects are read-only").  Each thread
+    gets its own deferred-op queue and pending-error slot; the mode and
+    lifecycle flags are global.
+    """
+
+    def __init__(self, mode: Mode):
+        self.mode = mode
+        self._tls = threading.local()
+        self.explicitly_initialized = False
+        self.finalized = False
+
+    @property
+    def queue(self) -> SequenceQueue:
+        q = getattr(self._tls, "queue", None)
+        if q is None:
+            q = SequenceQueue()
+            self._tls.queue = q
+        return q
+
+    @property
+    def pending_error(self) -> GraphBLASError | None:
+        return getattr(self._tls, "pending_error", None)
+
+    @pending_error.setter
+    def pending_error(self, exc: GraphBLASError | None) -> None:
+        self._tls.pending_error = exc
+
+
+_ctx = _Context(Mode.BLOCKING)
+
+
+def is_initialized() -> bool:
+    return _ctx.explicitly_initialized
+
+
+def current_mode() -> Mode:
+    return _ctx.mode
+
+
+def init(mode: Mode = Mode.BLOCKING) -> None:
+    """``GrB_init``: create the library context with the given mode.
+
+    May be called at most once, and not after :func:`finalize`.
+    """
+    global _ctx
+    if _ctx.finalized:
+        raise InvalidValue(
+            "GrB_init after GrB_finalize is not allowed (section IV)"
+        )
+    if _ctx.explicitly_initialized:
+        raise InvalidValue("GrB_init may be called only once")
+    if len(_ctx.queue):
+        raise InvalidValue("GrB_init called inside an active sequence")
+    _ctx = _Context(mode)
+    _ctx.explicitly_initialized = True
+    clear_last_error()
+
+
+def finalize() -> None:
+    """``GrB_finalize``: terminate the context.
+
+    Any still-deferred work is completed first (an implementation choice the
+    spec permits; dropping it silently would violate program order).
+    """
+    if _ctx.finalized:
+        raise InvalidValue("GrB_finalize called twice")
+    try:
+        wait()
+    finally:
+        _ctx.finalized = True
+
+
+def _check_usable() -> None:
+    if _ctx.finalized:
+        raise InvalidValue("GraphBLAS context has been finalized")
+
+
+def submit(
+    thunk: Callable[[], None],
+    *,
+    reads: tuple[Any, ...],
+    writes: Any,
+    label: str,
+    overwrites_output: bool = False,
+    deferrable: bool = True,
+) -> None:
+    """Route a validated method body through the execution model.
+
+    In blocking mode (or for non-deferrable methods) the computation runs
+    now — after first draining the queue so program order is preserved.
+    In nonblocking mode deferrable work joins the sequence.
+    """
+    _check_usable()
+    if _ctx.mode is Mode.NONBLOCKING and deferrable:
+        _ctx.queue.push(
+            DeferredOp(
+                thunk=_trace_wrap(thunk, label, deferred=True),
+                reads=reads,
+                writes=writes,
+                label=label,
+                overwrites_output=overwrites_output,
+            )
+        )
+        return
+    if len(_ctx.queue):
+        _drain()
+    _trace_wrap(thunk, label, deferred=False)()
+
+
+def _poison(ops) -> None:
+    for op in ops:
+        target = op.writes
+        if hasattr(target, "_poison"):
+            target._poison()
+
+
+def _drain() -> None:
+    try:
+        _ctx.queue.drain()
+    except GraphBLASError as exc:
+        _poison(_ctx.queue.failed_tail)
+        if _ctx.pending_error is None:
+            _ctx.pending_error = exc
+    except Exception as exc:  # foreign failure inside a user operator
+        _poison(_ctx.queue.failed_tail)
+        if _ctx.pending_error is None:
+            _ctx.pending_error = Panic(f"unhandled error in deferred op: {exc!r}")
+
+
+def wait() -> None:
+    """``GrB_wait``: complete the sequence.
+
+    Raises the first execution error encountered while running the deferred
+    ops (section V); further detail is available via :func:`error`.
+    """
+    _check_usable()
+    _drain()
+    if _ctx.pending_error is not None:
+        exc = _ctx.pending_error
+        _ctx.pending_error = None
+        raise exc
+
+
+def complete(obj: Any = None) -> None:
+    """Force completion of *obj* (or everything when ``None``).
+
+    Called by every method that copies values out of an opaque object; per
+    section V such methods surface any execution error involved in defining
+    the object's value.
+    """
+    _check_usable()
+    if len(_ctx.queue) == 0 and _ctx.pending_error is None:
+        return
+    if obj is None or _ctx.queue.pending_for(obj) or _ctx.pending_error is not None:
+        wait()
+
+
+def complete_before_free(obj: Any) -> None:
+    """Drain the sequence if any queued op still references *obj*.
+
+    ``GrB_free`` may be called while a sequence is pending; the freed
+    object's storage must survive until every deferred op that reads it has
+    run.  Execution errors are recorded (surfacing at the next ``wait`` or
+    forced completion) rather than raised from ``free``.
+    """
+    if not _ctx.finalized and _ctx.queue.involves(obj):
+        _drain()
+
+
+def queue_stats() -> dict[str, int]:
+    """Deferred-queue counters (enqueued/executed/elided/drains)."""
+    return _ctx.queue.stats.snapshot()
+
+
+def _reset() -> None:
+    """Testing hook: restore the pristine default context."""
+    global _ctx
+    _ctx = _Context(Mode.BLOCKING)
+    clear_last_error()

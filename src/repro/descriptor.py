@@ -1,0 +1,192 @@
+"""Descriptors and the literal constants of Table V (paper section III-C).
+
+A descriptor is "a lightweight object [that] pairs a set of flags
+representing the possible modifiers with each mask, vector, or matrix
+argument of a GraphBLAS method".  Fields name the method argument
+(``OUTP``/``MASK``/``INP0``/``INP1``); values select the modifier
+(``REPLACE``/``SCMP``/``TRAN``, plus the ``STRUCTURE`` mask extension).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .info import InvalidValue, NullPointer, UninitializedObject
+
+__all__ = [
+    "Field",
+    "Value",
+    "Descriptor",
+    "descriptor_new",
+    "descriptor_set",
+    "OUTP",
+    "MASK",
+    "INP0",
+    "INP1",
+    "REPLACE",
+    "SCMP",
+    "TRAN",
+    "STRUCTURE",
+    "ALL",
+    "NULL",
+    "DESC_T0",
+    "DESC_T1",
+    "DESC_T0T1",
+    "DESC_R",
+    "DESC_SC",
+    "DESC_RSC",
+    "DESC_TSR",
+]
+
+
+class Field(enum.Enum):
+    """Descriptor field: which argument of the method the value modifies."""
+
+    OUTP = "GrB_OUTP"
+    MASK = "GrB_MASK"
+    INP0 = "GrB_INP0"
+    INP1 = "GrB_INP1"
+
+
+class Value(enum.Enum):
+    """Descriptor values (Table V)."""
+
+    #: clear the output object before the masked result is stored (replace mode)
+    REPLACE = "GrB_REPLACE"
+    #: use the structural complement of the mask
+    SCMP = "GrB_SCMP"
+    #: use the transpose of the corresponding input matrix
+    TRAN = "GrB_TRAN"
+    #: (extension) use only the mask's structure, ignoring stored values
+    STRUCTURE = "GrB_STRUCTURE"
+
+
+OUTP = Field.OUTP
+MASK = Field.MASK
+INP0 = Field.INP0
+INP1 = Field.INP1
+REPLACE = Value.REPLACE
+SCMP = Value.SCMP
+TRAN = Value.TRAN
+STRUCTURE = Value.STRUCTURE
+
+#: ``GrB_ALL`` — "all of an object's indices in order" (Table V).
+ALL = type("GrB_ALL", (), {"__repr__": lambda self: "GrB_ALL"})()
+
+#: ``GrB_NULL`` — "null value used to indicate when a parameter is not
+#: provided and a default behavior should be used" (Table V).  Python's
+#: ``None`` plays the same role; this alias keeps transliterated C code
+#: readable.
+NULL = None
+
+_VALID = {
+    Field.OUTP: {Value.REPLACE},
+    Field.MASK: {Value.SCMP, Value.STRUCTURE},
+    Field.INP0: {Value.TRAN},
+    Field.INP1: {Value.TRAN},
+}
+
+
+class Descriptor:
+    """An opaque set of (field, value) modifier pairs.
+
+    Multiple values may be set on the MASK field (``SCMP`` and ``STRUCTURE``
+    compose); the other fields hold at most their single valid value.
+    """
+
+    __slots__ = ("_flags", "_valid")
+
+    def __init__(self):
+        self._flags: dict[Field, set[Value]] = {f: set() for f in Field}
+        self._valid = True
+
+    def set(self, field: Field, value: Value) -> "Descriptor":
+        """``GrB_Descriptor_set`` (Table VI).  Returns self for chaining."""
+        if not self._valid:
+            raise UninitializedObject("descriptor has been freed")
+        if not isinstance(field, Field):
+            raise InvalidValue(f"{field!r} is not a descriptor field")
+        if not isinstance(value, Value):
+            raise InvalidValue(f"{value!r} is not a descriptor value")
+        if value not in _VALID[field]:
+            raise InvalidValue(
+                f"value {value.value} is not valid for field {field.value}"
+            )
+        self._flags[field].add(value)
+        return self
+
+    def is_set(self, field: Field, value: Value) -> bool:
+        if not self._valid:
+            raise UninitializedObject("descriptor has been freed")
+        return value in self._flags[field]
+
+    # convenience accessors used by the operations
+    @property
+    def replace(self) -> bool:
+        return self.is_set(Field.OUTP, Value.REPLACE)
+
+    @property
+    def mask_complement(self) -> bool:
+        return self.is_set(Field.MASK, Value.SCMP)
+
+    @property
+    def mask_structure(self) -> bool:
+        return self.is_set(Field.MASK, Value.STRUCTURE)
+
+    @property
+    def transpose0(self) -> bool:
+        return self.is_set(Field.INP0, Value.TRAN)
+
+    @property
+    def transpose1(self) -> bool:
+        return self.is_set(Field.INP1, Value.TRAN)
+
+    def free(self) -> None:
+        self._valid = False
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{f.value}={{{','.join(v.value for v in vs)}}}"
+            for f, vs in self._flags.items()
+            if vs
+        ]
+        return f"Descriptor({', '.join(parts) or 'default'})"
+
+
+def descriptor_new() -> Descriptor:
+    """``GrB_Descriptor_new`` (Table VI): create an empty descriptor."""
+    return Descriptor()
+
+
+def descriptor_set(desc: Descriptor, field: Field, value: Value) -> None:
+    """``GrB_Descriptor_set`` free-function form, as in Fig. 3 lines 16-18."""
+    if desc is None:
+        raise NullPointer("descriptor is GrB_NULL")
+    desc.set(field, value)
+
+
+def _preset(*pairs: tuple[Field, Value]) -> Descriptor:
+    d = Descriptor()
+    for f, v in pairs:
+        d.set(f, v)
+    return d
+
+
+# Common preset descriptors (the C API ships these as GrB_DESC_* constants).
+DESC_T0 = _preset((INP0, TRAN))
+DESC_T1 = _preset((INP1, TRAN))
+DESC_T0T1 = _preset((INP0, TRAN), (INP1, TRAN))
+DESC_R = _preset((OUTP, REPLACE))
+DESC_SC = _preset((MASK, SCMP))
+DESC_RSC = _preset((OUTP, REPLACE), (MASK, SCMP))
+#: The BC example's ``desc_tsr`` (Fig. 3 lines 14-18): transpose INP0,
+#: complement the mask, replace the output.
+DESC_TSR = _preset((INP0, TRAN), (MASK, SCMP), (OUTP, REPLACE))
+
+
+def effective(desc: Descriptor | None) -> Descriptor:
+    """Resolve ``GrB_NULL`` to the default (empty) descriptor."""
+    return desc if desc is not None else _DEFAULT
+
+
+_DEFAULT = Descriptor()

@@ -1,0 +1,7 @@
+"""Execution-model internals: the deferred-op sequence queue used by
+nonblocking mode (see :mod:`repro.context` for the public entry points)."""
+
+from .sequence import DeferredOp, QueueStats, SequenceQueue
+from .trace import OpRecord, Tracer, trace
+
+__all__ = ["DeferredOp", "SequenceQueue", "QueueStats", "trace", "Tracer", "OpRecord"]

@@ -1,0 +1,136 @@
+"""Deferred-execution machinery for nonblocking mode (paper section IV).
+
+In nonblocking mode a GraphBLAS method may return after its arguments have
+been verified; the actual computation joins the current *sequence* and runs
+when the sequence is completed — by ``wait()`` or by any method that moves
+values from an opaque object into non-opaque storage.
+
+Each queued :class:`DeferredOp` records the opaque objects it reads and the
+one it writes, which enables the queue's one optimization pass:
+*dead-op elimination* — an op whose output is completely overwritten later in
+the sequence, with no intervening read, never needs to run.  This is a small
+but genuinely semantics-preserving instance of the "lazy evaluation ...
+chained together and fused" freedom the paper grants nonblocking
+implementations, and the execution-model benchmark measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["DeferredOp", "SequenceQueue", "QueueStats"]
+
+
+@dataclass(slots=True)
+class DeferredOp:
+    """One queued GraphBLAS method invocation."""
+
+    thunk: Callable[[], None]
+    #: opaque objects whose *current* content the op consumes (inputs, mask,
+    #: and the output itself when merged/accumulated into)
+    reads: tuple[Any, ...]
+    #: the single opaque output object
+    writes: Any
+    label: str = "?"
+    #: True when the op ignores the prior content of ``writes`` entirely
+    #: (no accum, and replace-or-total overwrite) — the dead-op criterion
+    overwrites_output: bool = False
+
+
+@dataclass(slots=True)
+class QueueStats:
+    enqueued: int = 0
+    executed: int = 0
+    elided: int = 0
+    drains: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "enqueued": self.enqueued,
+            "executed": self.executed,
+            "elided": self.elided,
+            "drains": self.drains,
+        }
+
+
+class SequenceQueue:
+    """FIFO of deferred ops for one sequence (single-threaded, as the paper
+    requires: sequences must not share non-read-only objects)."""
+
+    def __init__(self, optimize: bool = True):
+        self._ops: list[DeferredOp] = []
+        self.optimize = optimize
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def push(self, op: DeferredOp) -> None:
+        self._ops.append(op)
+        self.stats.enqueued += 1
+
+    def pending_for(self, obj: Any) -> bool:
+        """Is *obj* written by any queued op (i.e. not yet *complete*)?"""
+        return any(op.writes is obj for op in self._ops)
+
+    def involves(self, obj: Any) -> bool:
+        """Is *obj* read or written by any queued op?"""
+        return any(
+            op.writes is obj or any(r is obj for r in op.reads)
+            for op in self._ops
+        )
+
+    def _eliminate_dead_ops(self) -> list[DeferredOp]:
+        """Drop ops whose output is purely overwritten before any read.
+
+        Backward scan.  ``dead`` holds ids of objects that a later kept-or-
+        elided op will purely overwrite and that no op in between reads.
+        """
+        kept_rev: list[DeferredOp] = []
+        dead: set[int] = set()
+        for op in reversed(self._ops):
+            if id(op.writes) in dead:
+                # Its result is never observed: skip, and leave ``dead``
+                # untouched — the overwrite that killed it also kills any
+                # still-earlier writer, and this op's reads never happen.
+                self.stats.elided += 1
+                continue
+            kept_rev.append(op)
+            for r in op.reads:
+                dead.discard(id(r))
+            if op.overwrites_output:
+                dead.add(id(op.writes))
+            else:
+                dead.discard(id(op.writes))
+        kept_rev.reverse()
+        return kept_rev
+
+    def drain(self) -> None:
+        """Execute all queued ops in program order.
+
+        On an execution error the remaining ops are discarded and their
+        output objects poisoned by the caller (see ``Context.drain``); the
+        exception propagates.
+        """
+        if not self._ops:
+            return
+        self.stats.drains += 1
+        plan = self._eliminate_dead_ops() if self.optimize else list(self._ops)
+        self._ops.clear()
+        idx = 0
+        try:
+            for idx, op in enumerate(plan):
+                op.thunk()
+                self.stats.executed += 1
+        except BaseException:
+            # hand back the failed op and the un-run tail so the context can
+            # poison their outputs (the failed op's output value was never
+            # computed — using it later is INVALID_OBJECT, Fig. 2c)
+            self._failed_tail = plan[idx:]
+            raise
+        self._failed_tail = []
+
+    @property
+    def failed_tail(self) -> list[DeferredOp]:
+        return getattr(self, "_failed_tail", [])

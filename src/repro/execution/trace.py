@@ -1,0 +1,144 @@
+"""Execution tracing — the debugging facility section IV motivates.
+
+The paper keeps blocking mode in the spec because it is "valuable for
+debugging or when an external tool needs to evaluate the state of memory
+during a sequence".  This module is that external tool for this
+implementation: a context manager that records every method body the
+execution model runs — label, wall time, issuing thread, and whether it ran
+eagerly (blocking) or from the deferred queue — plus the queue's
+elision/drain counters over the traced region.
+
+    with trace() as t:
+        grb.mxm(C, None, None, s, A, B)
+        grb.wait()
+    print(t.summary())
+
+Tracing is thread-safe and adds two perf_counter calls per op when active,
+nothing when inactive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["trace", "Tracer", "OpRecord"]
+
+_lock = threading.Lock()
+_active: "Tracer | None" = None
+
+
+@dataclass(slots=True)
+class OpRecord:
+    label: str
+    seconds: float
+    deferred: bool
+    thread: str
+
+
+@dataclass
+class Tracer:
+    records: list[OpRecord] = field(default_factory=list)
+    _stats_before: dict[str, int] = field(default_factory=dict)
+    _stats_after: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- capture
+    def record(self, label: str, seconds: float, deferred: bool) -> None:
+        with _lock:
+            self.records.append(
+                OpRecord(
+                    label=label,
+                    seconds=seconds,
+                    deferred=deferred,
+                    thread=threading.current_thread().name,
+                )
+            )
+
+    # ------------------------------------------------------------- queries
+    def count(self, label: str | None = None) -> int:
+        if label is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.label == label)
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def by_label(self) -> dict[str, tuple[int, float]]:
+        """{label: (invocations, total seconds)}, slowest first."""
+        agg: dict[str, list[float]] = {}
+        for r in self.records:
+            agg.setdefault(r.label, []).append(r.seconds)
+        return dict(
+            sorted(
+                ((k, (len(v), sum(v))) for k, v in agg.items()),
+                key=lambda kv: -kv[1][1],
+            )
+        )
+
+    @property
+    def elided(self) -> int:
+        return self._stats_after.get("elided", 0) - self._stats_before.get(
+            "elided", 0
+        )
+
+    @property
+    def drains(self) -> int:
+        return self._stats_after.get("drains", 0) - self._stats_before.get(
+            "drains", 0
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"traced {len(self.records)} op bodies, "
+            f"{self.total_seconds() * 1e3:.2f} ms total, "
+            f"{self.elided} elided, {self.drains} drains"
+        ]
+        for label, (n, secs) in self.by_label().items():
+            lines.append(f"  {label:<16} x{n:<4} {secs * 1e3:9.3f} ms")
+        return "\n".join(lines)
+
+
+class trace:
+    """Context manager arming the global tracer (one at a time)."""
+
+    def __init__(self):
+        self._tracer = Tracer()
+
+    def __enter__(self) -> Tracer:
+        global _active
+        from .. import context
+
+        with _lock:
+            if _active is not None:
+                from ..info import InvalidValue
+
+                raise InvalidValue("a trace is already active")
+            _active = self._tracer
+        self._tracer._stats_before = context.queue_stats()
+        return self._tracer
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        from .. import context
+
+        self._tracer._stats_after = context.queue_stats()
+        with _lock:
+            _active = None
+
+
+def wrap_thunk(thunk: Callable[[], None], label: str, deferred: bool):
+    """Called by the context on submit: instrument when a trace is active."""
+    tracer = _active
+    if tracer is None:
+        return thunk
+
+    def timed():
+        t0 = time.perf_counter()
+        try:
+            thunk()
+        finally:
+            tracer.record(label, time.perf_counter() - t0, deferred)
+
+    return timed

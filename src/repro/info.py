@@ -1,0 +1,206 @@
+"""Error model of the GraphBLAS C API (paper section V).
+
+The C API reports outcomes through ``GrB_Info`` return codes, split into two
+classes:
+
+* **API errors** — a method was called with arguments that violate its rules
+  (wrong dimensions, mismatched domains, uninitialized handles, ...).  These
+  are always detected *when the method is called*, in both blocking and
+  nonblocking mode, and the method returns without modifying its arguments.
+* **Execution errors** — something went wrong while carrying out a legal
+  invocation (out of memory, overflow in a user operator, ...).  In
+  nonblocking mode these may only surface when the sequence is completed by
+  :func:`repro.context.wait` or by a method that forces completion.
+
+In Python the natural carrier for both is an exception.  Every error class
+below corresponds to one ``GrB_Info`` value and exposes it via ``.info``.
+The module also keeps the C-style "last error" string that the paper's
+``GrB_error()`` returns; see :func:`error`.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+__all__ = [
+    "Info",
+    "GraphBLASError",
+    "ApiError",
+    "ExecutionError",
+    "UninitializedObject",
+    "NullPointer",
+    "InvalidValue",
+    "InvalidIndex",
+    "DomainMismatch",
+    "DimensionMismatch",
+    "OutputNotEmpty",
+    "NotImplementedInSpec",
+    "IndexOutOfBounds",
+    "OutOfMemory",
+    "InsufficientSpace",
+    "InvalidObject",
+    "Panic",
+    "EmptyObject",
+    "NoValue",
+    "error",
+    "set_last_error",
+    "clear_last_error",
+    "info_of",
+]
+
+
+class Info(enum.IntEnum):
+    """``GrB_Info`` return values (Fig. 2c of the paper plus the usual set)."""
+
+    SUCCESS = 0
+    #: ``GrB_NO_VALUE`` — not an error: an extract found no stored element.
+    NO_VALUE = 1
+
+    # ------------------------------------------------------------------ API
+    UNINITIALIZED_OBJECT = 2
+    NULL_POINTER = 3
+    INVALID_VALUE = 4
+    INVALID_INDEX = 5
+    DOMAIN_MISMATCH = 6
+    DIMENSION_MISMATCH = 7
+    OUTPUT_NOT_EMPTY = 8
+    NOT_IMPLEMENTED = 9
+
+    # ------------------------------------------------------------ execution
+    PANIC = 101
+    OUT_OF_MEMORY = 102
+    INSUFFICIENT_SPACE = 103
+    INVALID_OBJECT = 104
+    INDEX_OUT_OF_BOUNDS = 105
+    EMPTY_OBJECT = 106
+
+    @property
+    def is_api_error(self) -> bool:
+        return 2 <= int(self) <= 9
+
+    @property
+    def is_execution_error(self) -> bool:
+        return int(self) >= 101
+
+
+class GraphBLASError(Exception):
+    """Base class for all GraphBLAS errors.
+
+    ``info`` carries the corresponding :class:`Info` code, mirroring the C
+    API's return value.  Raising one of these also records the message in the
+    thread-local "last error" slot queried by :func:`error`.
+    """
+
+    info: Info = Info.PANIC
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+        set_last_error(f"[{self.info.name}] {message or self.__class__.__name__}")
+
+
+class ApiError(GraphBLASError):
+    """An argument violated the rules of the method (paper section V).
+
+    API errors are raised eagerly in both execution modes and leave the
+    method's arguments untouched.
+    """
+
+
+class ExecutionError(GraphBLASError):
+    """A legal method invocation failed while executing.
+
+    In nonblocking mode these surface at :func:`repro.context.wait` or at the
+    method call that forces completion of the affected object.
+    """
+
+
+class UninitializedObject(ApiError):
+    info = Info.UNINITIALIZED_OBJECT
+
+
+class NullPointer(ApiError):
+    info = Info.NULL_POINTER
+
+
+class InvalidValue(ApiError):
+    info = Info.INVALID_VALUE
+
+
+class InvalidIndex(ApiError):
+    info = Info.INVALID_INDEX
+
+
+class DomainMismatch(ApiError):
+    info = Info.DOMAIN_MISMATCH
+
+
+class DimensionMismatch(ApiError):
+    info = Info.DIMENSION_MISMATCH
+
+
+class OutputNotEmpty(ApiError):
+    info = Info.OUTPUT_NOT_EMPTY
+
+
+class NotImplementedInSpec(ApiError):
+    info = Info.NOT_IMPLEMENTED
+
+
+class OutOfMemory(ExecutionError):
+    info = Info.OUT_OF_MEMORY
+
+
+class InsufficientSpace(ExecutionError):
+    info = Info.INSUFFICIENT_SPACE
+
+
+class InvalidObject(ExecutionError):
+    info = Info.INVALID_OBJECT
+
+
+class IndexOutOfBounds(ExecutionError):
+    info = Info.INDEX_OUT_OF_BOUNDS
+
+
+class EmptyObject(ExecutionError):
+    info = Info.EMPTY_OBJECT
+
+
+class Panic(ExecutionError):
+    info = Info.PANIC
+
+
+class NoValue(Exception):
+    """Raised by element extraction when no element is stored (``GrB_NO_VALUE``).
+
+    Deliberately *not* a :class:`GraphBLASError`: the C API treats it as an
+    informational return value, not an error condition.
+    """
+
+    info = Info.NO_VALUE
+
+
+_tls = threading.local()
+
+
+def set_last_error(message: str) -> None:
+    """Record *message* as the thread's last GraphBLAS error string."""
+    _tls.last_error = message
+
+
+def clear_last_error() -> None:
+    _tls.last_error = ""
+
+
+def error() -> str:
+    """Return the last error string, as ``GrB_error()`` does in the C API.
+
+    Empty string if no error has been recorded on this thread.
+    """
+    return getattr(_tls, "last_error", "")
+
+
+def info_of(exc: BaseException) -> Info:
+    """Map an exception to its ``GrB_Info`` code (``PANIC`` for foreign ones)."""
+    return getattr(exc, "info", Info.PANIC)

@@ -1,0 +1,39 @@
+"""Graph I/O: synthetic workload generators, Matrix Market files, and
+converters to/from scipy.sparse and networkx."""
+
+from .conversion import from_networkx, from_scipy, to_networkx, to_scipy_csr
+from .edgelist import read_edgelist, write_edgelist
+from .generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    random_vector,
+    rmat,
+    star_graph,
+)
+from .matrix_market import mmread, mmread_string, mmwrite
+from .serialize import deserialize, serialize
+
+__all__ = [
+    "erdos_renyi",
+    "rmat",
+    "grid_2d",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "random_vector",
+    "mmread",
+    "mmwrite",
+    "mmread_string",
+    "serialize",
+    "read_edgelist",
+    "write_edgelist",
+    "deserialize",
+    "to_scipy_csr",
+    "from_scipy",
+    "to_networkx",
+    "from_networkx",
+]

@@ -1,0 +1,99 @@
+"""Converters between GraphBLAS collections and the scientific-Python
+ecosystem (scipy.sparse, networkx, dense numpy).
+
+These cross the opaque-object boundary, so they force completion — they are
+exactly the "copy the contents of opaque objects into non-opaque objects"
+methods of section III.  Note the semantic caveat the paper stresses: scipy
+and dense arrays have *implied zeros*, GraphBLAS collections do not; going
+to scipy drops nothing, but explicit stored zeros survive the round trip
+only because we export the stored pattern rather than comparing to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..info import InvalidValue
+from ..ops import binary
+from ..types import BOOL, FP64, GrBType
+from .._sparseutil import unflatten_keys
+
+__all__ = [
+    "to_scipy_csr",
+    "from_scipy",
+    "to_networkx",
+    "from_networkx",
+]
+
+
+def to_scipy_csr(A: Matrix):
+    """Export the stored pattern/values as ``scipy.sparse.csr_array``."""
+    import scipy.sparse as sp
+
+    rows, cols, vals = A.extract_tuples()
+    dtype = np.float64 if A.type.is_udt else A.type.np_dtype
+    return sp.csr_array(
+        (vals.astype(dtype), (rows, cols)), shape=A.shape
+    )
+
+
+def from_scipy(S, domain: GrBType | None = None) -> Matrix:
+    """Build a :class:`Matrix` from any scipy sparse container.
+
+    Stored entries become GraphBLAS tuples; scipy's implied zeros become
+    undefined elements, as the paper's no-implied-zero model dictates.
+    """
+    coo = S.tocoo()
+    if domain is None:
+        kind = np.dtype(coo.dtype).kind
+        domain = BOOL if kind == "b" else FP64
+    dup = binary.FIRST[domain] if domain in binary.FIRST else None
+    return Matrix.from_coo(
+        domain, coo.shape[0], coo.shape[1], coo.row, coo.col, coo.data, dup
+    )
+
+
+def to_networkx(A: Matrix, weighted: bool = True):
+    """Export as a ``networkx.DiGraph`` over vertices ``0..n-1``.
+
+    All n vertices are added even if isolated, so algorithm comparisons
+    (BC, PageRank) align index-for-index.
+    """
+    import networkx as nx
+
+    if A.nrows != A.ncols:
+        raise InvalidValue("adjacency export requires a square matrix")
+    G = nx.DiGraph()
+    G.add_nodes_from(range(A.nrows))
+    rows, cols, vals = A.extract_tuples()
+    if weighted:
+        G.add_weighted_edges_from(
+            (int(i), int(j), float(v)) for i, j, v in zip(rows, cols, vals)
+        )
+    else:
+        G.add_edges_from((int(i), int(j)) for i, j in zip(rows, cols))
+    return G
+
+
+def from_networkx(G, domain: GrBType = BOOL, weight: str | None = None) -> Matrix:
+    """Build an adjacency :class:`Matrix` from a networkx (di)graph.
+
+    Vertices are relabelled to 0..n-1 in sorted order when they are not
+    already integers.
+    """
+    nodes = sorted(G.nodes())
+    index = {u: k for k, u in enumerate(nodes)}
+    n = len(nodes)
+    rows, cols, vals = [], [], []
+    for u, v, data in G.edges(data=True):
+        rows.append(index[u])
+        cols.append(index[v])
+        vals.append(data.get(weight, 1) if weight else 1)
+        if not G.is_directed():
+            rows.append(index[v])
+            cols.append(index[u])
+            vals.append(vals[-1])
+    dup = binary.FIRST[domain] if domain in binary.FIRST else None
+    return Matrix.from_coo(domain, n, n, rows, cols, vals, dup)

@@ -1,0 +1,99 @@
+"""Plain-text edge-list I/O (``src dst [weight]`` per line).
+
+The lowest-common-denominator interchange format (SNAP datasets, Graph500
+generators, spreadsheet exports).  Lines starting with ``#`` or ``%`` are
+comments; vertices may be arbitrary non-negative integers (the matrix is
+sized by the largest id seen unless ``nrows`` is given).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..containers.matrix import Matrix
+from ..info import InvalidValue
+from ..ops import binary
+from ..types import BOOL, FP64, GrBType
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def read_edgelist(
+    source,
+    *,
+    domain: GrBType | None = None,
+    n: int | None = None,
+    comments: str = "#%",
+    dedup: bool = True,
+) -> Matrix:
+    """Parse an edge list into an adjacency matrix.
+
+    Weighted rows (three columns) produce an FP64 matrix by default;
+    unweighted rows a BOOL pattern.  Mixed files are an error.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_edgelist(
+                fh, domain=domain, n=n, comments=comments, dedup=dedup
+            )
+
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    weighted: bool | None = None
+    for lineno, line in enumerate(source, 1):
+        line = line.strip()
+        if not line or line[0] in comments:
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise InvalidValue(
+                f"edge list line {lineno}: expected 2 or 3 columns"
+            )
+        this_weighted = len(parts) == 3
+        if weighted is None:
+            weighted = this_weighted
+        elif weighted != this_weighted:
+            raise InvalidValue(
+                f"edge list line {lineno}: mixed weighted/unweighted rows"
+            )
+        u, v = int(parts[0]), int(parts[1])
+        if u < 0 or v < 0:
+            raise InvalidValue(f"edge list line {lineno}: negative vertex id")
+        srcs.append(u)
+        dsts.append(v)
+        if this_weighted:
+            weights.append(float(parts[2]))
+
+    if not srcs:
+        if n is None:
+            raise InvalidValue("empty edge list and no explicit vertex count")
+        dom = domain or BOOL
+        return Matrix(dom, n, n)
+
+    size = n if n is not None else max(max(srcs), max(dsts)) + 1
+    dom = domain or (FP64 if weighted else BOOL)
+    vals = weights if weighted else np.ones(len(srcs), dtype=np.int64)
+    dup = None
+    if dedup and dom in binary.FIRST:
+        dup = binary.PLUS[dom] if weighted and dom in binary.PLUS else binary.FIRST[dom]
+    return Matrix.from_coo(dom, size, size, srcs, dsts, vals, dup)
+
+
+def write_edgelist(target, A: Matrix, *, write_weights: bool | None = None) -> None:
+    """Write the stored edges, one ``src dst [weight]`` row per element."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            write_edgelist(fh, A, write_weights=write_weights)
+            return
+    rows, cols, vals = A.extract_tuples()
+    if write_weights is None:
+        write_weights = not (A.type.is_bool or A.type.is_udt)
+    if write_weights:
+        for i, j, v in zip(rows, cols, vals):
+            target.write(f"{i} {j} {v}\n")
+    else:
+        for i, j in zip(rows, cols):
+            target.write(f"{i} {j}\n")

@@ -1,0 +1,153 @@
+"""Opaque-object serialization (the GxB_*_serialize extension).
+
+Collections round-trip through a self-describing byte blob: a JSON header
+(kind, domain, dimensions, nnz, dtype) followed by the raw key and value
+arrays.  Built-in domains serialize their numpy buffers directly;
+user-defined domains fall back to pickle for the value column (documented —
+the C API has the same caveat via user serializers).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+
+import numpy as np
+
+from ..containers.matrix import Matrix
+from ..containers.scalar import Scalar
+from ..containers.vector import Vector
+from ..info import InvalidValue
+from ..types import GrBType, lookup_type, type_new
+
+__all__ = ["serialize", "deserialize"]
+
+_MAGIC = b"GRBP"
+_VERSION = 1
+
+
+def _pack(header: dict, *arrays: bytes) -> bytes:
+    hdr = json.dumps(header).encode()
+    out = [_MAGIC, struct.pack("<HI", _VERSION, len(hdr)), hdr]
+    for blob in arrays:
+        out.append(struct.pack("<Q", len(blob)))
+        out.append(blob)
+    return b"".join(out)
+
+
+def _unpack(data: bytes) -> tuple[dict, list[bytes]]:
+    if data[:4] != _MAGIC:
+        raise InvalidValue("not a repro-serialized GraphBLAS object")
+    version, hlen = struct.unpack_from("<HI", data, 4)
+    if version != _VERSION:
+        raise InvalidValue(f"unsupported serialization version {version}")
+    pos = 10
+    header = json.loads(data[pos : pos + hlen].decode())
+    pos += hlen
+    blobs = []
+    while pos < len(data):
+        (n,) = struct.unpack_from("<Q", data, pos)
+        pos += 8
+        blobs.append(data[pos : pos + n])
+        pos += n
+    return header, blobs
+
+
+def _values_blob(values: np.ndarray, domain: GrBType) -> tuple[bytes, str]:
+    if domain.is_udt:
+        return pickle.dumps(list(values)), "pickle"
+    return values.tobytes(), values.dtype.str
+
+
+def _values_from_blob(blob: bytes, encoding: str, domain: GrBType) -> np.ndarray:
+    if encoding == "pickle":
+        out = np.empty(0, dtype=object)
+        items = pickle.loads(blob)
+        out = np.empty(len(items), dtype=object)
+        for k, v in enumerate(items):
+            out[k] = v
+        return out
+    return np.frombuffer(blob, dtype=np.dtype(encoding)).copy()
+
+
+def serialize(obj) -> bytes:
+    """Serialize a Matrix, Vector, or Scalar to a portable byte blob."""
+    if isinstance(obj, Matrix):
+        obj._check_valid()
+        rows, cols, vals = obj.extract_tuples()
+        vblob, enc = _values_blob(vals, obj.type)
+        header = {
+            "kind": "matrix",
+            "domain": obj.type.name if obj.type.is_builtin else "udt",
+            "udt_name": None if obj.type.is_builtin else obj.type.name,
+            "nrows": obj.nrows,
+            "ncols": obj.ncols,
+            "nvals": len(rows),
+            "values": enc,
+        }
+        return _pack(header, rows.tobytes(), cols.tobytes(), vblob)
+    if isinstance(obj, Vector):
+        obj._check_valid()
+        idx, vals = obj.extract_tuples()
+        vblob, enc = _values_blob(vals, obj.type)
+        header = {
+            "kind": "vector",
+            "domain": obj.type.name if obj.type.is_builtin else "udt",
+            "udt_name": None if obj.type.is_builtin else obj.type.name,
+            "size": obj.size,
+            "nvals": len(idx),
+            "values": enc,
+        }
+        return _pack(header, idx.tobytes(), vblob)
+    if isinstance(obj, Scalar):
+        obj._check_valid()
+        empty = obj.nvals() == 0
+        vblob = b"" if empty else pickle.dumps(obj.extract_value())
+        header = {
+            "kind": "scalar",
+            "domain": obj.type.name if obj.type.is_builtin else "udt",
+            "udt_name": None if obj.type.is_builtin else obj.type.name,
+            "nvals": 0 if empty else 1,
+            "values": "pickle",
+        }
+        return _pack(header, vblob)
+    raise InvalidValue(f"cannot serialize {type(obj).__name__}")
+
+
+def _domain_of(header: dict, udt_class: type | None) -> GrBType:
+    if header["domain"] != "udt":
+        return lookup_type(header["domain"])
+    if udt_class is None:
+        raise InvalidValue(
+            "deserializing a user-defined-type object requires udt_class"
+        )
+    return type_new(header["udt_name"] or "udt", udt_class)
+
+
+def deserialize(data: bytes, udt_class: type | None = None):
+    """Reconstruct a serialized Matrix, Vector, or Scalar."""
+    header, blobs = _unpack(data)
+    domain = _domain_of(header, udt_class)
+    kind = header["kind"]
+    if kind == "matrix":
+        rows = np.frombuffer(blobs[0], dtype=np.int64)
+        cols = np.frombuffer(blobs[1], dtype=np.int64)
+        vals = _values_from_blob(blobs[2], header["values"], domain)
+        out = Matrix(domain, header["nrows"], header["ncols"])
+        if len(rows):
+            out.build(rows, cols, vals)
+        return out
+    if kind == "vector":
+        idx = np.frombuffer(blobs[0], dtype=np.int64)
+        vals = _values_from_blob(blobs[1], header["values"], domain)
+        out = Vector(domain, header["size"])
+        if len(idx):
+            out.build(idx, vals)
+        return out
+    if kind == "scalar":
+        out = Scalar(domain)
+        if header["nvals"]:
+            out.set_value(pickle.loads(blobs[0]))
+        return out
+    raise InvalidValue(f"unknown serialized kind {kind!r}")

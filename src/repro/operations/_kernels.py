@@ -1,0 +1,265 @@
+"""Semiring kernels: the computations that produce the internal result T.
+
+All kernels follow the paper's set-intersection formulation
+
+    C(i,j) = ⊕_{k ∈ ind(A(i,:)) ∩ ind(B(:,j))} A(i,k) ⊗ B(k,j)
+
+— the ⊗ operator touches only stored elements, so the semiring's implied
+zero never materializes.
+
+The workhorse is *expand–sort–reduce* SpGEMM: explode every contributing
+(i,k)×(k,j) pair into a flat product array, sort by output key, and fold
+runs with the additive monoid.  Everything is vectorized numpy; arbitrary
+(even user-defined, object-domain) operators run through the same structure
+via the operators' loop fallbacks, so there is one code path to trust.
+
+Large multiplications are split into contiguous row blocks and dispatched
+to the thread pool (:mod:`repro.parallel`); blocks produce disjoint,
+ordered key ranges, so concatenation preserves global sort order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._sparseutil import group_starts, ranges_concat, segment_reduce
+from ..algebra.semiring import Semiring
+from ..containers.formats import CSRView
+from ..containers.mask import MaskView
+from ..parallel import (
+    get_num_threads,
+    parallel_threshold,
+    row_blocks,
+    thread_pool,
+)
+
+__all__ = ["spgemm", "spmv", "reduce_rows", "estimate_flops"]
+
+
+def _empty(dtype) -> tuple[np.ndarray, np.ndarray]:
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=dtype)
+
+
+def estimate_flops(a_view: CSRView, b_view: CSRView) -> int:
+    """Exact multiply count of the expansion: Σ_{(i,k)∈A} nnz(B(k,:))."""
+    if a_view.nnz == 0 or b_view.nnz == 0:
+        return 0
+    return int(np.diff(b_view.indptr)[a_view.indices].sum())
+
+
+def _spgemm_block(
+    a_view: CSRView,
+    a_vals: np.ndarray,
+    b_view: CSRView,
+    b_vals: np.ndarray,
+    semiring: Semiring,
+    rows: slice,
+    mask_view: MaskView | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand–sort–reduce over a contiguous block of A's rows."""
+    out_dtype = semiring.d_out.np_dtype
+    lo, hi = rows.start, rows.stop
+    a_lo, a_hi = int(a_view.indptr[lo]), int(a_view.indptr[hi])
+    if a_lo == a_hi:
+        return _empty(out_dtype)
+
+    a_cols = a_view.indices[a_lo:a_hi]
+    a_rows = (
+        np.repeat(
+            np.arange(lo, hi, dtype=np.int64),
+            np.diff(a_view.indptr[lo : hi + 1]),
+        )
+    )
+    counts = np.diff(b_view.indptr)[a_cols]
+    total = int(counts.sum())
+    if total == 0:
+        return _empty(out_dtype)
+
+    gather = ranges_concat(b_view.indptr[a_cols], counts)
+    out_rows = np.repeat(a_rows, counts)
+    out_cols = b_view.indices[gather]
+    left = np.repeat(a_vals[a_lo:a_hi], counts)
+    right = b_vals[gather]
+
+    keys = out_rows * np.int64(b_view.ncols) + out_cols
+    if mask_view is not None:
+        # mask push-down: products whose destination the mask forbids can
+        # never be written — drop them before the expensive sort
+        keep = mask_view.allows(keys)
+        if not keep.all():
+            keys, left, right = keys[keep], left[keep], right[keep]
+        if len(keys) == 0:
+            return _empty(out_dtype)
+
+    prods = semiring.mul.apply_arrays(left, right)
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    prods = prods[order]
+    uniq, starts = group_starts(keys)
+    vals = segment_reduce(prods, starts, semiring.add)
+    if not semiring.d_out.is_udt and vals.dtype != out_dtype:
+        vals = vals.astype(out_dtype)
+    return uniq, vals
+
+
+def spgemm(
+    a_view: CSRView,
+    a_vals: np.ndarray,
+    b_view: CSRView,
+    b_vals: np.ndarray,
+    semiring: Semiring,
+    mask_view: MaskView | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``T = A ⊕.⊗ B`` as sorted flat keys over an (A.nrows × B.ncols) space.
+
+    *a_vals*/*b_vals* are the views' value arrays already cast to the
+    multiply operator's input domains.
+    """
+    out_dtype = semiring.d_out.np_dtype
+    if a_view.nnz == 0 or b_view.nnz == 0:
+        return _empty(out_dtype)
+
+    nthreads = get_num_threads()
+    if nthreads > 1 and not semiring.d_out.is_udt:
+        flops = estimate_flops(a_view, b_view)
+        if flops >= parallel_threshold():
+            work = np.zeros(a_view.nrows, dtype=np.int64)
+            np.add.at(
+                work,
+                a_view.row_ids(),
+                np.diff(b_view.indptr)[a_view.indices],
+            )
+            blocks = row_blocks(work, nthreads)
+            if len(blocks) > 1:
+                futures = [
+                    thread_pool().submit(
+                        _spgemm_block,
+                        a_view,
+                        a_vals,
+                        b_view,
+                        b_vals,
+                        semiring,
+                        blk,
+                        mask_view,
+                    )
+                    for blk in blocks
+                ]
+                parts = [f.result() for f in futures]
+                keys = np.concatenate([p[0] for p in parts])
+                vals = np.concatenate([p[1] for p in parts])
+                return keys, vals
+
+    return _spgemm_block(
+        a_view, a_vals, b_view, b_vals, semiring,
+        slice(0, a_view.nrows), mask_view,
+    )
+
+
+def spmv(
+    a_view: CSRView,
+    a_vals: np.ndarray,
+    v_keys: np.ndarray,
+    v_vals: np.ndarray,
+    semiring: Semiring,
+    swap: bool = False,
+    mask_view: MaskView | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``t = A ⊕.⊗ v`` over stored-index intersections per row.
+
+    With ``swap`` the multiply runs as ``v_i ⊗ A(i,j)`` instead of
+    ``A(i,j) ⊗ v_i`` — the ``vxm`` orientation, where the kernel is handed
+    the CSR of Aᵀ and the vector is the left operand.
+
+    With a selective, non-complemented mask the kernel switches to the
+    *pull* direction: only the rows the mask can write are gathered, so
+    cost is Σ nnz(A(i,:)) over masked rows rather than nnz(A) — the classic
+    push/pull direction optimization of the GPU backends the paper's
+    section VIII points to.
+    """
+    out_dtype = semiring.d_out.np_dtype
+    if a_view.nnz == 0 or len(v_keys) == 0:
+        return _empty(out_dtype)
+
+    if (
+        mask_view is not None
+        and not mask_view.complemented
+        and len(mask_view.pattern) <= a_view.nrows // 2
+    ):
+        return _spmv_pull(
+            a_view, a_vals, v_keys, v_vals, semiring, swap,
+            mask_view.pattern,
+        )
+
+    pos = np.searchsorted(v_keys, a_view.indices)
+    pos_c = np.minimum(pos, len(v_keys) - 1)
+    hit = v_keys[pos_c] == a_view.indices
+    if not hit.any():
+        return _empty(out_dtype)
+
+    rows = a_view.row_ids()[hit]  # nondecreasing: storage is row-major
+    left = a_vals[hit]
+    right = v_vals[pos_c[hit]]
+    prods = (
+        semiring.mul.apply_arrays(right, left)
+        if swap
+        else semiring.mul.apply_arrays(left, right)
+    )
+    uniq, starts = group_starts(rows)
+    vals = segment_reduce(prods, starts, semiring.add)
+    if not semiring.d_out.is_udt and vals.dtype != out_dtype:
+        vals = vals.astype(out_dtype)
+    return uniq, vals
+
+
+def _spmv_pull(
+    a_view: CSRView,
+    a_vals: np.ndarray,
+    v_keys: np.ndarray,
+    v_vals: np.ndarray,
+    semiring: Semiring,
+    swap: bool,
+    rows_sel: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pull direction: gather only the selected rows, then intersect with v."""
+    out_dtype = semiring.d_out.np_dtype
+    if len(rows_sel) == 0:
+        return _empty(out_dtype)
+    counts = (a_view.indptr[rows_sel + 1] - a_view.indptr[rows_sel])
+    gather = ranges_concat(a_view.indptr[rows_sel], counts)
+    if len(gather) == 0:
+        return _empty(out_dtype)
+    cols = a_view.indices[gather]
+    pos = np.searchsorted(v_keys, cols)
+    pos_c = np.minimum(pos, len(v_keys) - 1)
+    hit = v_keys[pos_c] == cols
+    if not hit.any():
+        return _empty(out_dtype)
+    rows = np.repeat(rows_sel.astype(np.int64), counts)[hit]
+    left = a_vals[gather][hit]
+    right = v_vals[pos_c[hit]]
+    prods = (
+        semiring.mul.apply_arrays(right, left)
+        if swap
+        else semiring.mul.apply_arrays(left, right)
+    )
+    uniq, starts = group_starts(rows)
+    vals = segment_reduce(prods, starts, semiring.add)
+    if not semiring.d_out.is_udt and vals.dtype != out_dtype:
+        vals = vals.astype(out_dtype)
+    return uniq, vals
+
+
+def reduce_rows(
+    a_view: CSRView, a_vals: np.ndarray, monoid
+) -> tuple[np.ndarray, np.ndarray]:
+    """``t(i) = ⊕_j A(i,j)`` over stored elements; empty rows stay undefined
+    (Table II's ``reduce (row)``)."""
+    dtype = monoid.domain.np_dtype
+    if a_view.nnz == 0:
+        return _empty(dtype)
+    rows = a_view.row_ids()
+    uniq, starts = group_starts(rows)
+    vals = segment_reduce(a_vals, starts, monoid)
+    if not monoid.domain.is_udt and vals.dtype != dtype:
+        vals = vals.astype(dtype)
+    return uniq, vals

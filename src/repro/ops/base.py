@@ -1,0 +1,244 @@
+"""Operator base classes (paper section III-B, Fig. 1).
+
+A GraphBLAS *binary operator* is ``F_b = <D1, D2, D3, ⊙>`` — three domains
+and an operation ``⊙ : D1 × D2 → D3``.  A *unary operator* is
+``F_u = <D1, D2, f>`` with ``f : D1 → D2``.  These are the leaves of the
+algebraic hierarchy; monoids and semirings are built from them
+(:mod:`repro.algebra`).
+
+Implementation notes
+--------------------
+Each operator carries up to three callables:
+
+``scalar_fn``
+    Plain Python function on scalar values.  Always present; the reference
+    backend and UDT paths use it.
+``array_fn``
+    Vectorized numpy implementation taking arrays already cast to the input
+    domains and returning an array in the output domain.  When absent, a
+    loop over ``scalar_fn`` is used.
+``ufunc``
+    A genuine ``numpy.ufunc`` equivalent, when one exists.  Only ufuncs
+    support ``reduceat``, which the monoid-reduction fast paths need, so this
+    is tracked separately from ``array_fn``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..info import DomainMismatch, NullPointer
+from ..types import GrBType, cast_scalar
+
+__all__ = ["UnaryOp", "BinaryOp", "IndexUnaryOp", "OpFamily"]
+
+
+def _loop_unary(fn: Callable, out_dtype: np.dtype) -> Callable:
+    def array_fn(values: np.ndarray) -> np.ndarray:
+        out = np.empty(len(values), dtype=out_dtype)
+        for k, v in enumerate(values):
+            out[k] = fn(v)
+        return out
+
+    return array_fn
+
+
+def _loop_binary(fn: Callable, out_dtype: np.dtype) -> Callable:
+    def array_fn(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        out = np.empty(len(x), dtype=out_dtype)
+        for k in range(len(x)):
+            out[k] = fn(x[k], y[k])
+        return out
+
+    return array_fn
+
+
+class UnaryOp:
+    """``F_u = <D1, D2, f>``: a typed unary function."""
+
+    __slots__ = ("name", "d_in", "d_out", "scalar_fn", "_array_fn")
+
+    def __init__(
+        self,
+        name: str,
+        d_in: GrBType,
+        d_out: GrBType,
+        scalar_fn: Callable[[Any], Any],
+        array_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    ):
+        if scalar_fn is None:
+            raise NullPointer("UnaryOp requires a function")
+        self.name = name
+        self.d_in = d_in
+        self.d_out = d_out
+        self.scalar_fn = scalar_fn
+        self._array_fn = array_fn
+
+    def __call__(self, value: Any) -> Any:
+        return self.scalar_fn(value)
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Apply to an array already in the input domain's storage dtype."""
+        if self._array_fn is not None:
+            return self._array_fn(values)
+        return _loop_unary(self.scalar_fn, self.d_out.np_dtype)(values)
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.name}: {self.d_in.name} -> {self.d_out.name})"
+
+
+class BinaryOp:
+    """``F_b = <D1, D2, D3, ⊙>``: a typed binary function.
+
+    ``commutative``/``associative`` are advisory flags used to validate
+    monoid construction and unlock kernel fast paths; they are only set on
+    predefined operators where the property is known to hold.
+    """
+
+    __slots__ = (
+        "name",
+        "d_in1",
+        "d_in2",
+        "d_out",
+        "scalar_fn",
+        "_array_fn",
+        "ufunc",
+        "commutative",
+        "associative",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        d_in1: GrBType,
+        d_in2: GrBType,
+        d_out: GrBType,
+        scalar_fn: Callable[[Any, Any], Any],
+        array_fn: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        ufunc: np.ufunc | None = None,
+        commutative: bool = False,
+        associative: bool = False,
+    ):
+        if scalar_fn is None:
+            raise NullPointer("BinaryOp requires a function")
+        self.name = name
+        self.d_in1 = d_in1
+        self.d_in2 = d_in2
+        self.d_out = d_out
+        self.scalar_fn = scalar_fn
+        self._array_fn = array_fn if array_fn is not None else ufunc
+        self.ufunc = ufunc
+        self.commutative = commutative
+        self.associative = associative
+
+    def __call__(self, x: Any, y: Any) -> Any:
+        return self.scalar_fn(x, y)
+
+    def apply_arrays(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Apply elementwise to arrays already in the input storage dtypes."""
+        if self._array_fn is not None:
+            out = self._array_fn(x, y)
+            if (
+                isinstance(out, np.ndarray)
+                and out.dtype != self.d_out.np_dtype
+                and not self.d_out.is_udt
+            ):
+                out = out.astype(self.d_out.np_dtype)
+            return out
+        return _loop_binary(self.scalar_fn, self.d_out.np_dtype)(x, y)
+
+    @property
+    def has_monoid_domains(self) -> bool:
+        """True when all three domains coincide (monoid-eligible)."""
+        return self.d_in1 is self.d_in2 and self.d_in1 is self.d_out
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryOp({self.name}: {self.d_in1.name} x {self.d_in2.name}"
+            f" -> {self.d_out.name})"
+        )
+
+
+class IndexUnaryOp:
+    """Positional operator ``f(a_ij, i, j, thunk)`` used by ``select``/``apply``.
+
+    This is the GxB/GrB-2.0 extension the triangle-counting workloads need
+    (``TRIL``, ``TRIU``, value filters).  For vectors, ``j`` is passed as 0.
+    """
+
+    __slots__ = ("name", "d_in", "d_thunk", "d_out", "scalar_fn", "_array_fn")
+
+    def __init__(
+        self,
+        name: str,
+        d_in: GrBType,
+        d_thunk: GrBType,
+        d_out: GrBType,
+        scalar_fn: Callable[[Any, int, int, Any], Any],
+        array_fn: Callable[[np.ndarray, np.ndarray, np.ndarray, Any], np.ndarray]
+        | None = None,
+    ):
+        self.name = name
+        self.d_in = d_in
+        self.d_thunk = d_thunk
+        self.d_out = d_out
+        self.scalar_fn = scalar_fn
+        self._array_fn = array_fn
+
+    def __call__(self, value: Any, i: int, j: int, thunk: Any) -> Any:
+        return self.scalar_fn(value, i, j, thunk)
+
+    def apply_arrays(
+        self,
+        values: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        thunk: Any,
+    ) -> np.ndarray:
+        if self._array_fn is not None:
+            return self._array_fn(values, rows, cols, thunk)
+        out = np.empty(len(values), dtype=self.d_out.np_dtype)
+        for k in range(len(values)):
+            out[k] = self.scalar_fn(values[k], rows[k], cols[k], thunk)
+        return out
+
+    def __repr__(self) -> str:
+        return f"IndexUnaryOp({self.name})"
+
+
+class OpFamily:
+    """A named family of same-shaped operators indexed by domain.
+
+    ``PLUS[INT32]`` resolves the INT32 instance of the PLUS family; missing
+    domains raise :class:`~repro.info.DomainMismatch`, matching the C API
+    where e.g. ``GrB_LNOT_FP32`` simply does not exist.
+    """
+
+    __slots__ = ("name", "_by_type")
+
+    def __init__(self, name: str, ops: dict[GrBType, Any]):
+        self.name = name
+        self._by_type = dict(ops)
+
+    def __getitem__(self, domain: GrBType) -> Any:
+        try:
+            return self._by_type[domain]
+        except KeyError:
+            raise DomainMismatch(
+                f"operator family {self.name} is not defined for domain "
+                f"{getattr(domain, 'name', domain)!r}"
+            ) from None
+
+    def __contains__(self, domain: GrBType) -> bool:
+        return domain in self._by_type
+
+    def domains(self) -> tuple[GrBType, ...]:
+        return tuple(self._by_type)
+
+    def items(self):
+        return self._by_type.items()
+
+    def __repr__(self) -> str:
+        return f"OpFamily({self.name}, {len(self._by_type)} domains)"

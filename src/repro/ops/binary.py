@@ -1,0 +1,417 @@
+"""Predefined binary operators (paper Table IV).
+
+The C API predefines typed instances of each operator family —
+``GrB_PLUS_INT32``, ``GrB_TIMES_FP32``, ... — over the eleven built-in
+domains.  Here each family is an :class:`~repro.ops.base.OpFamily` indexed by
+domain (``PLUS[INT32]``), and every instance is also registered under its
+spec-style name for string lookup (:func:`binary_op`).
+
+Arithmetic fidelity notes (documented deviations are deliberate):
+
+* Integer arithmetic wraps modulo 2**n, as C's does in practice.
+* Integer division truncates toward zero (C semantics, not Python's floor),
+  and division by zero yields 0 — C leaves it undefined; a fixed total
+  function keeps vectorized kernels exception-free.
+* ``MIN``/``MAX`` on floats use ``fmin``/``fmax`` NaN-omitting semantics,
+  matching C's ``fminf``/``fmaxf``.
+* Boolean arithmetic follows the standard GraphBLAS collapse: PLUS=∨,
+  TIMES=∧, MINUS=xor, MIN=∧, MAX=∨.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..info import InvalidValue
+from ..types import (
+    BOOL,
+    BUILTIN_TYPES,
+    FLOAT_TYPES,
+    INTEGER_TYPES,
+    GrBType,
+)
+from .base import BinaryOp, OpFamily
+
+__all__ = [
+    "FIRST",
+    "SECOND",
+    "PAIR",
+    "ONEB",
+    "MIN",
+    "MAX",
+    "PLUS",
+    "MINUS",
+    "RMINUS",
+    "TIMES",
+    "DIV",
+    "RDIV",
+    "POW",
+    "EQ",
+    "NE",
+    "GT",
+    "LT",
+    "GE",
+    "LE",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "LXNOR",
+    "BOR",
+    "BAND",
+    "BXOR",
+    "BXNOR",
+    "binary_op",
+    "binary_op_new",
+    "BINARY_REGISTRY",
+    "ALL_BINARY_FAMILIES",
+]
+
+BINARY_REGISTRY: dict[str, BinaryOp] = {}
+
+
+def _register(op: BinaryOp) -> BinaryOp:
+    BINARY_REGISTRY[op.name] = op
+    return op
+
+
+def _as1(value: Any, dtype: np.dtype) -> np.ndarray:
+    """One-element array in *dtype*, wrapping out-of-range ints like C."""
+    try:
+        return np.asarray([value], dtype=dtype)
+    except (OverflowError, ValueError):
+        return np.asarray([value]).astype(dtype)
+
+
+def _scalarize(array_fn: Callable, d1: GrBType, d2: GrBType, d_out: GrBType):
+    """Derive a scalar function from the vectorized one so that scalar and
+    array applications agree bit-for-bit (wrapping, NaN handling, ...)."""
+
+    def scalar_fn(x: Any, y: Any) -> Any:
+        out = array_fn(_as1(x, d1.np_dtype), _as1(y, d2.np_dtype))
+        return d_out.np_dtype.type(out[0])
+
+    return scalar_fn
+
+
+def _trunc_div(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """C-style integer division: truncate toward zero, x/0 == 0."""
+    out = np.zeros(len(x), dtype=np.result_type(x, y))
+    nz = y != 0
+    xs, ys = x[nz], y[nz]
+    q = np.floor_divide(xs, ys)
+    r = np.remainder(xs, ys)
+    if x.dtype.kind == "i":
+        # floor and trunc differ when signs differ and division is inexact
+        q = q + ((r != 0) & ((xs < 0) != (ys < 0)))
+    out[nz] = q
+    return out.astype(x.dtype)
+
+
+def _float_div(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(x, y)
+
+
+def _int_pow(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    # numpy raises on negative integer exponents; C pow would go through
+    # double.  Clamp negative exponents to the truncated double result.
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        f = np.power(x.astype(np.float64), y.astype(np.float64))
+    f = np.where(np.isfinite(f), f, 0.0)
+    return f.astype(x.dtype)
+
+
+def _make_family(
+    name: str,
+    domains: tuple[GrBType, ...],
+    build: Callable[[GrBType], tuple[Callable, np.ufunc | None]],
+    d_out_of: Callable[[GrBType], GrBType] | None = None,
+    commutative: bool = False,
+    associative: bool = False,
+    spec_prefix: str = "GrB",
+) -> OpFamily:
+    ops: dict[GrBType, BinaryOp] = {}
+    for t in domains:
+        array_fn, ufunc = build(t)
+        d_out = d_out_of(t) if d_out_of is not None else t
+        short = t.name.removeprefix("GrB_")
+        op = BinaryOp(
+            name=f"{spec_prefix}_{name}_{short}",
+            d_in1=t,
+            d_in2=t,
+            d_out=d_out,
+            scalar_fn=_scalarize(array_fn, t, t, d_out),
+            array_fn=array_fn,
+            ufunc=ufunc,
+            commutative=commutative,
+            associative=associative,
+        )
+        ops[t] = _register(op)
+    return OpFamily(name, ops)
+
+
+# --------------------------------------------------------------------------
+# Selection operators
+# --------------------------------------------------------------------------
+
+def _first_build(t: GrBType):
+    return (lambda x, y: x.copy()), None
+
+
+def _second_build(t: GrBType):
+    return (lambda x, y: y.copy()), None
+
+
+def _pair_build(t: GrBType):
+    one = t.np_dtype.type(1)
+    return (lambda x, y: np.full(len(x), one, dtype=t.np_dtype)), None
+
+
+FIRST = _make_family("FIRST", BUILTIN_TYPES, _first_build, associative=True)
+SECOND = _make_family("SECOND", BUILTIN_TYPES, _second_build, associative=True)
+PAIR = _make_family(
+    "ONEB", BUILTIN_TYPES, _pair_build, commutative=True, associative=True
+)
+ONEB = PAIR  # GrB 2.0 renamed GxB_PAIR to GrB_ONEB; both names work here.
+
+
+# --------------------------------------------------------------------------
+# Arithmetic
+# --------------------------------------------------------------------------
+
+def _min_build(t: GrBType):
+    uf = np.fmin if t in FLOAT_TYPES else np.minimum
+    return uf, uf
+
+
+def _max_build(t: GrBType):
+    uf = np.fmax if t in FLOAT_TYPES else np.maximum
+    return uf, uf
+
+
+def _plus_build(t: GrBType):
+    uf = np.logical_or if t is BOOL else np.add
+    return uf, uf
+
+
+def _times_build(t: GrBType):
+    uf = np.logical_and if t is BOOL else np.multiply
+    return uf, uf
+
+
+def _minus_build(t: GrBType):
+    if t is BOOL:
+        return np.logical_xor, np.logical_xor
+    return np.subtract, np.subtract
+
+
+def _rminus_build(t: GrBType):
+    if t is BOOL:
+        return np.logical_xor, None
+    return (lambda x, y: np.subtract(y, x)), None
+
+
+def _div_build(t: GrBType):
+    if t is BOOL:
+        return (lambda x, y: x.copy()), None  # bool DIV == FIRST
+    if t in INTEGER_TYPES:
+        return _trunc_div, None
+    return _float_div, None
+
+
+def _rdiv_build(t: GrBType):
+    if t is BOOL:
+        return (lambda x, y: y.copy()), None
+    if t in INTEGER_TYPES:
+        return (lambda x, y: _trunc_div(y, x)), None
+    return (lambda x, y: _float_div(y, x)), None
+
+
+def _pow_build(t: GrBType):
+    if t is BOOL:
+        return (lambda x, y: np.logical_or(x, np.logical_not(y))), None
+    if t in INTEGER_TYPES:
+        return _int_pow, None
+
+    def fpow(x, y):
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            return np.power(x, y)
+
+    return fpow, None
+
+
+MIN = _make_family("MIN", BUILTIN_TYPES, _min_build, commutative=True, associative=True)
+MAX = _make_family("MAX", BUILTIN_TYPES, _max_build, commutative=True, associative=True)
+PLUS = _make_family(
+    "PLUS", BUILTIN_TYPES, _plus_build, commutative=True, associative=True
+)
+MINUS = _make_family("MINUS", BUILTIN_TYPES, _minus_build)
+RMINUS = _make_family("RMINUS", BUILTIN_TYPES, _rminus_build, spec_prefix="GxB")
+TIMES = _make_family(
+    "TIMES", BUILTIN_TYPES, _times_build, commutative=True, associative=True
+)
+DIV = _make_family("DIV", BUILTIN_TYPES, _div_build)
+RDIV = _make_family("RDIV", BUILTIN_TYPES, _rdiv_build, spec_prefix="GxB")
+POW = _make_family("POW", BUILTIN_TYPES, _pow_build, spec_prefix="GxB")
+
+
+# --------------------------------------------------------------------------
+# Comparisons: D x D -> BOOL
+# --------------------------------------------------------------------------
+
+def _cmp_family(name: str, ufunc: np.ufunc, commutative: bool) -> OpFamily:
+    def build(t: GrBType):
+        return ufunc, ufunc
+
+    return _make_family(
+        name,
+        BUILTIN_TYPES,
+        build,
+        d_out_of=lambda t: BOOL,
+        commutative=commutative,
+        # associativity is only meaningful for the BOOL instance, where
+        # EQ == xnor and NE == xor are associative; flagged per-op below.
+        associative=False,
+    )
+
+
+EQ = _cmp_family("EQ", np.equal, commutative=True)
+NE = _cmp_family("NE", np.not_equal, commutative=True)
+GT = _cmp_family("GT", np.greater, commutative=False)
+LT = _cmp_family("LT", np.less, commutative=False)
+GE = _cmp_family("GE", np.greater_equal, commutative=False)
+LE = _cmp_family("LE", np.less_equal, commutative=False)
+
+EQ[BOOL].associative = True  # xnor
+NE[BOOL].associative = True  # xor
+
+
+# --------------------------------------------------------------------------
+# Logical (BOOL only, as in the core spec)
+# --------------------------------------------------------------------------
+
+def _bool_op(name: str, ufunc: np.ufunc) -> BinaryOp:
+    return _register(
+        BinaryOp(
+            name=f"GrB_{name}",
+            d_in1=BOOL,
+            d_in2=BOOL,
+            d_out=BOOL,
+            scalar_fn=_scalarize(ufunc, BOOL, BOOL, BOOL),
+            array_fn=ufunc,
+            ufunc=ufunc,
+            commutative=True,
+            associative=True,
+        )
+    )
+
+
+LAND = _bool_op("LAND", np.logical_and)
+LOR = _bool_op("LOR", np.logical_or)
+LXOR = _bool_op("LXOR", np.logical_xor)
+LXNOR = _bool_op("LXNOR", np.equal)
+
+
+# --------------------------------------------------------------------------
+# Bitwise (integer domains)
+# --------------------------------------------------------------------------
+
+def _bxnor(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.bitwise_not(np.bitwise_xor(x, y))
+
+
+BOR = _make_family(
+    "BOR",
+    INTEGER_TYPES,
+    lambda t: (np.bitwise_or, np.bitwise_or),
+    commutative=True,
+    associative=True,
+)
+BAND = _make_family(
+    "BAND",
+    INTEGER_TYPES,
+    lambda t: (np.bitwise_and, np.bitwise_and),
+    commutative=True,
+    associative=True,
+)
+BXOR = _make_family(
+    "BXOR",
+    INTEGER_TYPES,
+    lambda t: (np.bitwise_xor, np.bitwise_xor),
+    commutative=True,
+    associative=True,
+)
+BXNOR = _make_family(
+    "BXNOR",
+    INTEGER_TYPES,
+    lambda t: (_bxnor, None),
+    commutative=True,
+    associative=True,
+)
+
+ALL_BINARY_FAMILIES: dict[str, OpFamily] = {
+    f.name: f
+    for f in (
+        FIRST,
+        SECOND,
+        PAIR,
+        MIN,
+        MAX,
+        PLUS,
+        MINUS,
+        RMINUS,
+        TIMES,
+        DIV,
+        RDIV,
+        POW,
+        EQ,
+        NE,
+        GT,
+        LT,
+        GE,
+        LE,
+        BOR,
+        BAND,
+        BXOR,
+        BXNOR,
+    )
+}
+
+
+def binary_op(name: str) -> BinaryOp:
+    """Look up a predefined binary operator by spec name, e.g. ``"GrB_PLUS_INT32"``.
+
+    Short forms without the ``GrB_`` prefix are accepted.
+    """
+    for candidate in (name, f"GrB_{name}", f"GxB_{name}"):
+        if candidate in BINARY_REGISTRY:
+            return BINARY_REGISTRY[candidate]
+    raise InvalidValue(f"unknown binary operator {name!r}")
+
+
+def binary_op_new(
+    fn: Callable[[Any, Any], Any],
+    d_in1: GrBType,
+    d_in2: GrBType,
+    d_out: GrBType,
+    *,
+    name: str | None = None,
+    array_fn: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    ufunc: np.ufunc | None = None,
+    commutative: bool = False,
+    associative: bool = False,
+) -> BinaryOp:
+    """Create a user-defined binary operator (``GrB_BinaryOp_new``)."""
+    return BinaryOp(
+        name=name or f"user_binary_{fn.__name__}",
+        d_in1=d_in1,
+        d_in2=d_in2,
+        d_out=d_out,
+        scalar_fn=fn,
+        array_fn=array_fn,
+        ufunc=ufunc,
+        commutative=commutative,
+        associative=associative,
+    )

@@ -1,0 +1,184 @@
+"""Index-unary (positional) operators.
+
+These power the ``select`` operation (a GraphBLAS 2.0 / GxB extension the
+standard triangle-counting and filtering workloads rely on): each stored
+element ``A(i, j)`` is passed with its position and a scalar *thunk* to a
+predicate or transformer.
+
+Positional predicates (``TRIL``, ``TRIU``, ``DIAG``, ``OFFDIAG``,
+``ROWINDEX`` comparisons) are domain-agnostic; value predicates
+(``VALUEEQ``...) are families over the built-in domains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..info import InvalidValue
+from ..types import BOOL, BUILTIN_TYPES, INT64, GrBType
+from .base import IndexUnaryOp, OpFamily
+
+__all__ = [
+    "TRIL",
+    "TRIU",
+    "DIAG",
+    "OFFDIAG",
+    "ROWINDEX",
+    "COLINDEX",
+    "DIAGINDEX",
+    "ROWLE",
+    "ROWGT",
+    "COLLE",
+    "COLGT",
+    "VALUEEQ",
+    "VALUENE",
+    "VALUELT",
+    "VALUELE",
+    "VALUEGT",
+    "VALUEGE",
+    "index_unary_op",
+    "index_unary_op_new",
+    "INDEXUNARY_REGISTRY",
+]
+
+INDEXUNARY_REGISTRY: dict[str, IndexUnaryOp] = {}
+
+
+def _register(op: IndexUnaryOp) -> IndexUnaryOp:
+    INDEXUNARY_REGISTRY[op.name] = op
+    return op
+
+
+def _positional(name: str, scalar_fn, array_fn, d_out: GrBType = BOOL) -> IndexUnaryOp:
+    """A positional op valid for any input domain (input value is ignored)."""
+    return _register(
+        IndexUnaryOp(
+            name=f"GrB_{name}",
+            d_in=None,  # type: ignore[arg-type]  # any domain
+            d_thunk=INT64,
+            d_out=d_out,
+            scalar_fn=scalar_fn,
+            array_fn=array_fn,
+        )
+    )
+
+
+# Predicates:  keep element when f(a, i, j, thunk) is true.
+TRIL = _positional(
+    "TRIL",
+    lambda a, i, j, k: j <= i + k,
+    lambda v, r, c, k: c <= r + k,
+)
+TRIU = _positional(
+    "TRIU",
+    lambda a, i, j, k: j >= i + k,
+    lambda v, r, c, k: c >= r + k,
+)
+DIAG = _positional(
+    "DIAG",
+    lambda a, i, j, k: j == i + k,
+    lambda v, r, c, k: c == r + k,
+)
+OFFDIAG = _positional(
+    "OFFDIAG",
+    lambda a, i, j, k: j != i + k,
+    lambda v, r, c, k: c != r + k,
+)
+ROWLE = _positional(
+    "ROWLE",
+    lambda a, i, j, k: i <= k,
+    lambda v, r, c, k: r <= k,
+)
+ROWGT = _positional(
+    "ROWGT",
+    lambda a, i, j, k: i > k,
+    lambda v, r, c, k: r > k,
+)
+COLLE = _positional(
+    "COLLE",
+    lambda a, i, j, k: j <= k,
+    lambda v, r, c, k: c <= k,
+)
+COLGT = _positional(
+    "COLGT",
+    lambda a, i, j, k: j > k,
+    lambda v, r, c, k: c > k,
+)
+
+# Transformers: produce INT64 positions (usable with apply).
+ROWINDEX = _positional(
+    "ROWINDEX",
+    lambda a, i, j, k: i + k,
+    lambda v, r, c, k: (r + k).astype(np.int64),
+    d_out=INT64,
+)
+COLINDEX = _positional(
+    "COLINDEX",
+    lambda a, i, j, k: j + k,
+    lambda v, r, c, k: (c + k).astype(np.int64),
+    d_out=INT64,
+)
+DIAGINDEX = _positional(
+    "DIAGINDEX",
+    lambda a, i, j, k: j - i + k,
+    lambda v, r, c, k: (c - r + k).astype(np.int64),
+    d_out=INT64,
+)
+
+
+def _value_family(name: str, ufunc: np.ufunc) -> OpFamily:
+    ops: dict[GrBType, IndexUnaryOp] = {}
+    for t in BUILTIN_TYPES:
+        short = t.name.removeprefix("GrB_")
+
+        def array_fn(v, r, c, k, _uf=ufunc, _t=t):
+            return _uf(v, _t.np_dtype.type(k))
+
+        op = IndexUnaryOp(
+            name=f"GrB_{name}_{short}",
+            d_in=t,
+            d_thunk=t,
+            d_out=BOOL,
+            scalar_fn=lambda a, i, j, k, _uf=ufunc: bool(_uf(a, k)),
+            array_fn=array_fn,
+        )
+        ops[t] = _register(op)
+    return OpFamily(name, ops)
+
+
+VALUEEQ = _value_family("VALUEEQ", np.equal)
+VALUENE = _value_family("VALUENE", np.not_equal)
+VALUELT = _value_family("VALUELT", np.less)
+VALUELE = _value_family("VALUELE", np.less_equal)
+VALUEGT = _value_family("VALUEGT", np.greater)
+VALUEGE = _value_family("VALUEGE", np.greater_equal)
+
+
+def index_unary_op(name: str) -> IndexUnaryOp:
+    """Look up a predefined index-unary operator by name, e.g. ``"GrB_TRIL"``."""
+    for candidate in (name, f"GrB_{name}", f"GxB_{name}"):
+        if candidate in INDEXUNARY_REGISTRY:
+            return INDEXUNARY_REGISTRY[candidate]
+    raise InvalidValue(f"unknown index-unary operator {name!r}")
+
+
+def index_unary_op_new(
+    fn: Callable[[Any, int, int, Any], Any],
+    d_in: GrBType,
+    d_thunk: GrBType,
+    d_out: GrBType,
+    *,
+    name: str | None = None,
+    array_fn: Callable | None = None,
+) -> IndexUnaryOp:
+    """Create a user-defined index-unary operator (``GrB_IndexUnaryOp_new``)."""
+    return IndexUnaryOp(
+        name=name or f"user_indexunary_{fn.__name__}",
+        d_in=d_in,
+        d_thunk=d_thunk,
+        d_out=d_out,
+        scalar_fn=fn,
+        array_fn=array_fn,
+    )

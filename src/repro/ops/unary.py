@@ -1,0 +1,191 @@
+"""Predefined unary operators (paper Table IV: ``GrB_MINV_FP32``,
+``GrB_IDENTITY_BOOL``, ...).
+
+Each family is an :class:`~repro.ops.base.OpFamily` over the built-in
+domains; every typed instance is registered under its spec-style name for
+lookup via :func:`unary_op`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..info import InvalidValue
+from ..types import (
+    BOOL,
+    BUILTIN_TYPES,
+    FLOAT_TYPES,
+    INTEGER_TYPES,
+    SIGNED_TYPES,
+    UNSIGNED_TYPES,
+    GrBType,
+)
+from .base import OpFamily, UnaryOp
+
+__all__ = [
+    "IDENTITY",
+    "AINV",
+    "MINV",
+    "ABS",
+    "ONE",
+    "LNOT",
+    "BNOT",
+    "unary_op",
+    "unary_op_new",
+    "UNARY_REGISTRY",
+    "ALL_UNARY_FAMILIES",
+]
+
+UNARY_REGISTRY: dict[str, UnaryOp] = {}
+
+
+def _register(op: UnaryOp) -> UnaryOp:
+    UNARY_REGISTRY[op.name] = op
+    return op
+
+
+def _scalarize(array_fn: Callable, d_in: GrBType, d_out: GrBType):
+    def scalar_fn(x: Any) -> Any:
+        try:
+            xa = np.asarray([x], dtype=d_in.np_dtype)
+        except (OverflowError, ValueError):
+            xa = np.asarray([x]).astype(d_in.np_dtype)
+        return d_out.np_dtype.type(array_fn(xa)[0])
+
+    return scalar_fn
+
+
+def _make_family(
+    name: str,
+    domains: tuple[GrBType, ...],
+    build: Callable[[GrBType], Callable[[np.ndarray], np.ndarray]],
+    d_out_of: Callable[[GrBType], GrBType] | None = None,
+    spec_prefix: str = "GrB",
+) -> OpFamily:
+    ops: dict[GrBType, UnaryOp] = {}
+    for t in domains:
+        array_fn = build(t)
+        d_out = d_out_of(t) if d_out_of is not None else t
+        short = t.name.removeprefix("GrB_")
+        op = UnaryOp(
+            name=f"{spec_prefix}_{name}_{short}",
+            d_in=t,
+            d_out=d_out,
+            scalar_fn=_scalarize(array_fn, t, d_out),
+            array_fn=array_fn,
+        )
+        ops[t] = _register(op)
+    return OpFamily(name, ops)
+
+
+def _identity_build(t: GrBType):
+    return lambda x: x.copy()
+
+
+def _ainv_build(t: GrBType):
+    if t is BOOL:
+        # Boolean "+" is ∨, which has no inverses; the conventional
+        # GraphBLAS definition of AINV over BOOL is the identity.
+        return lambda x: x.copy()
+    if t in UNSIGNED_TYPES:
+        # two's-complement wraparound negation, as C's unary minus gives
+        def neg_u(x):
+            return (np.zeros(1, dtype=t.np_dtype) - x).astype(t.np_dtype)
+
+        return neg_u
+    return np.negative
+
+
+def _minv_build(t: GrBType):
+    if t is BOOL:
+        # 1/true == true; 1/false is division by zero, fixed at true so that
+        # MINV is total (mirrors SuiteSparse's choice).
+        return lambda x: np.ones(len(x), dtype=np.bool_)
+    if t in INTEGER_TYPES:
+
+        def iminv(x):
+            out = np.zeros(len(x), dtype=t.np_dtype)
+            nz = x != 0
+            # trunc(1/x): 1 for x==1, possibly -1 for x==-1, else 0
+            xv = x[nz]
+            q = np.zeros(len(xv), dtype=t.np_dtype)
+            q[xv == 1] = 1
+            if t in SIGNED_TYPES:
+                q[xv == -1] = t.np_dtype.type(-1)
+            out[nz] = q
+            return out
+
+        return iminv
+
+    def fminv(x):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.divide(t.np_dtype.type(1), x)
+
+    return fminv
+
+
+def _abs_build(t: GrBType):
+    if t is BOOL or t in UNSIGNED_TYPES:
+        return lambda x: x.copy()
+    return np.abs
+
+
+def _one_build(t: GrBType):
+    one = t.np_dtype.type(1)
+    return lambda x: np.full(len(x), one, dtype=t.np_dtype)
+
+
+IDENTITY = _make_family("IDENTITY", BUILTIN_TYPES, _identity_build)
+AINV = _make_family("AINV", BUILTIN_TYPES, _ainv_build)
+MINV = _make_family("MINV", BUILTIN_TYPES, _minv_build)
+ABS = _make_family("ABS", BUILTIN_TYPES, _abs_build)
+ONE = _make_family("ONE", BUILTIN_TYPES, _one_build, spec_prefix="GxB")
+
+LNOT = _register(
+    UnaryOp(
+        name="GrB_LNOT",
+        d_in=BOOL,
+        d_out=BOOL,
+        scalar_fn=_scalarize(np.logical_not, BOOL, BOOL),
+        array_fn=np.logical_not,
+    )
+)
+
+BNOT = _make_family(
+    "BNOT", INTEGER_TYPES, lambda t: np.bitwise_not, spec_prefix="GrB"
+)
+
+ALL_UNARY_FAMILIES: dict[str, OpFamily] = {
+    f.name: f for f in (IDENTITY, AINV, MINV, ABS, ONE, BNOT)
+}
+
+# Sanity: float MINV of 2.0 is 0.5, not integer-truncated.
+assert MINV[FLOAT_TYPES[0]](2.0) == np.float32(0.5)
+
+
+def unary_op(name: str) -> UnaryOp:
+    """Look up a predefined unary operator by name, e.g. ``"GrB_MINV_FP32"``."""
+    for candidate in (name, f"GrB_{name}", f"GxB_{name}"):
+        if candidate in UNARY_REGISTRY:
+            return UNARY_REGISTRY[candidate]
+    raise InvalidValue(f"unknown unary operator {name!r}")
+
+
+def unary_op_new(
+    fn: Callable[[Any], Any],
+    d_in: GrBType,
+    d_out: GrBType,
+    *,
+    name: str | None = None,
+    array_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> UnaryOp:
+    """Create a user-defined unary operator (``GrB_UnaryOp_new``)."""
+    return UnaryOp(
+        name=name or f"user_unary_{fn.__name__}",
+        d_in=d_in,
+        d_out=d_out,
+        scalar_fn=fn,
+        array_fn=array_fn,
+    )

@@ -1,0 +1,29 @@
+"""Thread-parallel execution of heavy kernels.
+
+The GraphBLAS C API is agnostic about intra-operation parallelism — it is
+exactly the freedom the opaque-object design buys (section III-A).  Here the
+expensive kernel (SpGEMM) can optionally split its row space across a thread
+pool; numpy releases the GIL inside the vectorized segments, so laptop-scale
+speedups are real though modest.
+
+Disabled by default (``set_num_threads(1)``) so results are deterministic
+byte-for-byte; the ablation benchmark flips it on.
+"""
+
+from .config import (
+    get_num_threads,
+    parallel_threshold,
+    row_blocks,
+    set_num_threads,
+    set_parallel_threshold,
+    thread_pool,
+)
+
+__all__ = [
+    "get_num_threads",
+    "set_num_threads",
+    "parallel_threshold",
+    "set_parallel_threshold",
+    "row_blocks",
+    "thread_pool",
+]

@@ -1,0 +1,90 @@
+"""Thread-pool configuration for parallel kernels.
+
+A single process-wide pool is created lazily and resized on demand; the
+kernels ask :func:`get_num_threads` and :func:`parallel_threshold` to decide
+whether splitting is worthwhile (below the threshold the partition overhead
+dominates — the classic HPC rule that you profile before you parallelize).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..info import InvalidValue
+
+__all__ = [
+    "get_num_threads",
+    "set_num_threads",
+    "parallel_threshold",
+    "set_parallel_threshold",
+    "row_blocks",
+    "thread_pool",
+]
+
+_num_threads = 1
+_threshold = 200_000  # estimated flops below which kernels stay serial
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+
+
+def get_num_threads() -> int:
+    return _num_threads
+
+
+def set_num_threads(n: int) -> None:
+    """Set worker count for parallel kernels; 1 disables splitting."""
+    global _num_threads
+    if n < 1:
+        raise InvalidValue("thread count must be >= 1")
+    _num_threads = int(min(n, os.cpu_count() or 1))
+
+
+def parallel_threshold() -> int:
+    return _threshold
+
+
+def set_parallel_threshold(flops: int) -> None:
+    """Minimum estimated work (multiply-adds) before kernels parallelize."""
+    global _threshold
+    if flops < 0:
+        raise InvalidValue("threshold must be non-negative")
+    _threshold = int(flops)
+
+
+def thread_pool() -> ThreadPoolExecutor:
+    """The shared pool, resized to the current thread count."""
+    global _pool, _pool_size
+    if _pool is None or _pool_size != _num_threads:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = ThreadPoolExecutor(max_workers=_num_threads)
+        _pool_size = _num_threads
+    return _pool
+
+
+def row_blocks(work_per_row: np.ndarray, nblocks: int) -> list[slice]:
+    """Partition rows into ≤ *nblocks* contiguous slices of balanced work.
+
+    *work_per_row* is the estimated flops of each row (e.g. Σ over A(i,k) of
+    nnz(B(k,:)) for SpGEMM).  Greedy prefix splitting on the cumulative work
+    keeps blocks contiguous, which preserves the sortedness the flat-key
+    representation relies on.
+    """
+    n = len(work_per_row)
+    if n == 0 or nblocks <= 1:
+        return [slice(0, n)]
+    cum = np.cumsum(work_per_row)
+    total = int(cum[-1])
+    if total == 0:
+        return [slice(0, n)]
+    targets = (np.arange(1, nblocks) * total) // nblocks
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds = np.unique(np.concatenate([[0], cuts, [n]]))
+    return [
+        slice(int(bounds[k]), int(bounds[k + 1]))
+        for k in range(len(bounds) - 1)
+        if bounds[k] < bounds[k + 1]
+    ]

@@ -1,0 +1,59 @@
+"""Spec-literal reference implementation.
+
+A direct transliteration of the paper's set-notation mathematics onto
+Python dictionaries: matrices are ``{(i, j): value}``, vectors are
+``{i: value}``, and every Table II operation is written exactly as its
+mathematical description reads — no vectorization, no cleverness.
+
+It exists for two reasons:
+
+* **oracle** — the optimized kernel suite is property-tested against it
+  (same inputs, same ops, same masks/descriptors must give equal content);
+* **baseline** — the benchmark harness reports optimized-vs-reference
+  timings, standing in for the paper's "traditional implementation"
+  comparisons.
+"""
+
+from .ref_impl import (
+    RefMatrix,
+    RefVector,
+    ref_apply,
+    ref_assign_matrix,
+    ref_assign_scalar_matrix,
+    ref_assign_scalar_vector,
+    ref_assign_vector,
+    ref_ewise_add,
+    ref_ewise_mult,
+    ref_extract_matrix,
+    ref_extract_vector,
+    ref_kronecker,
+    ref_mxm,
+    ref_mxv,
+    ref_reduce_rows,
+    ref_reduce_scalar,
+    ref_select,
+    ref_transpose,
+    ref_vxm,
+)
+
+__all__ = [
+    "RefMatrix",
+    "RefVector",
+    "ref_mxm",
+    "ref_mxv",
+    "ref_vxm",
+    "ref_ewise_add",
+    "ref_ewise_mult",
+    "ref_apply",
+    "ref_select",
+    "ref_reduce_rows",
+    "ref_reduce_scalar",
+    "ref_transpose",
+    "ref_extract_matrix",
+    "ref_extract_vector",
+    "ref_assign_matrix",
+    "ref_assign_vector",
+    "ref_assign_scalar_matrix",
+    "ref_assign_scalar_vector",
+    "ref_kronecker",
+]

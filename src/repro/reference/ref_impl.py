@@ -1,0 +1,632 @@
+"""Dictionary-based transliteration of the GraphBLAS math (sections II, VI).
+
+Conventions
+-----------
+* A :class:`RefMatrix` holds ``{(i, j): value}``; a :class:`RefVector`
+  holds ``{i: value}``.  Values are whatever the operators produce (numpy
+  scalars when mirroring the main implementation, so integer wrap-around
+  matches bit-for-bit).
+* Operators come straight from :mod:`repro.ops` objects — their
+  ``scalar_fn`` is used, with the same casting helpers as the kernels, so
+  oracle comparisons are exact rather than approximate.
+* Every operation takes the same ``(mask, accum, descriptor-flags)``
+  surface as the real API and runs the identical three-step pipeline,
+  written pointwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..algebra.monoid import Monoid
+from ..algebra.semiring import Semiring
+from ..ops.base import BinaryOp, IndexUnaryOp, UnaryOp
+from ..types import GrBType, cast_scalar
+
+__all__ = [
+    "RefMatrix",
+    "RefVector",
+    "ref_mxm",
+    "ref_mxv",
+    "ref_vxm",
+    "ref_ewise_add",
+    "ref_ewise_mult",
+    "ref_apply",
+    "ref_select",
+    "ref_reduce_rows",
+    "ref_reduce_scalar",
+    "ref_transpose",
+    "ref_extract_matrix",
+    "ref_extract_vector",
+    "ref_assign_matrix",
+    "ref_assign_vector",
+    "ref_assign_scalar_matrix",
+    "ref_assign_scalar_vector",
+    "ref_kronecker",
+]
+
+
+class RefMatrix:
+    """``A = <D, M, N, L(A)>`` with ``L(A)`` an explicit dict."""
+
+    def __init__(self, domain: GrBType, nrows: int, ncols: int, content=None):
+        self.domain = domain
+        self.nrows = nrows
+        self.ncols = ncols
+        self.content: dict[tuple[int, int], Any] = dict(content or {})
+
+    @classmethod
+    def from_grb(cls, M) -> "RefMatrix":
+        rows, cols, vals = M.extract_tuples()
+        return cls(
+            M.type,
+            M.nrows,
+            M.ncols,
+            {(int(i), int(j)): v for i, j, v in zip(rows, cols, vals)},
+        )
+
+    def copy(self) -> "RefMatrix":
+        return RefMatrix(self.domain, self.nrows, self.ncols, self.content)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RefMatrix)
+            and (self.nrows, self.ncols) == (other.nrows, other.ncols)
+            and self.content.keys() == other.content.keys()
+            and all(self.content[k] == other.content[k] for k in self.content)
+        )
+
+
+class RefVector:
+    """``v = <D, N, L(v)>`` with ``L(v)`` an explicit dict."""
+
+    def __init__(self, domain: GrBType, size: int, content=None):
+        self.domain = domain
+        self.size = size
+        self.content: dict[int, Any] = dict(content or {})
+
+    @classmethod
+    def from_grb(cls, v) -> "RefVector":
+        idx, vals = v.extract_tuples()
+        return cls(v.type, v.size, {int(i): x for i, x in zip(idx, vals)})
+
+    def copy(self) -> "RefVector":
+        return RefVector(self.domain, self.size, self.content)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RefVector)
+            and self.size == other.size
+            and self.content.keys() == other.content.keys()
+            and all(self.content[k] == other.content[k] for k in self.content)
+        )
+
+
+# --------------------------------------------------------------------------
+# The write pipeline, pointwise
+# --------------------------------------------------------------------------
+
+def _mask_structure(mask, complement: bool, structural: bool, keys: Iterable):
+    """The set of positions where writing is allowed (section III-C)."""
+    if mask is None:
+        return None
+    if structural:
+        base = set(mask.content.keys())
+    else:
+        base = {k for k, v in mask.content.items() if bool(v)}
+    if not complement:
+        return base
+    return {k for k in keys if k not in base}
+
+
+def _all_positions(obj) -> Iterable:
+    if isinstance(obj, RefMatrix):
+        return ((i, j) for i in range(obj.nrows) for j in range(obj.ncols))
+    return range(obj.size)
+
+
+def _cast(value, src: GrBType, dst: GrBType):
+    return cast_scalar(value, src, dst)
+
+
+def write_pipeline(
+    C,
+    mask,
+    accum: BinaryOp | None,
+    t: dict,
+    t_type: GrBType,
+    *,
+    replace: bool = False,
+    mask_comp: bool = False,
+    mask_struct: bool = False,
+) -> None:
+    """Steps 3a/3b of section VI on dict content, literally."""
+    # Z = C odot T
+    if accum is None:
+        z = {k: _cast(v, t_type, C.domain) for k, v in t.items()}
+    else:
+        z = dict(C.content)
+        for k, v in t.items():
+            if k in z:
+                a = _cast(z[k], C.domain, accum.d_in1)
+                b = _cast(v, t_type, accum.d_in2)
+                z[k] = _cast(accum.scalar_fn(a, b), accum.d_out, C.domain)
+            else:
+                z[k] = _cast(v, t_type, C.domain)
+
+    if mask is None:
+        C.content = z
+        return
+    allowed = _mask_structure(mask, mask_comp, mask_struct, _all_positions(C))
+    zm = {k: v for k, v in z.items() if k in allowed}
+    if replace:
+        C.content = zm
+    else:
+        merged = {k: v for k, v in C.content.items() if k not in allowed}
+        merged.update(zm)
+        C.content = merged
+
+
+def _eff_matrix(A: RefMatrix, tran: bool) -> RefMatrix:
+    if not tran:
+        return A
+    return RefMatrix(
+        A.domain,
+        A.ncols,
+        A.nrows,
+        {(j, i): v for (i, j), v in A.content.items()},
+    )
+
+
+# --------------------------------------------------------------------------
+# Operations (Table II)
+# --------------------------------------------------------------------------
+
+def ref_mxm(
+    C: RefMatrix,
+    mask,
+    accum,
+    op: Semiring,
+    A: RefMatrix,
+    B: RefMatrix,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+    tran1=False,
+) -> RefMatrix:
+    """``C(i,j) = ⊕ over k in ind(A(i,:)) ∩ ind(B(:,j)) of A(i,k) ⊗ B(k,j)``."""
+    Ae, Be = _eff_matrix(A, tran0), _eff_matrix(B, tran1)
+    t: dict[tuple[int, int], Any] = {}
+    b_by_row: dict[int, list] = {}
+    for (k, j), bv in Be.content.items():
+        b_by_row.setdefault(k, []).append((j, bv))
+    for (i, k), av in sorted(Ae.content.items()):
+        for j, bv in b_by_row.get(k, ()):
+            prod = op.mul.scalar_fn(
+                _cast(av, Ae.domain, op.d_in1), _cast(bv, Be.domain, op.d_in2)
+            )
+            if (i, j) in t:
+                t[(i, j)] = op.add_op.scalar_fn(t[(i, j)], prod)
+            else:
+                t[(i, j)] = prod
+    write_pipeline(
+        C, mask, accum, t, op.d_out,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C
+
+
+def ref_mxv(
+    w: RefVector,
+    mask,
+    accum,
+    op: Semiring,
+    A: RefMatrix,
+    u: RefVector,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+) -> RefVector:
+    Ae = _eff_matrix(A, tran0)
+    t: dict[int, Any] = {}
+    for (i, k), av in sorted(Ae.content.items()):
+        if k in u.content:
+            prod = op.mul.scalar_fn(
+                _cast(av, Ae.domain, op.d_in1),
+                _cast(u.content[k], u.domain, op.d_in2),
+            )
+            t[i] = op.add_op.scalar_fn(t[i], prod) if i in t else prod
+    write_pipeline(
+        w, mask, accum, t, op.d_out,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return w
+
+
+def ref_vxm(
+    w: RefVector,
+    mask,
+    accum,
+    op: Semiring,
+    u: RefVector,
+    A: RefMatrix,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran1=False,
+) -> RefVector:
+    Ae = _eff_matrix(A, tran1)
+    t: dict[int, Any] = {}
+    for (i, j), av in sorted(Ae.content.items()):
+        if i in u.content:
+            prod = op.mul.scalar_fn(
+                _cast(u.content[i], u.domain, op.d_in1),
+                _cast(av, Ae.domain, op.d_in2),
+            )
+            t[j] = op.add_op.scalar_fn(t[j], prod) if j in t else prod
+    write_pipeline(
+        w, mask, accum, t, op.d_out,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return w
+
+
+def _resolve_binary(op, which: str) -> BinaryOp:
+    if isinstance(op, Semiring):
+        return op.add_op if which == "add" else op.mul
+    if isinstance(op, Monoid):
+        return op.op
+    return op
+
+
+def ref_ewise_add(
+    C,
+    mask,
+    accum,
+    op,
+    A,
+    B,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+    tran1=False,
+):
+    """Pattern union; single-present entries pass through (cast to d_out)."""
+    bop = _resolve_binary(op, "add")
+    if isinstance(C, RefMatrix):
+        Ae, Be = _eff_matrix(A, tran0), _eff_matrix(B, tran1)
+    else:
+        Ae, Be = A, B
+    t = {}
+    for k in set(Ae.content) | set(Be.content):
+        in_a, in_b = k in Ae.content, k in Be.content
+        if in_a and in_b:
+            t[k] = bop.scalar_fn(
+                _cast(Ae.content[k], Ae.domain, bop.d_in1),
+                _cast(Be.content[k], Be.domain, bop.d_in2),
+            )
+        elif in_a:
+            t[k] = _cast(Ae.content[k], Ae.domain, bop.d_out)
+        else:
+            t[k] = _cast(Be.content[k], Be.domain, bop.d_out)
+    write_pipeline(
+        C, mask, accum, t, bop.d_out,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C
+
+
+def ref_ewise_mult(
+    C,
+    mask,
+    accum,
+    op,
+    A,
+    B,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+    tran1=False,
+):
+    """Pattern intersection: ⊗ applied where both inputs have elements."""
+    bop = _resolve_binary(op, "mult")
+    if isinstance(C, RefMatrix):
+        Ae, Be = _eff_matrix(A, tran0), _eff_matrix(B, tran1)
+    else:
+        Ae, Be = A, B
+    t = {
+        k: bop.scalar_fn(
+            _cast(Ae.content[k], Ae.domain, bop.d_in1),
+            _cast(Be.content[k], Be.domain, bop.d_in2),
+        )
+        for k in set(Ae.content) & set(Be.content)
+    }
+    write_pipeline(
+        C, mask, accum, t, bop.d_out,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C
+
+
+def ref_apply(
+    C,
+    mask,
+    accum,
+    op: UnaryOp,
+    A,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+):
+    Ae = _eff_matrix(A, tran0) if isinstance(A, RefMatrix) else A
+    t = {
+        k: op.scalar_fn(_cast(v, Ae.domain, op.d_in))
+        for k, v in Ae.content.items()
+    }
+    write_pipeline(
+        C, mask, accum, t, op.d_out,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C
+
+
+def ref_select(
+    C,
+    mask,
+    accum,
+    op: IndexUnaryOp,
+    A,
+    thunk,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+):
+    Ae = _eff_matrix(A, tran0) if isinstance(A, RefMatrix) else A
+    t = {}
+    for k, v in Ae.content.items():
+        i, j = k if isinstance(k, tuple) else (k, 0)
+        vin = _cast(v, Ae.domain, op.d_in) if op.d_in is not None else v
+        if bool(op.scalar_fn(vin, i, j, thunk)):
+            t[k] = v
+    write_pipeline(
+        C, mask, accum, t, Ae.domain,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C
+
+
+def ref_reduce_rows(
+    w: RefVector,
+    mask,
+    accum,
+    op,
+    A: RefMatrix,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+) -> RefVector:
+    """``w(i) = ⊕_j A(i,j)`` over stored elements, in column order."""
+    red = op.op if isinstance(op, Monoid) else op
+    domain = red.d_out
+    Ae = _eff_matrix(A, tran0)
+    t: dict[int, Any] = {}
+    for (i, j), v in sorted(Ae.content.items()):
+        vv = _cast(v, Ae.domain, domain)
+        t[i] = red.scalar_fn(t[i], vv) if i in t else vv
+    write_pipeline(
+        w, mask, accum, t, domain,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return w
+
+
+def ref_reduce_scalar(op: Monoid, A) -> Any:
+    acc = op.identity
+    for k in sorted(A.content):
+        acc = op.op.scalar_fn(acc, _cast(A.content[k], A.domain, op.domain))
+    return acc
+
+
+def ref_transpose(
+    C: RefMatrix,
+    mask,
+    accum,
+    A: RefMatrix,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+) -> RefMatrix:
+    Ae = _eff_matrix(A, not tran0)  # the operation supplies one transpose
+    write_pipeline(
+        C, mask, accum, dict(Ae.content), Ae.domain,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C
+
+
+def ref_extract_matrix(
+    C: RefMatrix,
+    mask,
+    accum,
+    A: RefMatrix,
+    rows,
+    cols,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+) -> RefMatrix:
+    Ae = _eff_matrix(A, tran0)
+    rows = list(rows)
+    cols = list(cols)
+    t = {}
+    for oi, i in enumerate(rows):
+        for oj, j in enumerate(cols):
+            if (i, j) in Ae.content:
+                t[(oi, oj)] = Ae.content[(i, j)]
+    write_pipeline(
+        C, mask, accum, t, Ae.domain,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C
+
+
+def ref_extract_vector(
+    w: RefVector,
+    mask,
+    accum,
+    u: RefVector,
+    indices,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+) -> RefVector:
+    t = {
+        oi: u.content[i]
+        for oi, i in enumerate(indices)
+        if i in u.content
+    }
+    write_pipeline(
+        w, mask, accum, t, u.domain,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return w
+
+
+def _ref_assign_common(C, mask, accum, t, t_type, region, flags):
+    """Assign semantics: without accum, region positions absent from the
+    source are deleted; then the standard masked write applies."""
+    if accum is None:
+        z_source = {k: v for k, v in C.content.items() if k not in region}
+        z_source.update({k: _cast(v, t_type, C.domain) for k, v in t.items()})
+        # reuse the pipeline's mask/replace step with Z as the "result"
+        write_pipeline(C, mask, None, z_source, C.domain, **flags)
+    else:
+        write_pipeline(C, mask, accum, t, t_type, **flags)
+    return C
+
+
+def ref_assign_matrix(
+    C: RefMatrix,
+    mask,
+    accum,
+    A: RefMatrix,
+    rows,
+    cols,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+) -> RefMatrix:
+    Ae = _eff_matrix(A, tran0)
+    rows = list(rows)
+    cols = list(cols)
+    t = {
+        (rows[i], cols[j]): v for (i, j), v in Ae.content.items()
+    }
+    region = {(i, j) for i in rows for j in cols}
+    flags = dict(replace=replace, mask_comp=mask_comp, mask_struct=mask_struct)
+    return _ref_assign_common(C, mask, accum, t, Ae.domain, region, flags)
+
+
+def ref_assign_vector(
+    w: RefVector,
+    mask,
+    accum,
+    u: RefVector,
+    indices,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+) -> RefVector:
+    indices = list(indices)
+    t = {indices[i]: v for i, v in u.content.items()}
+    region = set(indices)
+    flags = dict(replace=replace, mask_comp=mask_comp, mask_struct=mask_struct)
+    return _ref_assign_common(w, mask, accum, t, u.domain, region, flags)
+
+
+def ref_assign_scalar_matrix(
+    C: RefMatrix,
+    mask,
+    accum,
+    value,
+    rows,
+    cols,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+) -> RefMatrix:
+    t = {(i, j): value for i in rows for j in cols}
+    region = set(t)
+    flags = dict(replace=replace, mask_comp=mask_comp, mask_struct=mask_struct)
+    return _ref_assign_common(C, mask, accum, t, C.domain, region, flags)
+
+
+def ref_assign_scalar_vector(
+    w: RefVector,
+    mask,
+    accum,
+    value,
+    indices,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+) -> RefVector:
+    t = {i: value for i in indices}
+    region = set(t)
+    flags = dict(replace=replace, mask_comp=mask_comp, mask_struct=mask_struct)
+    return _ref_assign_common(w, mask, accum, t, w.domain, region, flags)
+
+
+def ref_kronecker(
+    C: RefMatrix,
+    mask,
+    accum,
+    op,
+    A: RefMatrix,
+    B: RefMatrix,
+    *,
+    replace=False,
+    mask_comp=False,
+    mask_struct=False,
+    tran0=False,
+    tran1=False,
+) -> RefMatrix:
+    mul = _resolve_binary(op, "mult")
+    Ae, Be = _eff_matrix(A, tran0), _eff_matrix(B, tran1)
+    t = {}
+    for (i, j), av in Ae.content.items():
+        for (p, q), bv in Be.content.items():
+            t[(i * Be.nrows + p, j * Be.ncols + q)] = mul.scalar_fn(
+                _cast(av, Ae.domain, mul.d_in1),
+                _cast(bv, Be.domain, mul.d_in2),
+            )
+    write_pipeline(
+        C, mask, accum, t, mul.d_out,
+        replace=replace, mask_comp=mask_comp, mask_struct=mask_struct,
+    )
+    return C

@@ -1,0 +1,87 @@
+"""Domain casting rules.
+
+The C API casts values between built-in domains with ordinary C conversion
+rules whenever a collection's domain differs from an operator's input or
+output domain (the paper's BC example relies on this: ``numsp`` is INT32 but
+is interpreted as BOOL when used as a mask, and fed to an FP32 ``MINV``).
+
+We reproduce C's behaviour with numpy casts:
+
+* bool <-> integer <-> float follow C semantics (nonzero -> True, True -> 1).
+* float -> integer truncates toward zero (C's behaviour; numpy ``astype`` on
+  float->int also truncates).
+* Integer narrowing wraps modulo 2**n, as C unsigned (and in-practice signed)
+  conversion does; numpy ``astype`` matches.
+
+Casting to or from a user-defined type is a *domain mismatch* unless the
+domains are identical — the C spec has no implicit UDT conversions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..info import DomainMismatch
+from .grb_type import BOOL, GrBType
+
+__all__ = ["can_cast", "cast_array", "cast_scalar", "check_same_udt"]
+
+
+def can_cast(src: GrBType, dst: GrBType) -> bool:
+    """True if a value of domain *src* may be implicitly cast to *dst*."""
+    if src is dst or (src.is_builtin and dst.is_builtin and src.name == dst.name):
+        return True
+    return src.is_builtin and dst.is_builtin
+
+
+def check_same_udt(src: GrBType, dst: GrBType, what: str = "operand") -> None:
+    if not can_cast(src, dst):
+        raise DomainMismatch(
+            f"{what}: cannot cast {src.name} to {dst.name} "
+            "(user-defined domains have no implicit conversions)"
+        )
+
+
+def cast_array(values: np.ndarray, src: GrBType, dst: GrBType) -> np.ndarray:
+    """Cast an array of *src*-domain values to domain *dst*.
+
+    Returns the input unchanged when no conversion is needed (so callers must
+    not mutate the result in place without copying).
+    """
+    check_same_udt(src, dst)
+    if src is dst or src.np_dtype == dst.np_dtype:
+        return values
+    if dst.is_bool:
+        # C: nonzero -> true.  (astype(bool) already implements this.)
+        return values.astype(np.bool_)
+    if src.is_float and dst.is_integral:
+        # C truncates toward zero; rely on astype but guard non-finite values,
+        # whose conversion is undefined in C — map them to 0 deterministically.
+        finite = np.isfinite(values)
+        if finite.all():
+            return values.astype(dst.np_dtype)
+        out = np.zeros(values.shape, dtype=dst.np_dtype)
+        out[finite] = values[finite].astype(dst.np_dtype)
+        return out
+    return values.astype(dst.np_dtype)
+
+
+def cast_scalar(value: Any, src: GrBType, dst: GrBType) -> Any:
+    """Scalar version of :func:`cast_array`."""
+    check_same_udt(src, dst)
+    if src is dst:
+        return value
+    if dst.is_udt:
+        return value
+    if dst is BOOL or dst.is_bool:
+        return np.bool_(bool(value))
+    if src.is_float and dst.is_integral and not np.isfinite(value):
+        return dst.np_dtype.type(0)
+    try:
+        return dst.np_dtype.type(value)
+    except (OverflowError, ValueError):
+        # numpy 2 refuses out-of-range Python ints; reproduce C's modular
+        # wrap-around with an astype conversion instead.
+        return np.asarray(value).astype(dst.np_dtype)[()]

@@ -1,0 +1,194 @@
+"""GraphBLAS domains (``GrB_Type``), paper Table III / section III-A.
+
+A GraphBLAS collection is defined over a *domain* ``D``: the data type of its
+stored elements.  The C API predefines the eleven C scalar domains and lets
+users register their own opaque struct types (``GrB_Type_new``).  Here a
+domain is a :class:`GrBType` wrapping a numpy dtype; user-defined types use
+``dtype=object`` and carry the Python class of their values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..info import InvalidValue, NullPointer
+
+__all__ = [
+    "GrBType",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "BUILTIN_TYPES",
+    "INTEGER_TYPES",
+    "UNSIGNED_TYPES",
+    "SIGNED_TYPES",
+    "FLOAT_TYPES",
+    "type_new",
+    "lookup_type",
+]
+
+
+class GrBType:
+    """A GraphBLAS domain.
+
+    Parameters
+    ----------
+    name:
+        Spec-style name (``"GrB_INT32"`` for built-ins, user-chosen for UDTs).
+    np_dtype:
+        The numpy dtype used to store values of this domain.  User-defined
+        types store ``object`` arrays.
+    udt_class:
+        For user-defined types, the Python class of the values; used for
+        validation when building collections.
+    """
+
+    __slots__ = ("name", "np_dtype", "udt_class", "_is_builtin")
+
+    def __init__(
+        self,
+        name: str,
+        np_dtype: np.dtype,
+        udt_class: type | None = None,
+        _builtin: bool = False,
+    ):
+        if not name:
+            raise NullPointer("GrBType requires a name")
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        self.udt_class = udt_class
+        self._is_builtin = _builtin
+        if self.np_dtype == np.dtype(object) and udt_class is None and not _builtin:
+            raise InvalidValue("user-defined types must supply udt_class")
+
+    # -- classification -----------------------------------------------------
+    @property
+    def is_builtin(self) -> bool:
+        return self._is_builtin
+
+    @property
+    def is_udt(self) -> bool:
+        return not self._is_builtin
+
+    @property
+    def is_bool(self) -> bool:
+        return self.np_dtype == np.dtype(bool)
+
+    @property
+    def is_integral(self) -> bool:
+        return self.np_dtype.kind in ("i", "u")
+
+    @property
+    def is_signed(self) -> bool:
+        return self.np_dtype.kind == "i"
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self.np_dtype.kind == "u"
+
+    @property
+    def is_float(self) -> bool:
+        return self.np_dtype.kind == "f"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.np_dtype.kind in ("b", "i", "u", "f")
+
+    @property
+    def nbits(self) -> int:
+        return self.np_dtype.itemsize * 8
+
+    # -- identity semantics ---------------------------------------------------
+    # Domains are compared by identity for UDTs and by name for built-ins; two
+    # independently registered UDTs are never the same domain even with the
+    # same storage, matching the C API's opaque-handle semantics.
+    def __eq__(self, other: Any) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, GrBType):
+            return NotImplemented
+        return self._is_builtin and other._is_builtin and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name) if self._is_builtin else id(self)
+
+    def __repr__(self) -> str:
+        return f"GrBType({self.name})"
+
+    # -- value handling -------------------------------------------------------
+    def validate_scalar(self, value: Any) -> Any:
+        """Coerce *value* into this domain; raise ``DomainMismatch``-free errors.
+
+        Built-in domains accept anything numpy can cast; UDTs require an
+        instance of (a subclass of) ``udt_class``.
+        """
+        if self.is_udt:
+            if self.udt_class is not None and not isinstance(value, self.udt_class):
+                raise InvalidValue(
+                    f"value {value!r} is not an instance of UDT {self.name}"
+                )
+            return value
+        return self.np_dtype.type(value)
+
+    def empty_array(self, n: int) -> np.ndarray:
+        return np.empty(n, dtype=self.np_dtype)
+
+
+def _builtin(name: str, dtype: Any) -> GrBType:
+    return GrBType(name, np.dtype(dtype), _builtin=True)
+
+
+BOOL = _builtin("GrB_BOOL", np.bool_)
+INT8 = _builtin("GrB_INT8", np.int8)
+INT16 = _builtin("GrB_INT16", np.int16)
+INT32 = _builtin("GrB_INT32", np.int32)
+INT64 = _builtin("GrB_INT64", np.int64)
+UINT8 = _builtin("GrB_UINT8", np.uint8)
+UINT16 = _builtin("GrB_UINT16", np.uint16)
+UINT32 = _builtin("GrB_UINT32", np.uint32)
+UINT64 = _builtin("GrB_UINT64", np.uint64)
+FP32 = _builtin("GrB_FP32", np.float32)
+FP64 = _builtin("GrB_FP64", np.float64)
+
+SIGNED_TYPES = (INT8, INT16, INT32, INT64)
+UNSIGNED_TYPES = (UINT8, UINT16, UINT32, UINT64)
+INTEGER_TYPES = SIGNED_TYPES + UNSIGNED_TYPES
+FLOAT_TYPES = (FP32, FP64)
+BUILTIN_TYPES = (BOOL,) + INTEGER_TYPES + FLOAT_TYPES
+
+_BY_NAME: dict[str, GrBType] = {t.name: t for t in BUILTIN_TYPES}
+# Short aliases: "INT32", "FP64", ...
+_BY_NAME.update({t.name.removeprefix("GrB_"): t for t in BUILTIN_TYPES})
+
+
+def type_new(
+    name: str,
+    udt_class: type,
+    *,
+    validator: Callable[[Any], bool] | None = None,
+) -> GrBType:
+    """Register a user-defined type (``GrB_Type_new``).
+
+    The returned domain stores its values in an ``object`` array and checks
+    membership with ``isinstance(value, udt_class)``.
+    """
+    del validator  # reserved; isinstance is the membership test
+    return GrBType(name, np.dtype(object), udt_class=udt_class)
+
+
+def lookup_type(name: str) -> GrBType:
+    """Resolve a built-in domain by spec name (``"GrB_FP32"``) or alias (``"FP32"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise InvalidValue(f"unknown GraphBLAS type name {name!r}") from None

@@ -1,0 +1,90 @@
+"""Shared fixtures: context isolation, random collection builders, and
+oracle-comparison helpers against the reference implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import context
+from repro.reference import RefMatrix, RefVector
+
+
+@pytest.fixture(autouse=True)
+def fresh_context():
+    """Every test starts from the pristine default (blocking) context."""
+    context._reset()
+    yield
+    context._reset()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20170529)  # the paper's publication date
+
+
+def random_matrix(
+    rng,
+    nrows: int,
+    ncols: int,
+    density: float = 0.3,
+    domain=grb.INT64,
+    low: int = -4,
+    high: int = 5,
+):
+    """A random matrix with ~density*nrows*ncols stored elements.
+
+    Integer values stay small so cross-backend comparisons avoid overflow
+    except where a test exercises wrap-around deliberately.
+    """
+    nnz = int(round(density * nrows * ncols))
+    keys = rng.choice(nrows * ncols, size=min(nnz, nrows * ncols), replace=False)
+    rows, cols = np.divmod(keys, ncols)
+    if domain.is_bool:
+        vals = rng.integers(0, 2, len(keys)).astype(bool)
+    elif domain.is_integral:
+        vals = rng.integers(low, high, len(keys))
+    else:
+        vals = rng.uniform(-2.0, 2.0, len(keys))
+    return grb.Matrix.from_coo(domain, nrows, ncols, rows, cols, vals)
+
+
+def random_vector(rng, size: int, density: float = 0.4, domain=grb.INT64):
+    nnz = max(0, int(round(density * size)))
+    idx = rng.choice(size, size=min(nnz, size), replace=False)
+    if domain.is_bool:
+        vals = rng.integers(0, 2, len(idx)).astype(bool)
+    elif domain.is_integral:
+        vals = rng.integers(-4, 5, len(idx))
+    else:
+        vals = rng.uniform(-2.0, 2.0, len(idx))
+    return grb.Vector.from_coo(domain, size, idx, vals)
+
+
+def assert_matrix_equals_ref(M: grb.Matrix, R: RefMatrix, approx=False):
+    got = RefMatrix.from_grb(M)
+    assert (got.nrows, got.ncols) == (R.nrows, R.ncols)
+    assert set(got.content) == set(R.content), (
+        f"patterns differ: extra={set(got.content) - set(R.content)}, "
+        f"missing={set(R.content) - set(got.content)}"
+    )
+    for k, v in R.content.items():
+        if approx:
+            assert got.content[k] == pytest.approx(v, rel=1e-12, abs=1e-12), k
+        else:
+            assert got.content[k] == v, (k, got.content[k], v)
+
+
+def assert_vector_equals_ref(v: grb.Vector, R: RefVector, approx=False):
+    got = RefVector.from_grb(v)
+    assert got.size == R.size
+    assert set(got.content) == set(R.content), (
+        f"patterns differ: extra={set(got.content) - set(R.content)}, "
+        f"missing={set(R.content) - set(got.content)}"
+    )
+    for k, val in R.content.items():
+        if approx:
+            assert got.content[k] == pytest.approx(val, rel=1e-12, abs=1e-12), k
+        else:
+            assert got.content[k] == val, (k, got.content[k], val)

@@ -1,0 +1,160 @@
+"""Monoids and semirings (paper section III-B, Fig. 1, Table I)."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary
+
+
+class TestMonoidConstruction:
+    def test_monoid_new_fig3_line10(self):
+        # GrB_Monoid_new(&Int32Add, GrB_INT32, GrB_PLUS_INT32, 0)
+        m = grb.monoid_new(grb.binary_op("GrB_PLUS_INT32"), 0)
+        assert m.domain is grb.INT32
+        assert m.identity == 0
+        assert m(2, 3) == 5
+
+    def test_wrong_identity_rejected(self):
+        with pytest.raises(grb.InvalidValue):
+            grb.monoid_new(grb.binary_op("GrB_PLUS_INT32"), 1)
+
+    def test_multi_domain_op_rejected(self):
+        # EQ_INT32 : INT32 x INT32 -> BOOL is not monoid-eligible
+        with pytest.raises(grb.DomainMismatch):
+            grb.monoid_new(binary.EQ[grb.INT32], True)
+
+    def test_non_associative_op_rejected(self):
+        with pytest.raises(grb.InvalidValue):
+            grb.monoid_new(binary.MINUS[grb.INT32], 0)
+
+    def test_user_op_monoid_with_flag(self):
+        op = grb.binary_op_new(
+            lambda a, b: max(a, b), grb.INT64, grb.INT64, grb.INT64,
+            associative=True, commutative=True, name="mymax",
+        )
+        m = grb.monoid_new(op, np.iinfo(np.int64).min)
+        assert m(3, 7) == 7
+
+    def test_reduce_array(self):
+        m = predefined.MIN_MONOID[grb.FP64]
+        assert m.reduce_array(np.array([3.0, 1.0, 2.0])) == 1.0
+        assert m.reduce_array(np.array([])) == np.inf  # identity when empty
+
+    def test_registry_lookup(self):
+        m = grb.monoid("GrB_PLUS_MONOID_INT32")
+        assert m.identity == 0 and m.domain is grb.INT32
+        with pytest.raises(grb.InvalidValue):
+            grb.monoid("GrB_NOPE_MONOID")
+
+
+class TestPredefinedMonoidIdentities:
+    @pytest.mark.parametrize("t", [grb.INT32, grb.FP64, grb.UINT8])
+    def test_plus_times_identities(self, t):
+        assert predefined.PLUS_MONOID[t].identity == 0
+        assert predefined.TIMES_MONOID[t].identity == 1
+
+    def test_min_max_identities(self):
+        assert predefined.MIN_MONOID[grb.FP64].identity == np.inf
+        assert predefined.MAX_MONOID[grb.FP64].identity == -np.inf
+        assert predefined.MIN_MONOID[grb.INT8].identity == 127
+        assert predefined.MAX_MONOID[grb.INT8].identity == -128
+
+    def test_boolean_monoids(self):
+        assert predefined.LOR_MONOID[grb.BOOL].identity == False  # noqa: E712
+        assert predefined.LAND_MONOID[grb.BOOL].identity == True  # noqa: E712
+        assert predefined.LXOR_MONOID[grb.BOOL].identity == False  # noqa: E712
+
+    def test_terminal_annotations(self):
+        assert predefined.MIN_MONOID[grb.INT32].terminal == -(2**31)
+        assert predefined.LOR_MONOID[grb.BOOL].terminal == True  # noqa: E712
+
+
+class TestSemiringConstruction:
+    def test_semiring_new_fig3_line12(self):
+        # GrB_Semiring_new(&Int32AddMul, Int32Add, GrB_TIMES_INT32)
+        add = grb.monoid("GrB_PLUS_MONOID_INT32")
+        s = grb.semiring_new(add, grb.binary_op("GrB_TIMES_INT32"))
+        assert s.zero == 0
+        assert s.d_in1 is grb.INT32 and s.d_out is grb.INT32
+
+    def test_domain_mismatch_rejected(self):
+        add = grb.monoid("GrB_PLUS_MONOID_FP32")
+        with pytest.raises(grb.DomainMismatch):
+            grb.semiring_new(add, grb.binary_op("GrB_TIMES_INT32"))
+
+    def test_mixed_domain_multiply_allowed(self):
+        # GraphBLAS semirings allow D1 x D2 -> D3 multiply (Fig. 1's point)
+        mul = grb.binary_op_new(
+            lambda a, b: float(a) * b, grb.INT32, grb.FP64, grb.FP64,
+            name="mixed_mul",
+        )
+        s = grb.semiring_new(grb.monoid("GrB_PLUS_MONOID_FP64"), mul)
+        assert s.d_in1 is grb.INT32 and s.d_in2 is grb.FP64
+
+    def test_registry(self):
+        s = grb.semiring("GrB_MIN_PLUS_SEMIRING_FP64")
+        assert s.zero == np.inf
+
+
+class TestTable1Semirings:
+    """Every row of Table I, with its ⊕/⊗/0 verified."""
+
+    def test_standard_arithmetic(self):
+        s = predefined.PLUS_TIMES[grb.FP64]
+        assert s.zero == 0.0
+        assert s.add(2.0, 3.0) == 5.0 and s.mul(2.0, 3.0) == 6.0
+
+    def test_max_plus(self):
+        s = predefined.MAX_PLUS[grb.FP64]
+        assert s.zero == -np.inf
+        assert s.add(2.0, 3.0) == 3.0 and s.mul(2.0, 3.0) == 5.0
+        # "1" of max-plus is 0: x ⊗ 0 == x
+        assert s.mul(7.0, 0.0) == 7.0
+
+    def test_min_max(self):
+        s = predefined.MIN_MAX[grb.FP64]
+        assert s.zero == np.inf
+        assert s.add(2.0, 3.0) == 2.0 and s.mul(2.0, 3.0) == 3.0
+        # "1" of min-max is 0 on the nonnegative domain
+        assert s.mul(7.0, 0.0) == 7.0
+
+    def test_gf2(self):
+        s = predefined.LXOR_LAND[grb.BOOL]
+        assert s.zero == False  # noqa: E712
+        assert s.add(True, True) == False  # noqa: E712  xor
+        assert s.mul(True, True) == True  # noqa: E712  and
+
+    def test_power_set(self):
+        s = grb.powerset_semiring()
+        assert s.zero == frozenset()
+        assert s.add(frozenset({1}), frozenset({2})) == frozenset({1, 2})
+        assert s.mul(frozenset({1, 2}), frozenset({2, 3})) == frozenset({2})
+        # ∅ annihilates ∩ and is the identity of ∪
+        assert s.mul(frozenset({1}), frozenset()) == frozenset()
+        assert s.add(frozenset({1}), frozenset()) == frozenset({1})
+
+    def test_table1_inventory_complete(self):
+        assert len(predefined.TABLE1_SEMIRINGS) == 5
+        labels = [row[0] for row in predefined.TABLE1_SEMIRINGS]
+        assert "Galois field GF(2)" in labels
+        for _, factory, _, _ in predefined.TABLE1_SEMIRINGS:
+            assert isinstance(factory(), grb.Semiring)
+
+
+class TestAlgebraHierarchy:
+    """Fig. 1: semiring = monoid + binary op; both recoverable."""
+
+    def test_decomposition(self):
+        s = predefined.PLUS_TIMES[grb.INT32]
+        assert isinstance(s.add, grb.Monoid)
+        assert s.add_op is s.add.op
+        assert s.mul is binary.TIMES[grb.INT32]
+
+    def test_no_multiplicative_identity_required(self):
+        # GrB_Semiring_new takes only (monoid, binop) — no "1"
+        import inspect
+
+        params = inspect.signature(grb.semiring_new).parameters
+        assert list(params)[:2] == ["add", "mul"]

@@ -1,0 +1,241 @@
+"""Graph algorithms built on the API, validated against networkx and
+analytic values."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algorithms import (
+    bc_update,
+    betweenness_centrality,
+    bfs_levels,
+    bfs_parents,
+    brandes_baseline,
+    connected_components,
+    maximal_independent_set,
+    pagerank,
+    sssp,
+    sssp_delta_log,
+    triangle_count,
+)
+from repro.io import (
+    erdos_renyi,
+    from_networkx,
+    grid_2d,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    return erdos_renyi(50, 220, seed=11, domain=grb.INT32)
+
+
+@pytest.fixture(scope="module")
+def undirected():
+    G = nx.gnm_random_graph(36, 120, seed=13)
+    return G
+
+
+class TestBCUpdate:
+    """Fig. 3's BC_update, the paper's central artifact."""
+
+    def test_matches_brandes_full(self, digraph):
+        got = betweenness_centrality(digraph, batch_size=16)
+        want = brandes_baseline(digraph)
+        assert np.allclose(got, want, atol=1e-3)
+
+    def test_matches_networkx(self, digraph):
+        got = betweenness_centrality(digraph, batch_size=50)
+        nxbc = nx.betweenness_centrality(
+            to_networkx(digraph, weighted=False), normalized=False
+        )
+        want = np.array([nxbc[i] for i in range(50)])
+        assert np.allclose(got, want, atol=1e-3)
+
+    def test_batch_size_invariance(self, digraph):
+        # BC totals must not depend on how sources are batched
+        a = betweenness_centrality(digraph, batch_size=1, sources=range(12))
+        b = betweenness_centrality(digraph, batch_size=5, sources=range(12))
+        c = betweenness_centrality(digraph, batch_size=12, sources=range(12))
+        assert np.allclose(a, b, atol=1e-3)
+        assert np.allclose(b, c, atol=1e-3)
+
+    def test_path_graph_analytic(self):
+        # directed path 0->1->2->3->4: BC(v) = #(s<v) * #(t>v)
+        P = path_graph(5, domain=grb.INT32)
+        got = betweenness_centrality(P, batch_size=5)
+        want = np.array([0.0, 3.0, 4.0, 3.0, 0.0])
+        assert np.allclose(got, want, atol=1e-4)
+
+    def test_star_graph_analytic(self):
+        # star with bidirectional spokes: hub lies on all leaf-leaf paths
+        S = star_graph(6, domain=grb.INT32)
+        got = betweenness_centrality(S, batch_size=6)
+        # 5 leaves: 5*4 = 20 ordered leaf pairs through the hub
+        assert got[0] == pytest.approx(20.0, abs=1e-3)
+        assert np.allclose(got[1:], 0.0, atol=1e-4)
+
+    def test_single_source_batch(self, digraph):
+        delta = bc_update(digraph, [7])
+        assert delta.size == 50
+        full = brandes_baseline(digraph, sources=[7])
+        assert np.allclose(delta.to_dense(0.0), full, atol=1e-4)
+
+    def test_empty_batch_rejected(self, digraph):
+        with pytest.raises(grb.InvalidValue):
+            bc_update(digraph, [])
+
+    def test_nonsquare_rejected(self):
+        A = grb.Matrix(grb.INT32, 3, 4)
+        with pytest.raises(grb.DimensionMismatch):
+            bc_update(A, [0])
+
+    def test_runs_in_nonblocking_mode(self):
+        grb.init(grb.Mode.NONBLOCKING)
+        P = path_graph(6, domain=grb.INT32)
+        got = betweenness_centrality(P, batch_size=3)
+        want = np.array([0.0, 4.0, 6.0, 6.0, 4.0, 0.0])
+        assert np.allclose(got, want, atol=1e-4)
+
+
+class TestBFS:
+    def test_levels_match_networkx(self, digraph):
+        nxg = to_networkx(digraph, weighted=False)
+        lv = bfs_levels(digraph, 3)
+        want = nx.single_source_shortest_path_length(nxg, 3)
+        got = {i: int(v) for i, v in lv}
+        assert got == want
+
+    def test_unreachable_vertices_undefined(self):
+        P = path_graph(4, domain=grb.BOOL)  # directed: 3 cannot reach 0
+        lv = bfs_levels(P, 3)
+        assert {i: int(v) for i, v in lv} == {3: 0}
+
+    def test_parents_form_valid_tree(self, digraph):
+        nxg = to_networkx(digraph, weighted=False)
+        want_depth = nx.single_source_shortest_path_length(nxg, 0)
+        par = bfs_parents(digraph, 0)
+        got = {i: int(v) for i, v in par}
+        assert set(got) == set(want_depth)
+        for v, p in got.items():
+            if v == 0:
+                assert p == 0
+            else:
+                assert nxg.has_edge(p, v)
+                assert want_depth[p] + 1 == want_depth[v]
+
+    def test_grid_levels(self):
+        G = grid_2d(4, 4)
+        lv = bfs_levels(G, 0)
+        got = lv.to_dense(-1).reshape(4, 4)
+        for r in range(4):
+            for c in range(4):
+                assert got[r, c] == r + c  # manhattan distance
+
+
+class TestSSSP:
+    def test_weighted_vs_dijkstra(self):
+        W = erdos_renyi(40, 200, seed=23, domain=grb.FP64, weighted=True)
+        nxw = to_networkx(W)
+        d = sssp(W, 0)
+        want = nx.single_source_dijkstra_path_length(nxw, 0)
+        got = {int(i): float(v) for i, v in d}
+        assert set(got) == set(want)
+        for k in got:
+            assert got[k] == pytest.approx(want[k])
+
+    def test_negative_edges_bellman_ford(self):
+        A = grb.Matrix.from_coo(
+            grb.FP64, 4, 4, [0, 0, 1, 2], [1, 2, 3, 3], [5.0, 1.0, -3.0, 10.0]
+        )
+        d = sssp(A, 0)
+        assert d.extract_element(3) == 2.0  # 0->1->3 = 5-3
+
+    def test_negative_cycle_detected(self):
+        A = grb.Matrix.from_coo(
+            grb.FP64, 3, 3, [0, 1, 2], [1, 2, 1], [1.0, -2.0, 1.0]
+        )
+        with pytest.raises(grb.InvalidValue):
+            sssp(A, 0)
+
+    def test_delta_log_monotone(self):
+        G = erdos_renyi(30, 120, seed=2, domain=grb.FP64, weighted=True)
+        series = sssp_delta_log(G, 0)
+        assert all(b >= a for a, b in zip(series, series[1:]))
+
+
+class TestPageRank:
+    def test_matches_networkx(self, digraph):
+        got = pagerank(digraph)
+        want = nx.pagerank(to_networkx(digraph), alpha=0.85, tol=1e-12)
+        for i in range(digraph.nrows):
+            assert got[i] == pytest.approx(want[i], abs=1e-6)
+
+    def test_dangling_nodes_handled(self):
+        # path graph: last vertex is dangling
+        P = path_graph(5, domain=grb.BOOL)
+        got = pagerank(P)
+        want = nx.pagerank(to_networkx(P), alpha=0.85, tol=1e-12)
+        for i in range(5):
+            assert got[i] == pytest.approx(want[i], abs=1e-6)
+
+    def test_sums_to_one(self, digraph):
+        assert pagerank(digraph).sum() == pytest.approx(1.0)
+
+
+class TestTriangles:
+    def test_matches_networkx(self, undirected):
+        A = from_networkx(undirected)
+        assert triangle_count(A) == sum(nx.triangles(undirected).values()) // 3
+
+    def test_complete_graph(self):
+        from repro.io import complete_graph
+
+        K5 = complete_graph(5)
+        assert triangle_count(K5) == 10  # C(5,3)
+
+    def test_triangle_free(self):
+        G = grid_2d(5, 5)
+        assert triangle_count(G) == 0
+
+
+class TestComponents:
+    def test_matches_networkx(self, undirected):
+        A = from_networkx(undirected)
+        got = connected_components(A)
+        for comp in nx.connected_components(undirected):
+            m = min(comp)
+            for v in comp:
+                assert got[v] == m
+
+    def test_disconnected(self):
+        # two disjoint edges + isolated vertex
+        A = grb.Matrix.from_coo(
+            grb.BOOL, 5, 5, [0, 1, 2, 3], [1, 0, 3, 2], [True] * 4
+        )
+        got = connected_components(A)
+        assert got.tolist() == [0, 0, 2, 2, 4]
+
+
+class TestMIS:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_independent_and_maximal(self, undirected, seed):
+        A = from_networkx(undirected)
+        mis = set(int(v) for v in maximal_independent_set(A, seed=seed))
+        for u, v in undirected.edges():
+            assert not (u in mis and v in mis)
+        for v in undirected.nodes():
+            assert v in mis or any(u in mis for u in undirected.neighbors(v))
+
+    def test_isolated_vertices_always_in_set(self):
+        A = grb.Matrix.from_coo(grb.BOOL, 4, 4, [0], [1], [True])
+        # symmetric edge 0-1 plus isolated 2, 3
+        B = grb.Matrix.from_coo(
+            grb.BOOL, 4, 4, [0, 1], [1, 0], [True, True]
+        )
+        mis = set(int(v) for v in maximal_independent_set(B))
+        assert {2, 3} <= mis

@@ -1,0 +1,104 @@
+"""Transitive closure and APSP (repeated squaring over OR-AND / min-plus)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import floyd_warshall
+
+import repro as grb
+from repro.algorithms import (
+    apsp,
+    diameter,
+    eccentricity,
+    radius,
+    transitive_closure,
+)
+from repro.io import (
+    cycle_graph,
+    erdos_renyi,
+    from_networkx,
+    grid_2d,
+    path_graph,
+    to_networkx,
+    to_scipy_csr,
+)
+
+
+class TestTransitiveClosure:
+    def test_matches_networkx(self):
+        G = erdos_renyi(40, 100, seed=41)
+        nxg = to_networkx(G, weighted=False)
+        R = transitive_closure(G)
+        want = nx.transitive_closure(nxg, reflexive=False)
+        assert {(i, j) for i, j, _ in R} == set(want.edges())
+
+    def test_path_graph_closure(self):
+        P = path_graph(5)
+        R = transitive_closure(P)
+        assert {(i, j) for i, j, _ in R} == {
+            (i, j) for i in range(5) for j in range(i + 1, 5)
+        }
+
+    def test_reflexive_option(self):
+        P = path_graph(3)
+        R = transitive_closure(P, reflexive=True)
+        pat = {(i, j) for i, j, _ in R}
+        assert all((i, i) in pat for i in range(3))
+
+    def test_cycle_closure_is_complete(self):
+        C = cycle_graph(5)
+        R = transitive_closure(C)
+        assert R.nvals() == 25  # every vertex reaches every vertex
+
+
+class TestAPSP:
+    def test_matches_floyd_warshall_weighted(self):
+        G = erdos_renyi(30, 180, seed=43, domain=grb.FP64, weighted=True)
+        got = apsp(G)
+        S = to_scipy_csr(G)
+        want = floyd_warshall(S, directed=True)
+        assert np.allclose(got, want, equal_nan=True)
+
+    def test_matches_floyd_warshall_unweighted(self):
+        G = erdos_renyi(35, 140, seed=44)
+        got = apsp(G)
+        S = to_scipy_csr(G)
+        want = floyd_warshall(S.astype(float), directed=True)
+        assert np.allclose(got, want)
+
+    def test_grid_distances(self):
+        G = grid_2d(4, 4, domain=grb.FP64)
+        got = apsp(G)
+        # manhattan distances between grid points
+        for a in range(16):
+            for b in range(16):
+                ra, ca = divmod(a, 4)
+                rb, cb = divmod(b, 4)
+                assert got[a, b] == abs(ra - rb) + abs(ca - cb)
+
+    def test_diagonal_is_zero(self):
+        G = erdos_renyi(20, 60, seed=45)
+        assert (np.diag(apsp(G)) == 0).all()
+
+    def test_unreachable_is_inf(self):
+        P = path_graph(3)  # directed: 2 cannot reach 0
+        D = apsp(P)
+        assert D[2, 0] == np.inf and D[0, 2] == 2.0
+
+
+class TestEccentricityFamily:
+    def test_cycle_metrics(self):
+        C = cycle_graph(6)  # directed cycle: ecc = 5 everywhere
+        assert (eccentricity(C) == 5).all()
+        assert diameter(C) == 5 and radius(C) == 5
+
+    def test_grid_diameter(self):
+        G = grid_2d(3, 5, domain=grb.FP64)
+        assert diameter(G) == 2 + 4  # opposite corners
+        e = eccentricity(G)
+        # the most central vertex of a 3x5 grid: middle cell (1,2)
+        assert radius(G) == e[1 * 5 + 2]
+
+    def test_disconnected_diameter_inf(self):
+        P = path_graph(4)
+        assert diameter(P) == np.inf

@@ -1,0 +1,110 @@
+"""Peeling algorithms (k-core, k-truss, LCC) vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algorithms import (
+    core_numbers,
+    k_core,
+    k_truss,
+    local_clustering_coefficient,
+)
+from repro.io import complete_graph, from_networkx, grid_2d
+
+
+@pytest.fixture(scope="module")
+def social():
+    return nx.gnm_random_graph(40, 140, seed=31)
+
+
+class TestKCore:
+    def test_matches_networkx(self, social):
+        A = from_networkx(social)
+        g = nx.k_core(social, 3)
+        got = set(int(v) for v in k_core(A, 3))
+        assert got == set(g.nodes())
+
+    def test_complete_graph_core(self):
+        K = complete_graph(6)
+        assert set(k_core(K, 5).tolist()) == set(range(6))
+        assert len(k_core(K, 6)) == 0
+
+    def test_grid_2core(self):
+        G = grid_2d(4, 4)
+        # the full grid is its own 2-core (every vertex has degree >= 2)
+        assert len(k_core(G, 2)) == 16
+        assert len(k_core(G, 3)) == 0  # peeling corners unravels everything
+
+    def test_k_zero_is_everything(self, social):
+        A = from_networkx(social)
+        assert len(k_core(A, 0)) == 40
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(grb.InvalidValue):
+            k_core(complete_graph(3), -1)
+
+
+class TestCoreNumbers:
+    def test_matches_networkx(self, social):
+        A = from_networkx(social)
+        got = core_numbers(A)
+        want = nx.core_number(social)
+        for v in range(40):
+            assert got[v] == want[v], v
+
+    def test_star_core_numbers(self):
+        from repro.io import star_graph
+
+        S = star_graph(6)
+        got = core_numbers(S)
+        assert (got == 1).all()  # star is 1-degenerate
+
+
+class TestKTruss:
+    def test_matches_networkx(self, social):
+        A = from_networkx(social)
+        for k in (3, 4, 5):
+            T = k_truss(A, k)
+            want = nx.k_truss(social, k)
+            got_edges = {(min(i, j), max(i, j)) for i, j, _ in T}
+            want_edges = {(min(u, v), max(u, v)) for u, v in want.edges()}
+            assert got_edges == want_edges, k
+
+    def test_truss_values_are_supports(self):
+        K = complete_graph(5)
+        T = k_truss(K, 3)
+        # in K5 every edge lies in 3 triangles
+        assert all(int(v) == 3 for _, _, v in T)
+
+    def test_triangle_free_graph_has_empty_3truss(self):
+        G = grid_2d(4, 4)
+        assert k_truss(G, 3).nvals() == 0
+
+    def test_k2_is_whole_graph(self, social):
+        A = from_networkx(social)
+        assert k_truss(A, 2).nvals() == A.nvals()
+
+    def test_invalid_k(self):
+        with pytest.raises(grb.InvalidValue):
+            k_truss(complete_graph(3), 1)
+
+
+class TestLCC:
+    def test_matches_networkx_clustering(self, social):
+        A = from_networkx(social)
+        got = local_clustering_coefficient(A)
+        want = nx.clustering(social)
+        for v in range(40):
+            assert got[v] == pytest.approx(want[v], abs=1e-12), v
+
+    def test_complete_graph_lcc_is_one(self):
+        K = complete_graph(5)
+        assert np.allclose(local_clustering_coefficient(K), 1.0)
+
+    def test_low_degree_vertices_zero(self):
+        from repro.io import path_graph
+
+        P = path_graph(4, directed=False)
+        assert (local_clustering_coefficient(P) == 0).all()

@@ -1,0 +1,104 @@
+"""Markov clustering and greedy coloring."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algorithms import greedy_coloring, markov_clustering
+from repro.io import complete_graph, from_networkx, grid_2d, path_graph
+
+
+def two_cliques_with_bridge(k=6):
+    """Two k-cliques joined by a single edge: the canonical MCL test."""
+    G = nx.Graph()
+    G.add_edges_from(
+        (i, j) for i in range(k) for j in range(i + 1, k)
+    )
+    G.add_edges_from(
+        (i, j) for i in range(k, 2 * k) for j in range(i + 1, 2 * k)
+    )
+    G.add_edge(0, k)
+    return G
+
+
+class TestMCL:
+    def test_separates_two_cliques(self):
+        G = two_cliques_with_bridge(6)
+        A = from_networkx(G)
+        labels = markov_clustering(A)
+        left = {labels[v] for v in range(6)}
+        right = {labels[v] for v in range(6, 12)}
+        assert len(left) == 1 and len(right) == 1
+        assert left != right
+
+    def test_disconnected_components_never_merge(self):
+        G = nx.disjoint_union(nx.complete_graph(4), nx.complete_graph(5))
+        A = from_networkx(G)
+        labels = markov_clustering(A)
+        assert {labels[v] for v in range(4)}.isdisjoint(
+            {labels[v] for v in range(4, 9)}
+        )
+
+    def test_complete_graph_is_one_cluster(self):
+        K = complete_graph(8)
+        labels = markov_clustering(K)
+        assert len(set(labels.tolist())) == 1
+
+    def test_labels_are_canonical_members(self):
+        G = two_cliques_with_bridge(5)
+        A = from_networkx(G)
+        labels = markov_clustering(A)
+        for lab in set(labels.tolist()):
+            members = np.nonzero(labels == lab)[0]
+            assert lab == members.min()  # cluster labelled by smallest member
+
+    def test_parameter_validation(self):
+        K = complete_graph(3)
+        with pytest.raises(grb.InvalidValue):
+            markov_clustering(K, expansion=1)
+        with pytest.raises(grb.InvalidValue):
+            markov_clustering(K, inflation=1.0)
+
+
+class TestColoring:
+    @pytest.mark.parametrize("seed", [1, 17])
+    def test_proper_coloring_random_graph(self, seed):
+        G = nx.gnm_random_graph(50, 220, seed=seed)
+        A = from_networkx(G)
+        colors = greedy_coloring(A, seed=seed)
+        assert (colors >= 0).all()
+        for u, v in G.edges():
+            assert colors[u] != colors[v]
+
+    def test_color_count_bounded_by_max_degree_plus_one(self):
+        G = nx.gnm_random_graph(60, 240, seed=3)
+        A = from_networkx(G)
+        colors = greedy_coloring(A)
+        max_deg = max(dict(G.degree()).values())
+        assert colors.max() + 1 <= max_deg + 1
+
+    def test_bipartite_grid_two_colorable_bound(self):
+        # greedy on a grid may use >2 colors but never more than 5 (Δ+1)
+        G = grid_2d(5, 5)
+        colors = greedy_coloring(G)
+        rows, cols, _ = G.extract_tuples()
+        assert all(colors[i] != colors[j] for i, j in zip(rows, cols))
+        assert colors.max() + 1 <= 5
+
+    def test_complete_graph_needs_n_colors(self):
+        K = complete_graph(6)
+        colors = greedy_coloring(K)
+        assert len(set(colors.tolist())) == 6
+
+    def test_path_graph(self):
+        P = path_graph(10, directed=False)
+        colors = greedy_coloring(P)
+        rows, cols, _ = P.extract_tuples()
+        assert all(colors[i] != colors[j] for i, j in zip(rows, cols))
+
+    def test_deterministic_for_seed(self):
+        G = from_networkx(nx.gnm_random_graph(30, 90, seed=5))
+        a = greedy_coloring(G, seed=9)
+        b = greedy_coloring(G, seed=9)
+        assert (a == b).all()

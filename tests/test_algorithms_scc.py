@@ -1,0 +1,93 @@
+"""Strongly connected components and topological sorting."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algorithms import (
+    is_dag,
+    strongly_connected_components,
+    topological_sort,
+)
+from repro.io import cycle_graph, erdos_renyi, from_networkx, path_graph, to_networkx
+
+
+class TestSCC:
+    @pytest.mark.parametrize("seed,m", [(1, 100), (2, 200), (3, 60)])
+    def test_matches_networkx(self, seed, m):
+        G = erdos_renyi(50, m, seed=seed)
+        labels = strongly_connected_components(G)
+        nxg = to_networkx(G, weighted=False)
+        want = {}
+        for comp in nx.strongly_connected_components(nxg):
+            mmin = min(comp)
+            for v in comp:
+                want[v] = mmin
+        assert all(labels[v] == want[v] for v in range(50))
+
+    def test_cycle_is_one_scc(self):
+        C = cycle_graph(7)
+        labels = strongly_connected_components(C)
+        assert (labels == 0).all()
+
+    def test_path_is_all_singletons(self):
+        P = path_graph(6)
+        labels = strongly_connected_components(P)
+        assert labels.tolist() == list(range(6))
+
+    def test_two_cycles_joined_one_way(self):
+        # cycle {0,1,2} -> cycle {3,4,5}: two SCCs
+        A = grb.Matrix.from_coo(
+            grb.BOOL, 6, 6,
+            [0, 1, 2, 2, 3, 4, 5],
+            [1, 2, 0, 3, 4, 5, 3],
+            [True] * 7,
+        )
+        labels = strongly_connected_components(A)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_labels_are_min_members(self):
+        G = erdos_renyi(40, 160, seed=9)
+        labels = strongly_connected_components(G)
+        for lab in set(labels.tolist()):
+            members = np.nonzero(labels == lab)[0]
+            assert lab == members.min()
+
+
+class TestTopologicalSort:
+    def test_valid_order_on_random_dag(self):
+        dag = nx.gn_graph(60, seed=8)  # edges child -> parent: a DAG
+        A = from_networkx(dag)
+        order = topological_sort(A)
+        assert sorted(order.tolist()) == list(range(60))
+        pos = {int(v): i for i, v in enumerate(order)}
+        for u, v in dag.edges():
+            assert pos[u] < pos[v]
+
+    def test_path_order(self):
+        P = path_graph(5)
+        assert topological_sort(P).tolist() == [0, 1, 2, 3, 4]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(grb.InvalidValue):
+            topological_sort(cycle_graph(4))
+
+    def test_layered_ties_sorted_by_index(self):
+        # two independent edges: layer {0, 2} then {1, 3}
+        A = grb.Matrix.from_coo(
+            grb.BOOL, 4, 4, [0, 2], [1, 3], [True, True]
+        )
+        assert topological_sort(A).tolist() == [0, 2, 1, 3]
+
+
+class TestIsDag:
+    def test_dag_true(self):
+        assert is_dag(path_graph(4))
+
+    def test_cycle_false(self):
+        assert not is_dag(cycle_graph(3))
+
+    def test_self_loop_false(self):
+        A = grb.Matrix.from_coo(grb.BOOL, 2, 2, [0], [0], [True])
+        assert not is_dag(A)

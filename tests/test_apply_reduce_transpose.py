@@ -1,0 +1,210 @@
+"""``apply``, ``reduce``, and ``transpose`` (Table II rows 6-9)."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary, unary
+
+from tests.conftest import random_matrix, random_vector
+
+
+class TestApply:
+    def test_unary_apply_matrix(self):
+        A = grb.Matrix.from_coo(grb.INT32, 2, 2, [0, 1], [1, 0], [-3, 4])
+        C = grb.Matrix(grb.INT32, 2, 2)
+        grb.apply(C, None, None, unary.ABS[grb.INT32], A)
+        assert {(i, j): int(v) for i, j, v in C} == {(0, 1): 3, (1, 0): 4}
+
+    def test_fig3_line41_identity_bool_cast(self):
+        # sigmas[d] = (Boolean) frontier: INT32 values cast to BOOL by the
+        # implicit input cast, then IDENTITY_BOOL
+        frontier = grb.Matrix.from_coo(grb.INT32, 3, 2, [0, 1], [0, 1], [2, 0])
+        sigma = grb.Matrix(grb.BOOL, 3, 2)
+        grb.apply(sigma, None, None, unary.IDENTITY[grb.BOOL], frontier)
+        assert {(i, j): bool(v) for i, j, v in sigma} == {
+            (0, 0): True,
+            (1, 1): False,  # stored 0 stays stored (as false)
+        }
+
+    def test_fig3_line57_minv(self):
+        numsp = grb.Matrix.from_coo(grb.INT32, 2, 2, [0, 1], [0, 1], [2, 4])
+        nspinv = grb.Matrix(grb.FP32, 2, 2)
+        grb.apply(nspinv, None, None, unary.MINV[grb.FP32], numsp)
+        assert nspinv.extract_element(0, 0) == np.float32(0.5)
+        assert nspinv.extract_element(1, 1) == np.float32(0.25)
+
+    def test_apply_vector(self, rng):
+        u = random_vector(rng, 8, 0.5)
+        w = grb.Vector(grb.INT64, 8)
+        grb.apply(w, None, None, unary.AINV[grb.INT64], u)
+        idx_u, val_u = u.extract_tuples()
+        idx_w, val_w = w.extract_tuples()
+        assert idx_u.tolist() == idx_w.tolist()
+        assert (val_w == -val_u).all()
+
+    def test_apply_transposed(self, rng):
+        A = random_matrix(rng, 3, 5, 0.5)
+        C = grb.Matrix(grb.INT64, 5, 3)
+        grb.apply(C, None, None, unary.IDENTITY[grb.INT64], A, grb.DESC_T0)
+        assert (C.to_dense(0) == A.to_dense(0).T).all()
+
+    def test_apply_shape_mismatch(self):
+        A = grb.Matrix(grb.INT64, 2, 3)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.apply(
+                grb.Matrix(grb.INT64, 3, 3), None, None,
+                unary.IDENTITY[grb.INT64], A,
+            )
+
+    def test_apply_requires_unary(self):
+        A = grb.Matrix(grb.INT64, 2, 2)
+        with pytest.raises(grb.InvalidValue):
+            grb.apply(A, None, None, binary.PLUS[grb.INT64], A)
+
+
+class TestApplyBound:
+    def test_bind_second(self):
+        u = grb.Vector.from_coo(grb.INT64, 3, [0, 1], [10, 20])
+        w = grb.Vector(grb.INT64, 3)
+        grb.apply_bind_second(w, None, None, binary.PLUS[grb.INT64], u, 5)
+        assert w.to_dense(0).tolist() == [15, 25, 0]
+
+    def test_bind_first(self):
+        u = grb.Vector.from_coo(grb.FP64, 2, [0, 1], [2.0, 4.0])
+        w = grb.Vector(grb.FP64, 2)
+        grb.apply_bind_first(w, None, None, binary.DIV[grb.FP64], 1.0, u)
+        assert w.to_dense(0).tolist() == [0.5, 0.25]
+
+    def test_bound_ops_differ_for_noncommutative(self):
+        u = grb.Vector.from_coo(grb.INT64, 1, [0], [10])
+        w1 = grb.Vector(grb.INT64, 1)
+        w2 = grb.Vector(grb.INT64, 1)
+        grb.apply_bind_first(w1, None, None, binary.MINUS[grb.INT64], 3, u)
+        grb.apply_bind_second(w2, None, None, binary.MINUS[grb.INT64], u, 3)
+        assert w1.extract_element(0) == -7  # 3 - 10
+        assert w2.extract_element(0) == 7   # 10 - 3
+
+
+class TestApplyIndex:
+    def test_rowindex_stamp(self):
+        u = grb.Vector.from_coo(grb.INT64, 5, [1, 3], [99, 98])
+        w = grb.Vector(grb.INT64, 5)
+        grb.apply_index(w, None, None, grb.ops.index_unary.ROWINDEX, u, 0)
+        assert {i: int(v) for i, v in w} == {1: 1, 3: 3}
+
+    def test_colindex_matrix(self):
+        A = grb.Matrix.from_coo(grb.INT64, 2, 3, [0, 1], [2, 1], [7, 7])
+        C = grb.Matrix(grb.INT64, 2, 3)
+        grb.apply_index(C, None, None, grb.ops.index_unary.COLINDEX, A, 0)
+        assert {(i, j): int(v) for i, j, v in C} == {(0, 2): 2, (1, 1): 1}
+
+
+class TestReduceToVector:
+    def test_row_reduce(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 2, 3], [0, 0, 0], [4, 0, 5]])
+        w = grb.Vector(grb.INT64, 3)
+        grb.reduce_to_vector(w, None, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        # row 1 has no stored elements: stays undefined
+        assert {i: int(v) for i, v in w} == {0: 6, 2: 9}
+
+    def test_column_reduce_with_tran(self, rng):
+        A = random_matrix(rng, 4, 6, 0.5)
+        w = grb.Vector(grb.INT64, 6)
+        grb.reduce_to_vector(
+            w, None, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A, grb.DESC_T0
+        )
+        assert (w.to_dense(0) == A.to_dense(0).sum(axis=0)).all()
+
+    def test_binaryop_form_fig3_line78(self):
+        # GrB_reduce(delta, NULL, PLUS, PLUS, bcu, NULL)
+        bcu = grb.Matrix.from_dense(grb.FP32, [[1.0, 2.0], [3.0, 4.0]])
+        delta = grb.Vector.from_coo(grb.FP32, 2, [0, 1], [-2.0, -2.0])
+        grb.reduce(delta, None, binary.PLUS[grb.FP32], binary.PLUS[grb.FP32], bcu)
+        assert delta.to_dense(0).tolist() == [1.0, 5.0]
+
+    def test_min_reduce(self):
+        A = grb.Matrix.from_dense(grb.FP64, [[3.0, 1.0], [2.0, 5.0]])
+        w = grb.Vector(grb.FP64, 2)
+        grb.reduce_to_vector(w, None, None, predefined.MIN_MONOID[grb.FP64], A)
+        assert w.to_dense(0).tolist() == [1.0, 2.0]
+
+    def test_non_associative_binaryop_rejected(self):
+        A = grb.Matrix(grb.INT64, 2, 2)
+        w = grb.Vector(grb.INT64, 2)
+        with pytest.raises(grb.InvalidValue):
+            grb.reduce_to_vector(w, None, None, binary.MINUS[grb.INT64], A)
+
+    def test_size_mismatch(self):
+        A = grb.Matrix(grb.INT64, 3, 4)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.reduce_to_vector(
+                grb.Vector(grb.INT64, 4), None, None,
+                grb.monoid("GrB_PLUS_MONOID_INT64"), A,
+            )
+
+
+class TestReduceToScalar:
+    def test_sum_all(self, rng):
+        A = random_matrix(rng, 6, 6, 0.5)
+        total = grb.reduce_to_scalar(grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        assert total == A.to_dense(0).sum()
+
+    def test_empty_collection_gives_identity(self):
+        A = grb.Matrix(grb.FP64, 3, 3)
+        assert grb.reduce_to_scalar(predefined.MIN_MONOID[grb.FP64], A) == np.inf
+
+    def test_vector_reduce(self, rng):
+        u = random_vector(rng, 9, 0.6)
+        assert (
+            grb.reduce_to_scalar(grb.monoid("GrB_PLUS_MONOID_INT64"), u)
+            == u.to_dense(0).sum()
+        )
+
+    def test_scalar_accum(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        got = grb.reduce_to_scalar(
+            grb.monoid("GrB_PLUS_MONOID_INT64"), A,
+            accum=binary.PLUS[grb.INT64], init=100,
+        )
+        assert got == 110
+
+    def test_requires_monoid(self):
+        A = grb.Matrix(grb.INT64, 2, 2)
+        with pytest.raises(grb.InvalidValue):
+            grb.reduce_to_scalar(binary.PLUS[grb.INT64], A)
+
+
+class TestTranspose:
+    def test_basic(self, rng):
+        A = random_matrix(rng, 4, 7, 0.4)
+        C = grb.Matrix(grb.INT64, 7, 4)
+        grb.transpose(C, None, None, A)
+        assert (C.to_dense(0) == A.to_dense(0).T).all()
+
+    def test_double_transpose_via_descriptor(self, rng):
+        # INP0=TRAN then transpose = copy
+        A = random_matrix(rng, 4, 7, 0.4)
+        C = grb.Matrix(grb.INT64, 4, 7)
+        grb.transpose(C, None, None, A, grb.DESC_T0)
+        assert (C.to_dense(0) == A.to_dense(0)).all()
+
+    def test_involution(self, rng):
+        A = random_matrix(rng, 5, 5, 0.4)
+        B = grb.Matrix(grb.INT64, 5, 5)
+        C = grb.Matrix(grb.INT64, 5, 5)
+        grb.transpose(B, None, None, A)
+        grb.transpose(C, None, None, B)
+        assert (C.to_dense(0) == A.to_dense(0)).all()
+
+    def test_accum(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[0, 1], [2, 0]])
+        C = grb.Matrix.from_dense(grb.INT64, [[0, 10], [0, 0]])
+        grb.transpose(C, None, binary.PLUS[grb.INT64], A)
+        assert C.to_dense(0).tolist() == [[0, 12], [1, 0]]
+
+    def test_shape_check(self):
+        A = grb.Matrix(grb.INT64, 3, 4)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.transpose(grb.Matrix(grb.INT64, 3, 4), None, None, A)

@@ -1,0 +1,214 @@
+"""The C-style shim: GrB_* names, Info return codes, Ref out-parameters."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import capi
+from repro.capi import (
+    GrB_ALL,
+    GrB_BOOL,
+    GrB_INT32,
+    GrB_INT64,
+    GrB_NULL,
+    GrB_SUCCESS,
+    GrB_NO_VALUE,
+    Ref,
+)
+from repro.ops import binary, unary
+
+
+class TestRefsAndCodes:
+    def test_matrix_new_via_ref(self):
+        A = Ref()
+        assert capi.GrB_Matrix_new(A, GrB_INT32, 3, 4) == GrB_SUCCESS
+        assert isinstance(A.value, grb.Matrix)
+        assert A.value.shape == (3, 4)
+
+    def test_error_becomes_code_not_exception(self):
+        A = Ref()
+        info = capi.GrB_Matrix_new(A, GrB_INT32, 0, 4)
+        assert info == grb.Info.INVALID_VALUE
+        assert A.value is None
+
+    def test_null_out_pointer(self):
+        assert capi.GrB_Matrix_new(None, GrB_INT32, 2, 2) == grb.Info.NULL_POINTER
+
+    def test_nrows_ncols_nvals(self):
+        A = Ref()
+        capi.GrB_Matrix_new(A, GrB_INT32, 3, 4)
+        n = Ref()
+        assert capi.GrB_Matrix_nrows(n, A.value) == GrB_SUCCESS
+        assert n.value == 3
+        capi.GrB_Matrix_ncols(n, A.value)
+        assert n.value == 4
+        capi.GrB_Matrix_nvals(n, A.value)
+        assert n.value == 0
+
+    def test_extract_element_no_value(self):
+        A = Ref()
+        capi.GrB_Matrix_new(A, GrB_INT32, 2, 2)
+        x = Ref()
+        assert capi.GrB_Matrix_extractElement(x, A.value, 0, 0) == GrB_NO_VALUE
+        capi.GrB_Matrix_setElement(A.value, 7, 0, 0)
+        assert capi.GrB_Matrix_extractElement(x, A.value, 0, 0) == GrB_SUCCESS
+        assert x.value == 7
+
+    def test_extract_tuples_out_params(self):
+        A = Ref()
+        capi.GrB_Matrix_new(A, GrB_INT64, 2, 2)
+        capi.GrB_Matrix_build(A.value, [0, 1], [1, 0], [5, 6])
+        I, J, X = Ref(), Ref(), Ref()
+        assert capi.GrB_Matrix_extractTuples(I, J, X, A.value) == GrB_SUCCESS
+        assert I.value.tolist() == [0, 1]
+        assert J.value.tolist() == [1, 0]
+        assert X.value.tolist() == [5, 6]
+
+    def test_vector_round_trip(self):
+        v = Ref()
+        capi.GrB_Vector_new(v, GrB_INT64, 5)
+        capi.GrB_Vector_setElement(v.value, 9, 2)
+        sz, nv, x = Ref(), Ref(), Ref()
+        capi.GrB_Vector_size(sz, v.value)
+        capi.GrB_Vector_nvals(nv, v.value)
+        capi.GrB_Vector_extractElement(x, v.value, 2)
+        assert (sz.value, nv.value, x.value) == (5, 1, 9)
+
+    def test_scalar(self):
+        s = Ref()
+        capi.GrB_Scalar_new(s, GrB_INT64)
+        x = Ref()
+        assert capi.GrB_Scalar_extractElement(x, s.value) == GrB_NO_VALUE
+        capi.GrB_Scalar_setElement(s.value, 3)
+        assert capi.GrB_Scalar_extractElement(x, s.value) == GrB_SUCCESS
+        assert x.value == 3
+
+
+class TestAlgebraConstruction:
+    def test_monoid_semiring_fig3(self):
+        m = Ref()
+        assert (
+            capi.GrB_Monoid_new(m, GrB_INT32, binary.PLUS[GrB_INT32], 0)
+            == GrB_SUCCESS
+        )
+        s = Ref()
+        assert (
+            capi.GrB_Semiring_new(s, m.value, binary.TIMES[GrB_INT32])
+            == GrB_SUCCESS
+        )
+        assert isinstance(s.value, grb.Semiring)
+
+    def test_monoid_domain_checked(self):
+        m = Ref()
+        info = capi.GrB_Monoid_new(m, GrB_INT64, binary.PLUS[GrB_INT32], 0)
+        assert info == grb.Info.DOMAIN_MISMATCH
+
+    def test_monoid_bad_identity(self):
+        m = Ref()
+        info = capi.GrB_Monoid_new(m, GrB_INT32, binary.PLUS[GrB_INT32], 1)
+        assert info == grb.Info.INVALID_VALUE
+
+    def test_user_ops(self):
+        u, b = Ref(), Ref()
+        assert (
+            capi.GrB_UnaryOp_new(u, lambda x: x * 2, GrB_INT64, GrB_INT64)
+            == GrB_SUCCESS
+        )
+        assert (
+            capi.GrB_BinaryOp_new(
+                b, lambda x, y: x - y, GrB_INT64, GrB_INT64, GrB_INT64
+            )
+            == GrB_SUCCESS
+        )
+        assert u.value(21) == 42
+
+    def test_type_new(self):
+        t = Ref()
+        assert capi.GrB_Type_new(t, "FS", frozenset) == GrB_SUCCESS
+        assert t.value.is_udt
+
+
+class TestOperations:
+    def test_mxm_success_and_errors(self):
+        A = grb.Matrix.from_dense(GrB_INT64, [[1, 2], [3, 4]])
+        C = Ref()
+        capi.GrB_Matrix_new(C, GrB_INT64, 2, 2)
+        s = grb.semiring("GrB_PLUS_TIMES_SEMIRING_INT64")
+        assert (
+            capi.GrB_mxm(C.value, GrB_NULL, GrB_NULL, s, A, A, GrB_NULL)
+            == GrB_SUCCESS
+        )
+        assert (C.value.to_dense(0) == A.to_dense(0) @ A.to_dense(0)).all()
+        bad = grb.Matrix(GrB_INT64, 3, 3)
+        assert (
+            capi.GrB_mxm(C.value, GrB_NULL, GrB_NULL, s, A, bad, GrB_NULL)
+            == grb.Info.DIMENSION_MISMATCH
+        )
+
+    def test_reduce_with_out_param(self):
+        A = grb.Matrix.from_dense(GrB_INT64, [[1, 2], [3, 4]])
+        val = Ref(0)
+        assert (
+            capi.GrB_Matrix_reduce(
+                val, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A
+            )
+            == GrB_SUCCESS
+        )
+        assert val.value == 10
+
+    def test_reduce_with_accum_init(self):
+        A = grb.Matrix.from_dense(GrB_INT64, [[1, 2], [3, 4]])
+        val = Ref(100)
+        capi.GrB_Matrix_reduce(val, binary.PLUS[GrB_INT64], grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        assert val.value == 110
+
+    def test_free_and_free_all(self):
+        A = Ref()
+        capi.GrB_Matrix_new(A, GrB_INT32, 2, 2)
+        m = grb.monoid("GrB_PLUS_MONOID_INT32")
+        assert capi.GrB_free_all(A.value, m) == GrB_SUCCESS
+        n = Ref()
+        assert capi.GrB_Matrix_nrows(n, A.value) == grb.Info.UNINITIALIZED_OBJECT
+
+    def test_wait_and_error(self):
+        capi.GrB_init(capi.GrB_NONBLOCKING)
+        A = grb.Matrix.from_dense(GrB_INT64, [[1]])
+        C = Ref()
+        capi.GrB_Matrix_new(C, GrB_INT64, 1, 1)
+
+        def boom(x, y):
+            raise grb.info.OutOfMemory("sim")
+
+        bad = Ref()
+        capi.GrB_BinaryOp_new(bad, boom, GrB_INT64, GrB_INT64, GrB_INT64)
+        assert (
+            capi.GrB_eWiseMult(
+                C.value, GrB_NULL, GrB_NULL, bad.value, A, A, GrB_NULL
+            )
+            == GrB_SUCCESS
+        )  # nonblocking: defers
+        assert capi.GrB_wait() == grb.Info.OUT_OF_MEMORY
+        assert "OUT_OF_MEMORY" in capi.GrB_error()
+
+
+class TestFig3EndToEnd:
+    def test_c_style_bc_matches_baseline(self):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "bc_c_style",
+            Path(__file__).resolve().parents[1] / "examples" / "bc_c_style.py",
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        from repro.algorithms import brandes_baseline
+        from repro.io import erdos_renyi
+
+        A = erdos_renyi(40, 160, seed=9, domain=GrB_INT32)
+        s = np.arange(10)
+        delta = Ref()
+        assert mod.BC_update(delta, A, s, len(s)) == GrB_SUCCESS
+        want = brandes_baseline(A, sources=s)
+        assert np.allclose(delta.value.to_dense(0.0), want, atol=1e-4)

@@ -1,0 +1,136 @@
+"""Shim coverage for the remaining GrB_* operation wrappers."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import capi
+from repro.capi import GrB_ALL, GrB_INT64, GrB_NULL, GrB_SUCCESS, Ref
+from repro.ops import binary, index_unary, unary
+
+
+@pytest.fixture
+def A():
+    return grb.Matrix.from_dense(GrB_INT64, [[1, 2, 0], [0, 3, 4], [5, 0, 6]])
+
+
+S = grb.algebra.PLUS_TIMES[GrB_INT64]
+
+
+class TestOperationWrappers:
+    def test_mxv_vxm(self, A):
+        u = grb.Vector.from_coo(GrB_INT64, 3, [0, 1, 2], [1, 1, 1])
+        w = grb.Vector(GrB_INT64, 3)
+        assert capi.GrB_mxv(w, GrB_NULL, GrB_NULL, S, A, u, GrB_NULL) == GrB_SUCCESS
+        assert w.to_dense(0).tolist() == [3, 7, 11]
+        assert capi.GrB_vxm(w, GrB_NULL, GrB_NULL, S, u, A, GrB_NULL) == GrB_SUCCESS
+        assert w.to_dense(0).tolist() == [6, 5, 10]
+
+    def test_ewise_add_mult(self, A):
+        C = grb.Matrix(GrB_INT64, 3, 3)
+        assert (
+            capi.GrB_eWiseAdd(
+                C, GrB_NULL, GrB_NULL, binary.PLUS[GrB_INT64], A, A, GrB_NULL
+            )
+            == GrB_SUCCESS
+        )
+        assert (C.to_dense(0) == 2 * A.to_dense(0)).all()
+        assert (
+            capi.GrB_eWiseMult(
+                C, GrB_NULL, GrB_NULL, binary.TIMES[GrB_INT64], A, A, GrB_NULL
+            )
+            == GrB_SUCCESS
+        )
+        assert (C.to_dense(0) == A.to_dense(0) ** 2).all()
+
+    def test_apply_select_transpose(self, A):
+        C = grb.Matrix(GrB_INT64, 3, 3)
+        assert (
+            capi.GrB_apply(
+                C, GrB_NULL, GrB_NULL, unary.AINV[GrB_INT64], A, GrB_NULL
+            )
+            == GrB_SUCCESS
+        )
+        assert (C.to_dense(0) == -A.to_dense(0)).all()
+        assert (
+            capi.GrB_select(
+                C, GrB_NULL, GrB_NULL, index_unary.TRIL, A, 0, GrB_NULL
+            )
+            == GrB_SUCCESS
+        )
+        assert (C.to_dense(0) == np.tril(A.to_dense(0))).all()
+        assert (
+            capi.GrB_transpose(C, GrB_NULL, GrB_NULL, A, GrB_NULL)
+            == GrB_SUCCESS
+        )
+        assert (C.to_dense(0) == A.to_dense(0).T).all()
+
+    def test_extract_assign(self, A):
+        C = grb.Matrix(GrB_INT64, 2, 2)
+        assert (
+            capi.GrB_extract(C, GrB_NULL, GrB_NULL, A, [0, 2], [0, 2], GrB_NULL)
+            == GrB_SUCCESS
+        )
+        assert (C.to_dense(0) == A.to_dense(0)[np.ix_([0, 2], [0, 2])]).all()
+        D = grb.Matrix(GrB_INT64, 3, 3)
+        assert (
+            capi.GrB_assign(D, GrB_NULL, GrB_NULL, 9, GrB_ALL, GrB_ALL, GrB_NULL)
+            == GrB_SUCCESS
+        )
+        assert (D.to_dense(0) == 9).all()
+
+    def test_reduce_vector_form(self, A):
+        w = grb.Vector(GrB_INT64, 3)
+        assert (
+            capi.GrB_reduce(
+                w, GrB_NULL, GrB_NULL, grb.monoid("GrB_PLUS_MONOID_INT64"),
+                A, GrB_NULL,
+            )
+            == GrB_SUCCESS
+        )
+        assert w.to_dense(0).tolist() == [3, 7, 11]
+
+    def test_kronecker(self, A):
+        B = grb.Matrix.from_dense(GrB_INT64, [[1, 0], [0, 1]])
+        C = grb.Matrix(GrB_INT64, 6, 6)
+        assert (
+            capi.GrB_kronecker(
+                C, GrB_NULL, GrB_NULL, binary.TIMES[GrB_INT64], A, B, GrB_NULL
+            )
+            == GrB_SUCCESS
+        )
+        assert (C.to_dense(0) == np.kron(A.to_dense(0), B.to_dense(0))).all()
+
+    def test_resize_and_diag(self, A):
+        assert capi.GrB_Matrix_resize(A, 2, 2) == GrB_SUCCESS
+        assert A.shape == (2, 2)
+        v = grb.Vector.from_coo(GrB_INT64, 2, [0, 1], [5, 6])
+        D = Ref()
+        assert capi.GrB_Matrix_diag(D, v, 0) == GrB_SUCCESS
+        assert D.value.to_dense(0).tolist() == [[5, 0], [0, 6]]
+
+    def test_vector_build_and_tuples(self):
+        w = Ref()
+        capi.GrB_Vector_new(w, GrB_INT64, 4)
+        assert (
+            capi.GrB_Vector_build(w.value, [0, 3], [7, 8]) == GrB_SUCCESS
+        )
+        I, X = Ref(), Ref()
+        assert capi.GrB_Vector_extractTuples(I, X, w.value) == GrB_SUCCESS
+        assert I.value.tolist() == [0, 3] and X.value.tolist() == [7, 8]
+        assert capi.GrB_Vector_clear(w.value) == GrB_SUCCESS
+        nv = Ref()
+        capi.GrB_Vector_nvals(nv, w.value)
+        assert nv.value == 0
+
+    def test_descriptor_wrappers(self):
+        d = Ref()
+        assert capi.GrB_Descriptor_new(d) == GrB_SUCCESS
+        assert (
+            capi.GrB_Descriptor_set(d.value, capi.GrB_OUTP, capi.GrB_REPLACE)
+            == GrB_SUCCESS
+        )
+        assert (
+            capi.GrB_Descriptor_set(d.value, capi.GrB_OUTP, capi.GrB_TRAN)
+            == grb.Info.INVALID_VALUE
+        )

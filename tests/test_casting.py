@@ -1,0 +1,83 @@
+"""Implicit domain conversions: C-style casts between built-in domains, and
+the absence of any implicit UDT conversion."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.types import can_cast, cast_array, cast_scalar, type_new
+
+
+class TestCanCast:
+    def test_builtin_to_builtin_always_allowed(self):
+        assert can_cast(grb.FP64, grb.INT8)
+        assert can_cast(grb.BOOL, grb.FP32)
+        assert can_cast(grb.UINT64, grb.INT8)
+
+    def test_udt_to_itself(self):
+        T = type_new("T", frozenset)
+        assert can_cast(T, T)
+
+    def test_udt_to_builtin_forbidden(self):
+        T = type_new("T", frozenset)
+        assert not can_cast(T, grb.INT32)
+        assert not can_cast(grb.INT32, T)
+
+    def test_distinct_udts_forbidden(self):
+        T1, T2 = type_new("A", frozenset), type_new("B", frozenset)
+        assert not can_cast(T1, T2)
+
+
+class TestCastArray:
+    def test_noop_returns_same_object(self):
+        a = np.array([1, 2], dtype=np.int32)
+        assert cast_array(a, grb.INT32, grb.INT32) is a
+
+    def test_int_to_bool_c_semantics(self):
+        a = np.array([0, 1, -3, 200], dtype=np.int64)
+        out = cast_array(a, grb.INT64, grb.BOOL)
+        assert out.tolist() == [False, True, True, True]
+
+    def test_float_to_int_truncates_toward_zero(self):
+        a = np.array([1.9, -1.9, 0.5, -0.5])
+        out = cast_array(a, grb.FP64, grb.INT32)
+        assert out.tolist() == [1, -1, 0, 0]
+
+    def test_float_nonfinite_to_int_is_zero(self):
+        a = np.array([np.inf, -np.inf, np.nan, 2.5])
+        out = cast_array(a, grb.FP64, grb.INT32)
+        assert out.tolist() == [0, 0, 0, 2]
+
+    def test_narrowing_wraps_like_c(self):
+        a = np.array([300, -200], dtype=np.int64)
+        out = cast_array(a, grb.INT64, grb.INT8)
+        assert out.tolist() == [44, 56]  # 300 mod 256 = 44; -200 mod 256 = 56
+
+    def test_bool_to_int(self):
+        a = np.array([True, False])
+        out = cast_array(a, grb.BOOL, grb.INT32)
+        assert out.tolist() == [1, 0]
+
+    def test_udt_mismatch_raises(self):
+        T = type_new("T", frozenset)
+        with pytest.raises(grb.DomainMismatch):
+            cast_array(np.array([1]), T, grb.INT32)
+
+
+class TestCastScalar:
+    def test_scalar_wrap(self):
+        assert cast_scalar(300, grb.INT64, grb.INT8) == np.int8(44)
+
+    def test_scalar_bool(self):
+        assert cast_scalar(-2, grb.INT32, grb.BOOL) == True  # noqa: E712
+        assert cast_scalar(0.0, grb.FP64, grb.BOOL) == False  # noqa: E712
+
+    def test_scalar_nonfinite_float_to_int(self):
+        assert cast_scalar(np.inf, grb.FP64, grb.INT16) == 0
+
+    def test_scalar_float_precision(self):
+        assert cast_scalar(0.5, grb.FP64, grb.FP32) == np.float32(0.5)
+
+    def test_same_domain_identity(self):
+        v = np.float64(1.25)
+        assert cast_scalar(v, grb.FP64, grb.FP64) is v

@@ -1,0 +1,152 @@
+"""Implicit-cast points through full operation pipelines.
+
+The paper's BC example leans on implicit conversions at every stage
+(INT32 numsp → BOOL mask, INT32 → FP32 MINV input, FP32 accum into FP32).
+These tests pin each cast point of the pipeline individually: operator
+inputs, operator output → T, T → accumulator input, accumulator output →
+C's domain, and mask values → BOOL.
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary, unary
+
+
+class TestOperatorInputCasts:
+    def test_int_inputs_through_float_semiring(self):
+        A = grb.Matrix.from_coo(grb.INT32, 1, 1, [0], [0], [3])
+        C = grb.Matrix(grb.FP64, 1, 1)
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.FP64], A, A)
+        assert C.extract_element(0, 0) == 9.0
+
+    def test_float_inputs_through_int_semiring_truncate(self):
+        A = grb.Matrix.from_coo(grb.FP64, 1, 1, [0], [0], [2.9])
+        C = grb.Matrix(grb.INT64, 1, 1)
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, A)
+        assert C.extract_element(0, 0) == 4  # trunc(2.9) = 2; 2*2
+
+    def test_bool_inputs_counted_as_ints(self):
+        # the BC trick: boolean pattern fed to integer arithmetic
+        A = grb.Matrix.from_coo(
+            grb.BOOL, 2, 2, [0, 0], [0, 1], [True, True]
+        )
+        u = grb.Vector.from_coo(grb.BOOL, 2, [0, 1], [True, True])
+        w = grb.Vector(grb.INT32, 2)
+        grb.mxv(w, None, None, predefined.PLUS_TIMES[grb.INT32], A, u)
+        assert w.extract_element(0) == 2  # two true edges = count 2
+
+    def test_mixed_domains_in_ewise(self):
+        A = grb.Matrix.from_coo(grb.INT8, 1, 1, [0], [0], [100])
+        B = grb.Matrix.from_coo(grb.FP32, 1, 1, [0], [0], [0.5])
+        C = grb.Matrix(grb.FP64, 1, 1)
+        grb.ewise_add(C, None, None, binary.PLUS[grb.FP64], A, B)
+        assert C.extract_element(0, 0) == 100.5
+
+
+class TestResultToOutputCasts:
+    def test_float_result_into_int8_wraps_after_trunc(self):
+        A = grb.Matrix.from_coo(grb.FP64, 1, 1, [0], [0], [20.0])
+        C = grb.Matrix(grb.INT8, 1, 1)
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.FP64], A, A)
+        # 400 mod 256 = 144 -> wraps to -112 in int8
+        assert C.extract_element(0, 0) == np.int8(-112)
+
+    def test_int_result_into_bool(self):
+        A = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [5])
+        C = grb.Matrix(grb.BOOL, 1, 1)
+        grb.apply(C, None, None, unary.IDENTITY[grb.INT64], A)
+        assert C.extract_element(0, 0) == True  # noqa: E712
+
+    def test_explicit_zero_result_into_bool_is_stored_false(self):
+        A = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [0])
+        C = grb.Matrix(grb.BOOL, 1, 1)
+        grb.apply(C, None, None, unary.IDENTITY[grb.INT64], A)
+        assert C.nvals() == 1
+        assert C.extract_element(0, 0) == False  # noqa: E712
+
+
+class TestAccumulatorCasts:
+    def test_fig3_fp32_accum_over_int_result(self):
+        # bcu(FP32) += w(FP32) .* numsp(INT32): INT32 values cast into the
+        # FP32 multiply, result accumulated in FP32
+        w = grb.Matrix.from_coo(grb.FP32, 1, 1, [0], [0], [0.5])
+        numsp = grb.Matrix.from_coo(grb.INT32, 1, 1, [0], [0], [4])
+        bcu = grb.Matrix.from_coo(grb.FP32, 1, 1, [0], [0], [1.0])
+        grb.ewise_mult(
+            bcu, None, binary.PLUS[grb.FP32], binary.TIMES[grb.FP32], w, numsp
+        )
+        assert bcu.extract_element(0, 0) == np.float32(3.0)
+
+    def test_accum_output_cast_to_int_output(self):
+        A = grb.Matrix.from_coo(grb.FP64, 1, 1, [0], [0], [0.6])
+        C = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [10])
+        grb.apply(C, None, binary.PLUS[grb.FP64], unary.IDENTITY[grb.FP64], A)
+        # Z = plus(10.0, 0.6) = 10.6 -> trunc into INT64 C
+        assert C.extract_element(0, 0) == 10
+
+    def test_accum_domain_chain_is_validated(self):
+        T = grb.powerset_type()
+        U = grb.Matrix(T, 1, 1)
+        C = grb.Matrix(grb.INT64, 1, 1)
+        union = grb.binary_op_new(lambda a, b: a | b, T, T, T)
+        with pytest.raises(grb.DomainMismatch):
+            grb.apply(C, None, union, unary.IDENTITY[grb.INT64], C)
+        with pytest.raises(grb.DomainMismatch):
+            # UDT result cannot cast into builtin C
+            grb.apply(C, None, None, grb.unary_op_new(
+                lambda x: frozenset({x}), grb.INT64, T), C)
+
+
+class TestMaskValueCasts:
+    @pytest.mark.parametrize(
+        "domain,stored,expected_allowed",
+        [
+            (grb.INT32, [0, 7], [False, True]),
+            (grb.FP64, [0.0, -0.5], [False, True]),
+            (grb.BOOL, [False, True], [False, True]),
+            (grb.UINT8, [0, 255], [False, True]),
+        ],
+    )
+    def test_any_builtin_domain_masks(self, domain, stored, expected_allowed):
+        # Fig. 2b: "the domain of the Mask matrix must be of type bool or
+        # any 'built-in' GraphBLAS type"
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 1]])
+        M = grb.Matrix(domain, 1, 2)
+        M.set_element(0, 0, stored[0])
+        M.set_element(0, 1, stored[1])
+        C = grb.Matrix(grb.INT64, 1, 2)
+        grb.apply(C, M, None, unary.IDENTITY[grb.INT64], A, grb.DESC_R)
+        got = {(i, j) for i, j, _ in C}
+        want = {(0, k) for k in range(2) if expected_allowed[k]}
+        assert got == want
+
+    def test_fig3_numsp_as_mask(self):
+        # INT32 path counts used directly as a boolean write mask
+        numsp = grb.Matrix.from_coo(
+            grb.INT32, 2, 1, [0, 1], [0, 0], [3, 0]
+        )
+        A = grb.Matrix.from_dense(grb.INT64, [[1], [1]])
+        C = grb.Matrix(grb.INT64, 2, 1)
+        grb.apply(C, numsp, None, unary.IDENTITY[grb.INT64], A, grb.DESC_R)
+        # row 1's stored 0 casts to false: excluded
+        assert {(i, j) for i, j, _ in C} == {(0, 0)}
+
+
+class TestSetElementCasts:
+    def test_set_element_wraps(self):
+        v = grb.Vector(grb.INT8, 2)
+        v.set_element(0, 300)
+        assert v.extract_element(0) == 44
+
+    def test_set_element_truncates_floats(self):
+        v = grb.Vector(grb.INT32, 2)
+        v.set_element(0, -2.9)
+        assert v.extract_element(0) == -2
+
+    def test_assign_scalar_casts(self):
+        C = grb.Matrix(grb.INT16, 1, 1)
+        grb.matrix_assign_scalar(C, None, None, 70000, grb.ALL, grb.ALL)
+        assert C.extract_element(0, 0) == 70000 % 65536  # 4464: wraps mod 2^16

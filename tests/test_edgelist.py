@@ -1,0 +1,97 @@
+"""Edge-list text I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.io import read_edgelist, write_edgelist
+
+from tests.conftest import random_matrix
+
+
+class TestRead:
+    def test_unweighted(self):
+        A = read_edgelist(io.StringIO("0 1\n1 2\n# comment\n2 0\n"))
+        assert A.type is grb.BOOL
+        assert {(i, j) for i, j, _ in A} == {(0, 1), (1, 2), (2, 0)}
+
+    def test_weighted(self):
+        A = read_edgelist(io.StringIO("0 1 2.5\n1 0 0.5\n"))
+        assert A.type is grb.FP64
+        assert A.extract_element(0, 1) == 2.5
+
+    def test_size_from_max_vertex(self):
+        A = read_edgelist(io.StringIO("0 7\n"))
+        assert A.shape == (8, 8)
+
+    def test_explicit_size(self):
+        A = read_edgelist(io.StringIO("0 1\n"), n=100)
+        assert A.shape == (100, 100)
+
+    def test_percent_comments_and_blanks(self):
+        A = read_edgelist(io.StringIO("% header\n\n0 1\n"))
+        assert A.nvals() == 1
+
+    def test_duplicate_weighted_edges_summed(self):
+        A = read_edgelist(io.StringIO("0 1 1.0\n0 1 2.0\n"))
+        assert A.extract_element(0, 1) == 3.0
+
+    def test_duplicate_unweighted_edges_collapse(self):
+        A = read_edgelist(io.StringIO("0 1\n0 1\n"))
+        assert A.nvals() == 1
+
+    def test_mixed_rows_rejected(self):
+        with pytest.raises(grb.InvalidValue):
+            read_edgelist(io.StringIO("0 1\n1 2 3.0\n"))
+
+    def test_bad_column_count(self):
+        with pytest.raises(grb.InvalidValue):
+            read_edgelist(io.StringIO("0 1 2 3\n"))
+
+    def test_negative_vertex(self):
+        with pytest.raises(grb.InvalidValue):
+            read_edgelist(io.StringIO("-1 2\n"))
+
+    def test_empty_needs_size(self):
+        with pytest.raises(grb.InvalidValue):
+            read_edgelist(io.StringIO("# nothing\n"))
+        A = read_edgelist(io.StringIO(""), n=4)
+        assert A.shape == (4, 4) and A.nvals() == 0
+
+    def test_domain_override(self):
+        A = read_edgelist(io.StringIO("0 1 3.7\n"), domain=grb.INT32)
+        assert A.extract_element(0, 1) == 3
+
+
+class TestRoundTrip:
+    def test_weighted_round_trip(self, rng, tmp_path):
+        A = random_matrix(rng, 10, 10, 0.3, domain=grb.FP64)
+        p = tmp_path / "g.txt"
+        write_edgelist(p, A)
+        B = read_edgelist(p)
+        assert B.shape[0] >= max(
+            (max(i, j) for i, j, _ in A), default=0
+        )
+        got = {(i, j): float(v) for i, j, v in B}
+        want = {(i, j): float(v) for i, j, v in A}
+        assert got == want
+
+    def test_pattern_round_trip(self, tmp_path):
+        A = grb.Matrix.from_coo(
+            grb.BOOL, 5, 5, [0, 4], [4, 0], [True, True]
+        )
+        p = tmp_path / "p.txt"
+        write_edgelist(p, A)
+        B = read_edgelist(p, n=5)
+        assert {(i, j) for i, j, _ in A} == {(i, j) for i, j, _ in B}
+
+    def test_stringio_target(self, rng):
+        A = random_matrix(rng, 6, 6, 0.4)
+        buf = io.StringIO()
+        write_edgelist(buf, A)
+        B = read_edgelist(io.StringIO(buf.getvalue()), n=6, domain=grb.INT64)
+        assert {(i, j): int(v) for i, j, v in A} == {
+            (i, j): int(v) for i, j, v in B
+        }

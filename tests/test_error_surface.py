@@ -1,0 +1,164 @@
+"""Uniform error-surface checks across ALL operations.
+
+Section V requires every method to validate its arguments and return
+without changes on an API error; this file sweeps the entire operation
+surface with the same malformed-argument patterns rather than trusting
+each operation's individual tests to remember every case.
+"""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary, index_unary, unary
+
+S = predefined.PLUS_TIMES[grb.INT64]
+
+
+def _m(r=3, c=3):
+    return grb.Matrix(grb.INT64, r, c)
+
+
+def _v(n=3):
+    return grb.Vector(grb.INT64, n)
+
+
+#: (name, callable(C, A, B)) — every matrix-output operation with a
+#: standard (C, Mask, accum, ..., desc) shape
+MATRIX_OPS = [
+    ("mxm", lambda C, A, B: grb.mxm(C, None, None, S, A, B)),
+    ("ewise_add", lambda C, A, B: grb.ewise_add(C, None, None, binary.PLUS[grb.INT64], A, B)),
+    ("ewise_mult", lambda C, A, B: grb.ewise_mult(C, None, None, binary.TIMES[grb.INT64], A, B)),
+    ("ewise_union", lambda C, A, B: grb.ewise_union(C, None, None, binary.PLUS[grb.INT64], A, 0, B, 0)),
+    ("apply", lambda C, A, B: grb.apply(C, None, None, unary.IDENTITY[grb.INT64], A)),
+    ("select", lambda C, A, B: grb.select(C, None, None, index_unary.TRIL, A, 0)),
+    ("transpose", lambda C, A, B: grb.transpose(C, None, None, A)),
+    ("extract", lambda C, A, B: grb.matrix_extract(C, None, None, A, grb.ALL, grb.ALL)),
+    ("assign", lambda C, A, B: grb.matrix_assign(C, None, None, A, grb.ALL, grb.ALL)),
+    # argument validation precedes the dimension check, so the 3x3 output
+    # is fine for every malformed-argument case this file sweeps
+    ("kronecker", lambda C, A, B: grb.kronecker(C, None, None, binary.TIMES[grb.INT64], A, B)),
+]
+
+
+@pytest.mark.parametrize("name,op", MATRIX_OPS, ids=[n for n, _ in MATRIX_OPS])
+class TestUniformMatrixErrors:
+    def test_null_output_rejected(self, name, op):
+        with pytest.raises((grb.NullPointer, grb.InvalidValue)):
+            op(None, _m(), _m())
+
+    def test_null_input_rejected(self, name, op):
+        with pytest.raises((grb.NullPointer, grb.InvalidValue)):
+            op(_m(), None, _m())
+
+    def test_freed_output_rejected(self, name, op):
+        C = _m()
+        C.free()
+        with pytest.raises(grb.UninitializedObject):
+            op(C, _m(), _m())
+
+    def test_freed_input_rejected(self, name, op):
+        A = _m()
+        A.free()
+        with pytest.raises(grb.UninitializedObject):
+            op(_m(), A, _m())
+
+    def test_api_error_leaves_output_unchanged(self, name, op):
+        C = grb.Matrix.from_coo(grb.INT64, 3, 3, [1], [1], [42])
+        A = _m()
+        A.free()
+        with pytest.raises(grb.GraphBLASError):
+            op(C, A, _m())
+        assert {(i, j): int(v) for i, j, v in C} == {(1, 1): 42}
+
+    def test_nonblocking_api_error_is_immediate(self, name, op):
+        grb.init(grb.Mode.NONBLOCKING)
+        A = _m()
+        A.free()
+        with pytest.raises(grb.GraphBLASError):
+            op(_m(), A, _m())
+        assert grb.queue_stats()["enqueued"] == 0
+
+
+VECTOR_OPS = [
+    ("mxv", lambda w, u: grb.mxv(w, None, None, S, _m(), u)),
+    ("vxm", lambda w, u: grb.vxm(w, None, None, S, u, _m())),
+    ("ewise_add_v", lambda w, u: grb.ewise_add(w, None, None, binary.PLUS[grb.INT64], u, u)),
+    ("apply_v", lambda w, u: grb.apply(w, None, None, unary.IDENTITY[grb.INT64], u)),
+    ("extract_v", lambda w, u: grb.vector_extract(w, None, None, u, grb.ALL)),
+    ("assign_v", lambda w, u: grb.vector_assign(w, None, None, u, grb.ALL)),
+    ("reduce_v", lambda w, u: grb.reduce_to_vector(w, None, None, grb.monoid("GrB_PLUS_MONOID_INT64"), _m())),
+]
+
+
+@pytest.mark.parametrize("name,op", VECTOR_OPS, ids=[n for n, _ in VECTOR_OPS])
+class TestUniformVectorErrors:
+    def test_null_output_rejected(self, name, op):
+        with pytest.raises((grb.NullPointer, grb.InvalidValue)):
+            op(None, _v())
+
+    def test_freed_output_rejected(self, name, op):
+        w = _v()
+        w.free()
+        with pytest.raises(grb.UninitializedObject):
+            op(w, _v())
+
+
+class TestMaskErrorsEverywhere:
+    """Wrong-shaped masks must be rejected by every masked operation."""
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda M: grb.mxm(_m(), M, None, S, _m(), _m()),
+            lambda M: grb.ewise_add(_m(), M, None, binary.PLUS[grb.INT64], _m(), _m()),
+            lambda M: grb.apply(_m(), M, None, unary.IDENTITY[grb.INT64], _m()),
+            lambda M: grb.transpose(_m(), M, None, _m(3, 3)),
+            lambda M: grb.matrix_extract(_m(), M, None, _m(), grb.ALL, grb.ALL),
+            lambda M: grb.matrix_assign_scalar(_m(), M, None, 1, grb.ALL, grb.ALL),
+            lambda M: grb.select(_m(), M, None, index_unary.TRIL, _m(), 0),
+        ],
+    )
+    def test_wrong_shape_mask(self, call):
+        with pytest.raises(grb.DimensionMismatch):
+            call(grb.Matrix(grb.BOOL, 2, 5))
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda M: grb.mxv(_v(), M, None, S, _m(), _v()),
+            lambda M: grb.vxm(_v(), M, None, S, _v(), _m()),
+            lambda M: grb.vector_assign_scalar(_v(), M, None, 1, grb.ALL),
+        ],
+    )
+    def test_wrong_size_vector_mask(self, call):
+        with pytest.raises(grb.DimensionMismatch):
+            call(grb.Vector(grb.BOOL, 9))
+
+    def test_matrix_mask_on_vector_output(self):
+        with pytest.raises(grb.DimensionMismatch):
+            grb.mxv(_v(), grb.Matrix(grb.BOOL, 3, 3), None, S, _m(), _v())
+
+
+class TestAccumErrorsEverywhere:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda acc: grb.mxm(_m(), None, acc, S, _m(), _m()),
+            lambda acc: grb.ewise_add(_m(), None, acc, binary.PLUS[grb.INT64], _m(), _m()),
+            lambda acc: grb.apply(_m(), None, acc, unary.IDENTITY[grb.INT64], _m()),
+            lambda acc: grb.matrix_assign_scalar(_m(), None, acc, 1, grb.ALL, grb.ALL),
+        ],
+    )
+    def test_non_binaryop_accum_rejected(self, call):
+        with pytest.raises(grb.InvalidValue):
+            call("plus")
+
+    def test_udt_accum_domain_mismatch(self):
+        T = grb.powerset_type()
+        union = grb.binary_op_new(
+            lambda a, b: a | b, T, T, T, name="u"
+        )
+        with pytest.raises(grb.DomainMismatch):
+            grb.mxm(_m(), None, union, S, _m(), _m())

@@ -1,0 +1,168 @@
+"""``eWiseAdd`` (union) and ``eWiseMult`` (intersection) — Table II rows 4-5."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary
+
+from tests.conftest import random_matrix, random_vector
+
+
+class TestEWiseAddMatrix:
+    def test_union_semantics(self):
+        A = grb.Matrix.from_coo(grb.INT64, 2, 2, [0, 0], [0, 1], [1, 2])
+        B = grb.Matrix.from_coo(grb.INT64, 2, 2, [0, 1], [1, 1], [10, 20])
+        C = grb.Matrix(grb.INT64, 2, 2)
+        grb.ewise_add(C, None, None, binary.PLUS[grb.INT64], A, B)
+        assert {(i, j): int(v) for i, j, v in C} == {
+            (0, 0): 1,      # A only: copied through
+            (0, 1): 12,     # both: combined
+            (1, 1): 20,     # B only: copied through
+        }
+
+    def test_single_present_not_combined_with_identity(self):
+        # eWiseAdd copies single-present values; it does NOT apply the op
+        # against an implied zero (MINUS would negate if it did)
+        B = grb.Matrix.from_coo(grb.INT64, 1, 2, [0], [1], [7])
+        A = grb.Matrix(grb.INT64, 1, 2)
+        C = grb.Matrix(grb.INT64, 1, 2)
+        grb.ewise_add(C, None, None, binary.MINUS[grb.INT64], A, B)
+        assert C.extract_element(0, 1) == 7  # NOT -7
+
+    def test_fig3_numsp_accumulation(self):
+        # line 42: numsp += frontier via eWiseAdd with the Int32Add monoid
+        numsp = grb.Matrix.from_coo(grb.INT32, 3, 2, [0, 1], [0, 1], [1, 1])
+        frontier = grb.Matrix.from_coo(grb.INT32, 3, 2, [1, 2], [0, 1], [2, 3])
+        grb.ewise_add(
+            numsp, None, None, grb.monoid("GrB_PLUS_MONOID_INT32"),
+            numsp, frontier,
+        )
+        assert {(i, j): int(v) for i, j, v in numsp} == {
+            (0, 0): 1, (1, 0): 2, (1, 1): 1, (2, 1): 3,
+        }
+
+    def test_op_dispatch_semiring_uses_add(self):
+        A = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [3])
+        B = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [4])
+        C = grb.Matrix(grb.INT64, 1, 1)
+        grb.ewise_add(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        assert C.extract_element(0, 0) == 7  # ⊕, not ⊗
+
+    def test_random_vs_dense(self, rng):
+        A = random_matrix(rng, 8, 5, 0.4)
+        B = random_matrix(rng, 8, 5, 0.4)
+        C = grb.Matrix(grb.INT64, 8, 5)
+        grb.ewise_add(C, None, None, binary.PLUS[grb.INT64], A, B)
+        assert (C.to_dense(0) == A.to_dense(0) + B.to_dense(0)).all()
+
+    def test_transposed_input(self, rng):
+        A = random_matrix(rng, 5, 8, 0.4)
+        B = random_matrix(rng, 8, 5, 0.4)
+        C = grb.Matrix(grb.INT64, 8, 5)
+        grb.ewise_add(C, None, None, binary.PLUS[grb.INT64], A, B, grb.DESC_T0)
+        assert (C.to_dense(0) == A.to_dense(0).T + B.to_dense(0)).all()
+
+    def test_shape_mismatch(self):
+        A = grb.Matrix(grb.INT64, 2, 3)
+        B = grb.Matrix(grb.INT64, 3, 2)
+        C = grb.Matrix(grb.INT64, 2, 3)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.ewise_add(C, None, None, binary.PLUS[grb.INT64], A, B)
+
+
+class TestEWiseMultMatrix:
+    def test_intersection_semantics(self):
+        A = grb.Matrix.from_coo(grb.INT64, 2, 2, [0, 0], [0, 1], [2, 3])
+        B = grb.Matrix.from_coo(grb.INT64, 2, 2, [0, 1], [1, 1], [10, 20])
+        C = grb.Matrix(grb.INT64, 2, 2)
+        grb.ewise_mult(C, None, None, binary.TIMES[grb.INT64], A, B)
+        assert {(i, j): int(v) for i, j, v in C} == {(0, 1): 30}
+
+    def test_no_implied_zero_interaction(self):
+        # section II's point: ⊗ only touches the stored intersection, so
+        # DIV never sees a zero denominator from an absent element
+        A = grb.Matrix.from_coo(grb.FP64, 1, 2, [0, 0], [0, 1], [6.0, 8.0])
+        B = grb.Matrix.from_coo(grb.FP64, 1, 2, [0], [1], [2.0])
+        C = grb.Matrix(grb.FP64, 1, 2)
+        grb.ewise_mult(C, None, None, binary.DIV[grb.FP64], A, B)
+        assert C.nvals() == 1
+        assert C.extract_element(0, 1) == 4.0
+
+    def test_op_dispatch_semiring_uses_mult(self):
+        A = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [3])
+        B = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [4])
+        C = grb.Matrix(grb.INT64, 1, 1)
+        grb.ewise_mult(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        assert C.extract_element(0, 0) == 12  # ⊗
+
+    def test_fig3_tally_pattern(self):
+        # line 70: w<sigmas[i]> = bcu .* nspinv with replace
+        bcu = grb.Matrix.from_dense(grb.FP32, [[1.0, 2.0], [3.0, 4.0]])
+        nspinv = grb.Matrix.from_dense(grb.FP32, [[0.5, 0.5], [0.5, 0.5]])
+        sigma = grb.Matrix.from_coo(grb.BOOL, 2, 2, [0], [1], [True])
+        w = grb.Matrix.from_dense(grb.FP32, [[9.0, 9.0], [9.0, 9.0]])
+        grb.ewise_mult(w, sigma, None, binary.TIMES[grb.FP32], bcu, nspinv, grb.DESC_R)
+        assert {(i, j): float(v) for i, j, v in w} == {(0, 1): 1.0}
+
+    def test_accum_into_output(self):
+        # line 74: bcu += w .* numsp (accum PLUS, no mask)
+        bcu = grb.Matrix.from_dense(grb.FP32, [[1.0, 1.0]])
+        w = grb.Matrix.from_coo(grb.FP32, 1, 2, [0], [0], [2.5])
+        numsp = grb.Matrix.from_dense(grb.FP32, [[2.0, 2.0]])
+        grb.ewise_mult(
+            bcu, None, binary.PLUS[grb.FP32], binary.TIMES[grb.FP32], w, numsp
+        )
+        assert bcu.to_dense(0).tolist() == [[6.0, 1.0]]
+
+
+class TestEWiseVector:
+    def test_vector_add_and_mult(self, rng):
+        u = random_vector(rng, 10, 0.5)
+        v = random_vector(rng, 10, 0.5)
+        w = grb.Vector(grb.INT64, 10)
+        grb.ewise_add(w, None, None, binary.PLUS[grb.INT64], u, v)
+        assert (w.to_dense(0) == u.to_dense(0) + v.to_dense(0)).all()
+        grb.ewise_mult(w, None, None, binary.TIMES[grb.INT64], u, v)
+        u_pat = {i for i, _ in u}
+        v_pat = {i for i, _ in v}
+        assert {i for i, _ in w} == u_pat & v_pat
+
+    def test_vector_size_mismatch(self):
+        with pytest.raises(grb.DimensionMismatch):
+            grb.ewise_add(
+                grb.Vector(grb.INT64, 3), None, None, binary.PLUS[grb.INT64],
+                grb.Vector(grb.INT64, 3), grb.Vector(grb.INT64, 4),
+            )
+
+    def test_mixed_kind_rejected(self):
+        with pytest.raises(grb.InvalidValue):
+            grb.ewise_add(
+                grb.Vector(grb.INT64, 3), None, None, binary.PLUS[grb.INT64],
+                grb.Matrix(grb.INT64, 3, 3), grb.Vector(grb.INT64, 3),
+            )
+
+
+class TestCastingInEWise:
+    def test_cross_domain_inputs(self):
+        # INT32 and FP64 inputs through an FP64 op
+        A = grb.Matrix.from_coo(grb.INT32, 1, 2, [0, 0], [0, 1], [3, 5])
+        B = grb.Matrix.from_coo(grb.FP64, 1, 2, [0], [0], [0.5])
+        C = grb.Matrix(grb.FP64, 1, 2)
+        grb.ewise_add(C, None, None, binary.PLUS[grb.FP64], A, B)
+        assert C.extract_element(0, 0) == 3.5
+        assert C.extract_element(0, 1) == 5.0
+
+    def test_output_cast(self):
+        # FP64 result cast into an INT32 output (truncation)
+        A = grb.Matrix.from_coo(grb.FP64, 1, 1, [0], [0], [2.7])
+        B = grb.Matrix.from_coo(grb.FP64, 1, 1, [0], [0], [0.6])
+        C = grb.Matrix(grb.INT32, 1, 1)
+        grb.ewise_add(C, None, None, binary.PLUS[grb.FP64], A, B)
+        assert C.extract_element(0, 0) == 3  # trunc(3.3)
+
+    def test_invalid_op_type(self):
+        A = grb.Matrix(grb.INT64, 2, 2)
+        with pytest.raises(grb.InvalidValue):
+            grb.ewise_add(A, None, None, "plus", A, A)

@@ -1,0 +1,114 @@
+"""Error model (paper section V): GrB_Info codes, the two error classes,
+and the C-style last-error string."""
+
+import pytest
+
+from repro import info
+
+
+class TestInfoEnum:
+    def test_success_is_zero(self):
+        assert int(info.Info.SUCCESS) == 0
+
+    def test_no_value_is_not_an_error_class(self):
+        assert not info.Info.NO_VALUE.is_api_error
+        assert not info.Info.NO_VALUE.is_execution_error
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            info.Info.UNINITIALIZED_OBJECT,
+            info.Info.NULL_POINTER,
+            info.Info.INVALID_VALUE,
+            info.Info.INVALID_INDEX,
+            info.Info.DOMAIN_MISMATCH,
+            info.Info.DIMENSION_MISMATCH,
+            info.Info.OUTPUT_NOT_EMPTY,
+            info.Info.NOT_IMPLEMENTED,
+        ],
+    )
+    def test_api_error_codes(self, code):
+        assert code.is_api_error
+        assert not code.is_execution_error
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            info.Info.PANIC,
+            info.Info.OUT_OF_MEMORY,
+            info.Info.INSUFFICIENT_SPACE,
+            info.Info.INVALID_OBJECT,
+            info.Info.INDEX_OUT_OF_BOUNDS,
+            info.Info.EMPTY_OBJECT,
+        ],
+    )
+    def test_execution_error_codes(self, code):
+        assert code.is_execution_error
+        assert not code.is_api_error
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "cls,code",
+        [
+            (info.UninitializedObject, info.Info.UNINITIALIZED_OBJECT),
+            (info.NullPointer, info.Info.NULL_POINTER),
+            (info.InvalidValue, info.Info.INVALID_VALUE),
+            (info.InvalidIndex, info.Info.INVALID_INDEX),
+            (info.DomainMismatch, info.Info.DOMAIN_MISMATCH),
+            (info.DimensionMismatch, info.Info.DIMENSION_MISMATCH),
+            (info.OutputNotEmpty, info.Info.OUTPUT_NOT_EMPTY),
+            (info.NotImplementedInSpec, info.Info.NOT_IMPLEMENTED),
+        ],
+    )
+    def test_api_errors_carry_code(self, cls, code):
+        exc = cls("msg")
+        assert exc.info is code
+        assert isinstance(exc, info.ApiError)
+        assert isinstance(exc, info.GraphBLASError)
+
+    @pytest.mark.parametrize(
+        "cls,code",
+        [
+            (info.OutOfMemory, info.Info.OUT_OF_MEMORY),
+            (info.InsufficientSpace, info.Info.INSUFFICIENT_SPACE),
+            (info.InvalidObject, info.Info.INVALID_OBJECT),
+            (info.IndexOutOfBounds, info.Info.INDEX_OUT_OF_BOUNDS),
+            (info.EmptyObject, info.Info.EMPTY_OBJECT),
+            (info.Panic, info.Info.PANIC),
+        ],
+    )
+    def test_execution_errors_carry_code(self, cls, code):
+        exc = cls("msg")
+        assert exc.info is code
+        assert isinstance(exc, info.ExecutionError)
+
+    def test_api_and_execution_are_disjoint(self):
+        assert not issubclass(info.ApiError, info.ExecutionError)
+        assert not issubclass(info.ExecutionError, info.ApiError)
+
+    def test_no_value_is_not_graphblas_error(self):
+        # GrB_NO_VALUE is informational, not an error condition
+        assert not issubclass(info.NoValue, info.GraphBLASError)
+        assert info.NoValue("x").info is info.Info.NO_VALUE
+
+
+class TestLastError:
+    def test_error_string_records_last_raise(self):
+        info.clear_last_error()
+        assert info.error() == ""
+        info.DimensionMismatch("bad dims")
+        assert "DIMENSION_MISMATCH" in info.error()
+        assert "bad dims" in info.error()
+
+    def test_error_string_overwritten_by_newer(self):
+        info.DimensionMismatch("first")
+        info.DomainMismatch("second")
+        assert "second" in info.error()
+        assert "first" not in info.error()
+
+    def test_info_of_foreign_exception_is_panic(self):
+        assert info.info_of(ValueError("x")) is info.Info.PANIC
+
+    def test_info_of_graphblas_error(self):
+        assert info.info_of(info.DomainMismatch("x")) is info.Info.DOMAIN_MISMATCH

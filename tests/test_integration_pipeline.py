@@ -1,0 +1,117 @@
+"""End-to-end integration: a full analytics pipeline over one graph, with
+cross-consistency checks between independent algorithms.
+
+This is the downstream-user smoke test: file I/O → structure metrics →
+traversal → centrality, all on the same data, asserting the *relations*
+different algorithms must satisfy rather than re-deriving each oracle.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import algorithms as alg
+from repro.io import read_edgelist, rmat, serialize, deserialize, write_edgelist
+from repro.utils import is_symmetric, matrices_equal
+from repro.validation import check
+
+
+@pytest.fixture(scope="module")
+def pipeline_graph():
+    """An RMAT digraph shipped through edge-list text, as a user would."""
+    G = rmat(7, 6, seed=33)  # 128 vertices
+    buf = io.StringIO()
+    write_edgelist(buf, G, write_weights=False)
+    A = read_edgelist(io.StringIO(buf.getvalue()), n=128)
+    return A
+
+
+@pytest.fixture(scope="module")
+def sym(pipeline_graph):
+    U = grb.Matrix(grb.BOOL, 128, 128)
+    grb.ewise_add(U, None, None, grb.LOR, pipeline_graph, pipeline_graph, grb.DESC_T1)
+    S = grb.Matrix(grb.BOOL, 128, 128)
+    grb.select(S, None, None, grb.ops.index_unary.OFFDIAG, U, 0)
+    return S
+
+
+class TestPipelineConsistency:
+    def test_io_round_trip_preserved_graph(self, pipeline_graph):
+        B = deserialize(serialize(pipeline_graph))
+        assert matrices_equal(pipeline_graph, B)
+        check(B)
+
+    def test_symmetrization_is_symmetric(self, sym):
+        assert is_symmetric(sym)
+        check(sym)
+
+    def test_bfs_levels_agree_with_apsp_row(self, sym):
+        # unweighted shortest hops from vertex 0 two independent ways
+        lv = alg.bfs_levels(sym, 0)
+        D = alg.apsp(sym)
+        got = {i: int(v) for i, v in lv}
+        for j in range(128):
+            if j in got:
+                assert D[0, j] == got[j]
+            else:
+                assert D[0, j] == np.inf
+
+    def test_triangle_count_consistent_with_lcc(self, sym):
+        tri_total = alg.triangle_count(sym)
+        lcc = alg.local_clustering_coefficient(sym)
+        deg = np.diff(sym.csr().indptr).astype(float)
+        per_vertex = lcc * deg * (deg - 1.0) / 2.0
+        assert round(per_vertex.sum()) == 3 * tri_total
+
+    def test_components_refine_scc(self, sym):
+        # on a symmetric graph, SCCs equal weak components
+        wcc = alg.connected_components(sym)
+        scc = alg.strongly_connected_components(sym)
+        assert (wcc == scc).all()
+
+    def test_core_numbers_bound_truss_membership(self, sym):
+        cores = alg.core_numbers(sym)
+        T = alg.k_truss(sym, 4)
+        # every 4-truss member has core number >= 3 (k-truss ⊆ (k-1)-core)
+        members = {int(i) for i, _, _ in T} | {int(j) for _, j, _ in T}
+        for v in members:
+            assert cores[v] >= 3
+
+    def test_bc_zero_on_leaves(self, sym):
+        deg = np.diff(sym.csr().indptr)
+        bc = alg.betweenness_centrality(sym, batch_size=32)
+        # degree-1 vertices of a symmetric graph carry no shortest paths
+        for v in np.nonzero(deg == 1)[0]:
+            assert bc[v] == pytest.approx(0.0, abs=1e-5)
+
+    def test_mis_and_coloring_consistent(self, sym):
+        colors = alg.greedy_coloring(sym, seed=4)
+        # each color class is an independent set; class 0 is maximal
+        rows, cols, _ = sym.extract_tuples()
+        for i, j in zip(rows, cols):
+            assert colors[i] != colors[j]
+
+    def test_pagerank_mass_on_components(self, sym):
+        pr = alg.pagerank(sym)
+        assert pr.sum() == pytest.approx(1.0)
+        assert (pr > 0).all()  # symmetric graph: every vertex reachable mass
+
+    def test_everything_still_valid(self, pipeline_graph, sym):
+        check(pipeline_graph)
+        check(sym)
+
+
+class TestPipelineNonblocking:
+    def test_same_pipeline_in_nonblocking_mode(self):
+        grb.init(grb.Mode.NONBLOCKING)
+        G = rmat(6, 6, seed=34)
+        U = grb.Matrix(grb.BOOL, 64, 64)
+        grb.ewise_add(U, None, None, grb.LOR, G, G, grb.DESC_T1)
+        tri = alg.triangle_count(U)
+        lv = alg.bfs_levels(U, 0)
+        cores = alg.core_numbers(U)
+        assert tri >= 0 and lv.nvals() >= 1 and len(cores) == 64
+        grb.wait()
+        check(U)

@@ -1,0 +1,312 @@
+"""``GrB_mxm`` (Fig. 2): semantics, descriptor variants, masks,
+accumulators, and every documented error condition."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary
+
+from tests.conftest import random_matrix
+
+
+def dense_mxm(Ad, Bd, add=np.add, mul=np.multiply, zero=0):
+    """Dense oracle with explicit implied zero (for plus_times only)."""
+    return Ad @ Bd
+
+
+class TestBasicProduct:
+    def test_small_known_product(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 2], [0, 3]])
+        B = grb.Matrix.from_dense(grb.INT64, [[4, 0], [5, 6]])
+        C = grb.Matrix(grb.INT64, 2, 2)
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        assert (C.to_dense(0) == np.array([[14, 12], [15, 18]])).all()
+
+    def test_random_vs_numpy(self, rng):
+        for _ in range(5):
+            m, k, n = rng.integers(1, 12, 3)
+            A = random_matrix(rng, m, k, 0.4)
+            B = random_matrix(rng, k, n, 0.4)
+            C = grb.Matrix(grb.INT64, m, n)
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+            expect = A.to_dense(0) @ B.to_dense(0)
+            assert (C.to_dense(0) == expect).all()
+
+    def test_result_pattern_excludes_structural_zeros_only(self):
+        # a computed 0 (e.g. 1*2 + (-1)*2) IS stored: no implied zeros
+        A = grb.Matrix.from_dense(grb.INT64, [[1, -1]])
+        B = grb.Matrix.from_dense(grb.INT64, [[2], [2]])
+        C = grb.Matrix(grb.INT64, 1, 1)
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        assert C.nvals() == 1
+        assert C.extract_element(0, 0) == 0
+
+    def test_empty_inputs_give_empty_result(self):
+        A = grb.Matrix(grb.INT64, 3, 3)
+        B = grb.Matrix(grb.INT64, 3, 3)
+        C = grb.Matrix(grb.INT64, 3, 3)
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        assert C.nvals() == 0
+
+    def test_no_mask_overwrites_old_content(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 0], [0, 1]])
+        C = grb.Matrix.from_dense(grb.INT64, [[9, 9], [9, 9]])
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, A)
+        assert (C.to_dense(0) == np.eye(2, dtype=int)).all()
+
+    def test_output_aliases_input(self):
+        # Fig. 3 line 43 does mxm(&frontier, ..., A, frontier, ...)
+        A = grb.Matrix.from_dense(grb.INT64, [[0, 1], [1, 0]])
+        B = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        expect = A.to_dense(0) @ B.to_dense(0)
+        grb.mxm(B, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        assert (B.to_dense(0) == expect).all()
+
+
+class TestSemiringVariety:
+    def test_min_plus_shortest_path_step(self):
+        inf = np.inf
+        D = np.array([[0.0, 2.0, inf], [inf, 0.0, 3.0], [inf, inf, 0.0]])
+        A = grb.Matrix.from_dense(grb.FP64, D, implied_zero=inf)
+        C = grb.Matrix(grb.FP64, 3, 3)
+        grb.mxm(C, None, None, predefined.MIN_PLUS[grb.FP64], A, A)
+        got = C.to_dense(inf)
+        # min-plus square: 2-hop distances
+        expect = np.full((3, 3), inf)
+        for i in range(3):
+            for j in range(3):
+                expect[i, j] = min(D[i, k] + D[k, j] for k in range(3))
+        assert (got == expect).all()
+
+    def test_lor_land_reachability(self):
+        A = grb.Matrix.from_dense(grb.BOOL, [[0, 1, 0], [0, 0, 1], [0, 0, 0]])
+        C = grb.Matrix(grb.BOOL, 3, 3)
+        grb.mxm(C, None, None, predefined.LOR_LAND[grb.BOOL], A, A)
+        assert {(i, j) for i, j, v in C if v} == {(0, 2)}
+
+    def test_gf2_mxm(self):
+        # xor-and: matrix product over GF(2)
+        A = grb.Matrix.from_dense(grb.BOOL, [[1, 1], [0, 1]])
+        C = grb.Matrix(grb.BOOL, 2, 2)
+        grb.mxm(C, None, None, predefined.LXOR_LAND[grb.BOOL], A, A)
+        got = C.to_dense(False).astype(int)
+        expect = (np.array([[1, 1], [0, 1]]) @ np.array([[1, 1], [0, 1]])) % 2
+        # xor-and result: pattern holds computed values incl. explicit 0s
+        assert (got == expect).all()
+
+    def test_plus_pair_counts_intersections(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 7], [0, 5]])
+        C = grb.Matrix(grb.INT64, 2, 2)
+        grb.mxm(C, None, None, predefined.PLUS_PAIR[grb.INT64], A, A)
+        # pair ignores values: counts index-intersections
+        assert C.extract_element(0, 1) == 2  # k=0 and k=1 both contribute 1
+
+
+class TestDescriptorTransposes:
+    @pytest.mark.parametrize("t0", [False, True])
+    @pytest.mark.parametrize("t1", [False, True])
+    def test_all_transpose_combinations(self, rng, t0, t1):
+        A = random_matrix(rng, 5, 7, 0.5)
+        B = random_matrix(rng, 7, 4, 0.5)
+        Ad, Bd = A.to_dense(0), B.to_dense(0)
+        Ax = Ad.T if t0 else Ad
+        Bx = Bd.T if t1 else Bd
+        if Ax.shape[1] != Bx.shape[0]:
+            A2 = random_matrix(rng, 7, 5, 0.5) if t0 else A
+            B2 = random_matrix(rng, 4, 7, 0.5) if t1 else B
+            A, B = A2, B2
+            Ad, Bd = A.to_dense(0), B.to_dense(0)
+            Ax = Ad.T if t0 else Ad
+            Bx = Bd.T if t1 else Bd
+        d = grb.Descriptor()
+        if t0:
+            d.set(grb.INP0, grb.TRAN)
+        if t1:
+            d.set(grb.INP1, grb.TRAN)
+        C = grb.Matrix(grb.INT64, Ax.shape[0], Bx.shape[1])
+        grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B, d)
+        assert (C.to_dense(0) == Ax @ Bx).all()
+
+
+class TestMasks:
+    @staticmethod
+    def _setup(rng):
+        A = random_matrix(rng, 6, 6, 0.5)
+        B = random_matrix(rng, 6, 6, 0.5)
+        M = random_matrix(rng, 6, 6, 0.4, domain=grb.BOOL)
+        Cinit = random_matrix(rng, 6, 6, 0.3)
+        product = A.to_dense(0) @ B.to_dense(0)
+        return A, B, M, Cinit, product
+
+    def test_mask_merge_mode(self, rng):
+        A, B, M, Cinit, product = self._setup(rng)
+        C = Cinit.dup()
+        grb.mxm(C, M, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        mask_true = {(i, j) for i, j, v in M if v}
+        got = {(i, j): int(v) for i, j, v in C}
+        old = {(i, j): int(v) for i, j, v in Cinit}
+        prod_pattern = {
+            (i, j)
+            for i in range(6)
+            for j in range(6)
+            # T's pattern: positions with at least one contributing pair
+            if any(
+                (i, k) in {(a, b) for a, b, _ in A}
+                and (k, j) in {(a, b) for a, b, _ in B}
+                for k in range(6)
+            )
+        }
+        for pos in got:
+            if pos in mask_true and pos in prod_pattern:
+                assert got[pos] == product[pos]
+            else:
+                assert got[pos] == old[pos]
+        # outside the mask, old C entries persist
+        for pos, v in old.items():
+            if pos not in mask_true:
+                assert got[pos] == v
+
+    def test_mask_replace_mode(self, rng):
+        A, B, M, Cinit, product = self._setup(rng)
+        C = Cinit.dup()
+        grb.mxm(C, M, None, predefined.PLUS_TIMES[grb.INT64], A, B, grb.DESC_R)
+        mask_true = {(i, j) for i, j, v in M if v}
+        got = {(i, j): int(v) for i, j, v in C}
+        assert set(got) <= mask_true  # everything outside mask deleted
+
+    def test_structural_complement(self, rng):
+        A, B, M, Cinit, product = self._setup(rng)
+        C1 = grb.Matrix(grb.INT64, 6, 6)
+        C2 = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(C1, M, None, predefined.PLUS_TIMES[grb.INT64], A, B, grb.DESC_R)
+        grb.mxm(C2, M, None, predefined.PLUS_TIMES[grb.INT64], A, B, grb.DESC_RSC)
+        p1 = {(i, j) for i, j, _ in C1}
+        p2 = {(i, j) for i, j, _ in C2}
+        assert not (p1 & p2)  # disjoint
+        # together they cover the unmasked product pattern
+        C3 = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(C3, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        assert p1 | p2 == {(i, j) for i, j, _ in C3}
+
+    def test_mask_value_vs_structure(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 1], [1, 1]])
+        # mask stores a false: value-mask excludes it, structure-mask includes
+        M = grb.Matrix(grb.BOOL, 2, 2)
+        M.set_element(0, 0, False)
+        M.set_element(0, 1, True)
+        Cv = grb.Matrix(grb.INT64, 2, 2)
+        grb.mxm(Cv, M, None, predefined.PLUS_TIMES[grb.INT64], A, A, grb.DESC_R)
+        assert {(i, j) for i, j, _ in Cv} == {(0, 1)}
+        Cs = grb.Matrix(grb.INT64, 2, 2)
+        d = grb.Descriptor().set(grb.MASK, grb.STRUCTURE).set(grb.OUTP, grb.REPLACE)
+        grb.mxm(Cs, M, None, predefined.PLUS_TIMES[grb.INT64], A, A, d)
+        assert {(i, j) for i, j, _ in Cs} == {(0, 0), (0, 1)}
+
+    def test_int_matrix_as_mask_casts_to_bool(self):
+        # Fig. 3 passes INT32 numsp as the mask: nonzero = true
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 1], [1, 1]])
+        M = grb.Matrix.from_coo(grb.INT32, 2, 2, [0, 1], [0, 1], [0, 7])
+        C = grb.Matrix(grb.INT64, 2, 2)
+        grb.mxm(C, M, None, predefined.PLUS_TIMES[grb.INT64], A, A, grb.DESC_R)
+        assert {(i, j) for i, j, _ in C} == {(1, 1)}
+
+
+class TestAccumulator:
+    def test_accum_merges_with_old_content(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 0], [0, 1]])
+        C = grb.Matrix.from_dense(grb.INT64, [[5, 3], [0, 0]])
+        grb.mxm(C, None, binary.PLUS[grb.INT64], predefined.PLUS_TIMES[grb.INT64], A, A)
+        # T = I; Z = C + T on intersection, union elsewhere
+        assert C.to_dense(0).tolist() == [[6, 3], [0, 1]]
+        assert C.nvals() == 3  # (1,0) has no element in either
+
+    def test_accum_minus_is_order_sensitive(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[2]])
+        C = grb.Matrix.from_dense(grb.INT64, [[10]])
+        grb.mxm(C, None, binary.MINUS[grb.INT64], predefined.PLUS_TIMES[grb.INT64], A, A)
+        assert C.extract_element(0, 0) == 6  # C - T = 10 - 4
+
+    def test_accum_with_mask_keeps_outside(self, rng):
+        A = random_matrix(rng, 5, 5, 0.5)
+        M = random_matrix(rng, 5, 5, 0.5, domain=grb.BOOL)
+        Cinit = random_matrix(rng, 5, 5, 0.6)
+        C = Cinit.dup()
+        grb.mxm(C, M, binary.PLUS[grb.INT64], predefined.PLUS_TIMES[grb.INT64], A, A)
+        mask_true = {(i, j) for i, j, v in M if v}
+        old = {(i, j): int(v) for i, j, v in Cinit}
+        got = {(i, j): int(v) for i, j, v in C}
+        for pos, v in old.items():
+            if pos not in mask_true:
+                assert got[pos] == v
+
+
+class TestErrorConditions:
+    """The return-value table of Fig. 2c, as exceptions."""
+
+    def _args(self):
+        A = grb.Matrix(grb.INT64, 3, 4)
+        B = grb.Matrix(grb.INT64, 4, 2)
+        C = grb.Matrix(grb.INT64, 3, 2)
+        return C, A, B
+
+    def test_success_path(self):
+        C, A, B = self._args()
+        assert grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B) is C
+
+    def test_null_pointer(self):
+        _, A, B = self._args()
+        with pytest.raises(grb.NullPointer):
+            grb.mxm(None, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+
+    def test_uninitialized_object(self):
+        C, A, B = self._args()
+        A.free()
+        with pytest.raises(grb.UninitializedObject):
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+
+    def test_dimension_mismatch_inner(self):
+        C, A, B = self._args()
+        bad = grb.Matrix(grb.INT64, 5, 2)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, bad)
+
+    def test_dimension_mismatch_output(self):
+        _, A, B = self._args()
+        bad_c = grb.Matrix(grb.INT64, 2, 2)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.mxm(bad_c, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+
+    def test_dimension_mismatch_mask(self):
+        C, A, B = self._args()
+        mask = grb.Matrix(grb.BOOL, 2, 3)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.mxm(C, mask, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+
+    def test_domain_mismatch_udt_input(self):
+        C, A, B = self._args()
+        T = grb.powerset_type()
+        U = grb.Matrix(T, 4, 2)
+        with pytest.raises(grb.DomainMismatch):
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, U)
+
+    def test_domain_mismatch_udt_mask(self):
+        C, A, B = self._args()
+        T = grb.powerset_type()
+        M = grb.Matrix(T, 3, 2)
+        with pytest.raises(grb.DomainMismatch):
+            grb.mxm(C, M, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+
+    def test_not_a_semiring(self):
+        C, A, B = self._args()
+        with pytest.raises(grb.InvalidValue):
+            grb.mxm(C, None, None, binary.PLUS[grb.INT64], A, B)
+
+    def test_error_leaves_output_untouched(self):
+        # section V: on API error the method makes no changes
+        C = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        A = grb.Matrix(grb.INT64, 3, 3)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, A)
+        assert C.to_dense(0).tolist() == [[1, 2], [3, 4]]

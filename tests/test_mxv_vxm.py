@@ -1,0 +1,135 @@
+"""``GrB_mxv`` and ``GrB_vxm`` (Table II rows 2-3)."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary
+
+from tests.conftest import random_matrix, random_vector
+
+
+class TestMxv:
+    def test_identity_times_vector(self):
+        A = grb.Matrix.from_dense(grb.INT64, np.eye(3, dtype=int))
+        u = grb.Vector.from_coo(grb.INT64, 3, [0, 2], [5, 7])
+        w = grb.Vector(grb.INT64, 3)
+        grb.mxv(w, None, None, predefined.PLUS_TIMES[grb.INT64], A, u)
+        assert w.to_dense(0).tolist() == [5, 0, 7]
+
+    def test_random_vs_numpy(self, rng):
+        for _ in range(5):
+            m, n = rng.integers(2, 15, 2)
+            A = random_matrix(rng, m, n, 0.4)
+            u = random_vector(rng, n, 0.5)
+            w = grb.Vector(grb.INT64, m)
+            grb.mxv(w, None, None, predefined.PLUS_TIMES[grb.INT64], A, u)
+            assert (w.to_dense(0) == A.to_dense(0) @ u.to_dense(0)).all()
+
+    def test_result_pattern_follows_intersections(self):
+        # rows with no stored intersection produce NO output element
+        A = grb.Matrix.from_coo(grb.INT64, 3, 3, [0], [0], [5])
+        u = grb.Vector.from_coo(grb.INT64, 3, [1], [9])  # misses column 0
+        w = grb.Vector(grb.INT64, 3)
+        grb.mxv(w, None, None, predefined.PLUS_TIMES[grb.INT64], A, u)
+        assert w.nvals() == 0
+
+    def test_transpose_descriptor(self, rng):
+        A = random_matrix(rng, 4, 6, 0.5)
+        u = random_vector(rng, 4, 0.6)
+        w = grb.Vector(grb.INT64, 6)
+        grb.mxv(w, None, None, predefined.PLUS_TIMES[grb.INT64], A, u, grb.DESC_T0)
+        assert (w.to_dense(0) == A.to_dense(0).T @ u.to_dense(0)).all()
+
+    def test_dimension_errors(self):
+        A = grb.Matrix(grb.INT64, 3, 4)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.mxv(
+                grb.Vector(grb.INT64, 3), None, None,
+                predefined.PLUS_TIMES[grb.INT64], A, grb.Vector(grb.INT64, 3),
+            )
+        with pytest.raises(grb.DimensionMismatch):
+            grb.mxv(
+                grb.Vector(grb.INT64, 4), None, None,
+                predefined.PLUS_TIMES[grb.INT64], A, grb.Vector(grb.INT64, 4),
+            )
+
+    def test_mask_and_accum(self, rng):
+        A = random_matrix(rng, 5, 5, 0.6)
+        u = random_vector(rng, 5, 0.6)
+        w = grb.Vector.from_coo(grb.INT64, 5, [0, 1, 2, 3, 4], [100] * 5)
+        m = grb.Vector.from_coo(grb.BOOL, 5, [0, 2], [True, True])
+        grb.mxv(w, m, binary.PLUS[grb.INT64], predefined.PLUS_TIMES[grb.INT64], A, u)
+        prod = A.to_dense(0) @ u.to_dense(0)
+        dense = w.to_dense(0)
+        a_pat = {(i, j) for i, j, _ in A}
+        u_pat = {i for i, _ in u}
+        t_pat = {i for i in range(5) if any((i, k) in a_pat for k in u_pat)}
+        for i in range(5):
+            if i in (0, 2) and i in t_pat:
+                assert dense[i] == 100 + prod[i]
+            else:
+                assert dense[i] == 100
+
+
+class TestVxm:
+    def test_row_vector_times_matrix(self, rng):
+        A = random_matrix(rng, 5, 7, 0.5)
+        u = random_vector(rng, 5, 0.5)
+        w = grb.Vector(grb.INT64, 7)
+        grb.vxm(w, None, None, predefined.PLUS_TIMES[grb.INT64], u, A)
+        assert (w.to_dense(0) == u.to_dense(0) @ A.to_dense(0)).all()
+
+    def test_transpose_descriptor_inp1(self, rng):
+        A = random_matrix(rng, 5, 7, 0.5)
+        u = random_vector(rng, 7, 0.5)
+        w = grb.Vector(grb.INT64, 5)
+        grb.vxm(w, None, None, predefined.PLUS_TIMES[grb.INT64], u, A, grb.DESC_T1)
+        assert (w.to_dense(0) == u.to_dense(0) @ A.to_dense(0).T).all()
+
+    def test_vxm_equals_mxv_of_transpose(self, rng):
+        A = random_matrix(rng, 6, 6, 0.5)
+        u = random_vector(rng, 6, 0.5)
+        w1 = grb.Vector(grb.INT64, 6)
+        w2 = grb.Vector(grb.INT64, 6)
+        grb.vxm(w1, None, None, predefined.PLUS_TIMES[grb.INT64], u, A)
+        grb.mxv(w2, None, None, predefined.PLUS_TIMES[grb.INT64], A, u, grb.DESC_T0)
+        assert (w1.to_dense(0) == w2.to_dense(0)).all()
+        i1, v1 = w1.extract_tuples()
+        i2, v2 = w2.extract_tuples()
+        assert i1.tolist() == i2.tolist()
+
+    def test_noncommutative_multiply_order(self):
+        # vxm must compute u(i) ⊗ A(i,j), not A(i,j) ⊗ u(i)
+        A = grb.Matrix.from_coo(grb.INT64, 2, 2, [0], [1], [3])
+        u = grb.Vector.from_coo(grb.INT64, 2, [0], [10])
+        s = grb.semiring_new(
+            grb.monoid("GrB_PLUS_MONOID_INT64"), binary.FIRST[grb.INT64]
+        )
+        w = grb.Vector(grb.INT64, 2)
+        grb.vxm(w, None, None, s, u, A)
+        assert w.extract_element(1) == 10  # FIRST(u, a) = u
+
+        s2 = grb.semiring_new(
+            grb.monoid("GrB_PLUS_MONOID_INT64"), binary.SECOND[grb.INT64]
+        )
+        grb.vxm(w, None, None, s2, u, A)
+        assert w.extract_element(1) == 3  # SECOND(u, a) = a
+
+    def test_bfs_step_lor_land(self):
+        # one frontier expansion: the core of every BFS
+        A = grb.Matrix.from_coo(
+            grb.BOOL, 4, 4, [0, 1, 2], [1, 2, 3], [True] * 3
+        )
+        f = grb.Vector.from_coo(grb.BOOL, 4, [0], [True])
+        grb.vxm(f, None, None, predefined.LOR_LAND[grb.BOOL], f, A)
+        assert {i for i, v in f if v} == {1}
+
+    def test_dimension_errors(self):
+        A = grb.Matrix(grb.INT64, 3, 4)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.vxm(
+                grb.Vector(grb.INT64, 4), None, None,
+                predefined.PLUS_TIMES[grb.INT64], grb.Vector(grb.INT64, 4), A,
+            )

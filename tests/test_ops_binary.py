@@ -1,0 +1,191 @@
+"""Predefined binary operators (paper Table IV and Fig. 1's F_b)."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.ops import binary
+from repro.types import BUILTIN_TYPES, FLOAT_TYPES, INTEGER_TYPES
+
+
+class TestRegistryNames:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "GrB_PLUS_INT32",
+            "GrB_TIMES_INT32",
+            "GrB_PLUS_FP32",
+            "GrB_TIMES_FP32",
+            "GrB_MIN_UINT8",
+            "GrB_MAX_FP64",
+            "GrB_LAND",
+            "GrB_LOR",
+            "GrB_LXOR",
+            "GrB_EQ_INT64",
+            "GrB_FIRST_BOOL",
+            "GrB_SECOND_FP64",
+        ],
+    )
+    def test_spec_names_resolve(self, name):
+        op = grb.binary_op(name)
+        assert op.name == name
+
+    def test_short_name_resolves(self):
+        assert grb.binary_op("PLUS_INT32") is grb.binary_op("GrB_PLUS_INT32")
+
+    def test_unknown_raises(self):
+        with pytest.raises(grb.InvalidValue):
+            grb.binary_op("GrB_FROBNICATE_INT32")
+
+    def test_family_indexing(self):
+        assert binary.PLUS[grb.INT32] is grb.binary_op("GrB_PLUS_INT32")
+
+    def test_family_missing_domain(self):
+        T = grb.type_new("T", frozenset)
+        with pytest.raises(grb.DomainMismatch):
+            binary.PLUS[T]
+
+    def test_logical_families_bool_only(self):
+        # core spec: GrB_LAND et al. are BOOL operators
+        assert binary.LAND.d_in1 is grb.BOOL
+        assert binary.LXNOR.d_out is grb.BOOL
+
+
+class TestArithmetic:
+    def test_plus_wraps_like_c(self):
+        op = binary.PLUS[grb.INT8]
+        assert op(127, 1) == np.int8(-128)
+
+    def test_times(self):
+        assert binary.TIMES[grb.INT32](6, 7) == 42
+        assert binary.TIMES[grb.FP64](0.5, 8.0) == 4.0
+
+    def test_minus_and_rminus(self):
+        assert binary.MINUS[grb.INT32](10, 3) == 7
+        assert binary.RMINUS[grb.INT32](10, 3) == -7
+
+    def test_boolean_collapse(self):
+        # PLUS=∨, TIMES=∧, MINUS=xor on BOOL
+        assert binary.PLUS[grb.BOOL](True, True) == True  # noqa: E712
+        assert binary.TIMES[grb.BOOL](True, False) == False  # noqa: E712
+        assert binary.MINUS[grb.BOOL](True, True) == False  # noqa: E712
+
+    def test_first_second_pair(self):
+        assert binary.FIRST[grb.INT32](3, 9) == 3
+        assert binary.SECOND[grb.INT32](3, 9) == 9
+        assert binary.PAIR[grb.INT32](3, 9) == 1
+
+    def test_min_max_integers(self):
+        assert binary.MIN[grb.INT32](-5, 2) == -5
+        assert binary.MAX[grb.INT32](-5, 2) == 2
+
+    def test_min_max_float_nan_omitting(self):
+        # fmin/fmax semantics: NaN loses to a number (C fminf)
+        assert binary.MIN[grb.FP64](np.nan, 2.0) == 2.0
+        assert binary.MAX[grb.FP64](np.nan, 2.0) == 2.0
+
+
+class TestDivision:
+    def test_int_div_truncates_toward_zero(self):
+        op = binary.DIV[grb.INT32]
+        assert op(7, 2) == 3
+        assert op(-7, 2) == -3  # C trunc, not Python floor (-4)
+        assert op(7, -2) == -3
+        assert op(-7, -2) == 3
+
+    def test_int_div_by_zero_is_zero(self):
+        assert binary.DIV[grb.INT32](5, 0) == 0
+        assert binary.RDIV[grb.INT32](0, 5) == 0
+
+    def test_float_div_ieee(self):
+        assert binary.DIV[grb.FP64](1.0, 0.0) == np.inf
+        assert binary.DIV[grb.FP64](-1.0, 0.0) == -np.inf
+        assert np.isnan(binary.DIV[grb.FP64](0.0, 0.0))
+
+    def test_rdiv_swaps(self):
+        assert binary.RDIV[grb.FP64](2.0, 10.0) == 5.0
+
+    def test_unsigned_div(self):
+        assert binary.DIV[grb.UINT8](200, 3) == 66
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("t", BUILTIN_TYPES)
+    def test_comparison_output_domain_is_bool(self, t):
+        assert binary.EQ[t].d_out is grb.BOOL
+        assert binary.LT[t].d_out is grb.BOOL
+
+    def test_eq_ne(self):
+        assert binary.EQ[grb.INT32](3, 3) == True  # noqa: E712
+        assert binary.NE[grb.INT32](3, 3) == False  # noqa: E712
+
+    def test_ordering(self):
+        assert binary.LT[grb.FP64](1.0, 2.0) == True  # noqa: E712
+        assert binary.GE[grb.FP64](1.0, 2.0) == False  # noqa: E712
+        assert binary.LE[grb.INT8](-1, -1) == True  # noqa: E712
+        assert binary.GT[grb.UINT8](5, 4) == True  # noqa: E712
+
+    def test_bool_eq_is_associative_xnor(self):
+        assert binary.EQ[grb.BOOL].associative
+        assert binary.NE[grb.BOOL].associative
+        assert not binary.EQ[grb.INT32].associative
+
+
+class TestBitwise:
+    def test_bitwise_families_integer_only(self):
+        assert grb.BOOL not in binary.BOR
+        assert all(t in binary.BOR for t in INTEGER_TYPES)
+
+    def test_bor_band_bxor(self):
+        assert binary.BOR[grb.UINT8](0b1100, 0b1010) == 0b1110
+        assert binary.BAND[grb.UINT8](0b1100, 0b1010) == 0b1000
+        assert binary.BXOR[grb.UINT8](0b1100, 0b1010) == 0b0110
+
+    def test_bxnor(self):
+        assert binary.BXNOR[grb.UINT8](0b1100, 0b1010) == 0b11111001
+
+
+class TestArrayScalarAgreement:
+    """The scalar fn must agree bit-for-bit with the vectorized path."""
+
+    @pytest.mark.parametrize(
+        "fam",
+        [binary.PLUS, binary.MINUS, binary.TIMES, binary.DIV, binary.MIN,
+         binary.MAX, binary.FIRST, binary.SECOND, binary.PAIR],
+    )
+    @pytest.mark.parametrize("t", [grb.INT8, grb.INT64, grb.FP32, grb.BOOL])
+    def test_agreement(self, fam, t, rng):
+        op = fam[t]
+        if t.is_bool:
+            x = rng.integers(0, 2, 20).astype(bool)
+            y = rng.integers(0, 2, 20).astype(bool)
+        elif t.is_integral:
+            x = rng.integers(-100, 100, 20).astype(t.np_dtype)
+            y = rng.integers(-100, 100, 20).astype(t.np_dtype)
+        else:
+            x = rng.uniform(-5, 5, 20).astype(t.np_dtype)
+            y = rng.uniform(-5, 5, 20).astype(t.np_dtype)
+        arr = op.apply_arrays(x, y)
+        for k in range(len(x)):
+            assert op(x[k], y[k]) == arr[k], (op.name, x[k], y[k])
+
+
+class TestUserDefined:
+    def test_binary_op_new(self):
+        op = grb.binary_op_new(
+            lambda a, b: a * 10 + b, grb.INT64, grb.INT64, grb.INT64,
+            name="digit_append",
+        )
+        assert op(3, 7) == 37
+        assert op.d_out is grb.INT64
+
+    def test_user_op_array_fallback(self):
+        op = grb.binary_op_new(
+            lambda a, b: max(a, b) - min(a, b), grb.INT64, grb.INT64, grb.INT64
+        )
+        out = op.apply_arrays(np.array([5, 1]), np.array([2, 9]))
+        assert out.tolist() == [3, 8]
+
+    def test_power_ops(self):
+        assert binary.POW[grb.FP64](2.0, 10.0) == 1024.0
+        assert binary.POW[grb.INT32](3, 4) == 81

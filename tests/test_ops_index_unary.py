@@ -1,0 +1,91 @@
+"""Index-unary (positional) operators used by select/apply."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.ops import index_unary as iu
+
+
+class TestPositionalPredicates:
+    def test_tril(self):
+        # keep when j <= i + k
+        assert iu.TRIL(0, 2, 1, 0) is True or iu.TRIL(0, 2, 1, 0) == True  # noqa: E712
+        assert bool(iu.TRIL(0, 1, 2, 0)) is False
+        assert bool(iu.TRIL(0, 1, 2, 1)) is True  # superdiagonal included
+
+    def test_triu(self):
+        assert bool(iu.TRIU(0, 1, 2, 0)) is True
+        assert bool(iu.TRIU(0, 2, 1, 0)) is False
+
+    def test_diag_offdiag(self):
+        assert bool(iu.DIAG(0, 3, 3, 0)) is True
+        assert bool(iu.DIAG(0, 3, 4, 0)) is False
+        assert bool(iu.DIAG(0, 3, 4, 1)) is True
+        assert bool(iu.OFFDIAG(0, 3, 3, 0)) is False
+
+    def test_row_col_bounds(self):
+        assert bool(iu.ROWLE(0, 2, 0, 2)) is True
+        assert bool(iu.ROWGT(0, 2, 0, 2)) is False
+        assert bool(iu.COLLE(0, 0, 5, 4)) is False
+        assert bool(iu.COLGT(0, 0, 5, 4)) is True
+
+    def test_array_forms(self):
+        rows = np.array([0, 1, 2])
+        cols = np.array([2, 1, 0])
+        out = iu.TRIL.apply_arrays(np.zeros(3), rows, cols, 0)
+        assert out.tolist() == [False, True, True]
+
+
+class TestTransformers:
+    def test_rowindex_colindex(self):
+        assert iu.ROWINDEX(0, 5, 9, 0) == 5
+        assert iu.COLINDEX(0, 5, 9, 0) == 9
+        assert iu.ROWINDEX(0, 5, 9, 2) == 7
+
+    def test_diagindex(self):
+        assert iu.DIAGINDEX(0, 2, 5, 0) == 3
+
+    def test_output_domains(self):
+        assert iu.ROWINDEX.d_out is grb.INT64
+        assert iu.TRIL.d_out is grb.BOOL
+
+
+class TestValuePredicates:
+    def test_value_eq(self):
+        op = iu.VALUEEQ[grb.INT32]
+        assert bool(op(5, 0, 0, 5)) is True
+        assert bool(op(4, 0, 0, 5)) is False
+
+    def test_value_ordering(self):
+        assert bool(iu.VALUEGT[grb.FP64](2.5, 0, 0, 2.0)) is True
+        assert bool(iu.VALUELE[grb.FP64](2.5, 0, 0, 2.0)) is False
+        assert bool(iu.VALUELT[grb.INT8](-3, 0, 0, 0)) is True
+        assert bool(iu.VALUEGE[grb.INT8](0, 0, 0, 0)) is True
+        assert bool(iu.VALUENE[grb.INT8](1, 0, 0, 0)) is True
+
+    def test_array_form(self):
+        op = iu.VALUEGT[grb.INT64]
+        vals = np.array([1, 5, 3], dtype=np.int64)
+        out = op.apply_arrays(vals, np.zeros(3, np.int64), np.zeros(3, np.int64), 2)
+        assert out.tolist() == [False, True, True]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["GrB_TRIL", "GrB_TRIU", "GrB_DIAG", "GrB_VALUEEQ_INT32"]
+    )
+    def test_lookup(self, name):
+        assert grb.index_unary_op(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(grb.InvalidValue):
+            grb.index_unary_op("GrB_NOPE")
+
+    def test_user_defined(self):
+        op = grb.index_unary_op_new(
+            lambda a, i, j, k: (i + j) % 2 == 0,
+            grb.INT64, grb.INT64, grb.BOOL, name="checker",
+        )
+        assert bool(op(0, 1, 1, 0)) is True
+        assert bool(op(0, 1, 2, 0)) is False

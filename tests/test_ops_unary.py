@@ -1,0 +1,113 @@
+"""Predefined unary operators (Table IV: GrB_MINV_FP32, GrB_IDENTITY_BOOL, ...)."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.ops import unary
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        ["GrB_IDENTITY_BOOL", "GrB_MINV_FP32", "GrB_AINV_INT32",
+         "GrB_ABS_FP64", "GrB_LNOT", "GxB_ONE_INT64"],
+    )
+    def test_spec_names_resolve(self, name):
+        assert grb.unary_op(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(grb.InvalidValue):
+            grb.unary_op("GrB_SQRT_INT32")
+
+
+class TestIdentity:
+    def test_identity_preserves(self):
+        assert unary.IDENTITY[grb.INT32](42) == 42
+        assert unary.IDENTITY[grb.BOOL](True) == True  # noqa: E712
+
+    def test_table4_identity_bool_casts_in_bc(self):
+        # Fig. 3 line 41 relies on IDENTITY_BOOL operating after an
+        # implicit INT32 -> BOOL cast; the op itself is bool -> bool
+        op = unary.IDENTITY[grb.BOOL]
+        assert op.d_in is grb.BOOL and op.d_out is grb.BOOL
+
+
+class TestAInv:
+    def test_signed(self):
+        assert unary.AINV[grb.INT32](5) == -5
+
+    def test_unsigned_wraps(self):
+        assert unary.AINV[grb.UINT8](1) == 255
+
+    def test_float(self):
+        assert unary.AINV[grb.FP64](-2.5) == 2.5
+
+    def test_bool_is_identity(self):
+        assert unary.AINV[grb.BOOL](True) == True  # noqa: E712
+
+
+class TestMInv:
+    def test_float_reciprocal(self):
+        assert unary.MINV[grb.FP32](2.0) == np.float32(0.5)
+        assert unary.MINV[grb.FP64](4.0) == 0.25
+
+    def test_float_reciprocal_of_zero_is_inf(self):
+        assert unary.MINV[grb.FP64](0.0) == np.inf
+
+    def test_integer_truncates(self):
+        op = unary.MINV[grb.INT32]
+        assert op(1) == 1
+        assert op(2) == 0
+        assert op(-1) == -1
+        assert op(0) == 0  # total function: no exception
+
+    def test_minv_fp32_is_fig3_nspinv(self):
+        # 1./numsp with numsp counts: reciprocal of path counts
+        op = unary.MINV[grb.FP32]
+        vals = op.apply_array(np.array([1, 2, 4], dtype=np.float32))
+        assert vals.tolist() == [1.0, 0.5, 0.25]
+
+
+class TestOthers:
+    def test_abs(self):
+        assert unary.ABS[grb.INT32](-7) == 7
+        assert unary.ABS[grb.FP64](-1.5) == 1.5
+        assert unary.ABS[grb.UINT16](9) == 9
+
+    def test_lnot(self):
+        assert unary.LNOT(True) == False  # noqa: E712
+        assert unary.LNOT(False) == True  # noqa: E712
+
+    def test_one(self):
+        assert unary.ONE[grb.FP64](123.0) == 1.0
+        assert unary.ONE[grb.INT8](-9) == 1
+
+    def test_bnot(self):
+        assert unary.BNOT[grb.UINT8](0) == 255
+        assert unary.BNOT[grb.INT16](0) == -1
+
+    def test_user_defined(self):
+        sq = grb.unary_op_new(lambda x: x * x, grb.INT64, grb.INT64, name="sq")
+        assert sq(9) == 81
+        out = sq.apply_array(np.array([1, 2, 3], dtype=np.int64))
+        assert out.tolist() == [1, 4, 9]
+
+
+class TestArrayScalarAgreement:
+    @pytest.mark.parametrize(
+        "fam", [unary.IDENTITY, unary.AINV, unary.MINV, unary.ABS, unary.ONE]
+    )
+    @pytest.mark.parametrize("t", [grb.INT16, grb.UINT8, grb.FP32, grb.BOOL])
+    def test_agreement(self, fam, t, rng):
+        op = fam[t]
+        if t.is_bool:
+            x = rng.integers(0, 2, 16).astype(bool)
+        elif t.is_integral:
+            lo = 0 if t.is_unsigned else -50
+            x = rng.integers(lo, 50, 16).astype(t.np_dtype)
+        else:
+            x = rng.uniform(-5, 5, 16).astype(t.np_dtype)
+        arr = op.apply_array(x)
+        for k in range(len(x)):
+            assert op(x[k]) == arr[k], (op.name, x[k])

@@ -1,0 +1,219 @@
+"""Property-based algebraic invariants: monoid laws, mask identities,
+operation equivalences the paper's math guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary
+
+SETTINGS = dict(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+MONOIDS = [
+    predefined.PLUS_MONOID[grb.INT64],
+    predefined.TIMES_MONOID[grb.INT64],
+    predefined.MIN_MONOID[grb.INT64],
+    predefined.MAX_MONOID[grb.INT64],
+    predefined.LOR_MONOID[grb.BOOL],
+    predefined.LAND_MONOID[grb.BOOL],
+    predefined.LXOR_MONOID[grb.BOOL],
+    predefined.BOR_MONOID[grb.UINT8],
+    predefined.BAND_MONOID[grb.UINT8],
+]
+
+
+def _val(monoid, data):
+    if monoid.domain.is_bool:
+        return np.bool_(data.draw(st.booleans()))
+    if monoid.domain.is_unsigned:
+        return monoid.domain.np_dtype.type(data.draw(st.integers(0, 255)))
+    return monoid.domain.np_dtype.type(data.draw(st.integers(-50, 50)))
+
+
+class TestMonoidLaws:
+    @pytest.mark.parametrize("m", MONOIDS, ids=lambda m: m.name)
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_identity_law(self, m, data):
+        x = _val(m, data)
+        assert m(m.identity, x) == x
+        assert m(x, m.identity) == x
+
+    @pytest.mark.parametrize("m", MONOIDS, ids=lambda m: m.name)
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_associativity(self, m, data):
+        x, y, z = (_val(m, data) for _ in range(3))
+        assert m(m(x, y), z) == m(x, m(y, z))
+
+    @pytest.mark.parametrize("m", MONOIDS, ids=lambda m: m.name)
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_commutativity_of_commutative_monoids(self, m, data):
+        x, y = _val(m, data), _val(m, data)
+        assert m(x, y) == m(y, x)
+
+
+class TestSemiringLaws:
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_annihilator_int(self, data):
+        # the implied zero annihilates ⊗ for the Table I semirings
+        s = predefined.PLUS_TIMES[grb.INT64]
+        x = np.int64(data.draw(st.integers(-100, 100)))
+        assert s.mul(s.zero, x) == s.zero
+        assert s.mul(x, s.zero) == s.zero
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_annihilator_min_plus(self, data):
+        s = predefined.MIN_PLUS[grb.FP64]
+        x = float(data.draw(st.integers(-100, 100)))
+        assert s.mul(s.zero, x) == s.zero  # inf + x == inf
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_distributivity_plus_times(self, data):
+        s = predefined.PLUS_TIMES[grb.INT64]
+        a, b, c = (np.int64(data.draw(st.integers(-40, 40))) for _ in range(3))
+        assert s.mul(a, s.add(b, c)) == s.add(s.mul(a, b), s.mul(a, c))
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_distributivity_min_plus(self, data):
+        s = predefined.MIN_PLUS[grb.INT64]
+        a, b, c = (np.int64(data.draw(st.integers(-40, 40))) for _ in range(3))
+        assert s.mul(a, s.add(b, c)) == s.add(s.mul(a, b), s.mul(a, c))
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_gf2_field_laws(self, data):
+        s = predefined.LXOR_LAND[grb.BOOL]
+        a, b, c = (np.bool_(data.draw(st.booleans())) for _ in range(3))
+        assert s.mul(a, s.add(b, c)) == s.add(s.mul(a, b), s.mul(a, c))
+        assert s.add(a, a) == False  # noqa: E712  xor self-inverse
+
+
+@st.composite
+def small_matrix(draw, n=6, domain=grb.INT64):
+    cells = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                      st.integers(-3, 3)),
+            max_size=n * n,
+        )
+    )
+    content = {(i, j): v for i, j, v in cells}
+    M = grb.Matrix(domain, n, n)
+    if content:
+        rows, cols, vals = zip(*[(i, j, v) for (i, j), v in content.items()])
+        M.build(rows, cols, vals)
+    return M
+
+
+class TestOperationIdentities:
+    @given(A=small_matrix())
+    @settings(**SETTINGS)
+    def test_transpose_involution(self, A):
+        B = grb.Matrix(grb.INT64, 6, 6)
+        C = grb.Matrix(grb.INT64, 6, 6)
+        grb.transpose(B, None, None, A)
+        grb.transpose(C, None, None, B)
+        assert (C.to_dense(0) == A.to_dense(0)).all()
+        assert {(i, j) for i, j, _ in C} == {(i, j) for i, j, _ in A}
+
+    @given(A=small_matrix(), B=small_matrix())
+    @settings(**SETTINGS)
+    def test_mxm_transpose_identity(self, A, B):
+        # (A B)ᵀ == Bᵀ Aᵀ over plus_times
+        s = predefined.PLUS_TIMES[grb.INT64]
+        AB = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(AB, None, None, s, A, B)
+        ABt = grb.Matrix(grb.INT64, 6, 6)
+        grb.transpose(ABt, None, None, AB)
+        BtAt = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(BtAt, None, None, s, B, A, grb.DESC_T0T1)
+        assert (ABt.to_dense(0) == BtAt.to_dense(0)).all()
+        assert {(i, j) for i, j, _ in ABt} == {(i, j) for i, j, _ in BtAt}
+
+    @given(A=small_matrix(), B=small_matrix(), C=small_matrix())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_mxm_associativity_values(self, A, B, C):
+        # (AB)C == A(BC) as values over plus_times (patterns may differ
+        # only through computed zeros, so compare dense)
+        s = predefined.PLUS_TIMES[grb.INT64]
+        AB = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(AB, None, None, s, A, B)
+        ABC1 = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(ABC1, None, None, s, AB, C)
+        BC = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(BC, None, None, s, B, C)
+        ABC2 = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(ABC2, None, None, s, A, BC)
+        assert (ABC1.to_dense(0) == ABC2.to_dense(0)).all()
+
+    @given(A=small_matrix(), M=small_matrix(domain=grb.BOOL))
+    @settings(**SETTINGS)
+    def test_scmp_involution(self, A, M):
+        # writing with mask and with double-SCMP-partition reconstructs:
+        # T∩M and T∩¬M partition T
+        s = predefined.PLUS_TIMES[grb.INT64]
+        C1 = grb.Matrix(grb.INT64, 6, 6)
+        C2 = grb.Matrix(grb.INT64, 6, 6)
+        C3 = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(C1, M, None, s, A, A, grb.DESC_R)
+        grb.mxm(C2, M, None, s, A, A, grb.DESC_RSC)
+        grb.mxm(C3, None, None, s, A, A)
+        p1 = {(i, j) for i, j, _ in C1}
+        p2 = {(i, j) for i, j, _ in C2}
+        p3 = {(i, j) for i, j, _ in C3}
+        assert p1 | p2 == p3
+        assert not (p1 & p2)
+
+    @given(A=small_matrix(), B=small_matrix())
+    @settings(**SETTINGS)
+    def test_ewise_add_commutes(self, A, B):
+        C1 = grb.Matrix(grb.INT64, 6, 6)
+        C2 = grb.Matrix(grb.INT64, 6, 6)
+        grb.ewise_add(C1, None, None, binary.PLUS[grb.INT64], A, B)
+        grb.ewise_add(C2, None, None, binary.PLUS[grb.INT64], B, A)
+        assert {(i, j): int(v) for i, j, v in C1} == {
+            (i, j): int(v) for i, j, v in C2
+        }
+
+    @given(A=small_matrix())
+    @settings(**SETTINGS)
+    def test_ewise_mult_with_self_is_square(self, A):
+        C = grb.Matrix(grb.INT64, 6, 6)
+        grb.ewise_mult(C, None, None, binary.TIMES[grb.INT64], A, A)
+        a = A.to_dense(0)
+        assert (C.to_dense(0) == a * a).all()
+        assert {(i, j) for i, j, _ in C} == {(i, j) for i, j, _ in A}
+
+    @given(A=small_matrix())
+    @settings(**SETTINGS)
+    def test_extract_all_is_copy(self, A):
+        C = grb.Matrix(grb.INT64, 6, 6)
+        grb.matrix_extract(C, None, None, A, grb.ALL, grb.ALL)
+        assert {(i, j): int(v) for i, j, v in C} == {
+            (i, j): int(v) for i, j, v in A
+        }
+
+    @given(A=small_matrix())
+    @settings(**SETTINGS)
+    def test_reduce_rows_equals_mxv_ones(self, A):
+        # row-reduce == A +.* dense-ones (over plus_times)
+        ones = grb.Vector(grb.INT64, 6)
+        grb.vector_assign_scalar(ones, None, None, 1, grb.ALL)
+        w1 = grb.Vector(grb.INT64, 6)
+        w2 = grb.Vector(grb.INT64, 6)
+        grb.reduce_to_vector(w1, None, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        grb.mxv(w2, None, None, predefined.PLUS_TIMES[grb.INT64], A, ones)
+        assert {i: int(v) for i, v in w1} == {i: int(v) for i, v in w2}

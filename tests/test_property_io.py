@@ -1,0 +1,128 @@
+"""Property-based round-trip tests for every I/O path."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro as grb
+from repro.io import (
+    deserialize,
+    mmread,
+    mmwrite,
+    read_edgelist,
+    serialize,
+    write_edgelist,
+)
+from repro.utils import matrices_equal, vectors_equal
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@st.composite
+def any_matrix(draw, domains=(grb.INT64, grb.FP64, grb.BOOL, grb.INT8)):
+    domain = draw(st.sampled_from(domains))
+    nrows = draw(st.integers(1, 9))
+    ncols = draw(st.integers(1, 9))
+    cells = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, nrows - 1),
+                st.integers(0, ncols - 1),
+                st.integers(-100, 100),
+            ),
+            max_size=nrows * ncols,
+        )
+    )
+    content = {}
+    for i, j, v in cells:
+        if domain.is_bool:
+            content[(i, j)] = bool(v % 2)
+        elif domain is grb.INT8:
+            content[(i, j)] = np.int8(v)
+        elif domain.is_float:
+            content[(i, j)] = float(v) / 4
+        else:
+            content[(i, j)] = np.int64(v)
+    M = grb.Matrix(domain, nrows, ncols)
+    if content:
+        rows, cols, vals = zip(*[(i, j, x) for (i, j), x in content.items()])
+        M.build(rows, cols, list(vals))
+    return M
+
+
+class TestSerializeRoundTrip:
+    @given(A=any_matrix())
+    @settings(**SETTINGS)
+    def test_matrix(self, A):
+        B = deserialize(serialize(A))
+        assert matrices_equal(A, B)
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_vector(self, data):
+        size = data.draw(st.integers(1, 12))
+        cells = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, size - 1), st.integers(-9, 9)),
+                max_size=size,
+            )
+        )
+        content = {i: np.int64(v) for i, v in cells}
+        u = grb.Vector(grb.INT64, size)
+        if content:
+            idx, vals = zip(*content.items())
+            u.build(idx, vals)
+        v = deserialize(serialize(u))
+        assert vectors_equal(u, v)
+
+
+class TestMatrixMarketRoundTrip:
+    @given(A=any_matrix(domains=(grb.FP64, grb.INT64)))
+    @settings(**SETTINGS)
+    def test_values_survive(self, A):
+        buf = io.StringIO()
+        mmwrite(buf, A)
+        buf.seek(0)
+        B = mmread(buf, domain=A.type)
+        assert matrices_equal(A, B)
+
+    @given(A=any_matrix(domains=(grb.BOOL,)))
+    @settings(**SETTINGS)
+    def test_pattern_survives(self, A):
+        buf = io.StringIO()
+        mmwrite(buf, A)
+        buf.seek(0)
+        B = mmread(buf)
+        assert {(i, j) for i, j, _ in A} == {(i, j) for i, j, _ in B}
+
+
+class TestEdgelistRoundTrip:
+    @given(A=any_matrix(domains=(grb.FP64,)))
+    @settings(**SETTINGS)
+    def test_weighted_square(self, A):
+        if A.nrows != A.ncols:
+            A.resize(max(A.nrows, A.ncols), max(A.nrows, A.ncols))
+        buf = io.StringIO()
+        write_edgelist(buf, A)
+        B = read_edgelist(io.StringIO(buf.getvalue()), n=A.nrows)
+        assert {(i, j): float(v) for i, j, v in A} == {
+            (i, j): float(v) for i, j, v in B
+        }
+
+
+class TestImportExportRoundTrip:
+    @given(A=any_matrix(domains=(grb.INT64,)))
+    @settings(**SETTINGS)
+    def test_csr(self, A):
+        indptr, cols, vals = A.export_csr()
+        B = grb.Matrix.import_csr(grb.INT64, A.nrows, A.ncols, indptr, cols, vals)
+        assert matrices_equal(A, B)
+        from repro.validation import check
+
+        check(B)

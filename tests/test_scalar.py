@@ -1,0 +1,139 @@
+"""``GrB_Scalar`` (spec 2.0): the 0-or-1-element opaque collection."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary
+
+
+class TestScalarBasics:
+    def test_new_is_empty(self):
+        s = grb.scalar_new(grb.FP64)
+        assert s.nvals() == 0 and s.is_empty()
+        assert s.type is grb.FP64
+
+    def test_set_and_extract(self):
+        s = grb.Scalar(grb.INT32)
+        s.set_value(41)
+        assert s.nvals() == 1
+        assert s.extract_value() == 41
+
+    def test_extract_empty_is_no_value(self):
+        s = grb.Scalar(grb.INT32)
+        with pytest.raises(grb.NoValue):
+            s.extract_value()
+
+    def test_set_casts_to_domain(self):
+        s = grb.Scalar(grb.INT8)
+        s.set_value(300)
+        assert s.extract_value() == 44  # wraps like C
+
+    def test_clear(self):
+        s = grb.Scalar.from_value(grb.FP32, 2.5)
+        s.clear()
+        assert s.is_empty()
+
+    def test_dup(self):
+        s = grb.Scalar.from_value(grb.FP64, 1.5)
+        t = s.dup()
+        t.set_value(9.0)
+        assert s.extract_value() == 1.5
+
+    def test_free(self):
+        s = grb.Scalar(grb.FP64)
+        s.free()
+        with pytest.raises(grb.UninitializedObject):
+            s.nvals()
+
+    def test_udt_scalar(self):
+        T = grb.powerset_type()
+        s = grb.Scalar(T)
+        s.set_value(frozenset({1, 2}))
+        assert s.extract_value() == frozenset({1, 2})
+        with pytest.raises(grb.InvalidValue):
+            s.set_value({1, 2})
+
+    def test_null_domain(self):
+        with pytest.raises(grb.NullPointer):
+            grb.Scalar(None)
+
+
+class TestReduceIntoScalar:
+    def test_reduce_matrix(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        s = grb.Scalar(grb.INT64)
+        grb.reduce_scalar_object(s, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        assert s.extract_value() == 10
+
+    def test_reduce_empty_makes_scalar_empty(self):
+        A = grb.Matrix(grb.INT64, 2, 2)
+        s = grb.Scalar.from_value(grb.INT64, 99)
+        grb.reduce_scalar_object(s, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        assert s.is_empty()  # not identity-valued: no stored elements
+
+    def test_reduce_with_accum(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        s = grb.Scalar.from_value(grb.INT64, 100)
+        grb.reduce_scalar_object(
+            s, binary.PLUS[grb.INT64], grb.monoid("GrB_PLUS_MONOID_INT64"), A
+        )
+        assert s.extract_value() == 110
+
+    def test_reduce_is_deferrable(self):
+        grb.init(grb.Mode.NONBLOCKING)
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 1], [1, 1]])
+        s = grb.Scalar(grb.INT64)
+        grb.reduce_scalar_object(s, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        assert grb.queue_stats()["executed"] == 0  # still queued
+        assert s.extract_value() == 4  # forces completion
+        assert grb.queue_stats()["executed"] == 1
+
+    def test_domain_checks(self):
+        T = grb.powerset_type()
+        A = grb.Matrix(T, 2, 2)
+        s = grb.Scalar(grb.INT64)
+        with pytest.raises(grb.DomainMismatch):
+            grb.reduce_scalar_object(
+                s, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A
+            )
+
+
+class TestScalarInAssign:
+    def test_assign_scalar_object(self):
+        C = grb.Matrix(grb.FP64, 2, 2)
+        s = grb.Scalar.from_value(grb.FP64, 7.0)
+        grb.matrix_assign_scalar(C, None, None, s, grb.ALL, grb.ALL)
+        assert (C.to_dense(0) == 7.0).all()
+
+    def test_assign_empty_scalar_deletes_region(self):
+        C = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        s = grb.Scalar(grb.INT64)  # empty
+        grb.matrix_assign_scalar(C, None, None, s, [0], grb.ALL)
+        # row 0 deleted, row 1 intact
+        assert {(i, j): int(v) for i, j, v in C} == {(1, 0): 3, (1, 1): 4}
+
+    def test_assign_empty_scalar_with_accum_is_noop(self):
+        C = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        s = grb.Scalar(grb.INT64)
+        grb.matrix_assign_scalar(
+            C, None, binary.PLUS[grb.INT64], s, grb.ALL, grb.ALL
+        )
+        assert C.to_dense(0).tolist() == [[1, 2], [3, 4]]
+
+    def test_vector_assign_scalar_object(self):
+        w = grb.Vector(grb.INT32, 3)
+        s = grb.Scalar.from_value(grb.INT32, -5)
+        grb.vector_assign_scalar(w, None, None, s, grb.ALL)
+        assert w.to_dense(0).tolist() == [-5, -5, -5]
+
+    def test_deferred_producer_consumer_chain(self):
+        # scalar produced by a deferred reduce feeds a deferred assign
+        grb.init(grb.Mode.NONBLOCKING)
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 2], [3, 4]])
+        s = grb.Scalar(grb.INT64)
+        grb.reduce_scalar_object(s, None, grb.monoid("GrB_PLUS_MONOID_INT64"), A)
+        w = grb.Vector(grb.INT64, 3)
+        grb.vector_assign_scalar(w, None, None, s, grb.ALL)
+        assert w.to_dense(0).tolist() == [10, 10, 10]

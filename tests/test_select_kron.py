@@ -1,0 +1,96 @@
+"""``select`` and ``kronecker`` (the GrB 1.3/2.0 operations)."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.ops import binary, index_unary
+
+from tests.conftest import random_matrix
+
+
+class TestSelect:
+    def test_tril_strict(self, rng):
+        A = random_matrix(rng, 6, 6, 0.6)
+        L = grb.Matrix(grb.INT64, 6, 6)
+        grb.select(L, None, None, index_unary.TRIL, A, -1)
+        got = L.to_dense(0)
+        expect = np.tril(A.to_dense(0), -1)
+        assert (got == expect).all()
+
+    def test_triu(self, rng):
+        A = random_matrix(rng, 6, 6, 0.6)
+        U = grb.Matrix(grb.INT64, 6, 6)
+        grb.select(U, None, None, index_unary.TRIU, A, 1)
+        assert (U.to_dense(0) == np.triu(A.to_dense(0), 1)).all()
+
+    def test_diag_extraction(self, rng):
+        A = random_matrix(rng, 5, 5, 0.8)
+        D = grb.Matrix(grb.INT64, 5, 5)
+        grb.select(D, None, None, index_unary.DIAG, A, 0)
+        expect = np.diag(np.diag(A.to_dense(0)))
+        assert (D.to_dense(0) == expect).all()
+
+    def test_value_filter(self):
+        A = grb.Matrix.from_dense(grb.INT64, [[5, -2], [0, 7]])
+        P = grb.Matrix(grb.INT64, 2, 2)
+        grb.select(P, None, None, index_unary.VALUEGT[grb.INT64], A, 0)
+        assert {(i, j): int(v) for i, j, v in P} == {(0, 0): 5, (1, 1): 7}
+
+    def test_select_preserves_values_and_domain(self):
+        A = grb.Matrix.from_coo(grb.FP32, 2, 2, [1], [0], [2.5])
+        C = grb.Matrix(grb.FP32, 2, 2)
+        grb.select(C, None, None, index_unary.TRIL, A, 0)
+        assert C.extract_element(1, 0) == np.float32(2.5)
+
+    def test_select_vector(self):
+        u = grb.Vector.from_coo(grb.INT64, 5, [0, 2, 4], [1, -1, 3])
+        w = grb.Vector(grb.INT64, 5)
+        grb.select(w, None, None, index_unary.VALUEGT[grb.INT64], u, 0)
+        assert {i: int(v) for i, v in w} == {0: 1, 4: 3}
+
+    def test_select_requires_indexunary(self):
+        A = grb.Matrix(grb.INT64, 2, 2)
+        with pytest.raises(grb.InvalidValue):
+            grb.select(A, None, None, binary.PLUS[grb.INT64], A, 0)
+
+
+class TestKronecker:
+    def test_matches_numpy_kron(self, rng):
+        A = random_matrix(rng, 3, 2, 0.6)
+        B = random_matrix(rng, 2, 4, 0.6)
+        C = grb.Matrix(grb.INT64, 6, 8)
+        grb.kronecker(C, None, None, binary.TIMES[grb.INT64], A, B)
+        assert (C.to_dense(0) == np.kron(A.to_dense(0), B.to_dense(0))).all()
+
+    def test_kron_with_semiring_uses_multiply(self, rng):
+        A = random_matrix(rng, 2, 2, 0.8)
+        B = random_matrix(rng, 2, 2, 0.8)
+        C1 = grb.Matrix(grb.INT64, 4, 4)
+        C2 = grb.Matrix(grb.INT64, 4, 4)
+        grb.kronecker(C1, None, None, predefined.PLUS_TIMES[grb.INT64], A, B)
+        grb.kronecker(C2, None, None, binary.TIMES[grb.INT64], A, B)
+        assert (C1.to_dense(0) == C2.to_dense(0)).all()
+
+    def test_kron_pattern_is_product_of_patterns(self, rng):
+        A = random_matrix(rng, 3, 3, 0.4)
+        B = random_matrix(rng, 3, 3, 0.4)
+        C = grb.Matrix(grb.INT64, 9, 9)
+        grb.kronecker(C, None, None, binary.PAIR[grb.INT64], A, B)
+        assert C.nvals() == A.nvals() * B.nvals()
+
+    def test_kron_shape_check(self):
+        A = grb.Matrix(grb.INT64, 2, 2)
+        with pytest.raises(grb.DimensionMismatch):
+            grb.kronecker(
+                grb.Matrix(grb.INT64, 3, 4), None, None,
+                binary.TIMES[grb.INT64], A, A,
+            )
+
+    def test_kron_transpose_descriptor(self, rng):
+        A = random_matrix(rng, 2, 3, 0.7)
+        B = random_matrix(rng, 2, 2, 0.7)
+        C = grb.Matrix(grb.INT64, 6, 4)
+        grb.kronecker(C, None, None, binary.TIMES[grb.INT64], A, B, grb.DESC_T0)
+        assert (C.to_dense(0) == np.kron(A.to_dense(0).T, B.to_dense(0))).all()

@@ -1,0 +1,110 @@
+"""Per-thread sequences (paper section IV): "A multithreaded program may
+have a distinct sequence per thread, but those sequences must not share
+objects unless the shared objects are read-only"."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.io import erdos_renyi
+from repro.ops import binary
+
+
+class TestPerThreadSequences:
+    def test_threads_have_independent_queues(self):
+        grb.init(grb.Mode.NONBLOCKING)
+        A = grb.Matrix.from_dense(grb.INT64, [[1, 1], [1, 1]])
+        results = {}
+
+        def worker(name):
+            C = grb.Matrix(grb.INT64, 2, 2)
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, A)
+            # this thread's queue holds exactly its own op
+            results[name + "_queued"] = grb.queue_stats()["enqueued"]
+            grb.wait()
+            results[name] = C.to_dense(0)
+
+        t = threading.Thread(target=worker, args=("t1",))
+        t.start()
+        t.join()
+        # main thread's sequence is untouched by the worker's ops
+        assert grb.queue_stats()["enqueued"] == 0
+        assert results["t1_queued"] == 1
+        assert (results["t1"] == A.to_dense(0) @ A.to_dense(0)).all()
+
+    def test_concurrent_sequences_share_readonly_input(self):
+        grb.init(grb.Mode.NONBLOCKING)
+        A = erdos_renyi(200, 3000, seed=77, domain=grb.INT64)
+        expect = A.to_dense(0) @ A.to_dense(0)
+        outputs = [None] * 4
+        errors = []
+
+        def worker(k):
+            try:
+                C = grb.Matrix(grb.INT64, 200, 200)
+                grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, A)
+                grb.ewise_add(C, None, None, binary.PLUS[grb.INT64], C, C)
+                outputs[k] = C.to_dense(0)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for out in outputs:
+            assert (out == 2 * expect).all()
+
+    def test_error_in_one_thread_does_not_poison_another(self):
+        grb.init(grb.Mode.NONBLOCKING)
+
+        def boom(x, y):
+            raise grb.info.OutOfMemory("thread-local failure")
+
+        bad = grb.binary_op_new(boom, grb.INT64, grb.INT64, grb.INT64)
+        A = grb.Matrix.from_dense(grb.INT64, [[1]])
+        seen = {}
+
+        def failing():
+            C = grb.Matrix(grb.INT64, 1, 1)
+            grb.ewise_mult(C, None, None, bad, A, A)
+            try:
+                grb.wait()
+                seen["failing"] = "no error"
+            except grb.info.OutOfMemory:
+                seen["failing"] = "raised"
+
+        t = threading.Thread(target=failing)
+        t.start()
+        t.join()
+        assert seen["failing"] == "raised"
+        # the main thread's sequence is clean: wait() raises nothing
+        grb.wait()
+        C = grb.Matrix(grb.INT64, 1, 1)
+        grb.ewise_mult(C, None, None, binary.TIMES[grb.INT64], A, A)
+        assert C.nvals() == 1
+
+    def test_blocking_mode_thread_safety_of_kernels(self):
+        # blocking mode: concurrent independent operations on shared
+        # read-only inputs must not interfere
+        A = erdos_renyi(150, 2000, seed=78, domain=grb.INT64)
+        expect = A.to_dense(0).T
+        outs = [None] * 3
+
+        def worker(k):
+            C = grb.Matrix(grb.INT64, 150, 150)
+            grb.transpose(C, None, None, A)
+            outs[k] = C.to_dense(0)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for out in outs:
+            assert (out == expect).all()

@@ -1,0 +1,95 @@
+"""Domain system (paper Table III, section III-A): built-in types,
+user-defined types, and lookup."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.types import (
+    BUILTIN_TYPES,
+    FLOAT_TYPES,
+    INTEGER_TYPES,
+    SIGNED_TYPES,
+    UNSIGNED_TYPES,
+    GrBType,
+    lookup_type,
+    type_new,
+)
+
+
+class TestBuiltinTypes:
+    def test_eleven_builtin_domains(self):
+        # the C API predefines bool, 4 signed, 4 unsigned, 2 float
+        assert len(BUILTIN_TYPES) == 11
+
+    @pytest.mark.parametrize("t", BUILTIN_TYPES)
+    def test_builtin_flags(self, t):
+        assert t.is_builtin and not t.is_udt
+
+    def test_classification(self):
+        assert grb.BOOL.is_bool
+        assert all(t.is_integral for t in INTEGER_TYPES)
+        assert all(t.is_signed for t in SIGNED_TYPES)
+        assert all(t.is_unsigned for t in UNSIGNED_TYPES)
+        assert all(t.is_float for t in FLOAT_TYPES)
+
+    def test_bit_widths(self):
+        assert grb.INT8.nbits == 8
+        assert grb.INT64.nbits == 64
+        assert grb.FP32.nbits == 32
+        assert grb.UINT16.nbits == 16
+
+    def test_numpy_dtypes(self):
+        assert grb.INT32.np_dtype == np.dtype(np.int32)
+        assert grb.FP64.np_dtype == np.dtype(np.float64)
+        assert grb.BOOL.np_dtype == np.dtype(bool)
+
+    def test_builtin_equality_by_name(self):
+        assert grb.INT32 == lookup_type("GrB_INT32")
+        assert grb.INT32 != grb.INT64
+        assert hash(grb.FP32) == hash(lookup_type("FP32"))
+
+    def test_lookup_short_and_spec_names(self):
+        assert lookup_type("FP64") is grb.FP64
+        assert lookup_type("GrB_BOOL") is grb.BOOL
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(grb.InvalidValue):
+            lookup_type("GrB_COMPLEX128")
+
+    def test_validate_scalar_builtin(self):
+        assert grb.INT32.validate_scalar(7) == 7
+        assert grb.BOOL.validate_scalar(1) == True  # noqa: E712
+
+    def test_empty_array_dtype(self):
+        a = grb.FP32.empty_array(5)
+        assert a.dtype == np.float32 and len(a) == 5
+
+
+class TestUserDefinedTypes:
+    def test_type_new(self):
+        T = type_new("Pair", tuple)
+        assert T.is_udt and not T.is_builtin
+        assert T.np_dtype == np.dtype(object)
+        assert T.udt_class is tuple
+
+    def test_udt_identity_semantics(self):
+        # two registrations are distinct domains even with the same storage
+        T1 = type_new("X", frozenset)
+        T2 = type_new("X", frozenset)
+        assert T1 != T2
+        assert T1 == T1
+
+    def test_udt_validate_scalar(self):
+        T = type_new("FS", frozenset)
+        assert T.validate_scalar(frozenset({1})) == frozenset({1})
+        with pytest.raises(grb.InvalidValue):
+            T.validate_scalar([1, 2])
+
+    def test_type_requires_name(self):
+        with pytest.raises(grb.NullPointer):
+            GrBType("", np.dtype(np.int32))
+
+    def test_object_dtype_requires_udt_class(self):
+        with pytest.raises(grb.InvalidValue):
+            GrBType("Anon", np.dtype(object))

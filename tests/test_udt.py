@@ -1,0 +1,132 @@
+"""User-defined types end-to-end: the power-set semiring (Table I row 5)
+flowing through collections, mxm, eWise, and reduce."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import Monoid, Semiring
+from repro.ops.base import BinaryOp, UnaryOp
+
+
+@pytest.fixture
+def pset():
+    domain = grb.powerset_type()
+    semiring = grb.powerset_semiring(domain=domain)
+    return domain, semiring
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+class TestPowerSetCollections:
+    def test_matrix_of_sets(self, pset):
+        domain, _ = pset
+        A = grb.Matrix(domain, 2, 2)
+        A.set_element(0, 0, fs(1, 2))
+        A.set_element(1, 1, fs(3))
+        assert A.extract_element(0, 0) == fs(1, 2)
+        assert A.nvals() == 2
+
+    def test_build_with_union_dup(self, pset):
+        domain, s = pset
+        A = grb.Matrix(domain, 2, 2)
+        A.build([0, 0], [0, 0], [fs(1), fs(2)], dup=s.add_op)
+        assert A.extract_element(0, 0) == fs(1, 2)
+
+
+class TestPowerSetMxm:
+    def test_union_intersect_product(self, pset):
+        domain, s = pset
+        # A(0,0)={1,2}, A(0,1)={2,3}; B(0,0)={2}, B(1,0)={3,4}
+        A = grb.Matrix(domain, 1, 2)
+        A.build([0, 0], [0, 1], [fs(1, 2), fs(2, 3)])
+        B = grb.Matrix(domain, 2, 1)
+        B.build([0, 1], [0, 0], [fs(2), fs(3, 4)])
+        C = grb.Matrix(domain, 1, 1)
+        grb.mxm(C, None, None, s, A, B)
+        # ({1,2}∩{2}) ∪ ({2,3}∩{3,4}) = {2} ∪ {3} = {2,3}
+        assert C.extract_element(0, 0) == fs(2, 3)
+
+    def test_empty_set_values_are_stored(self, pset):
+        domain, s = pset
+        A = grb.Matrix(domain, 1, 1)
+        A.set_element(0, 0, fs(1))
+        B = grb.Matrix(domain, 1, 1)
+        B.set_element(0, 0, fs(2))
+        C = grb.Matrix(domain, 1, 1)
+        grb.mxm(C, None, None, s, A, B)
+        # disjoint sets intersect to ∅ — a stored empty set, NOT absence
+        assert C.nvals() == 1
+        assert C.extract_element(0, 0) == fs()
+
+    def test_mxv_over_powerset(self, pset):
+        domain, s = pset
+        A = grb.Matrix(domain, 2, 2)
+        A.build([0, 1], [0, 1], [fs(1, 2), fs(3)])
+        u = grb.Vector(domain, 2)
+        u.build([0, 1], [fs(2, 9), fs(3, 4)])
+        w = grb.Vector(domain, 2)
+        grb.mxv(w, None, None, s, A, u)
+        assert w.extract_element(0) == fs(2)
+        assert w.extract_element(1) == fs(3)
+
+
+class TestPowerSetEWiseReduce:
+    def test_ewise_add_union(self, pset):
+        domain, s = pset
+        u = grb.Vector(domain, 3)
+        u.build([0, 1], [fs(1), fs(2)])
+        v = grb.Vector(domain, 3)
+        v.build([1, 2], [fs(3), fs(4)])
+        w = grb.Vector(domain, 3)
+        grb.ewise_add(w, None, None, s.add_op, u, v)
+        assert {i: x for i, x in w} == {0: fs(1), 1: fs(2, 3), 2: fs(4)}
+
+    def test_reduce_to_scalar_union(self, pset):
+        domain, s = pset
+        A = grb.Matrix(domain, 2, 2)
+        A.build([0, 1], [1, 0], [fs(1, 2), fs(2, 5)])
+        total = grb.reduce_to_scalar(s.add, A)
+        assert total == fs(1, 2, 5)
+
+    def test_apply_user_unary(self, pset):
+        domain, _ = pset
+        size_of = grb.unary_op_new(
+            lambda x: np.int64(len(x)), domain, grb.INT64, name="set_size"
+        )
+        u = grb.Vector(domain, 2)
+        u.build([0, 1], [fs(1, 2, 3), fs()])
+        w = grb.Vector(grb.INT64, 2)
+        grb.apply(w, None, None, size_of, u)
+        assert w.to_dense(-1).tolist() == [3, 0]
+
+
+class TestUDTDomainRules:
+    def test_no_implicit_cast_between_udts(self, pset):
+        domain, s = pset
+        other = grb.powerset_type()  # a distinct registration
+        A = grb.Matrix(domain, 1, 1)
+        A.set_element(0, 0, fs(1))
+        C = grb.Matrix(other, 1, 1)
+        with pytest.raises(grb.DomainMismatch):
+            grb.mxm(C, None, None, s, A, A)
+
+    def test_udt_cannot_feed_builtin_op(self, pset):
+        domain, _ = pset
+        A = grb.Matrix(domain, 1, 1)
+        A.set_element(0, 0, fs(1))
+        C = grb.Matrix(grb.INT64, 1, 1)
+        from repro.algebra import predefined
+
+        with pytest.raises(grb.DomainMismatch):
+            grb.mxm(C, None, None, predefined.PLUS_TIMES[grb.INT64], A, A)
+
+    def test_udt_mask_rejected(self, pset):
+        domain, s = pset
+        A = grb.Matrix(domain, 1, 1)
+        M = grb.Matrix(domain, 1, 1)
+        C = grb.Matrix(domain, 1, 1)
+        with pytest.raises(grb.DomainMismatch):
+            grb.mxm(C, M, None, s, A, A)

@@ -1,0 +1,160 @@
+"""Convenience helpers (equality, norms, symmetry) and the execution tracer."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.execution import trace
+from repro.utils import (
+    is_symmetric,
+    matrices_equal,
+    norm_max,
+    norm_sum,
+    pattern_equal,
+    vectors_equal,
+)
+
+from tests.conftest import random_matrix, random_vector
+
+
+class TestEquality:
+    def test_equal_matrices(self, rng):
+        A = random_matrix(rng, 5, 5, 0.5)
+        assert matrices_equal(A, A.dup())
+
+    def test_value_difference_detected(self, rng):
+        A = random_matrix(rng, 5, 5, 0.5)
+        B = A.dup()
+        i, j, v = next(iter(B))
+        B.set_element(i, j, int(v) + 1)
+        assert not matrices_equal(A, B)
+
+    def test_pattern_difference_detected(self, rng):
+        A = random_matrix(rng, 5, 5, 0.3)
+        B = A.dup()
+        B.set_element(0, 0, 1) if (0, 0) not in {
+            (i, j) for i, j, _ in A
+        } else B.remove_element(0, 0)
+        assert not matrices_equal(A, B)
+
+    def test_explicit_zero_vs_absent(self):
+        # "stored zero" and "undefined" are different contents
+        A = grb.Matrix.from_coo(grb.INT64, 2, 2, [0], [0], [0])
+        B = grb.Matrix(grb.INT64, 2, 2)
+        assert not matrices_equal(A, B)
+        assert not pattern_equal(A, B)
+
+    def test_shape_mismatch(self):
+        assert not matrices_equal(
+            grb.Matrix(grb.INT64, 2, 2), grb.Matrix(grb.INT64, 2, 3)
+        )
+
+    def test_type_strictness_toggle(self):
+        A = grb.Matrix.from_coo(grb.INT32, 1, 1, [0], [0], [5])
+        B = grb.Matrix.from_coo(grb.INT64, 1, 1, [0], [0], [5])
+        assert not matrices_equal(A, B)
+        assert matrices_equal(A, B, check_type=False)
+
+    def test_vectors(self, rng):
+        u = random_vector(rng, 8, 0.5)
+        assert vectors_equal(u, u.dup())
+        v = u.dup()
+        v.set_element(0, 99)
+        assert not vectors_equal(u, v)
+
+    def test_udt_equality(self):
+        T = grb.powerset_type()
+        u = grb.Vector(T, 2)
+        u.build([0], [frozenset({1})])
+        v = grb.Vector(T, 2)
+        v.build([0], [frozenset({1})])
+        assert vectors_equal(u, v)
+        w = grb.Vector(T, 2)
+        w.build([0], [frozenset({2})])
+        assert not vectors_equal(u, w)
+
+
+class TestNormsAndSymmetry:
+    def test_norms(self):
+        A = grb.Matrix.from_coo(grb.FP64, 2, 2, [0, 1], [1, 0], [-3.0, 4.0])
+        assert norm_max(A) == 4.0
+        assert norm_sum(A) == 7.0
+
+    def test_empty_norms(self):
+        A = grb.Matrix(grb.FP64, 2, 2)
+        assert norm_max(A) == 0.0
+        assert norm_sum(A) == 0.0
+
+    def test_vector_norms(self):
+        v = grb.Vector.from_coo(grb.FP64, 3, [0, 2], [-1.5, 2.0])
+        assert norm_max(v) == 2.0
+        assert norm_sum(v) == 3.5
+
+    def test_symmetry(self):
+        S = grb.Matrix.from_dense(grb.INT64, [[0, 2], [2, 0]])
+        assert is_symmetric(S)
+        N = grb.Matrix.from_dense(grb.INT64, [[0, 2], [3, 0]])
+        assert not is_symmetric(N)
+        assert is_symmetric(N, values=False)  # pattern is symmetric
+
+    def test_nonsquare_never_symmetric(self):
+        assert not is_symmetric(grb.Matrix(grb.INT64, 2, 3))
+
+
+class TestTracer:
+    def test_records_blocking_ops(self, rng):
+        A = random_matrix(rng, 6, 6, 0.5)
+        C = grb.Matrix(grb.INT64, 6, 6)
+        with trace() as t:
+            grb.mxm(C, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+            grb.transpose(C, None, None, C)
+        assert t.count("mxm") == 1
+        assert t.count("transpose") == 1
+        assert t.count() == 2
+        assert all(not r.deferred for r in t.records)
+        assert t.total_seconds() > 0
+
+    def test_records_deferred_ops_and_elisions(self, rng):
+        grb.init(grb.Mode.NONBLOCKING)
+        A = random_matrix(rng, 6, 6, 0.5)
+        C = grb.Matrix(grb.INT64, 6, 6)
+        with trace() as t:
+            grb.mxm(C, None, None, grb.PLUS_TIMES[grb.INT64], A, A)  # dead
+            grb.ewise_add(C, None, None, grb.PLUS[grb.INT64], A, A)
+            grb.wait()
+        assert t.count("eWiseAdd") == 1
+        assert t.count("mxm") == 0  # elided: its thunk never ran
+        assert t.elided == 1
+        assert t.drains == 1
+        assert all(r.deferred for r in t.records)
+
+    def test_untraced_ops_not_recorded(self, rng):
+        A = random_matrix(rng, 4, 4, 0.5)
+        C = grb.Matrix(grb.INT64, 4, 4)
+        grb.mxm(C, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+        with trace() as t:
+            pass
+        assert t.count() == 0
+
+    def test_by_label_and_summary(self, rng):
+        A = random_matrix(rng, 4, 4, 0.5)
+        C = grb.Matrix(grb.INT64, 4, 4)
+        with trace() as t:
+            for _ in range(3):
+                grb.apply(C, None, None, grb.IDENTITY[grb.INT64], A)
+        agg = t.by_label()
+        assert agg["apply"][0] == 3
+        assert "apply" in t.summary() and "x3" in t.summary()
+
+    def test_nested_trace_rejected(self):
+        with trace():
+            with pytest.raises(grb.InvalidValue):
+                with trace():
+                    pass
+
+    def test_trace_is_reentrant_after_exit(self):
+        with trace() as t1:
+            pass
+        with trace() as t2:
+            pass
+        assert t1.count() == 0 and t2.count() == 0

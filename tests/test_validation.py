@@ -1,0 +1,139 @@
+"""The invariant checker, plus a randomized chain that must keep every
+invariant intact after arbitrary operation pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro as grb
+from repro.validation import check
+
+from tests.conftest import random_matrix, random_vector
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestCheckAcceptsHealthyObjects:
+    def test_matrix(self, rng):
+        check(random_matrix(rng, 6, 9, 0.4))
+
+    def test_empty_matrix(self):
+        check(grb.Matrix(grb.FP32, 3, 3))
+
+    def test_vector(self, rng):
+        check(random_vector(rng, 12, 0.5))
+
+    def test_scalar(self):
+        check(grb.Scalar.from_value(grb.INT32, 5))
+        check(grb.Scalar(grb.INT32))
+
+    def test_udt_matrix(self):
+        T = grb.powerset_type()
+        M = grb.Matrix(T, 2, 2)
+        M.set_element(0, 1, frozenset({1}))
+        check(M)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(grb.InvalidValue):
+            check("not a collection")
+
+
+class TestCheckCatchesCorruption:
+    def test_unsorted_keys(self, rng):
+        A = random_matrix(rng, 4, 4, 0.8)
+        A._keys = A._keys[::-1].copy()
+        A._csr = None
+        A._csc = None
+        with pytest.raises(grb.InvalidObject, match="sorted"):
+            check(A)
+
+    def test_out_of_range_key(self):
+        A = grb.Matrix.from_coo(grb.INT64, 2, 2, [0], [0], [1])
+        A._keys = np.array([99], dtype=np.int64)
+        A._csr = None
+        A._csc = None
+        with pytest.raises(grb.InvalidObject, match="range"):
+            check(A)
+
+    def test_length_mismatch(self):
+        A = grb.Matrix.from_coo(grb.INT64, 2, 2, [0, 1], [0, 1], [1, 2])
+        A._values = A._values[:1]
+        A._csr = None
+        A._csc = None
+        with pytest.raises(grb.InvalidObject, match="length"):
+            check(A)
+
+    def test_wrong_value_dtype(self):
+        A = grb.Matrix.from_coo(grb.INT64, 2, 2, [0], [0], [1])
+        A._values = A._values.astype(np.float32)
+        A._csr = None
+        A._csc = None
+        with pytest.raises(grb.InvalidObject, match="dtype"):
+            check(A)
+
+    def test_udt_foreign_value(self):
+        T = grb.powerset_type()
+        v = grb.Vector(T, 2)
+        v.build([0], [frozenset({1})])
+        v._values[0] = {1}  # a set, not a frozenset
+        with pytest.raises(grb.InvalidObject, match="frozenset"):
+            check(v)
+
+
+class TestInvariantsSurviveOperationChains:
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_random_chain_keeps_invariants(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        A = random_matrix(rng, 6, 6, 0.4)
+        B = random_matrix(rng, 6, 6, 0.4)
+        C = random_matrix(rng, 6, 6, 0.3)
+        M = random_matrix(rng, 6, 6, 0.3, domain=grb.BOOL)
+        s = grb.PLUS_TIMES[grb.INT64]
+        steps = data.draw(
+            st.lists(
+                st.sampled_from(
+                    ["mxm", "add", "mult", "apply", "tran", "sel", "assign"]
+                ),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        for step in steps:
+            if step == "mxm":
+                grb.mxm(C, M, None, s, A, B, grb.DESC_R)
+            elif step == "add":
+                grb.ewise_add(C, None, grb.PLUS[grb.INT64], grb.PLUS[grb.INT64], A, B)
+            elif step == "mult":
+                grb.ewise_mult(C, M, None, grb.TIMES[grb.INT64], C, B)
+            elif step == "apply":
+                grb.apply(C, None, None, grb.AINV[grb.INT64], C)
+            elif step == "tran":
+                grb.transpose(C, None, None, C)
+            elif step == "sel":
+                grb.select(C, None, None, grb.TRIL, C, 0)
+            elif step == "assign":
+                grb.matrix_assign_scalar(C, M, None, 7, [1, 3], [0, 2])
+            check(C)
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_nonblocking_chains_keep_invariants(self, data):
+        from repro import context
+
+        context._reset()
+        grb.init(grb.Mode.NONBLOCKING)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        A = random_matrix(rng, 5, 5, 0.5)
+        C = grb.Matrix(grb.INT64, 5, 5)
+        n_ops = data.draw(st.integers(1, 5))
+        for _ in range(n_ops):
+            grb.mxm(C, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+            grb.ewise_add(C, None, None, grb.PLUS[grb.INT64], C, A)
+        grb.wait()
+        check(C)
+        check(A)
