@@ -190,4 +190,7 @@ from .types import (
     type_new,
 )
 
+# imported last: the planner's runners reach back into repro.operations
+from .execution import planner
+
 __version__ = "1.0.0"

@@ -138,12 +138,16 @@ def submit(
     label: str,
     overwrites_output: bool = False,
     deferrable: bool = True,
+    spec: Any = None,
 ) -> None:
     """Route a validated method body through the execution model.
 
     In blocking mode (or for non-deferrable methods) the computation runs
     now — after first draining the queue so program order is preserved.
-    In nonblocking mode deferrable work joins the sequence.
+    In nonblocking mode deferrable work joins the sequence; *spec* (an
+    :class:`~repro.execution.sequence.OpSpec`, when the caller is a
+    standard Table II operation) gives the drain-time planner the
+    structure it needs to fuse, dedupe, and schedule the op.
     """
     _check_usable()
     if _ctx.mode is Mode.NONBLOCKING and deferrable:
@@ -154,6 +158,7 @@ def submit(
                 writes=writes,
                 label=label,
                 overwrites_output=overwrites_output,
+                spec=spec,
             )
         )
         return
@@ -223,7 +228,8 @@ def complete_before_free(obj: Any) -> None:
 
 
 def queue_stats() -> dict[str, int]:
-    """Deferred-queue counters (enqueued/executed/elided/drains)."""
+    """Deferred-queue counters (enqueued/executed/elided/drains plus the
+    planner's fused/cse/max_width)."""
     return _ctx.queue.stats.snapshot()
 
 
@@ -231,4 +237,7 @@ def _reset() -> None:
     """Testing hook: restore the pristine default context."""
     global _ctx
     _ctx = _Context(Mode.BLOCKING)
+    from .execution.planner import reset_options
+
+    reset_options()
     clear_last_error()

@@ -1,7 +1,15 @@
 """Execution-model internals: the deferred-op sequence queue used by
 nonblocking mode (see :mod:`repro.context` for the public entry points)."""
 
-from .sequence import DeferredOp, QueueStats, SequenceQueue
+from .sequence import DeferredOp, OpSpec, QueueStats, SequenceQueue
 from .trace import OpRecord, Tracer, trace
 
-__all__ = ["DeferredOp", "SequenceQueue", "QueueStats", "trace", "Tracer", "OpRecord"]
+__all__ = [
+    "DeferredOp",
+    "OpSpec",
+    "SequenceQueue",
+    "QueueStats",
+    "trace",
+    "Tracer",
+    "OpRecord",
+]

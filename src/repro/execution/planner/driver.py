@@ -1,0 +1,176 @@
+"""Plan construction and the level-order DAG scheduler.
+
+:func:`build_plan` is the queue's drain-time entry point: it runs the pass
+pipeline (dead-op → fusion → CSE, each individually switchable via
+:mod:`.config`) and returns an :class:`ExecutionPlan` whose :meth:`run`
+executes the surviving nodes level by level.  Nodes within a level share no
+hazards, so when the parallel pass is on and :func:`repro.parallel.
+get_num_threads` allows it, a level's nodes are dispatched concurrently on
+the shared thread pool — with nested kernel parallelism suppressed via
+:func:`repro.parallel.serial_section` so scheduler workers never re-enter
+the pool they occupy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...parallel import get_num_threads, serial_section, thread_pool
+from ..sequence import DeferredOp, QueueStats
+from .config import options
+from .graph import Graph, OpNode, build_graph
+from .passes import cse_pass, dead_op_pass, fusion_pass
+
+__all__ = ["build_plan", "ExecutionPlan"]
+
+
+def _attach_runners(g: Graph) -> None:
+    """Give every live node its executable.
+
+    Plain nodes keep the thunk built (and trace-wrapped) at submit time.
+    Fused and CSE nodes replace it with a planner-built runner, wrapped for
+    the tracer *now* — drain time — under a label that makes the rewrite
+    visible (``mxm+apply[fused]``, ``mxm[cse]``).
+    """
+    from ...operations.common import execute_fused, execute_standard
+    from ..trace import wrap_thunk
+
+    cache: dict[int, tuple] = {}
+    for node in g.alive_nodes():
+        if node.fused_pair is not None:
+            p_spec, q_spec = node.fused_pair
+
+            def fused_run(p=p_spec, q=q_spec):
+                execute_fused(p, q)
+
+            node.runner = wrap_thunk(fused_run, node.label, deferred=True)
+        elif node.cse_source is not None:
+
+            def cse_run(spec=node.ops[0].spec, src=node.cse_source):
+                execute_standard(spec, precomputed=cache[src])
+
+            node.runner = wrap_thunk(cse_run, node.label, deferred=True)
+        elif node.capture:
+
+            def capture_run(spec=node.ops[0].spec, idx=node.index):
+                execute_standard(
+                    spec, capture=lambda k, v: cache.__setitem__(idx, (k, v))
+                )
+
+            node.runner = wrap_thunk(capture_run, node.label, deferred=True)
+        else:
+            node.runner = node.ops[0].thunk
+
+
+class ExecutionPlan:
+    """A scheduled sequence: levels of mutually independent nodes.
+
+    After :meth:`run`, :attr:`failed_ops` holds the member ops of every node
+    that did not complete (the failing node first), in execution order — the
+    queue exposes it so the context can poison their outputs (section V).
+    """
+
+    def __init__(
+        self,
+        levels: list[list[OpNode]],
+        stats: QueueStats,
+        parallel: bool,
+    ):
+        self._levels = levels
+        self._stats = stats
+        self._parallel = parallel
+        self.failed_ops: list[DeferredOp] = []
+
+    def _fail(self, lvl: int, failing: list[OpNode]) -> None:
+        remaining = [n for level in self._levels[lvl + 1 :] for n in level]
+        self.failed_ops = [
+            op for n in failing + remaining for op in n.ops
+        ]
+
+    def run(self) -> None:
+        if self._levels:
+            width = max(len(level) for level in self._levels)
+            self._stats.max_width = max(self._stats.max_width, width)
+        for lvl, level in enumerate(self._levels):
+            if self._parallel and len(level) > 1 and get_num_threads() > 1:
+                self._run_level_parallel(lvl, level)
+            else:
+                self._run_level_serial(lvl, level)
+
+    def _run_level_serial(self, lvl: int, level: list[OpNode]) -> None:
+        for pos, node in enumerate(level):
+            try:
+                node.runner()
+            except BaseException:
+                self._fail(lvl, level[pos:])
+                raise
+            self._stats.executed += len(node.ops)
+
+    def _run_level_parallel(self, lvl: int, level: list[OpNode]) -> None:
+        # Workers run under serial_section so a node's kernels don't submit
+        # to the pool the scheduler is occupying (nested-pool deadlock).
+        def guarded(runner: Callable[[], None]):
+            def run():
+                with serial_section():
+                    runner()
+
+            return run
+
+        pool = thread_pool()
+        futures = [(node, pool.submit(guarded(node.runner))) for node in level]
+        failures: list[tuple[OpNode, BaseException]] = []
+        for node, fut in futures:
+            try:
+                fut.result()
+            except BaseException as exc:
+                failures.append((node, exc))
+            else:
+                self._stats.executed += len(node.ops)
+        if failures:
+            # program order decides which error surfaces (section V: the
+            # first execution error in the sequence)
+            failures.sort(key=lambda nf: nf[0].index)
+            self._fail(lvl, [n for n, _ in failures])
+            raise failures[0][1]
+
+
+class _SerialPlan:
+    """Planner-off fallback: plain program order, no graph, no passes."""
+
+    def __init__(self, ops: list[DeferredOp], stats: QueueStats):
+        self._ops = ops
+        self._stats = stats
+        self.failed_ops: list[DeferredOp] = []
+
+    def run(self) -> None:
+        for pos, op in enumerate(self._ops):
+            try:
+                op.thunk()
+            except BaseException:
+                self.failed_ops = self._ops[pos:]
+                raise
+            self._stats.executed += 1
+
+
+def build_plan(
+    ops: list[DeferredOp], stats: QueueStats, optimize: bool = True
+):
+    """Lift *ops* into the DAG, run the enabled passes, attach runners."""
+    opts = options()
+    if not optimize or not opts.enabled:
+        return _SerialPlan(ops, stats)
+
+    if opts.dead_op:
+        live, elided = dead_op_pass(ops)
+        stats.elided += len(elided)
+    else:
+        live = ops
+
+    g = build_graph(live)
+    owner = list(range(len(live)))
+    if opts.fusion:
+        stats.fused += fusion_pass(g, live, owner)
+    if opts.cse:
+        stats.cse += cse_pass(g, live, owner)
+    _attach_runners(g)
+    return ExecutionPlan(g.assign_levels(), stats, parallel=opts.parallel)

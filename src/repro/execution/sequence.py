@@ -6,12 +6,14 @@ when the sequence is completed — by ``wait()`` or by any method that moves
 values from an opaque object into non-opaque storage.
 
 Each queued :class:`DeferredOp` records the opaque objects it reads and the
-one it writes, which enables the queue's one optimization pass:
-*dead-op elimination* — an op whose output is completely overwritten later in
-the sequence, with no intervening read, never needs to run.  This is a small
-but genuinely semantics-preserving instance of the "lazy evaluation ...
-chained together and fused" freedom the paper grants nonblocking
-implementations, and the execution-model benchmark measures it.
+one it writes, plus (for the standard Table II operations) an
+:class:`OpSpec` describing the computation structurally.  At drain time the
+queue hands the whole sequence to the planner
+(:mod:`repro.execution.planner`), which lifts it into a dataflow DAG and
+runs dead-op elimination, producer→consumer fusion, common-subexpression
+elimination, and a level-order scheduler over it — the "lazy evaluation,
+... operations chained together and fused" freedom the paper grants
+nonblocking implementations.
 """
 
 from __future__ import annotations
@@ -19,7 +21,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["DeferredOp", "SequenceQueue", "QueueStats"]
+__all__ = ["DeferredOp", "OpSpec", "SequenceQueue", "QueueStats"]
+
+
+@dataclass(slots=True)
+class OpSpec:
+    """Structural description of a standard (validate/kernel/write) op.
+
+    Present on every :class:`DeferredOp` produced by
+    ``operations.common.submit_standard_op``; ``None`` on ad-hoc deferred
+    work (``assign`` splices, container mutation).  The planner uses it to
+    re-run the op in pieces: the *kernel* computes the internal result T
+    from the inputs' current content, and the write pipeline folds T into
+    *out* under *mask*/*accum*/*desc*.
+    """
+
+    #: op kind — the Table II method name ("mxm", "apply", "reduce", ...)
+    kind: str
+    #: the output object C
+    out: Any
+    #: write-mask object (or None)
+    mask: Any
+    #: accumulator BinaryOp (or None)
+    accum: Any
+    #: the *effective* Descriptor (never None)
+    desc: Any
+    #: domain of the internal result T
+    t_type: Any
+    #: opaque input objects, in signature order (no Nones)
+    inputs: tuple
+    #: mask_view -> (t_keys, t_vals); pure: reads only the inputs' content
+    kernel: Callable[[Any], tuple] | None = None
+    #: operator identity for CSE fingerprinting (None = never CSE'd)
+    op_token: Any = None
+    #: apply-family value map: vals in input's domain -> vals in t_type
+    #: (present only on fusable ``apply`` consumers)
+    post: Callable | None = None
+    #: row-reduction monoid/shim (present only on matrix→vector ``reduce``)
+    reducer: Any = None
 
 
 @dataclass(slots=True)
@@ -36,6 +75,8 @@ class DeferredOp:
     #: True when the op ignores the prior content of ``writes`` entirely
     #: (no accum, and replace-or-total overwrite) — the dead-op criterion
     overwrites_output: bool = False
+    #: structural metadata for the planner (standard ops only)
+    spec: OpSpec | None = None
 
 
 @dataclass(slots=True)
@@ -44,6 +85,12 @@ class QueueStats:
     executed: int = 0
     elided: int = 0
     drains: int = 0
+    #: producer→consumer pairs executed as one fused kernel
+    fused: int = 0
+    #: ops whose kernel was skipped by common-subexpression elimination
+    cse: int = 0
+    #: widest level the DAG scheduler has seen (1 = fully serial sequences)
+    max_width: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -51,6 +98,9 @@ class QueueStats:
             "executed": self.executed,
             "elided": self.elided,
             "drains": self.drains,
+            "fused": self.fused,
+            "cse": self.cse,
+            "max_width": self.max_width,
         }
 
 
@@ -81,55 +131,31 @@ class SequenceQueue:
             for op in self._ops
         )
 
-    def _eliminate_dead_ops(self) -> list[DeferredOp]:
-        """Drop ops whose output is purely overwritten before any read.
-
-        Backward scan.  ``dead`` holds ids of objects that a later kept-or-
-        elided op will purely overwrite and that no op in between reads.
-        """
-        kept_rev: list[DeferredOp] = []
-        dead: set[int] = set()
-        for op in reversed(self._ops):
-            if id(op.writes) in dead:
-                # Its result is never observed: skip, and leave ``dead``
-                # untouched — the overwrite that killed it also kills any
-                # still-earlier writer, and this op's reads never happen.
-                self.stats.elided += 1
-                continue
-            kept_rev.append(op)
-            for r in op.reads:
-                dead.discard(id(r))
-            if op.overwrites_output:
-                dead.add(id(op.writes))
-            else:
-                dead.discard(id(op.writes))
-        kept_rev.reverse()
-        return kept_rev
-
     def drain(self) -> None:
-        """Execute all queued ops in program order.
+        """Complete the sequence through the planner.
 
-        On an execution error the remaining ops are discarded and their
-        output objects poisoned by the caller (see ``Context.drain``); the
-        exception propagates.
+        The queued ops are lifted into a dataflow DAG, optimized (dead-op
+        elimination, fusion, CSE — individually switchable via
+        ``repro.planner.configure``), and executed in a hazard-respecting
+        order.  On an execution error the remaining ops are discarded and
+        their output objects poisoned by the caller (see ``Context.drain``);
+        the exception propagates.
         """
         if not self._ops:
             return
         self.stats.drains += 1
-        plan = self._eliminate_dead_ops() if self.optimize else list(self._ops)
+        ops = list(self._ops)
         self._ops.clear()
-        idx = 0
+        from .planner import build_plan
+
+        plan = build_plan(ops, self.stats, optimize=self.optimize)
         try:
-            for idx, op in enumerate(plan):
-                op.thunk()
-                self.stats.executed += 1
-        except BaseException:
+            plan.run()
+        finally:
             # hand back the failed op and the un-run tail so the context can
-            # poison their outputs (the failed op's output value was never
+            # poison their outputs (a failed op's output value was never
             # computed — using it later is INVALID_OBJECT, Fig. 2c)
-            self._failed_tail = plan[idx:]
-            raise
-        self._failed_tail = []
+            self._failed_tail = plan.failed_ops
 
     @property
     def failed_tail(self) -> list[DeferredOp]:

@@ -77,23 +77,40 @@ class Tracer:
             )
         )
 
+    def _delta(self, key: str) -> int:
+        return self._stats_after.get(key, 0) - self._stats_before.get(key, 0)
+
     @property
     def elided(self) -> int:
-        return self._stats_after.get("elided", 0) - self._stats_before.get(
-            "elided", 0
-        )
+        return self._delta("elided")
 
     @property
     def drains(self) -> int:
-        return self._stats_after.get("drains", 0) - self._stats_before.get(
-            "drains", 0
-        )
+        return self._delta("drains")
+
+    @property
+    def fused(self) -> int:
+        """Producer→consumer pairs the planner ran as one fused kernel."""
+        return self._delta("fused")
+
+    @property
+    def cse_hits(self) -> int:
+        """Kernel evaluations skipped by common-subexpression elimination."""
+        return self._delta("cse")
+
+    @property
+    def max_schedule_width(self) -> int:
+        """Widest DAG level the scheduler has seen (absolute, not a delta:
+        width is a high-water mark, not a running count)."""
+        return self._stats_after.get("max_width", 0)
 
     def summary(self) -> str:
         lines = [
             f"traced {len(self.records)} op bodies, "
             f"{self.total_seconds() * 1e3:.2f} ms total, "
-            f"{self.elided} elided, {self.drains} drains"
+            f"{self.elided} elided, {self.drains} drains",
+            f"planner: {self.fused} fused, {self.cse_hits} CSE hits, "
+            f"{self.elided} elided, schedule width {self.max_schedule_width}",
         ]
         for label, (n, secs) in self.by_label().items():
             lines.append(f"  {label:<16} x{n:<4} {secs * 1e3:9.3f} ms")

@@ -33,7 +33,14 @@ from ..parallel import (
     thread_pool,
 )
 
-__all__ = ["spgemm", "spmv", "reduce_rows", "estimate_flops"]
+__all__ = [
+    "spgemm",
+    "spmv",
+    "reduce_rows",
+    "reduce_rows_flat",
+    "fused_apply",
+    "estimate_flops",
+]
 
 
 def _empty(dtype) -> tuple[np.ndarray, np.ndarray]:
@@ -263,3 +270,37 @@ def reduce_rows(
     if not monoid.domain.is_udt and vals.dtype != dtype:
         vals = vals.astype(dtype)
     return uniq, vals
+
+
+def reduce_rows_flat(
+    keys: np.ndarray, vals: np.ndarray, ncols: int, monoid
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row reduction straight off sorted flat keys — the fusion form of
+    :func:`reduce_rows`, fed a producer's un-materialized result instead of
+    a CSR view.  Flat keys sort row-major, so segments are exactly the rows
+    in the same element order the view-based kernel folds them."""
+    dtype = monoid.domain.np_dtype
+    if len(keys) == 0:
+        return _empty(dtype)
+    rows = keys // np.int64(ncols)
+    uniq, starts = group_starts(rows)
+    out = segment_reduce(vals, starts, monoid)
+    if not monoid.domain.is_udt and out.dtype != dtype:
+        out = out.astype(dtype)
+    return uniq, out
+
+
+def fused_apply(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    mask_view: MaskView | None,
+    post,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Value-map over a producer's un-materialized result: the fusion form
+    of the ``apply`` kernel.  *post* is the consumer's captured value path
+    (cast → operator → output-dtype fix); the mask filter mirrors the
+    unfused kernel's push-down order exactly (keys first, then values)."""
+    if mask_view is not None and len(keys):
+        keep = mask_view.allows(keys)
+        keys, vals = keys[keep], vals[keep]
+    return keys, post(vals)

@@ -79,19 +79,25 @@ def apply(
         )
     validate_accum(accum, C, op.d_out)
 
+    def post(raw):
+        # the kernel's value path, factored out so fusion can run it on a
+        # producer's un-materialized result (raw arrives in A's domain)
+        vals = op.apply_array(cast_array(raw, A.type, op.d_in))
+        if not op.d_out.is_udt and vals.dtype != op.d_out.np_dtype:
+            vals = vals.astype(op.d_out.np_dtype)
+        return vals
+
     def kernel(mask_view):
         keys, raw = _input_content(C, A, d)
         if mask_view is not None and len(keys):
             keep = mask_view.allows(keys)
             keys, raw = keys[keep], raw[keep]
-        vals = op.apply_array(cast_array(raw, A.type, op.d_in))
-        if not op.d_out.is_udt and vals.dtype != op.d_out.np_dtype:
-            vals = vals.astype(op.d_out.np_dtype)
-        return keys, vals
+        return keys, post(raw)
 
     submit_standard_op(
         C, Mask, accum, desc,
         label="apply", t_type=op.d_out, kernel=kernel, inputs=(A,),
+        op_token=op, post=post,
     )
     return C
 

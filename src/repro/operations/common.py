@@ -25,6 +25,7 @@ from ..containers.mask import MaskView, build_mask_view, validate_mask_domain
 from ..containers.matrix import Matrix
 from ..containers.vector import Vector
 from ..descriptor import Descriptor, effective
+from ..execution.sequence import OpSpec
 from ..info import DimensionMismatch, DomainMismatch, InvalidValue, NullPointer
 from ..ops.base import BinaryOp
 from ..types import GrBType, can_cast, cast_array
@@ -36,6 +37,8 @@ __all__ = [
     "masked_write",
     "run_write_pipeline",
     "submit_standard_op",
+    "execute_standard",
+    "execute_fused",
     "check_output",
     "check_input",
 ]
@@ -204,6 +207,76 @@ def run_write_pipeline(
     masked_write(C, z_keys, z_vals, mask_view, desc.replace)
 
 
+def execute_standard(
+    spec: OpSpec,
+    precomputed: tuple[np.ndarray, np.ndarray] | None = None,
+    capture: Callable[[np.ndarray, np.ndarray], None] | None = None,
+) -> None:
+    """Run a standard op from its :class:`OpSpec` (the planner's entry point).
+
+    *precomputed* supplies T from a CSE cache (the kernel is skipped);
+    *capture* receives T after the kernel runs so a later duplicate can
+    reuse it.  Either way the write pipeline runs against the spec's own
+    output/mask/accum/descriptor.
+    """
+    d = spec.desc
+    mask_view = build_mask_view(spec.mask, d.mask_complement, d.mask_structure)
+    if precomputed is not None:
+        t_keys, t_vals = precomputed
+    else:
+        t_keys, t_vals = spec.kernel(mask_view)
+        if capture is not None:
+            capture(t_keys, t_vals)
+    run_write_pipeline(
+        spec.out, spec.mask, spec.accum, d, t_keys, t_vals, spec.t_type,
+        mask_view=mask_view,
+    )
+
+
+def _producer_result(spec: OpSpec) -> tuple[np.ndarray, np.ndarray]:
+    """What an *overwriting* op would leave in its output, without writing:
+    sorted flat keys plus values cast to the output's domain.
+
+    Legality (established by the planner before calling): ``accum is None``
+    and ``mask is None or replace``, so the output's prior content never
+    enters the result — it is exactly T, mask-filtered and cast.
+    """
+    d = spec.desc
+    mask_view = build_mask_view(spec.mask, d.mask_complement, d.mask_structure)
+    t_keys, t_vals = spec.kernel(mask_view)
+    if mask_view is not None and len(t_keys):
+        keep = mask_view.allows(t_keys)
+        t_keys, t_vals = t_keys[keep], t_vals[keep]
+    return t_keys, cast_array(t_vals, spec.t_type, spec.out.type)
+
+
+def execute_fused(p_spec: OpSpec, q_spec: OpSpec) -> None:
+    """Run producer P and consumer Q as one fused kernel.
+
+    P's output X is never materialized: P's result streams straight into
+    Q's value map (``apply``) or row reduction (``reduce``).  The planner's
+    fusion pass has already proven the intermediate value of X unobservable.
+    """
+    from ._kernels import fused_apply, reduce_rows_flat
+
+    x_keys, x_vals = _producer_result(p_spec)
+    d = q_spec.desc
+    mask_view = build_mask_view(q_spec.mask, d.mask_complement, d.mask_structure)
+    if q_spec.reducer is not None:
+        # matrix→vector reduce: the unfused kernel ignores the mask (it
+        # filters the *reduced* vector in the write pipeline, not the input)
+        vals = cast_array(x_vals, p_spec.out.type, q_spec.t_type)
+        t_keys, t_vals = reduce_rows_flat(
+            x_keys, vals, p_spec.out.ncols, q_spec.reducer
+        )
+    else:
+        t_keys, t_vals = fused_apply(x_keys, x_vals, mask_view, q_spec.post)
+    run_write_pipeline(
+        q_spec.out, q_spec.mask, q_spec.accum, d, t_keys, t_vals,
+        q_spec.t_type, mask_view=mask_view,
+    )
+
+
 def submit_standard_op(
     C,
     mask,
@@ -214,6 +287,9 @@ def submit_standard_op(
     t_type: GrBType,
     kernel: Callable[[MaskView | None], tuple[np.ndarray, np.ndarray]],
     inputs: tuple[OpaqueObject, ...],
+    op_token: Any = None,
+    post: Callable[[np.ndarray], np.ndarray] | None = None,
+    reducer: Any = None,
 ) -> None:
     """Package a validated operation into the execution model.
 
@@ -222,15 +298,30 @@ def submit_standard_op(
     into the computation (kernels may ignore it — the pipeline filters T
     again regardless).  API errors must already have been raised by the
     caller; this function only routes the work.
+
+    *op_token* (the operator's identity), *post* (an apply-style value map)
+    and *reducer* (a row-reduction monoid) are planner metadata: they make
+    the op eligible for common-subexpression elimination and for fusion as
+    a consumer.  Ops without them still join the dataflow DAG via the
+    generic spec.
     """
     d = effective(desc)
+    spec = OpSpec(
+        kind=label,
+        out=C,
+        mask=mask,
+        accum=accum,
+        desc=d,
+        t_type=t_type,
+        inputs=tuple(x for x in inputs if x is not None),
+        kernel=kernel,
+        op_token=op_token,
+        post=post,
+        reducer=reducer,
+    )
 
     def thunk():
-        mask_view = build_mask_view(mask, d.mask_complement, d.mask_structure)
-        t_keys, t_vals = kernel(mask_view)
-        run_write_pipeline(
-            C, mask, accum, d, t_keys, t_vals, t_type, mask_view=mask_view
-        )
+        execute_standard(spec)
 
     # C's prior content is irrelevant only if nothing merges it back in —
     # and only if C is not simultaneously an input or the mask (Fig. 3
@@ -248,4 +339,5 @@ def submit_standard_op(
         writes=C,
         label=label,
         overwrites_output=overwrites,
+        spec=spec,
     )

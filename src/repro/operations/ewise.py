@@ -151,6 +151,7 @@ def ewise_add(
     submit_standard_op(
         C, Mask, accum, desc,
         label="eWiseAdd", t_type=bop.d_out, kernel=kernel, inputs=(A, B),
+        op_token=bop,
     )
     return C
 
@@ -192,6 +193,7 @@ def ewise_mult(
     submit_standard_op(
         C, Mask, accum, desc,
         label="eWiseMult", t_type=bop.d_out, kernel=kernel, inputs=(A, B),
+        op_token=bop,
     )
     return C
 

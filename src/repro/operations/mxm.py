@@ -92,6 +92,7 @@ def mxm(
     submit_standard_op(
         C, Mask, accum, desc,
         label="mxm", t_type=op.d_out, kernel=kernel, inputs=(A, B),
+        op_token=op,
     )
     return C
 
@@ -135,6 +136,7 @@ def mxv(
     submit_standard_op(
         w, mask, accum, desc,
         label="mxv", t_type=op.d_out, kernel=kernel, inputs=(A, u),
+        op_token=op,
     )
     return w
 
@@ -186,5 +188,6 @@ def vxm(
     submit_standard_op(
         w, mask, accum, desc,
         label="vxm", t_type=op.d_out, kernel=kernel, inputs=(u, A),
+        op_token=op,
     )
     return w

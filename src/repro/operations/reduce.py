@@ -90,6 +90,7 @@ def reduce_to_vector(
     submit_standard_op(
         w, mask, accum, desc,
         label="reduce", t_type=red.domain, kernel=kernel, inputs=(A,),
+        op_token=op, reducer=red,
     )
     return w
 

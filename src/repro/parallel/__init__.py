@@ -14,6 +14,7 @@ from .config import (
     get_num_threads,
     parallel_threshold,
     row_blocks,
+    serial_section,
     set_num_threads,
     set_parallel_threshold,
     thread_pool,
@@ -26,4 +27,5 @@ __all__ = [
     "set_parallel_threshold",
     "row_blocks",
     "thread_pool",
+    "serial_section",
 ]

@@ -9,7 +9,9 @@ dominates — the classic HPC rule that you profile before you parallelize).
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -22,16 +24,36 @@ __all__ = [
     "set_parallel_threshold",
     "row_blocks",
     "thread_pool",
+    "serial_section",
 ]
 
 _num_threads = 1
 _threshold = 200_000  # estimated flops below which kernels stay serial
 _pool: ThreadPoolExecutor | None = None
 _pool_size = 0
+_tls = threading.local()
 
 
 def get_num_threads() -> int:
+    # Inside a serial section the calling thread *is* a pool worker; letting
+    # its kernels submit to the pool again would deadlock a bounded pool.
+    if getattr(_tls, "serial", 0):
+        return 1
     return _num_threads
+
+
+@contextmanager
+def serial_section():
+    """Force :func:`get_num_threads` to 1 on this thread (re-entrant).
+
+    The DAG scheduler wraps node execution in this so work already running
+    *on* the pool never fans out into it again.
+    """
+    _tls.serial = getattr(_tls, "serial", 0) + 1
+    try:
+        yield
+    finally:
+        _tls.serial -= 1
 
 
 def set_num_threads(n: int) -> None:
