@@ -154,7 +154,10 @@ def segment_reduce(values: np.ndarray, starts: np.ndarray, monoid) -> np.ndarray
         return np.empty(0, dtype=values.dtype)
     uf = monoid.op.ufunc
     if uf is not None and values.dtype != np.dtype(object):
-        return uf.reduceat(values, starts)
+        # keep the reduction in the monoid's domain: reduceat promotes
+        # integer sums/products to 64 bits, which would leak non-wrapped
+        # values to callers that trust t_type
+        return uf.reduceat(values, starts).astype(values.dtype, copy=False)
     ends = np.empty(len(starts), dtype=np.int64)
     ends[:-1] = starts[1:]
     ends[-1] = len(values)

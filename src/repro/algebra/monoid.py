@@ -88,8 +88,11 @@ class Monoid:
         """Fold an array of domain values (returns identity when empty)."""
         if len(values) == 0:
             return self.identity
-        if self.op.ufunc is not None:
-            return self.op.ufunc.reduce(values)
+        if self.op.ufunc is not None and values.dtype != np.dtype(object):
+            # numpy promotes integer sums/products to 64 bits; the monoid's
+            # arithmetic lives in its own domain, so fold back (for modular
+            # ops, wrapping once at the end equals wrapping every step)
+            return values.dtype.type(self.op.ufunc.reduce(values))
         acc = values[0]
         for v in values[1:]:
             acc = self.op(acc, v)

@@ -1,0 +1,618 @@
+"""Differential executor: one program, three-plus ways.
+
+Each fuzz program runs against
+
+1. the spec-literal **reference oracle** (:mod:`repro.reference` — dict
+   content, pointwise pipeline),
+2. the optimized backend in **blocking** mode, and
+3. the optimized backend in **nonblocking** mode under the drain-time
+   planner, across pass-ablation configurations (planner off, each pass
+   individually disabled, each pass alone, or — exhaustively — all 16
+   on/off combinations of dead-op/fusion/CSE/parallel).
+
+All runs rebuild the program's collections from the declarative form, so
+no state leaks between backends; results are compared with dtype-aware
+tolerance (exact for bool/integer/UDT values, relative tolerance for
+floats whose reductions may legally reassociate).  After every optimized
+run the structural invariants of each collection are verified with
+:func:`repro.validation.check_all`, so a kernel that produces the right
+values in a corrupt representation still fails.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any
+
+__all__ = [
+    "ExecMode",
+    "default_modes",
+    "ablation_modes",
+    "exhaustive_modes",
+    "Snapshot",
+    "DivergenceReport",
+    "run_reference",
+    "run_optimized",
+    "run_differential",
+    "check_error_conformance",
+]
+
+
+@dataclass(frozen=True)
+class ExecMode:
+    """One way to run a program on the optimized backend."""
+
+    name: str
+    nonblocking: bool = False
+    #: planner knob overrides applied before the run (nonblocking only);
+    #: stored as a sorted tuple of (knob, value) so the mode is hashable
+    planner: tuple = ()
+
+    def knobs(self) -> dict:
+        return dict(self.planner)
+
+
+def _nb(name: str, **knobs: bool) -> ExecMode:
+    return ExecMode(name, nonblocking=True, planner=tuple(sorted(knobs.items())))
+
+
+BLOCKING = ExecMode("blocking")
+
+
+def ablation_modes() -> list[ExecMode]:
+    """The curated planner-pass ablation lattice (fast enough for CI)."""
+    return [
+        _nb("nb-planner"),                       # all passes on (defaults)
+        _nb("nb-planner-off", enabled=False),    # drain in program order
+        _nb("nb-no-deadop", dead_op=False),
+        _nb("nb-no-fusion", fusion=False),
+        _nb("nb-no-cse", cse=False),
+        _nb("nb-no-parallel", parallel=False),
+        _nb("nb-passes-off", dead_op=False, fusion=False, cse=False,
+            parallel=False),                     # DAG scheduler alone
+    ]
+
+
+def default_modes() -> list[ExecMode]:
+    return [BLOCKING] + ablation_modes()
+
+
+def exhaustive_modes() -> list[ExecMode]:
+    """Blocking, planner-off, and all 16 pass on/off combinations."""
+    modes = [BLOCKING, _nb("nb-planner-off", enabled=False)]
+    for dead, fus, cse, par in product((False, True), repeat=4):
+        tag = "".join(
+            c for c, on in zip("dfcp", (dead, fus, cse, par)) if on
+        ) or "none"
+        modes.append(
+            _nb(f"nb-{tag}", dead_op=dead, fusion=fus, cse=cse, parallel=par)
+        )
+    return modes
+
+
+# --------------------------------------------------------------------------
+# Operator environment (fresh per run: UDT domains compare by identity)
+# --------------------------------------------------------------------------
+
+class Env:
+    """Resolves dtype and operator tokens into live objects for one run."""
+
+    def __init__(self):
+        from ..algebra.predefined import powerset_semiring, powerset_type
+        from ..ops.base import UnaryOp
+
+        self.pset = powerset_type()
+        self.pset_sr = powerset_semiring(domain=self.pset)
+        self.pset_union = self.pset_sr.add_op
+        self.pset_intersect = self.pset_sr.mul
+        self.pset_monoid = self.pset_sr.add
+        self.pset_tag = UnaryOp(
+            "PSET_TAG", self.pset, self.pset,
+            scalar_fn=lambda s: s | frozenset((9,)),
+        )
+
+    def dtype(self, token: str):
+        from ..types import lookup_type
+
+        return self.pset if token == "PSET" else lookup_type(token)
+
+    def semiring(self, token: str):
+        from ..algebra.predefined import MONOID_REGISTRY, SEMIRING_REGISTRY
+        from ..ops.binary import BINARY_REGISTRY
+
+        if token == "PSET_SR":
+            return self.pset_sr
+        if token in SEMIRING_REGISTRY:
+            return SEMIRING_REGISTRY[token]
+        # error-model programs hand a non-semiring operator here on purpose;
+        # resolve it so the *library* gets to reject the object
+        return MONOID_REGISTRY.get(token) or BINARY_REGISTRY[token]
+
+    def binop(self, token: str):
+        from ..ops.binary import BINARY_REGISTRY
+
+        if token == "PSET_UNION":
+            return self.pset_union
+        if token == "PSET_INTERSECT":
+            return self.pset_intersect
+        return BINARY_REGISTRY[token]
+
+    def monoid(self, token: str):
+        from ..algebra.predefined import MONOID_REGISTRY
+
+        return self.pset_monoid if token == "PSET_MONOID" else MONOID_REGISTRY[token]
+
+    def unary(self, token: str):
+        from ..ops.unary import UNARY_REGISTRY
+
+        return self.pset_tag if token == "PSET_TAG" else UNARY_REGISTRY[token]
+
+    def iuop(self, token: str):
+        from ..ops.index_unary import INDEXUNARY_REGISTRY
+
+        return INDEXUNARY_REGISTRY[token]
+
+    def accum(self, token: str | None):
+        return None if token is None else self.binop(token)
+
+    def value(self, dtype_token: str, raw):
+        """Decode a JSON-carried entry value into the domain's scalar."""
+        if dtype_token == "PSET":
+            return frozenset(raw)
+        return self.dtype(dtype_token).np_dtype.type(raw)
+
+
+# --------------------------------------------------------------------------
+# Snapshots and dtype-aware comparison
+# --------------------------------------------------------------------------
+
+@dataclass
+class Snapshot:
+    """Post-run content of every declared object, plus scalar results."""
+
+    objects: dict[str, dict] = field(default_factory=dict)
+    scalars: list[Any] = field(default_factory=list)
+
+
+_FLOAT_TOL = {"FP32": (1e-4, 1e-6), "FP64": (1e-9, 1e-12)}
+
+
+def _norm(v):
+    if isinstance(v, frozenset):
+        return v
+    item = getattr(v, "item", None)
+    return item() if callable(item) else v
+
+
+def values_equal(a, b, dtype_token: str) -> bool:
+    a, b = _norm(a), _norm(b)
+    if isinstance(a, frozenset) or isinstance(b, frozenset):
+        return a == b
+    if dtype_token in _FLOAT_TOL:
+        rtol, atol = _FLOAT_TOL[dtype_token]
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return abs(a - b) <= atol + rtol * max(abs(a), abs(b))
+    return bool(a == b)
+
+
+def _diff_contents(name, dtype_token, ref: dict, got: dict) -> str | None:
+    rk, gk = set(ref), set(got)
+    if rk != gk:
+        return (
+            f"{name}: pattern differs — only-reference={sorted(rk - gk)!r} "
+            f"only-optimized={sorted(gk - rk)!r}"
+        )
+    for k in ref:
+        if not values_equal(ref[k], got[k], dtype_token):
+            return (
+                f"{name}: value at {k!r} differs — "
+                f"reference={_norm(ref[k])!r} optimized={_norm(got[k])!r}"
+            )
+    return None
+
+
+def compare_snapshots(program, ref: Snapshot, got: Snapshot) -> list[str]:
+    """Dtype-aware comparison; returns human-readable mismatch strings."""
+    out: list[str] = []
+    for d in program.decls:
+        r = ref.objects.get(d.name, {})
+        g = got.objects.get(d.name, {})
+        msg = _diff_contents(d.name, d.dtype, r, g)
+        if msg:
+            out.append(msg)
+    if len(ref.scalars) != len(got.scalars):
+        out.append(
+            f"scalar result count differs: {len(ref.scalars)} vs {len(got.scalars)}"
+        )
+    else:
+        for i, (a, b) in enumerate(zip(ref.scalars, got.scalars)):
+            dtype = "FP64" if isinstance(_norm(a), float) else "exact"
+            if not values_equal(a, b, dtype):
+                out.append(
+                    f"scalar #{i}: reference={_norm(a)!r} optimized={_norm(b)!r}"
+                )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Reference-oracle execution
+# --------------------------------------------------------------------------
+
+def _ref_flags(call) -> dict:
+    return dict(
+        replace=call.flag("replace"),
+        mask_comp=call.flag("mask_comp"),
+        mask_struct=call.flag("mask_struct"),
+    )
+
+
+def run_reference(program) -> Snapshot:
+    """Run a program on the dict-based spec-literal oracle."""
+    from ..reference import ref_impl as R
+
+    env = Env()
+    objs: dict[str, Any] = {}
+    for d in program.decls:
+        domain = env.dtype(d.dtype)
+        if d.kind == "matrix":
+            content = {
+                (int(i), int(j)): env.value(d.dtype, v) for i, j, v in d.entries
+            }
+            objs[d.name] = R.RefMatrix(domain, d.shape[0], d.shape[1], content)
+        else:
+            content = {int(i): env.value(d.dtype, v) for i, v in d.entries}
+            objs[d.name] = R.RefVector(domain, d.shape[0], content)
+
+    scalars: list[Any] = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # wrap-around overflow parity noise
+        for call in program.calls:
+            a = call.args
+            mask = objs.get(a.get("mask")) if a.get("mask") else None
+            accum = env.accum(a.get("accum"))
+            fl = _ref_flags(call)
+            k = call.kind
+            if k == "wait":
+                continue
+            C = objs.get(call.out) if call.out else None
+            if k == "mxm":
+                R.ref_mxm(C, mask, accum, env.semiring(a["semiring"]),
+                          objs[a["a"]], objs[a["b"]], **fl,
+                          tran0=call.flag("tran0"), tran1=call.flag("tran1"))
+            elif k == "mxv":
+                R.ref_mxv(C, mask, accum, env.semiring(a["semiring"]),
+                          objs[a["a"]], objs[a["u"]], **fl,
+                          tran0=call.flag("tran0"))
+            elif k == "vxm":
+                R.ref_vxm(C, mask, accum, env.semiring(a["semiring"]),
+                          objs[a["u"]], objs[a["a"]], **fl,
+                          tran1=call.flag("tran1"))
+            elif k in ("ewise_add", "ewise_mult"):
+                fn = R.ref_ewise_add if k == "ewise_add" else R.ref_ewise_mult
+                fn(C, mask, accum, env.binop(a["binop"]),
+                   objs[a["a"]], objs[a["b"]], **fl,
+                   tran0=call.flag("tran0"), tran1=call.flag("tran1"))
+            elif k == "apply":
+                R.ref_apply(C, mask, accum, env.unary(a["unary"]),
+                            objs[a["a"]], **fl, tran0=call.flag("tran0"))
+            elif k == "reduce":
+                R.ref_reduce_rows(C, mask, accum, env.monoid(a["monoid"]),
+                                  objs[a["a"]], **fl, tran0=call.flag("tran0"))
+            elif k == "reduce_scalar":
+                scalars.append(
+                    R.ref_reduce_scalar(env.monoid(a["monoid"]), objs[a["a"]])
+                )
+            elif k == "transpose":
+                R.ref_transpose(C, mask, accum, objs[a["a"]], **fl,
+                                tran0=call.flag("tran0"))
+            elif k == "extract_matrix":
+                R.ref_extract_matrix(C, mask, accum, objs[a["a"]],
+                                     a["rows"], a["cols"], **fl,
+                                     tran0=call.flag("tran0"))
+            elif k == "extract_vector":
+                R.ref_extract_vector(C, mask, accum, objs[a["u"]],
+                                     a["indices"], **fl)
+            elif k == "assign_matrix":
+                R.ref_assign_matrix(C, mask, accum, objs[a["a"]],
+                                    a["rows"], a["cols"], **fl,
+                                    tran0=call.flag("tran0"))
+            elif k == "assign_vector":
+                R.ref_assign_vector(C, mask, accum, objs[a["u"]],
+                                    a["indices"], **fl)
+            elif k == "assign_scalar_matrix":
+                value = env.value(program.decl(call.out).dtype, a["value"])
+                R.ref_assign_scalar_matrix(C, mask, accum, value,
+                                           a["rows"], a["cols"], **fl)
+            elif k == "assign_scalar_vector":
+                value = env.value(program.decl(call.out).dtype, a["value"])
+                R.ref_assign_scalar_vector(C, mask, accum, value,
+                                           a["indices"], **fl)
+            elif k == "select":
+                R.ref_select(C, mask, accum, env.iuop(a["iuop"]),
+                             objs[a["a"]], a["thunk"], **fl,
+                             tran0=call.flag("tran0"))
+            elif k == "kronecker":
+                R.ref_kronecker(C, mask, accum, env.binop(a["binop"]),
+                                objs[a["a"]], objs[a["b"]], **fl,
+                                tran0=call.flag("tran0"), tran1=call.flag("tran1"))
+            else:  # pragma: no cover - generator/executor skew
+                raise ValueError(f"reference executor: unknown op {k!r}")
+
+    snap = Snapshot(scalars=scalars)
+    for d in program.decls:
+        snap.objects[d.name] = dict(objs[d.name].content)
+    return snap
+
+
+# --------------------------------------------------------------------------
+# Optimized-backend execution
+# --------------------------------------------------------------------------
+
+def _build_grb(decl, env):
+    import repro as grb
+
+    domain = env.dtype(decl.dtype)
+    if decl.kind == "matrix":
+        M = grb.Matrix(domain, decl.shape[0], decl.shape[1])
+        if decl.entries:
+            rows = [int(e[0]) for e in decl.entries]
+            cols = [int(e[1]) for e in decl.entries]
+            vals = [env.value(decl.dtype, e[2]) for e in decl.entries]
+            M.build(rows, cols, vals)
+        return M
+    v = grb.Vector(domain, decl.shape[0])
+    if decl.entries:
+        idx = [int(e[0]) for e in decl.entries]
+        vals = [env.value(decl.dtype, e[1]) for e in decl.entries]
+        v.build(idx, vals)
+    return v
+
+
+def _descriptor(call):
+    from .. import descriptor as D
+
+    d = None
+
+    def setd(field, value):
+        nonlocal d
+        if d is None:
+            d = D.Descriptor()
+        d.set(field, value)
+
+    if call.flag("replace"):
+        setd(D.OUTP, D.REPLACE)
+    if call.flag("mask_comp"):
+        setd(D.MASK, D.SCMP)
+    if call.flag("mask_struct"):
+        setd(D.MASK, D.STRUCTURE)
+    if call.flag("tran0"):
+        setd(D.INP0, D.TRAN)
+    if call.flag("tran1"):
+        setd(D.INP1, D.TRAN)
+    return d
+
+
+def _dispatch_optimized(call, objs, env, scalars, dtypes) -> None:
+    from .. import context, operations as ops
+
+    a = call.args
+    k = call.kind
+    if k == "wait":
+        context.wait()
+        return
+    mask = objs.get(a.get("mask")) if a.get("mask") else None
+    accum = env.accum(a.get("accum"))
+    desc = _descriptor(call)
+    C = objs.get(call.out) if call.out else None
+    if k == "mxm":
+        ops.mxm(C, mask, accum, env.semiring(a["semiring"]),
+                objs[a["a"]], objs[a["b"]], desc)
+    elif k == "mxv":
+        ops.mxv(C, mask, accum, env.semiring(a["semiring"]),
+                objs[a["a"]], objs[a["u"]], desc)
+    elif k == "vxm":
+        ops.vxm(C, mask, accum, env.semiring(a["semiring"]),
+                objs[a["u"]], objs[a["a"]], desc)
+    elif k == "ewise_add":
+        ops.ewise_add(C, mask, accum, env.binop(a["binop"]),
+                      objs[a["a"]], objs[a["b"]], desc)
+    elif k == "ewise_mult":
+        ops.ewise_mult(C, mask, accum, env.binop(a["binop"]),
+                       objs[a["a"]], objs[a["b"]], desc)
+    elif k == "apply":
+        ops.apply(C, mask, accum, env.unary(a["unary"]), objs[a["a"]], desc)
+    elif k == "reduce":
+        ops.reduce_to_vector(C, mask, accum, env.monoid(a["monoid"]),
+                             objs[a["a"]], desc)
+    elif k == "reduce_scalar":
+        scalars.append(
+            ops.reduce_to_scalar(env.monoid(a["monoid"]), objs[a["a"]])
+        )
+    elif k == "transpose":
+        ops.transpose(C, mask, accum, objs[a["a"]], desc)
+    elif k == "extract_matrix":
+        ops.matrix_extract(C, mask, accum, objs[a["a"]],
+                           a["rows"], a["cols"], desc)
+    elif k == "extract_vector":
+        ops.vector_extract(C, mask, accum, objs[a["u"]], a["indices"], desc)
+    elif k == "assign_matrix":
+        ops.matrix_assign(C, mask, accum, objs[a["a"]],
+                          a["rows"], a["cols"], desc)
+    elif k == "assign_vector":
+        ops.vector_assign(C, mask, accum, objs[a["u"]], a["indices"], desc)
+    elif k == "assign_scalar_matrix":
+        value = env.value(dtypes[call.out], a["value"])
+        ops.matrix_assign_scalar(C, mask, accum, value,
+                                 a["rows"], a["cols"], desc)
+    elif k == "assign_scalar_vector":
+        value = env.value(dtypes[call.out], a["value"])
+        ops.vector_assign_scalar(C, mask, accum, value, a["indices"], desc)
+    elif k == "select":
+        ops.select(C, mask, accum, env.iuop(a["iuop"]),
+                   objs[a["a"]], a["thunk"], desc)
+    elif k == "kronecker":
+        ops.kronecker(C, mask, accum, env.binop(a["binop"]),
+                      objs[a["a"]], objs[a["b"]], desc)
+    else:  # pragma: no cover - generator/executor skew
+        raise ValueError(f"optimized executor: unknown op {k!r}")
+
+
+def _snapshot_obj(decl, obj) -> dict:
+    if decl.kind == "matrix":
+        rows, cols, vals = obj.extract_tuples()
+        return {(int(i), int(j)): v for i, j, v in zip(rows, cols, vals)}
+    idx, vals = obj.extract_tuples()
+    return {int(i): v for i, v in zip(idx, vals)}
+
+
+def run_optimized(program, mode: ExecMode) -> Snapshot:
+    """Run a program on the optimized backend under *mode*.
+
+    Resets the library context around the run (the fuzzer owns the
+    process), applies the mode's planner knobs, completes the sequence,
+    validates every collection's structural invariants, and snapshots.
+    """
+    from .. import context, validation
+    from ..execution import planner
+
+    context._reset()
+    try:
+        if mode.nonblocking:
+            context.init(context.Mode.NONBLOCKING)
+        knobs = mode.knobs()
+        if knobs:
+            planner.configure(**knobs)
+        env = Env()
+        objs = {d.name: _build_grb(d, env) for d in program.decls}
+        dtypes = {d.name: d.dtype for d in program.decls}
+        scalars: list[Any] = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for call in program.calls:
+                _dispatch_optimized(call, objs, env, scalars, dtypes)
+            context.wait()
+            validation.check_all(objs.values())
+            snap = Snapshot(scalars=scalars)
+            for d in program.decls:
+                snap.objects[d.name] = _snapshot_obj(d, objs[d.name])
+        return snap
+    finally:
+        context._reset()
+
+
+# --------------------------------------------------------------------------
+# Differential driver
+# --------------------------------------------------------------------------
+
+@dataclass
+class DivergenceReport:
+    """Everything needed to reproduce and triage one oracle divergence."""
+
+    program: Any
+    failures: list[tuple[str, str]]  # (mode name, detail)
+
+    def modes(self) -> list[str]:
+        return [m for m, _ in self.failures]
+
+    def signature(self) -> frozenset[str]:
+        """Mode-independent failure categories (for shrink-move honesty).
+
+        A shrink move can turn a value divergence into an API error (e.g.
+        clearing a ``tran`` bit breaks the program's shapes, which the
+        spec-literal oracle does not validate); comparing signatures lets
+        the shrinker reject candidates that fail for a *new* reason.
+        """
+        cats = set()
+        for _, detail in self.failures:
+            if detail.startswith("raised "):
+                cats.add("raised:" + detail.split()[1].rstrip(":"))
+            elif "pattern differs" in detail:
+                cats.add("pattern")
+            elif detail.startswith("scalar"):
+                cats.add("scalar")
+            else:
+                cats.add("value")
+        return frozenset(cats)
+
+    def __str__(self) -> str:
+        lines = [f"divergence in {self.program!r}:"]
+        for mode, detail in self.failures:
+            lines.append(f"  [{mode}] {detail}")
+        return "\n".join(lines)
+
+
+def run_differential(program, modes=None) -> DivergenceReport | None:
+    """Run *program* on the oracle and every mode; None means conformant."""
+    modes = default_modes() if modes is None else modes
+    ref = run_reference(program)
+    failures: list[tuple[str, str]] = []
+    for mode in modes:
+        try:
+            got = run_optimized(program, mode)
+        except Exception as exc:  # any escape from a valid program diverges
+            failures.append((mode.name, f"raised {type(exc).__name__}: {exc}"))
+            continue
+        for msg in compare_snapshots(program, ref, got):
+            failures.append((mode.name, msg))
+    return DivergenceReport(program, failures) if failures else None
+
+
+# --------------------------------------------------------------------------
+# Error-model conformance (paper section V)
+# --------------------------------------------------------------------------
+
+def _error_outcome(program, nonblocking: bool) -> tuple[str, Any, str | None]:
+    """Run the program, expecting its final call to raise an ApiError.
+
+    Returns ``(error class name, GrB_Info, complaint-or-None)``.
+    """
+    from .. import context
+    from ..info import GraphBLASError, info_of
+
+    context._reset()
+    try:
+        if nonblocking:
+            context.init(context.Mode.NONBLOCKING)
+        env = Env()
+        objs = {d.name: _build_grb(d, env) for d in program.decls}
+        dtypes = {d.name: d.dtype for d in program.decls}
+        scalars: list[Any] = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for call in program.calls[:-1]:
+                try:
+                    _dispatch_optimized(call, objs, env, scalars, dtypes)
+                except GraphBLASError as exc:
+                    return type(exc).__name__, info_of(exc), (
+                        f"valid prefix call {call.kind} raised {exc!r}"
+                    )
+            try:
+                _dispatch_optimized(program.calls[-1], objs, env, scalars, dtypes)
+            except GraphBLASError as exc:
+                return type(exc).__name__, info_of(exc), None
+        return "<none>", None, "invalid final call did not raise"
+    finally:
+        context._reset()
+
+
+def check_error_conformance(program) -> str | None:
+    """API errors must be identical — class and ``GrB_Info`` code, raised at
+    call time — in blocking and nonblocking mode.  None means conformant."""
+    b_cls, b_info, b_complaint = _error_outcome(program, nonblocking=False)
+    n_cls, n_info, n_complaint = _error_outcome(program, nonblocking=True)
+    if b_complaint:
+        return f"blocking: {b_complaint}"
+    if n_complaint:
+        return f"nonblocking: {n_complaint}"
+    if (b_cls, b_info) != (n_cls, n_info):
+        return (
+            f"error mismatch: blocking raised {b_cls}/{b_info!r}, "
+            f"nonblocking raised {n_cls}/{n_info!r}"
+        )
+    return None

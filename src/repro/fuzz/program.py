@@ -1,0 +1,228 @@
+"""Program representation for the differential conformance fuzzer.
+
+A :class:`Program` is a fully declarative, JSON-serializable description of
+a short GraphBLAS computation: a set of collection declarations (domain,
+shape, initial content) followed by a sequence of operation calls drawn
+from the paper's Table II surface.  Keeping programs as plain data — names,
+registry tokens, index lists — rather than live objects is what makes the
+three-way differential execution possible: the same program can be rebuilt
+from scratch against the dict-based reference oracle and against the
+optimized backend in any execution mode, and a failing program can be
+shrunk, serialized, and replayed bit-for-bit.
+
+Operator references are *tokens*: registry names for built-in operators
+(``"GrB_PLUS_TIMES_SEMIRING_INT64"``) or the symbolic ``PSET_*`` names for
+the power-set UDT algebra, which each execution environment materializes
+fresh (UDT domains compare by identity, so they cannot be shared across
+runs — see :class:`repro.fuzz.executor.Env`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Decl", "Call", "Program", "CANONICAL_OPS", "canonical_op"]
+
+
+#: The twelve operation rows of the paper's operation tables that the
+#: fuzzer must exercise (ISSUE acceptance: every row, masked + accumulated).
+CANONICAL_OPS = (
+    "mxm",
+    "mxv",
+    "vxm",
+    "ewise_add",
+    "ewise_mult",
+    "apply",
+    "reduce",
+    "transpose",
+    "extract",
+    "assign",
+    "select",
+    "kronecker",
+)
+
+#: Concrete call kinds → canonical operation row.
+_CANONICAL = {
+    "mxm": "mxm",
+    "mxv": "mxv",
+    "vxm": "vxm",
+    "ewise_add": "ewise_add",
+    "ewise_mult": "ewise_mult",
+    "apply": "apply",
+    "reduce": "reduce",
+    "reduce_scalar": "reduce",
+    "transpose": "transpose",
+    "extract_matrix": "extract",
+    "extract_vector": "extract",
+    "assign_matrix": "assign",
+    "assign_vector": "assign",
+    "assign_scalar_matrix": "assign",
+    "assign_scalar_vector": "assign",
+    "select": "select",
+    "kronecker": "kronecker",
+    "wait": None,
+}
+
+
+def canonical_op(kind: str) -> str | None:
+    """Map a concrete call kind to its paper-table row (None for ``wait``)."""
+    return _CANONICAL[kind]
+
+
+@dataclass
+class Decl:
+    """One collection declaration: name, kind, domain, shape, content.
+
+    ``dtype`` is a type token: ``"BOOL"``/``"INT8"``/…/``"FP64"`` for the
+    built-in domains, ``"PSET"`` for the power-set UDT.  ``entries`` holds
+    ``[i, j, value]`` triples (matrices) or ``[i, value]`` pairs (vectors);
+    PSET values are sorted lists of ints standing for frozensets.
+    """
+
+    name: str
+    kind: str  # "matrix" | "vector"
+    dtype: str
+    shape: tuple[int, ...]
+    entries: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "entries": [list(e) for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Decl":
+        return cls(
+            name=d["name"],
+            kind=d["kind"],
+            dtype=d["dtype"],
+            shape=tuple(d["shape"]),
+            entries=[list(e) for e in d["entries"]],
+        )
+
+    def copy(self) -> "Decl":
+        return Decl(
+            self.name, self.kind, self.dtype, self.shape,
+            [list(e) for e in self.entries],
+        )
+
+
+@dataclass
+class Call:
+    """One GraphBLAS method invocation, by name.
+
+    ``args`` carries the op-specific payload: operand declaration names
+    (``a``/``b``/``u``), operator tokens (``semiring``/``binop``/``monoid``/
+    ``unary``/``iuop``/``accum``), index lists (``rows``/``cols``/
+    ``indices``), scalars (``value``/``thunk``), the mask name plus its
+    interpretation bits (``mask``/``mask_comp``/``mask_struct``) and the
+    descriptor bits (``replace``/``tran0``/``tran1``).
+    """
+
+    kind: str
+    out: str | None
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "out": self.out, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Call":
+        return cls(kind=d["kind"], out=d.get("out"), args=dict(d["args"]))
+
+    def copy(self) -> "Call":
+        return Call(self.kind, self.out, dict(self.args))
+
+    # ---- small conveniences the executors/coverage share -----------------
+    @property
+    def mask(self) -> str | None:
+        return self.args.get("mask")
+
+    @property
+    def accum(self) -> str | None:
+        return self.args.get("accum")
+
+    def flag(self, name: str) -> bool:
+        return bool(self.args.get(name, False))
+
+    def mask_kind(self) -> str:
+        """none | value | value_comp | struct | struct_comp."""
+        if self.mask is None:
+            return "none"
+        base = "struct" if self.flag("mask_struct") else "value"
+        return base + ("_comp" if self.flag("mask_comp") else "")
+
+
+@dataclass
+class Program:
+    """A complete fuzz case: declarations + calls + a seed fingerprint."""
+
+    decls: list[Decl]
+    calls: list[Call]
+    seed: Any = None
+
+    def decl(self, name: str) -> Decl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    def copy(self) -> "Program":
+        return Program(
+            [d.copy() for d in self.decls],
+            [c.copy() for c in self.calls],
+            self.seed,
+        )
+
+    # ---- (de)serialization ----------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "decls": [d.to_dict() for d in self.decls],
+            "calls": [c.to_dict() for c in self.calls],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Program":
+        return cls(
+            decls=[Decl.from_dict(x) for x in d["decls"]],
+            calls=[Call.from_dict(x) for x in d["calls"]],
+            seed=d.get("seed"),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=_jsonable)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Program":
+        return cls.from_dict(json.loads(text))
+
+    def referenced_names(self) -> set[str]:
+        """Every declaration name any call touches (operands, masks, outputs)."""
+        names: set[str] = set()
+        for c in self.calls:
+            if c.out is not None:
+                names.add(c.out)
+            for key in ("a", "b", "u", "mask"):
+                v = c.args.get(key)
+                if isinstance(v, str):
+                    names.add(v)
+        return names
+
+    def __repr__(self) -> str:
+        ops = ",".join(c.kind for c in self.calls)
+        return f"Program(seed={self.seed}, decls={len(self.decls)}, calls=[{ops}])"
+
+
+def _jsonable(obj):
+    """JSON fallback for numpy scalars living in entry values."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON-serializable: {obj!r}")

@@ -18,7 +18,7 @@ from .containers.scalar import Scalar
 from .containers.vector import Vector
 from .info import InvalidObject, InvalidValue
 
-__all__ = ["check"]
+__all__ = ["check", "check_all"]
 
 
 def _fail(obj, msg: str):
@@ -106,3 +106,15 @@ def check(obj, *, deep: bool = True) -> None:
                 _fail(obj, f"scalar value dtype {got} != {obj.type.np_dtype}")
         return
     raise InvalidValue(f"check() does not understand {type(obj).__name__}")
+
+
+def check_all(objs, *, deep: bool = True) -> None:
+    """Validate every collection in *objs*.
+
+    The conformance fuzzer calls this after each optimized run, so an
+    operation that leaves the right values behind in a corrupt
+    representation (unsorted keys, stale CSR cache, wrong value dtype)
+    still counts as a divergence.
+    """
+    for obj in objs:
+        check(obj, deep=deep)

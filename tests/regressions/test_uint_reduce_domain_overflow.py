@@ -1,0 +1,89 @@
+"""Auto-generated fuzz regression (uint_reduce_domain_overflow).
+
+Shrunk witness of an oracle divergence found by the conformance fuzzer
+(seed fingerprint: [0, 6]).  Original failure:
+
+    [blocking] scalar #0: reference=4294967293 optimized=12884901885
+    [nb-planner] scalar #0: reference=4294967293 optimized=12884901885
+    [nb-planner-off] scalar #0: reference=4294967293 optimized=12884901885
+    [nb-no-deadop] scalar #0: reference=4294967293 optimized=12884901885
+    [nb-no-fusion] scalar #0: reference=4294967293 optimized=12884901885
+    [nb-no-cse] scalar #0: reference=4294967293 optimized=12884901885
+    [nb-no-parallel] scalar #0: reference=4294967293 optimized=12884901885
+    [nb-passes-off] scalar #0: reference=4294967293 optimized=12884901885
+
+Replay by hand with::
+
+    PYTHONPATH=src python -m repro.fuzz --replay test_uint_reduce_domain_overflow.py
+"""
+
+from repro.fuzz.executor import run_differential
+from repro.fuzz.program import Program
+
+PROGRAM_JSON = r"""
+{
+  "seed": [
+    0,
+    6
+  ],
+  "decls": [
+    {
+      "name": "M14",
+      "kind": "matrix",
+      "dtype": "INT16",
+      "shape": [
+        2,
+        5
+      ],
+      "entries": [
+        [
+          1,
+          0,
+          -1
+        ],
+        [
+          1,
+          2,
+          3
+        ]
+      ]
+    },
+    {
+      "name": "V15",
+      "kind": "vector",
+      "dtype": "UINT32",
+      "shape": [
+        5
+      ],
+      "entries": []
+    }
+  ],
+  "calls": [
+    {
+      "kind": "reduce",
+      "out": "V15",
+      "args": {
+        "a": "M14",
+        "monoid": "GrB_MAX_MONOID_INT16",
+        "tran0": true,
+        "mask_comp": false,
+        "mask_struct": false,
+        "replace": false
+      }
+    },
+    {
+      "kind": "reduce_scalar",
+      "out": null,
+      "args": {
+        "a": "V15",
+        "monoid": "GrB_TIMES_MONOID_UINT32"
+      }
+    }
+  ]
+}
+"""
+
+
+def test_uint_reduce_domain_overflow():
+    report = run_differential(Program.from_json(PROGRAM_JSON))
+    assert report is None, f"divergence resurfaced:\n{report}"

@@ -1,0 +1,140 @@
+"""Directed planner edge cases (ISSUE satellite): scenarios the fuzzer's
+random walk visits rarely but whose hazards live exactly where
+``execution/planner/passes.py`` makes its calls — fusion with a still-live
+intermediate, CSE across a mutating ``assign``, and REPLACE+mask riding on
+a fused pair.  Each scenario is checked for bit-equality against the
+blocking-mode result."""
+
+import numpy as np
+
+import repro as grb
+from repro import context, planner
+from repro.execution import trace
+
+from tests.conftest import random_matrix
+
+
+def _snap(obj):
+    return obj.extract_tuples()
+
+
+def _assert_same(got, want):
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w), f"{g!r} != {w!r}"
+        assert g.dtype == w.dtype
+
+
+class TestFusionIntermediateIsLaterOperand:
+    """Producer→consumer pair where the consumer's in-place output is read
+    again by a *later* op: fusing must preserve the intermediate's final
+    value for that reader."""
+
+    def _build(self):
+        rng = np.random.default_rng(21)
+        A = random_matrix(rng, 8, 8, 0.5)
+        B = random_matrix(rng, 8, 8, 0.5)
+        T = grb.Matrix(grb.INT64, 8, 8)
+        D = grb.Matrix(grb.INT64, 8, 8)
+        # candidate pair: mxm into fresh T, then in-place apply on T
+        grb.mxm(T, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+        grb.apply(T, None, None, grb.AINV[grb.INT64], T)
+        # ...but T is also a later operand: its post-apply value must be
+        # materialized, fused or not
+        grb.ewise_add(D, None, None, grb.PLUS[grb.INT64], T, B)
+        return T, D
+
+    def test_matches_blocking(self):
+        context._reset()
+        want = tuple(_snap(o) for o in self._build())
+        context._reset()
+        grb.init(grb.Mode.NONBLOCKING)
+        objs = self._build()
+        grb.wait()
+        for o, w in zip(objs, want):
+            _assert_same(_snap(o), w)
+
+
+class TestCseAcrossMutatingAssign:
+    """Two textually identical ``mxm`` calls separated by an ``assign``
+    that mutates an input: the second is NOT a common subexpression."""
+
+    def _build(self):
+        rng = np.random.default_rng(22)
+        A = random_matrix(rng, 6, 6, 0.6)
+        C1 = grb.Matrix(grb.INT64, 6, 6)
+        C2 = grb.Matrix(grb.INT64, 6, 6)
+        grb.mxm(C1, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+        # mutate A between the twins: overwrite one region with a scalar
+        grb.matrix_assign_scalar(A, None, None, 9, [0, 1], [0, 1], None)
+        grb.mxm(C2, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+        return C1, C2
+
+    def test_no_cse_and_matches_blocking(self):
+        context._reset()
+        want = tuple(_snap(o) for o in self._build())
+        context._reset()
+        grb.init(grb.Mode.NONBLOCKING)
+        with trace() as t:
+            objs = self._build()
+            grb.wait()
+        assert t.cse_hits == 0, "CSE merged across a mutated input"
+        for o, w in zip(objs, want):
+            _assert_same(_snap(o), w)
+
+    def test_control_without_assign_does_cse(self):
+        # the same twin mxm with no interleaved write IS deduplicated —
+        # proving the mutation, not luck, is what blocked CSE above
+        context._reset()
+        grb.init(grb.Mode.NONBLOCKING)
+        rng = np.random.default_rng(22)
+        A = random_matrix(rng, 6, 6, 0.6)
+        C1 = grb.Matrix(grb.INT64, 6, 6)
+        C2 = grb.Matrix(grb.INT64, 6, 6)
+        with trace() as t:
+            grb.mxm(C1, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+            grb.mxm(C2, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+            grb.wait()
+        assert t.cse_hits == 1
+        _assert_same(_snap(C2), _snap(C1))
+
+
+class TestReplaceMaskOnFusedPair:
+    """A masked REPLACE consumer riding on a fusion candidate: the fused
+    kernel must still clear the unmasked region of the output."""
+
+    def _build(self):
+        rng = np.random.default_rng(23)
+        A = random_matrix(rng, 8, 8, 0.5)
+        M = random_matrix(rng, 8, 8, 0.4, domain=grb.BOOL)
+        C = grb.Matrix(grb.INT64, 8, 8)
+        desc = grb.Descriptor().set(grb.OUTP, grb.REPLACE)
+        grb.mxm(C, None, None, grb.PLUS_TIMES[grb.INT64], A, A)
+        # in-place masked REPLACE apply: C⟨M,replace⟩ = -C
+        grb.apply(C, M, None, grb.AINV[grb.INT64], C, desc)
+        return C
+
+    def test_matches_blocking(self):
+        context._reset()
+        want = _snap(self._build())
+        context._reset()
+        grb.init(grb.Mode.NONBLOCKING)
+        C = self._build()
+        grb.wait()
+        _assert_same(_snap(C), want)
+
+    def test_matches_blocking_under_all_pass_ablation(self):
+        context._reset()
+        want = _snap(self._build())
+        for knobs in (
+            dict(fusion=False),
+            dict(cse=False),
+            dict(dead_op=False),
+            dict(parallel=False),
+            dict(enabled=False),
+        ):
+            context._reset()
+            grb.init(grb.Mode.NONBLOCKING)
+            planner.configure(**knobs)
+            C = self._build()
+            grb.wait()
+            _assert_same(_snap(C), want)
