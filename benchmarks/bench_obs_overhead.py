@@ -1,0 +1,123 @@
+"""Disabled-overhead guard: obs instrumentation must be ~free when off.
+
+Two shapes of the same check:
+
+* pytest-benchmark cases (``bench_obs_*``) so the overhead shows up in
+  the normal benchmark tables, and
+* a direct min-of-K interleaved comparison (``test_obs_disabled_overhead``)
+  that CI runs as a smoke assertion — the BC workload with the obs layer
+  disarmed must land within 3% (plus a small absolute slack for timer
+  noise) of the same workload with every instrumentation seam
+  monkeypatched out, i.e. seed behavior.
+
+Interleaving the A/B samples and taking per-side minima makes the guard
+robust to CI frequency scaling; the absolute slack keeps a sub-millisecond
+workload from tripping on scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import context, obs
+from repro.algorithms import bc_update
+from repro.io import rmat
+
+# repro.execution re-exports the `trace` context manager under the same
+# name as the module; go through sys.modules for the module itself
+import repro.execution.trace  # noqa: F401
+import sys
+
+trace_mod = sys.modules["repro.execution.trace"]
+
+from conftest import header, row
+
+SCALE = 7
+SOURCES = 4
+
+
+def _bc_once(A, batch):
+    delta = bc_update(A, batch)
+    nvals = delta.nvals()
+    delta.free()
+    return nvals
+
+
+@pytest.fixture(scope="module")
+def bc_workload():
+    A = rmat(SCALE, 8, seed=7, domain=grb.INT32)
+    return A, np.arange(SOURCES)
+
+
+def bench_obs_disarmed_bc(benchmark, bc_workload):
+    """BC with the obs layer present but disarmed (the default state)."""
+    A, batch = bc_workload
+    assert obs.spans.current() is None and not obs.metrics.enabled()
+    result = benchmark(_bc_once, A, batch)
+    header("obs overhead: disarmed BC")
+    row(f"bc_update rmat{SCALE} batch{SOURCES}", "disarmed", result)
+
+
+def bench_obs_capture_bc(benchmark, bc_workload):
+    """BC under obs.capture() — the armed cost, for the record."""
+    A, batch = bc_workload
+
+    def run():
+        with obs.capture():
+            return _bc_once(A, batch)
+
+    result = benchmark(run)
+    header("obs overhead: captured BC")
+    row(f"bc_update rmat{SCALE} batch{SOURCES}", "captured", result)
+
+
+def _min_of_k(fn, k: int, inner: int) -> float:
+    best = float("inf")
+    for _ in range(k):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_obs_disabled_overhead(bc_workload, monkeypatch):
+    """CI smoke assertion: disarmed obs within 3% of seed behavior."""
+    A, batch = bc_workload
+    run = lambda: _bc_once(A, batch)
+
+    K, INNER = 7, 3
+    run()  # warmup: caches, lazy imports
+
+    # interleave the two sides so frequency drift hits both equally
+    disarmed = [float("inf")] * K
+    stripped = [float("inf")] * K
+    identity_wrap = lambda thunk, label, deferred=False, provenance=None: thunk
+    for i in range(K):
+        assert obs.spans.current() is None
+        for _ in range(INNER):
+            t0 = time.perf_counter()
+            run()
+            disarmed[i] = min(disarmed[i], time.perf_counter() - t0)
+        with pytest.MonkeyPatch.context() as mp:
+            # seed-equivalent: no wrap_thunk seam at all
+            mp.setattr(trace_mod, "wrap_thunk", identity_wrap)
+            mp.setattr(context, "_trace_wrap", identity_wrap)
+            for _ in range(INNER):
+                t0 = time.perf_counter()
+                run()
+                stripped[i] = min(stripped[i], time.perf_counter() - t0)
+
+    a, b = min(disarmed), min(stripped)
+    slack = 200e-6  # absolute jitter floor
+    header("obs overhead guard")
+    row("disarmed min (s)", f"{a:.6f}")
+    row("stripped min (s)", f"{b:.6f}")
+    row("ratio", f"{a / b:.4f}")
+    assert a <= b * 1.03 + slack, (
+        f"disarmed obs run {a:.6f}s exceeds 3% of stripped run {b:.6f}s"
+    )

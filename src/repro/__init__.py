@@ -23,7 +23,7 @@ Higher-level graph algorithms built on the API live in
 and benchmark baseline) in :mod:`repro.reference`.
 """
 
-from . import algebra, algorithms, io, ops, reference, types, utils, validation
+from . import algebra, algorithms, io, obs, ops, reference, types, utils, validation
 from .algebra import (
     EQ_EQ,
     LAND_MONOID,

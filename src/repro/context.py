@@ -151,9 +151,13 @@ def submit(
     """
     _check_usable()
     if _ctx.mode is Mode.NONBLOCKING and deferrable:
+        # the raw thunk joins the queue; span instrumentation is attached
+        # at drain time by the planner, so each *scheduled node* (plain,
+        # fused, or CSE'd) records exactly one op span under the capture
+        # live when it actually runs
         _ctx.queue.push(
             DeferredOp(
-                thunk=_trace_wrap(thunk, label, deferred=True),
+                thunk=thunk,
                 reads=reads,
                 writes=writes,
                 label=label,
@@ -238,6 +242,10 @@ def _reset() -> None:
     global _ctx
     _ctx = _Context(Mode.BLOCKING)
     from .execution.planner import reset_options
+    from .obs import metrics as _obs_metrics
+    from .obs import spans as _obs_spans
 
     reset_options()
+    _obs_spans.force_disarm()  # a leaked capture must not poison later runs
+    _obs_metrics.registry.disable()
     clear_last_error()

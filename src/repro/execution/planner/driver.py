@@ -27,10 +27,11 @@ __all__ = ["build_plan", "ExecutionPlan"]
 def _attach_runners(g: Graph) -> None:
     """Give every live node its executable.
 
-    Plain nodes keep the thunk built (and trace-wrapped) at submit time.
-    Fused and CSE nodes replace it with a planner-built runner, wrapped for
-    the tracer *now* — drain time — under a label that makes the rewrite
-    visible (``mxm+apply[fused]``, ``mxm[cse]``).
+    Every runner is span-wrapped *now* — drain time — so a scheduled node
+    records exactly one op span, under a label that makes planner rewrites
+    visible (``mxm+apply[fused]``, ``mxm[cse]``) and with the rewrite's
+    provenance (member labels, CSE source) in the span attrs.  With no
+    capture armed ``wrap_thunk`` hands the runner back unchanged.
     """
     from ...operations.common import execute_fused, execute_standard
     from ..trace import wrap_thunk
@@ -43,13 +44,23 @@ def _attach_runners(g: Graph) -> None:
             def fused_run(p=p_spec, q=q_spec):
                 execute_fused(p, q)
 
-            node.runner = wrap_thunk(fused_run, node.label, deferred=True)
+            node.runner = wrap_thunk(
+                fused_run,
+                node.label,
+                deferred=True,
+                provenance={"fused_of": [op.label for op in node.ops]},
+            )
         elif node.cse_source is not None:
 
             def cse_run(spec=node.ops[0].spec, src=node.cse_source):
                 execute_standard(spec, precomputed=cache[src])
 
-            node.runner = wrap_thunk(cse_run, node.label, deferred=True)
+            node.runner = wrap_thunk(
+                cse_run,
+                node.label,
+                deferred=True,
+                provenance={"cse_of": node.cse_source},
+            )
         elif node.capture:
 
             def capture_run(spec=node.ops[0].spec, idx=node.index):
@@ -59,7 +70,9 @@ def _attach_runners(g: Graph) -> None:
 
             node.runner = wrap_thunk(capture_run, node.label, deferred=True)
         else:
-            node.runner = node.ops[0].thunk
+            node.runner = wrap_thunk(
+                node.ops[0].thunk, node.label, deferred=True
+            )
 
 
 class ExecutionPlan:
@@ -143,9 +156,11 @@ class _SerialPlan:
         self.failed_ops: list[DeferredOp] = []
 
     def run(self) -> None:
+        from ..trace import wrap_thunk
+
         for pos, op in enumerate(self._ops):
             try:
-                op.thunk()
+                wrap_thunk(op.thunk, op.label, deferred=True)()
             except BaseException:
                 self.failed_ops = self._ops[pos:]
                 raise

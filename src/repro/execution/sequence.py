@@ -146,12 +146,30 @@ class SequenceQueue:
         self.stats.drains += 1
         ops = list(self._ops)
         self._ops.clear()
+        from ..obs import spans as _spans
         from .planner import build_plan
 
+        sink = _spans.current()
+        before = self.stats.snapshot() if sink is not None else {}
         plan = build_plan(ops, self.stats, optimize=self.optimize)
+        sp = (
+            sink.open("drain", "drain", ops=len(ops), deferred=True)
+            if sink is not None
+            else None
+        )
         try:
             plan.run()
         finally:
+            if sp is not None:
+                after = self.stats.snapshot()
+                sp.attrs.update(
+                    elided=after["elided"] - before["elided"],
+                    fused=after["fused"] - before["fused"],
+                    cse=after["cse"] - before["cse"],
+                    executed=after["executed"] - before["executed"],
+                    max_width=after["max_width"],
+                )
+                sink.close(sp)
             # hand back the failed op and the un-run tail so the context can
             # poison their outputs (a failed op's output value was never
             # computed — using it later is INVALID_OBJECT, Fig. 2c)

@@ -2,74 +2,96 @@
 
 The paper keeps blocking mode in the spec because it is "valuable for
 debugging or when an external tool needs to evaluate the state of memory
-during a sequence".  This module is that external tool for this
-implementation: a context manager that records every method body the
-execution model runs — label, wall time, issuing thread, and whether it ran
-eagerly (blocking) or from the deferred queue — plus the queue's
-elision/drain counters over the traced region.
+during a sequence".  This module is the compatibility face of that tool:
+since the observability subsystem landed, :class:`Tracer` is a thin view
+over a :class:`repro.obs.Capture` — the same spans that feed the Chrome
+trace exporter and the metrics registry back the legacy record/summary
+API, so existing callers keep working while gaining kernel-level data.
 
     with trace() as t:
         grb.mxm(C, None, None, s, A, B)
         grb.wait()
-    print(t.summary())
+    print(t.summary())        # legacy per-label table
+    print(t.capture.report()) # full obs report: flops, nnz, provenance
 
-Tracing is thread-safe and adds two perf_counter calls per op when active,
-nothing when inactive.
+Tracing is thread-safe; :func:`wrap_thunk` returns the raw thunk unchanged
+when nothing is armed (literally zero extra work per op).
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["trace", "Tracer", "OpRecord"]
+from ..obs import Capture
+from ..obs import capture as _obs_capture
+from ..obs import spans as _spans
 
-_lock = threading.Lock()
-_active: "Tracer | None" = None
+__all__ = ["trace", "Tracer", "OpRecord", "wrap_thunk"]
 
 
 @dataclass(slots=True)
 class OpRecord:
+    """Legacy flat view of one op-body span."""
+
     label: str
     seconds: float
     deferred: bool
     thread: str
 
 
-@dataclass
 class Tracer:
-    records: list[OpRecord] = field(default_factory=list)
-    _stats_before: dict[str, int] = field(default_factory=dict)
-    _stats_after: dict[str, int] = field(default_factory=dict)
+    """Record/summary API over a :class:`repro.obs.Capture`.
+
+    Only *op* spans (method bodies — eager, drained, fused, CSE'd) are
+    surfaced as :class:`OpRecord`; kernel/drain spans stay available on
+    :attr:`capture` for the richer exporters.
+    """
+
+    def __init__(self, capture: Capture | None = None):
+        self.capture = capture or Capture()
 
     # ------------------------------------------------------------- capture
     def record(self, label: str, seconds: float, deferred: bool) -> None:
-        with _lock:
-            self.records.append(
-                OpRecord(
-                    label=label,
-                    seconds=seconds,
-                    deferred=deferred,
-                    thread=threading.current_thread().name,
-                )
-            )
+        """Legacy manual-record hook (kept for external callers)."""
+        import threading
+        import time
+
+        sp = _spans.Span(
+            sid=0,
+            parent=None,
+            label=label,
+            kind="op",
+            t0=time.perf_counter() - seconds,
+            t1=time.perf_counter(),
+            thread=threading.current_thread().name,
+            deferred=deferred,
+        )
+        sp.t1 = sp.t0 + seconds
+        self.capture._sink.spans.append(sp)
 
     # ------------------------------------------------------------- queries
+    @property
+    def records(self) -> list[OpRecord]:
+        return [
+            OpRecord(sp.label, sp.seconds, sp.deferred, sp.thread)
+            for sp in self.capture.spans_of("op")
+        ]
+
     def count(self, label: str | None = None) -> int:
+        ops = self.capture.spans_of("op")
         if label is None:
-            return len(self.records)
-        return sum(1 for r in self.records if r.label == label)
+            return len(ops)
+        return sum(1 for sp in ops if sp.label == label)
 
     def total_seconds(self) -> float:
-        return sum(r.seconds for r in self.records)
+        return sum(sp.seconds for sp in self.capture.spans_of("op"))
 
     def by_label(self) -> dict[str, tuple[int, float]]:
         """{label: (invocations, total seconds)}, slowest first."""
         agg: dict[str, list[float]] = {}
-        for r in self.records:
-            agg.setdefault(r.label, []).append(r.seconds)
+        for sp in self.capture.spans_of("op"):
+            agg.setdefault(sp.label, []).append(sp.seconds)
         return dict(
             sorted(
                 ((k, (len(v), sum(v))) for k, v in agg.items()),
@@ -78,7 +100,7 @@ class Tracer:
         )
 
     def _delta(self, key: str) -> int:
-        return self._stats_after.get(key, 0) - self._stats_before.get(key, 0)
+        return self.capture.queue_delta().get(key, 0)
 
     @property
     def elided(self) -> int:
@@ -102,11 +124,11 @@ class Tracer:
     def max_schedule_width(self) -> int:
         """Widest DAG level the scheduler has seen (absolute, not a delta:
         width is a high-water mark, not a running count)."""
-        return self._stats_after.get("max_width", 0)
+        return self.capture._queue_after.get("max_width", 0)
 
     def summary(self) -> str:
         lines = [
-            f"traced {len(self.records)} op bodies, "
+            f"traced {self.count()} op bodies, "
             f"{self.total_seconds() * 1e3:.2f} ms total, "
             f"{self.elided} elided, {self.drains} drains",
             f"planner: {self.fused} fused, {self.cse_hits} CSE hits, "
@@ -118,44 +140,46 @@ class Tracer:
 
 
 class trace:
-    """Context manager arming the global tracer (one at a time)."""
+    """Context manager arming the global tracer (one at a time).
+
+    Arming is exception-safe: a failure while reading the baseline queue
+    counters disarms before propagating (the pre-obs tracer leaked its
+    armed state here, poisoning every later ``trace()``)."""
 
     def __init__(self):
-        self._tracer = Tracer()
+        self._cm = _obs_capture()
 
     def __enter__(self) -> Tracer:
-        global _active
-        from .. import context
-
-        with _lock:
-            if _active is not None:
-                from ..info import InvalidValue
-
-                raise InvalidValue("a trace is already active")
-            _active = self._tracer
-        self._tracer._stats_before = context.queue_stats()
-        return self._tracer
+        return Tracer(self._cm.__enter__())
 
     def __exit__(self, *exc) -> None:
-        global _active
-        from .. import context
-
-        self._tracer._stats_after = context.queue_stats()
-        with _lock:
-            _active = None
+        self._cm.__exit__(*exc)
 
 
-def wrap_thunk(thunk: Callable[[], None], label: str, deferred: bool):
-    """Called by the context on submit: instrument when a trace is active."""
-    tracer = _active
-    if tracer is None:
+def wrap_thunk(
+    thunk: Callable[[], None],
+    label: str,
+    deferred: bool,
+    provenance: dict | None = None,
+):
+    """Instrument *thunk* as an op-body span when a capture is armed.
+
+    Called by the context on eager submission and by the planner when it
+    attaches runners at drain time; *provenance* carries the planner's
+    fusion/CSE rewrite info into the span attrs.  With nothing armed the
+    thunk is returned unchanged — the zero-overhead fast path.
+    """
+    sink = _spans.current()
+    if sink is None:
         return thunk
 
     def timed():
-        t0 = time.perf_counter()
+        sp = sink.open(label, "op", deferred=deferred)
+        if provenance:
+            sp.attrs.update(provenance)
         try:
             thunk()
         finally:
-            tracer.record(label, time.perf_counter() - t0, deferred)
+            sink.close(sp)
 
     return timed

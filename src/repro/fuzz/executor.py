@@ -171,10 +171,19 @@ class Env:
 
 @dataclass
 class Snapshot:
-    """Post-run content of every declared object, plus scalar results."""
+    """Post-run content of every declared object, plus scalar results.
+
+    When the run was made under :func:`repro.obs.capture`
+    (``run_optimized(..., obs_capture=True)``) *counters* holds the
+    capture window's metric deltas (kernel invocations, realized flops,
+    write counts, …) so metrics-mode conformance can assert that the
+    instrumented run still computes the same thing — and, for modes that
+    execute the same physical schedule, that it does the same *work*.
+    """
 
     objects: dict[str, dict] = field(default_factory=dict)
     scalars: list[Any] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 _FLOAT_TOL = {"FP32": (1e-4, 1e-6), "FP64": (1e-9, 1e-12)}
@@ -471,14 +480,20 @@ def _snapshot_obj(decl, obj) -> dict:
     return {int(i): v for i, v in zip(idx, vals)}
 
 
-def run_optimized(program, mode: ExecMode) -> Snapshot:
+def run_optimized(program, mode: ExecMode, *, obs_capture: bool = False) -> Snapshot:
     """Run a program on the optimized backend under *mode*.
 
     Resets the library context around the run (the fuzzer owns the
     process), applies the mode's planner knobs, completes the sequence,
     validates every collection's structural invariants, and snapshots.
+
+    With ``obs_capture=True`` the program's calls (and the final
+    ``wait``) execute under :func:`repro.obs.capture`; the capture
+    window's counter deltas land in ``Snapshot.counters``.  Object
+    snapshotting and validation happen *outside* the window so they
+    never perturb the counters.
     """
-    from .. import context, validation
+    from .. import context, obs, validation
     from ..execution import planner
 
     context._reset()
@@ -489,16 +504,28 @@ def run_optimized(program, mode: ExecMode) -> Snapshot:
         if knobs:
             planner.configure(**knobs)
         env = Env()
-        objs = {d.name: _build_grb(d, env) for d in program.decls}
         dtypes = {d.name: d.dtype for d in program.decls}
         scalars: list[Any] = []
+        counters: dict[str, int] = {}
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            for call in program.calls:
-                _dispatch_optimized(call, objs, env, scalars, dtypes)
-            context.wait()
+            if obs_capture:
+                # builds go inside the window too: blocking runs them
+                # eagerly, nonblocking drains them at wait() — counting
+                # both keeps the counters mode-comparable
+                with obs.capture() as cap:
+                    objs = {d.name: _build_grb(d, env) for d in program.decls}
+                    for call in program.calls:
+                        _dispatch_optimized(call, objs, env, scalars, dtypes)
+                    context.wait()
+                counters = dict(cap.counters)
+            else:
+                objs = {d.name: _build_grb(d, env) for d in program.decls}
+                for call in program.calls:
+                    _dispatch_optimized(call, objs, env, scalars, dtypes)
+                context.wait()
             validation.check_all(objs.values())
-            snap = Snapshot(scalars=scalars)
+            snap = Snapshot(scalars=scalars, counters=counters)
             for d in program.decls:
                 snap.objects[d.name] = _snapshot_obj(d, objs[d.name])
         return snap

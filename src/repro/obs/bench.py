@@ -1,0 +1,140 @@
+"""Machine-readable perf baseline: ``python -m repro.obs.bench``.
+
+Runs the repo's canonical workloads — the paper's betweenness-centrality
+example (Fig. 3) in blocking and nonblocking (planner) mode, SpGEMM on
+an Erdős–Rényi pair, and SpMV — through
+:class:`repro.obs.BenchRecorder` and writes ``BENCH_prN.json``
+(``repro-bench/1`` schema).  Optionally exports the Chrome trace of the
+BC run (``--trace``), the artifact the CI bench-smoke job uploads.
+
+The module exits non-zero if the output would be empty or failed to
+serialize, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _bc_workload(scale: int, sources: int):
+    import numpy as np
+
+    import repro as grb
+    from repro.algorithms import bc_update
+    from repro.io import rmat
+
+    A = rmat(scale, 8, seed=7, domain=grb.INT32)
+    batch = np.arange(sources)
+
+    def run():
+        delta = bc_update(A, batch)
+        nvals = delta.nvals()
+        delta.free()
+        return nvals
+
+    return A, run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="record the machine-readable perf baseline",
+    )
+    parser.add_argument("--out", default="BENCH_pr3.json",
+                        help="bench JSON output path")
+    parser.add_argument("--trace", default=None,
+                        help="also export a Chrome trace of the BC run here")
+    parser.add_argument("--scale", type=int, default=8,
+                        help="RMAT scale for the BC workload (default 8)")
+    parser.add_argument("--sources", type=int, default=16,
+                        help="BC batch width (default 16)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="measured runs per workload (default 3)")
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    import repro as grb
+    from repro import context, obs
+    from repro.io import erdos_renyi
+
+    rec = obs.BenchRecorder(meta={"suite": "repro.obs.bench",
+                                  "scale": args.scale,
+                                  "sources": args.sources})
+
+    # --- Fig. 3 BC, blocking -------------------------------------------
+    A, run_bc = _bc_workload(args.scale, args.sources)
+    rec.measure(
+        f"bc_update.rmat{args.scale}.batch{args.sources}.blocking",
+        run_bc, repeat=args.repeat,
+        nnz=A.nvals(), nrows=A.nrows,
+    )
+
+    # --- Fig. 3 BC, nonblocking under the planner ----------------------
+    context._reset()
+    context.init(context.Mode.NONBLOCKING)
+    try:
+        A_nb, run_bc_nb = _bc_workload(args.scale, args.sources)
+        rec.measure(
+            f"bc_update.rmat{args.scale}.batch{args.sources}.nonblocking",
+            lambda: (run_bc_nb(), grb.wait())[0], repeat=args.repeat,
+            nnz=A_nb.nvals(),
+        )
+    finally:
+        context._reset()
+
+    # --- SpGEMM + SpMV kernels, with realized-flops accounting ---------
+    E1 = erdos_renyi(1000, 15000, seed=1, domain=grb.INT64)
+    E2 = erdos_renyi(1000, 15000, seed=2, domain=grb.INT64)
+    C = grb.Matrix(grb.INT64, 1000, 1000)
+
+    def run_mxm():
+        grb.mxm(C, None, None, grb.PLUS_TIMES[grb.INT64], E1, E2)
+        return C.nvals()
+
+    with obs.capture() as cap:
+        run_mxm()
+    counters = cap.counters
+    rec.measure(
+        "mxm.er1000x15k", run_mxm, repeat=args.repeat,
+        flops_estimated=counters.get("kernel.flops_estimated", 0),
+        flops_realized=counters.get("kernel.flops_realized", 0),
+        nnz_out=C.nvals(),
+    )
+
+    v = grb.Vector.from_coo(
+        grb.INT64, 1000, np.arange(0, 1000, 3), np.ones(334, dtype=np.int64)
+    )
+    w = grb.Vector(grb.INT64, 1000)
+    rec.measure(
+        "mxv.er1000x15k", lambda: grb.mxv(
+            w, None, None, grb.PLUS_TIMES[grb.INT64], E1, v
+        ), repeat=args.repeat, nnz_in=E1.nvals(),
+    )
+
+    # --- BC under capture: the Chrome-trace artifact -------------------
+    with obs.capture() as cap:
+        run_bc()
+    print(cap.report())
+    if args.trace:
+        doc = cap.export_chrome(args.trace)
+        print(f"chrome trace: {args.trace} ({len(doc['traceEvents'])} events)")
+
+    doc = rec.write(args.out)
+    # self-check: the committed baseline must load and be non-empty
+    with open(args.out) as fh:
+        loaded = json.load(fh)
+    if not loaded.get("benchmarks"):
+        print(f"error: {args.out} has no benchmark entries", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {args.out}: {len(doc['benchmarks'])} entries "
+        f"({', '.join(e['name'] for e in doc['benchmarks'])})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

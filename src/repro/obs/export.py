@@ -1,0 +1,239 @@
+"""Exporters: Chrome trace-event JSON, flat per-label reports, and the
+machine-readable bench recorder behind the repo's ``BENCH_*.json``
+perf-trajectory files.
+
+* :func:`chrome_trace` renders a span list into the Trace Event Format
+  that ``chrome://tracing`` / Perfetto load: one complete ("X") event per
+  span with its attrs in ``args``, plus thread-name metadata events.
+* :func:`per_label_report` is the human-readable successor of the old
+  ``Tracer.summary()``: per-label counts and totals, estimated vs realized
+  flops, nnz written, and the planner's fusion/CSE provenance.
+* :class:`BenchRecorder` measures named workloads and writes a stable JSON
+  schema (``repro-bench/1``) so successive PRs' baselines are diffable by
+  machine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Iterable
+
+from .spans import Span
+
+__all__ = ["chrome_trace", "per_label_report", "BenchRecorder"]
+
+
+def _jsonable(v):
+    """Coerce numpy scalars / odd attr values into JSON-safe types."""
+    item = getattr(v, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:  # zero-d arrays of odd dtypes etc.
+            return repr(v)
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
+    if isinstance(v, dict):
+        return {str(k): _jsonable(x) for k, x in v.items()}
+    return repr(v)
+
+
+def chrome_trace(spans: Iterable[Span], *, pid: int = 1) -> dict:
+    """Render *spans* as a ``chrome://tracing`` trace-event JSON object.
+
+    Timestamps are microseconds relative to the earliest span, so the
+    trace opens at t=0 regardless of the process's ``perf_counter`` epoch.
+    """
+    spans = list(spans)
+    events: list[dict] = []
+    tid_map: dict[int, int] = {}
+    base = min((sp.t0 for sp in spans), default=0.0)
+    for sp in sorted(spans, key=lambda s: s.t0):
+        if sp.tid not in tid_map:
+            tid = tid_map[sp.tid] = len(tid_map) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": sp.thread},
+                }
+            )
+        args = {k: _jsonable(v) for k, v in sp.attrs.items()}
+        args["span_id"] = sp.sid
+        if sp.parent is not None:
+            args["parent_span"] = sp.parent
+        if sp.deferred:
+            args["deferred"] = True
+        events.append(
+            {
+                "name": sp.label,
+                "cat": sp.kind,
+                "ph": "X",
+                "ts": round((sp.t0 - base) * 1e6, 3),
+                "dur": round(max(sp.seconds, 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": tid_map[sp.tid],
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "spans": len(spans)},
+    }
+
+
+def _provenance(attrs: dict) -> str:
+    if "fused_of" in attrs:
+        return "fusion: " + "→".join(attrs["fused_of"])
+    if "cse_of" in attrs:
+        return f"cse: reuses T of node {attrs['cse_of']}"
+    return ""
+
+
+def per_label_report(
+    spans: Iterable[Span],
+    queue_delta: dict | None = None,
+    counters: dict | None = None,
+    pool_delta: dict | None = None,
+) -> str:
+    """Flat per-label report over op and kernel spans (slowest first)."""
+    spans = list(spans)
+    agg: dict[tuple[str, str], dict] = {}
+    for sp in spans:
+        a = agg.setdefault(
+            (sp.kind, sp.label),
+            {"n": 0, "secs": 0.0, "est": 0, "real": 0, "nnz": 0, "prov": ""},
+        )
+        a["n"] += 1
+        a["secs"] += sp.seconds
+        a["est"] += sp.attrs.get("flops_estimated", 0)
+        a["real"] += sp.attrs.get("flops_realized", 0)
+        a["nnz"] += sp.attrs.get("nnz_out", 0)
+        a["prov"] = a["prov"] or _provenance(sp.attrs)
+
+    total = sum(sp.seconds for sp in spans)
+    lines = [
+        f"obs report: {len(spans)} spans, {total * 1e3:.2f} ms total",
+    ]
+    if queue_delta:
+        lines.append(
+            "queue: {drains} drains, {elided} elided | planner: {fused} fused, "
+            "{cse} CSE hits, schedule width {max_width}".format(**queue_delta)
+        )
+    if pool_delta and pool_delta.get("submitted"):
+        lines.append(
+            f"pool: {pool_delta['submitted']} tasks on "
+            f"{pool_delta.get('workers', '?')} workers, "
+            f"busy {pool_delta.get('busy_seconds', 0.0) * 1e3:.2f} ms"
+        )
+    header = (
+        f"  {'label':<28}{'kind':<8}{'n':>5}{'total ms':>11}"
+        f"{'flops est/real':>18}{'nnz out':>9}  provenance"
+    )
+    lines.append(header)
+    for (kind, label), a in sorted(agg.items(), key=lambda kv: -kv[1]["secs"]):
+        flops = (
+            f"{a['est']}/{a['real']}" if (a["est"] or a["real"]) else "-"
+        )
+        lines.append(
+            f"  {label:<28}{kind:<8}{a['n']:>5}{a['secs'] * 1e3:>11.3f}"
+            f"{flops:>18}{a['nnz'] or '-':>9}  {a['prov']}"
+        )
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<44}{counters[name]}")
+    return "\n".join(lines)
+
+
+class BenchRecorder:
+    """Measure named workloads and emit the ``repro-bench/1`` JSON schema.
+
+    Entries carry min/median/mean/max over the measured runs plus free-form
+    metadata (nnz, flops, planner counters), so downstream tooling can
+    diff successive ``BENCH_prN.json`` files without parsing prose.
+    """
+
+    SCHEMA = "repro-bench/1"
+
+    def __init__(self, meta: dict | None = None):
+        self.meta = dict(meta or {})
+        self.entries: list[dict] = []
+
+    def record(self, name: str, seconds: list[float], **extra) -> dict:
+        if not seconds:
+            raise ValueError(f"bench entry {name!r} has no measurements")
+        entry = {
+            "name": name,
+            "runs": len(seconds),
+            "min_s": min(seconds),
+            "median_s": statistics.median(seconds),
+            "mean_s": statistics.fmean(seconds),
+            "max_s": max(seconds),
+        }
+        if extra:
+            entry.update({k: _jsonable(v) for k, v in extra.items()})
+        self.entries.append(entry)
+        return entry
+
+    def measure(
+        self,
+        name: str,
+        fn: Callable[[], object],
+        repeat: int = 5,
+        warmup: int = 1,
+        **extra,
+    ):
+        """Time ``fn()`` *repeat* times (after *warmup* unrecorded runs)."""
+        result = None
+        for _ in range(warmup):
+            result = fn()
+        times = []
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - t0)
+        self.record(name, times, **extra)
+        return result
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "env": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "numpy": _numpy_version(),
+                "argv": list(sys.argv),
+                **self.meta,
+            },
+            "benchmarks": sorted(self.entries, key=lambda e: e["name"]),
+        }
+
+    def write(self, path) -> dict:
+        """Serialize to *path*; refuses to write an empty baseline."""
+        if not self.entries:
+            raise ValueError("refusing to write an empty bench baseline")
+        doc = self.to_dict()
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return doc
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        return "unknown"

@@ -1,0 +1,155 @@
+"""Process-wide metrics registry: named counters and histograms.
+
+The registry aggregates whole-process totals — realized flops, nnz written,
+kernel invocations, pool task counts — independently of any span capture.
+It is disabled by default; :func:`repro.obs.capture` enables it for the
+capture window and reports the window's deltas, or callers can leave it
+enabled permanently (a production profile) and poll :meth:`snapshot`.
+
+Cost model: when disabled every ``inc``/``observe`` is an attribute read
+and a return; hot kernel paths additionally guard on
+``spans.current() is None and not metrics.enabled()`` so the disabled case
+does no measurement work at all.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "enabled",
+    "enable",
+    "disable",
+]
+
+#: histogram bucket upper bounds (powers of 4; the last bucket is open)
+_BOUNDS = tuple(4**k for k in range(1, 16))
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/total/min/max."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = [0] * (len(_BOUNDS) + 1)
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(_BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counter/histogram aggregation, near-free when disabled."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._enabled = False
+        self._counters: dict[str, int] = {}
+        self._hists: dict[str, Histogram] = {}
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._hists.clear()
+
+    # ------------------------------------------------------------ emitters
+    def inc(self, name: str, value: int = 1) -> None:
+        if not self._enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value) -> None:
+        if not self._enabled:
+            return
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                h = self._hists[name] = Histogram()
+            h.observe(value)
+
+    # ------------------------------------------------------------- queries
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """{"counters": {name: int}, "histograms": {name: {...}}} (a copy)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {k: h.to_dict() for k, h in self._hists.items()},
+            }
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """Counter/histogram-count deltas between two :meth:`snapshot` dicts."""
+        counters = {}
+        for name, v in after.get("counters", {}).items():
+            d = v - before.get("counters", {}).get(name, 0)
+            if d:
+                counters[name] = d
+        hists = {}
+        b_h = before.get("histograms", {})
+        for name, h in after.get("histograms", {}).items():
+            prev = b_h.get(name, {"count": 0, "total": 0.0})
+            d_count = h["count"] - prev["count"]
+            if d_count:
+                hists[name] = {
+                    "count": d_count,
+                    "total": h["total"] - prev["total"],
+                }
+        return {"counters": counters, "histograms": hists}
+
+
+#: the process-wide registry
+registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    return registry.enabled
+
+
+def enable() -> None:
+    registry.enable()
+
+
+def disable() -> None:
+    registry.disable()

@@ -26,6 +26,8 @@ from .._sparseutil import group_starts, ranges_concat, segment_reduce
 from ..algebra.semiring import Semiring
 from ..containers.formats import CSRView
 from ..containers.mask import MaskView
+from ..obs import metrics as _metrics
+from ..obs import spans as _obs_spans
 from ..parallel import (
     get_num_threads,
     parallel_threshold,
@@ -62,8 +64,13 @@ def _spgemm_block(
     semiring: Semiring,
     rows: slice,
     mask_view: MaskView | None,
+    acc: list | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Expand–sort–reduce over a contiguous block of A's rows."""
+    """Expand–sort–reduce over a contiguous block of A's rows.
+
+    *acc*, when given, receives this block's realized multiply count (the
+    products that survive mask push-down) — ``list.append`` is atomic under
+    the GIL, so concurrent blocks report safely without a lock."""
     out_dtype = semiring.d_out.np_dtype
     lo, hi = rows.start, rows.stop
     a_lo, a_hi = int(a_view.indptr[lo]), int(a_view.indptr[hi])
@@ -98,6 +105,8 @@ def _spgemm_block(
         if len(keys) == 0:
             return _empty(out_dtype)
 
+    if acc is not None:
+        acc.append(len(keys))
     prods = semiring.mul.apply_arrays(left, right)
     order = np.argsort(keys, kind="stable")
     keys = keys[order]
@@ -109,19 +118,15 @@ def _spgemm_block(
     return uniq, vals
 
 
-def spgemm(
+def _spgemm_impl(
     a_view: CSRView,
     a_vals: np.ndarray,
     b_view: CSRView,
     b_vals: np.ndarray,
     semiring: Semiring,
     mask_view: MaskView | None = None,
+    acc: list | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """``T = A ⊕.⊗ B`` as sorted flat keys over an (A.nrows × B.ncols) space.
-
-    *a_vals*/*b_vals* are the views' value arrays already cast to the
-    multiply operator's input domains.
-    """
     out_dtype = semiring.d_out.np_dtype
     if a_view.nnz == 0 or b_view.nnz == 0:
         return _empty(out_dtype)
@@ -148,6 +153,7 @@ def spgemm(
                         semiring,
                         blk,
                         mask_view,
+                        acc,
                     )
                     for blk in blocks
                 ]
@@ -158,8 +164,74 @@ def spgemm(
 
     return _spgemm_block(
         a_view, a_vals, b_view, b_vals, semiring,
-        slice(0, a_view.nrows), mask_view,
+        slice(0, a_view.nrows), mask_view, acc,
     )
+
+
+def spgemm(
+    a_view: CSRView,
+    a_vals: np.ndarray,
+    b_view: CSRView,
+    b_vals: np.ndarray,
+    semiring: Semiring,
+    mask_view: MaskView | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``T = A ⊕.⊗ B`` as sorted flat keys over an (A.nrows × B.ncols) space.
+
+    *a_vals*/*b_vals* are the views' value arrays already cast to the
+    multiply operator's input domains.
+
+    When observability is live (span capture armed or metrics enabled) the
+    invocation emits a kernel span carrying estimated flops (the full
+    expansion bound), realized flops (products surviving mask push-down),
+    output nnz, and the block count; disarmed, the implementation runs with
+    zero measurement work.
+    """
+    if _obs_spans.current() is None and not _metrics.registry.enabled:
+        return _spgemm_impl(a_view, a_vals, b_view, b_vals, semiring, mask_view)
+    return _observed_kernel(
+        "spgemm",
+        lambda acc: _spgemm_impl(
+            a_view, a_vals, b_view, b_vals, semiring, mask_view, acc
+        ),
+        flops_estimated=estimate_flops(a_view, b_view),
+        nnz_in=a_view.nnz + b_view.nnz,
+    )
+
+
+def _observed_kernel(label: str, run, *, flops_estimated: int, nnz_in: int):
+    """Shared measurement shell for semiring kernels.
+
+    *run* takes the realized-flops accumulator list and returns
+    ``(keys, vals)``; the shell opens the kernel span, counts into the
+    process registry, and guarantees the span closes on error paths.
+    """
+    sink = _obs_spans.current()
+    acc: list = []
+    sp = (
+        sink.open(label, "kernel", flops_estimated=flops_estimated, nnz_in=nnz_in)
+        if sink is not None
+        else None
+    )
+    try:
+        keys, vals = run(acc)
+        realized = int(sum(acc))
+        if sp is not None:
+            sp.attrs.update(
+                flops_realized=realized,
+                nnz_out=len(keys),
+                blocks=max(len(acc), 1),
+            )
+        reg = _metrics.registry
+        reg.inc("kernel.invocations")
+        reg.inc("kernel.flops_estimated", flops_estimated)
+        reg.inc("kernel.flops_realized", realized)
+        reg.inc("kernel.nnz_out", len(keys))
+        reg.observe("kernel.flops", realized)
+        return keys, vals
+    finally:
+        if sp is not None:
+            sink.close(sp)
 
 
 def spmv(
@@ -182,7 +254,35 @@ def spmv(
     cost is Σ nnz(A(i,:)) over masked rows rather than nnz(A) — the classic
     push/pull direction optimization of the GPU backends the paper's
     section VIII points to.
+
+    Observability mirrors :func:`spgemm`: a kernel span with estimated
+    (``nnz(A)``, the intersection upper bound) vs realized multiply counts
+    and the chosen direction (push/pull), only when a consumer is live.
     """
+    if _obs_spans.current() is None and not _metrics.registry.enabled:
+        return _spmv_impl(
+            a_view, a_vals, v_keys, v_vals, semiring, swap, mask_view
+        )
+    return _observed_kernel(
+        "spmv",
+        lambda acc: _spmv_impl(
+            a_view, a_vals, v_keys, v_vals, semiring, swap, mask_view, acc
+        ),
+        flops_estimated=a_view.nnz,
+        nnz_in=a_view.nnz + len(v_keys),
+    )
+
+
+def _spmv_impl(
+    a_view: CSRView,
+    a_vals: np.ndarray,
+    v_keys: np.ndarray,
+    v_vals: np.ndarray,
+    semiring: Semiring,
+    swap: bool = False,
+    mask_view: MaskView | None = None,
+    acc: list | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     out_dtype = semiring.d_out.np_dtype
     if a_view.nnz == 0 or len(v_keys) == 0:
         return _empty(out_dtype)
@@ -194,7 +294,7 @@ def spmv(
     ):
         return _spmv_pull(
             a_view, a_vals, v_keys, v_vals, semiring, swap,
-            mask_view.pattern,
+            mask_view.pattern, acc,
         )
 
     pos = np.searchsorted(v_keys, a_view.indices)
@@ -206,6 +306,9 @@ def spmv(
     rows = a_view.row_ids()[hit]  # nondecreasing: storage is row-major
     left = a_vals[hit]
     right = v_vals[pos_c[hit]]
+    if acc is not None:
+        acc.append(len(left))
+        _obs_spans.annotate(direction="push")
     prods = (
         semiring.mul.apply_arrays(right, left)
         if swap
@@ -226,6 +329,7 @@ def _spmv_pull(
     semiring: Semiring,
     swap: bool,
     rows_sel: np.ndarray,
+    acc: list | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Pull direction: gather only the selected rows, then intersect with v."""
     out_dtype = semiring.d_out.np_dtype
@@ -244,6 +348,9 @@ def _spmv_pull(
     rows = np.repeat(rows_sel.astype(np.int64), counts)[hit]
     left = a_vals[gather][hit]
     right = v_vals[pos_c[hit]]
+    if acc is not None:
+        acc.append(len(left))
+        _obs_spans.annotate(direction="pull")
     prods = (
         semiring.mul.apply_arrays(right, left)
         if swap
@@ -261,6 +368,22 @@ def reduce_rows(
 ) -> tuple[np.ndarray, np.ndarray]:
     """``t(i) = ⊕_j A(i,j)`` over stored elements; empty rows stay undefined
     (Table II's ``reduce (row)``)."""
+    if _obs_spans.current() is not None or _metrics.registry.enabled:
+
+        def run(acc):
+            acc.append(a_view.nnz)  # one ⊕ fold per stored element
+            return _reduce_rows_impl(a_view, a_vals, monoid)
+
+        return _observed_kernel(
+            "reduce_rows", run,
+            flops_estimated=a_view.nnz, nnz_in=a_view.nnz,
+        )
+    return _reduce_rows_impl(a_view, a_vals, monoid)
+
+
+def _reduce_rows_impl(
+    a_view: CSRView, a_vals: np.ndarray, monoid
+) -> tuple[np.ndarray, np.ndarray]:
     dtype = monoid.domain.np_dtype
     if a_view.nnz == 0:
         return _empty(dtype)
@@ -279,6 +402,22 @@ def reduce_rows_flat(
     :func:`reduce_rows`, fed a producer's un-materialized result instead of
     a CSR view.  Flat keys sort row-major, so segments are exactly the rows
     in the same element order the view-based kernel folds them."""
+    if _obs_spans.current() is not None or _metrics.registry.enabled:
+
+        def run(acc):
+            acc.append(len(keys))
+            return _reduce_rows_flat_impl(keys, vals, ncols, monoid)
+
+        return _observed_kernel(
+            "reduce_rows[fused]", run,
+            flops_estimated=len(keys), nnz_in=len(keys),
+        )
+    return _reduce_rows_flat_impl(keys, vals, ncols, monoid)
+
+
+def _reduce_rows_flat_impl(
+    keys: np.ndarray, vals: np.ndarray, ncols: int, monoid
+) -> tuple[np.ndarray, np.ndarray]:
     dtype = monoid.domain.np_dtype
     if len(keys) == 0:
         return _empty(dtype)
@@ -300,6 +439,26 @@ def fused_apply(
     of the ``apply`` kernel.  *post* is the consumer's captured value path
     (cast → operator → output-dtype fix); the mask filter mirrors the
     unfused kernel's push-down order exactly (keys first, then values)."""
+    if _obs_spans.current() is not None or _metrics.registry.enabled:
+
+        def run(acc):
+            out = _fused_apply_impl(keys, vals, mask_view, post)
+            acc.append(len(out[0]))  # one value-map application per survivor
+            return out
+
+        return _observed_kernel(
+            "apply[fused]", run,
+            flops_estimated=len(keys), nnz_in=len(keys),
+        )
+    return _fused_apply_impl(keys, vals, mask_view, post)
+
+
+def _fused_apply_impl(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    mask_view: MaskView | None,
+    post,
+) -> tuple[np.ndarray, np.ndarray]:
     if mask_view is not None and len(keys):
         keep = mask_view.allows(keys)
         keys, vals = keys[keep], vals[keep]

@@ -20,6 +20,8 @@ import numpy as np
 
 from .. import context
 from .._sparseutil import union_keys
+from ..obs import metrics as _metrics
+from ..obs import spans as _obs_spans
 from ..containers.base import OpaqueObject
 from ..containers.mask import MaskView, build_mask_view, validate_mask_domain
 from ..containers.matrix import Matrix
@@ -205,6 +207,13 @@ def run_write_pipeline(
         c_keys, c_vals, C.type, t_keys, t_vals, t_type, accum
     )
     masked_write(C, z_keys, z_vals, mask_view, desc.replace)
+    if _obs_spans.current() is not None or _metrics.registry.enabled:
+        # the innermost open span here is the op body (kernel spans have
+        # closed), so the realized output size lands on the right record
+        nnz_out = len(C._content()[0])
+        _obs_spans.annotate(nnz_t=len(t_keys), nnz_out=nnz_out)
+        _metrics.registry.inc("op.writes")
+        _metrics.registry.inc("op.nnz_out", nnz_out)
 
 
 def execute_standard(
@@ -220,9 +229,15 @@ def execute_standard(
     output/mask/accum/descriptor.
     """
     d = spec.desc
+    if _obs_spans.current() is not None:
+        _obs_spans.annotate(
+            kind=spec.kind,
+            nnz_in=int(sum(len(x._content()[0]) for x in spec.inputs)),
+        )
     mask_view = build_mask_view(spec.mask, d.mask_complement, d.mask_structure)
     if precomputed is not None:
         t_keys, t_vals = precomputed
+        _metrics.registry.inc("op.cse_reuses")
     else:
         t_keys, t_vals = spec.kernel(mask_view)
         if capture is not None:

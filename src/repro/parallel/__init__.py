@@ -13,6 +13,7 @@ byte-for-byte; the ablation benchmark flips it on.
 from .config import (
     get_num_threads,
     parallel_threshold,
+    pool_stats,
     row_blocks,
     serial_section,
     set_num_threads,
@@ -28,4 +29,5 @@ __all__ = [
     "row_blocks",
     "thread_pool",
     "serial_section",
+    "pool_stats",
 ]

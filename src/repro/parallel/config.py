@@ -25,13 +25,21 @@ __all__ = [
     "row_blocks",
     "thread_pool",
     "serial_section",
+    "pool_stats",
 ]
 
 _num_threads = 1
 _threshold = 200_000  # estimated flops below which kernels stay serial
 _pool: ThreadPoolExecutor | None = None
 _pool_size = 0
+_handle: "_PoolHandle | None" = None
 _tls = threading.local()
+
+# pool-utilization counters (repro.obs reads window deltas via pool_stats)
+_stats_lock = threading.Lock()
+_submitted = 0
+_completed = 0
+_busy_seconds = 0.0
 
 
 def get_num_threads() -> int:
@@ -76,15 +84,70 @@ def set_parallel_threshold(flops: int) -> None:
     _threshold = int(flops)
 
 
-def thread_pool() -> ThreadPoolExecutor:
+def _run_counted(fn, args, kwargs):
+    """Worker-side shim: count completion, and busy time when obs is live."""
+    global _completed, _busy_seconds
+    from ..obs import metrics as _metrics
+    from ..obs import spans as _spans
+
+    if _spans.current() is None and not _metrics.registry.enabled:
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            with _stats_lock:
+                _completed += 1
+    import time
+
+    t0 = time.perf_counter()
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        busy = time.perf_counter() - t0
+        with _stats_lock:
+            _completed += 1
+            _busy_seconds += busy
+        _metrics.registry.inc("pool.tasks")
+        _metrics.registry.observe("pool.task_seconds", busy)
+
+
+class _PoolHandle:
+    """Counting facade over the shared executor (same ``submit`` contract)."""
+
+    __slots__ = ("_ex",)
+
+    def __init__(self, ex: ThreadPoolExecutor):
+        self._ex = ex
+
+    def submit(self, fn, /, *args, **kwargs):
+        global _submitted
+        with _stats_lock:
+            _submitted += 1
+        return self._ex.submit(_run_counted, fn, args, kwargs)
+
+
+def thread_pool() -> "_PoolHandle":
     """The shared pool, resized to the current thread count."""
-    global _pool, _pool_size
+    global _pool, _pool_size, _handle
     if _pool is None or _pool_size != _num_threads:
         if _pool is not None:
             _pool.shutdown(wait=True)
         _pool = ThreadPoolExecutor(max_workers=_num_threads)
         _pool_size = _num_threads
-    return _pool
+        _handle = _PoolHandle(_pool)
+    return _handle
+
+
+def pool_stats() -> dict:
+    """Pool-utilization counters: tasks submitted/completed, busy seconds,
+    current worker count.  Deltas over a window are the utilization signal
+    :class:`repro.obs.Capture` reports."""
+    with _stats_lock:
+        return {
+            "submitted": _submitted,
+            "completed": _completed,
+            "busy_seconds": _busy_seconds,
+            "workers": _pool_size or _num_threads,
+        }
 
 
 def row_blocks(work_per_row: np.ndarray, nblocks: int) -> list[slice]:

@@ -1,0 +1,217 @@
+"""Multi-threaded span integrity (observability under the parallel scheduler).
+
+With ``set_num_threads(4)`` the planner dispatches hazard-free DAG levels
+onto the shared thread pool, so op spans open and close on worker
+threads.  The invariants under test:
+
+* every scheduled node records **exactly one** op span, no matter which
+  thread ran it (drain-time wrapping — submit-time wrapping would lose
+  the planner's rewrites);
+* a fused pair is one node → one span, carrying its ``fused_of``
+  provenance exactly once;
+* spans from worker threads land in the same sink with correct
+  thread attribution, and the Chrome exporter names each thread.
+
+Inputs are built (and flushed) *before* each captured region: the point
+is one wide drain of hazard-free ops, not a string of build-forced
+single-op drains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import obs
+from repro.parallel import get_num_threads, set_num_threads
+
+from tests.conftest import random_matrix
+
+
+@pytest.fixture(autouse=True)
+def four_threads(monkeypatch):
+    # the CI container may expose a single CPU; the clamp in
+    # set_num_threads would silently keep the pool serial
+    monkeypatch.setattr("os.cpu_count", lambda: 4)
+    set_num_threads(4)
+    yield
+    set_num_threads(1)
+
+
+def _prepared_mxms(rng, k: int):
+    """k hazard-free mxm triples with inputs already built and flushed."""
+    mats = []
+    for _ in range(k):
+        A = random_matrix(rng, 12, 12, 0.4)
+        B = random_matrix(rng, 12, 12, 0.4)
+        C = grb.Matrix(grb.INT64, 12, 12)
+        mats.append((A, B, C))
+    grb.wait()  # builds must not force drains inside the captured region
+    return mats
+
+
+def _submit_mxms(mats):
+    s = grb.PLUS_TIMES[grb.INT64]
+    for A, B, C in mats:
+        grb.mxm(C, None, None, s, A, B)
+
+
+class TestSpanPerNode:
+    def test_every_scheduled_node_one_span(self, rng):
+        grb.init(grb.Mode.NONBLOCKING)
+        assert get_num_threads() == 4
+        K = 6
+        mats = _prepared_mxms(rng, K)
+        with obs.capture() as cap:
+            _submit_mxms(mats)
+            grb.wait()
+        mxm_spans = [sp for sp in cap.spans_of("op") if sp.label == "mxm"]
+        assert len(mxm_spans) == K
+        assert all(sp.deferred for sp in mxm_spans)
+        # one span per executed op: the queue agrees
+        qd = cap.queue_delta()
+        assert qd["executed"] == len(cap.spans_of("op")) == K
+        assert qd["drains"] == 1
+        assert qd["max_width"] >= K  # one hazard-free level
+        assert all(C.nvals() >= 0 for _, _, C in mats)
+
+    def test_spans_span_multiple_threads(self, rng):
+        import threading
+
+        grb.init(grb.Mode.NONBLOCKING)
+        # nodes heavy enough that pool workers overlap instead of one
+        # idle worker draining the whole level; whether a second worker
+        # actually wins a task is scheduler timing, so retry a few times
+        tids: set[int] = set()
+        for attempt in range(4):
+            mats = []
+            for _ in range(8):
+                A = random_matrix(rng, 80, 80, 0.3)
+                B = random_matrix(rng, 80, 80, 0.3)
+                C = grb.Matrix(grb.INT64, 80, 80)
+                mats.append((A, B, C))
+            grb.wait()
+            with obs.capture() as cap:
+                _submit_mxms(mats)
+                grb.wait()
+            mxm_spans = [sp for sp in cap.spans_of("op") if sp.label == "mxm"]
+            assert len(mxm_spans) == 8  # integrity holds on every attempt
+            tids = {sp.tid for sp in mxm_spans}
+            assert threading.main_thread().ident not in tids  # ran on the pool
+            assert all(isinstance(sp.thread, str) and sp.thread for sp in mxm_spans)
+            if len(tids) >= 2:
+                break
+        assert len(tids) >= 2, f"all spans on one thread after retries: {tids}"
+
+    def test_no_span_lost_or_duplicated_across_runs(self, rng):
+        grb.init(grb.Mode.NONBLOCKING)
+        for round_ in range(3):
+            mats = _prepared_mxms(rng, 5)
+            with obs.capture() as cap:
+                _submit_mxms(mats)
+                grb.wait()
+            sids = [sp.sid for sp in cap.spans]
+            assert len(sids) == len(set(sids))
+            mxm = [sp for sp in cap.spans_of("op") if sp.label == "mxm"]
+            assert len(mxm) == 5, f"round {round_}: {len(mxm)} spans"
+
+    def test_kernel_spans_parent_their_op_on_worker_threads(self, rng):
+        grb.init(grb.Mode.NONBLOCKING)
+        mats = _prepared_mxms(rng, 6)
+        with obs.capture() as cap:
+            _submit_mxms(mats)
+            grb.wait()
+        ops = {sp.sid: sp for sp in cap.spans_of("op")}
+        kernels = cap.spans_of("kernel")
+        assert kernels, "mxm must invoke spgemm kernels"
+        for k in kernels:
+            assert k.parent in ops, f"kernel span {k.label} has no op parent"
+            parent = ops[k.parent]
+            assert parent.tid == k.tid, "kernel ran on a different thread than its op"
+
+
+class TestFusionProvenanceUnderThreads:
+    def _prepared_pairs(self, rng, k: int):
+        mats = []
+        for _ in range(k):
+            A = random_matrix(rng, 8, 8, 0.4)
+            C = grb.Matrix(grb.INT64, 8, 8)
+            mats.append((A, C))
+        grb.wait()
+        return mats
+
+    def _submit_pairs(self, mats):
+        s = grb.PLUS_TIMES[grb.INT64]
+        for A, C in mats:
+            grb.mxm(C, None, None, s, A, A)
+            grb.apply(C, None, None, grb.AINV[grb.INT64], C)  # in-place: fusable
+
+    def test_each_fused_pair_records_provenance_once(self, rng):
+        grb.init(grb.Mode.NONBLOCKING)
+        K = 4
+        mats = self._prepared_pairs(rng, K)
+        with obs.capture() as cap:
+            self._submit_pairs(mats)
+            grb.wait()
+        assert cap.queue_delta()["fused"] == K
+        fused_spans = [
+            sp for sp in cap.spans_of("op") if "fused_of" in sp.attrs
+        ]
+        assert len(fused_spans) == K  # one span per fused node, not per op
+        for sp in fused_spans:
+            assert sp.label == "mxm+apply[fused]"
+            assert sp.attrs["fused_of"] == ["mxm", "apply"]
+        # the constituent ops must NOT have their own spans
+        labels = [sp.label for sp in cap.spans_of("op")]
+        assert "mxm" not in labels and "apply" not in labels
+
+    def test_fused_results_match_blocking(self, rng):
+        set_num_threads(1)
+        mats_b = self._prepared_pairs(rng, 3)
+        self._submit_pairs(mats_b)
+        want = [C.extract_tuples() for _, C in mats_b]
+
+        from repro import context
+        context._reset()
+        grb.init(grb.Mode.NONBLOCKING)
+        set_num_threads(4)
+        rng2 = np.random.default_rng(20170529)
+        mats = self._prepared_pairs(rng2, 3)
+        with obs.capture():
+            self._submit_pairs(mats)
+            grb.wait()
+        for (_, C), w in zip(mats, want):
+            got = C.extract_tuples()
+            for g, ww in zip(got, w):
+                assert np.array_equal(g, ww)
+
+
+class TestPoolCounters:
+    def test_pool_utilization_recorded(self, rng):
+        grb.init(grb.Mode.NONBLOCKING)
+        mats = _prepared_mxms(rng, 8)
+        with obs.capture() as cap:
+            _submit_mxms(mats)
+            grb.wait()
+        pd = cap.pool_delta()
+        assert pd["submitted"] >= 2  # a wide level went through the pool
+        assert pd["completed"] == pd["submitted"]
+        assert pd["workers"] == 4
+        assert pd["busy_seconds"] >= 0.0
+        assert cap.counters.get("pool.tasks", 0) == pd["submitted"]
+
+    def test_chrome_trace_names_worker_threads(self, rng):
+        grb.init(grb.Mode.NONBLOCKING)
+        mats = _prepared_mxms(rng, 8)
+        with obs.capture() as cap:
+            _submit_mxms(mats)
+            grb.wait()
+        doc = cap.chrome_trace()
+        metas = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in xs} == {m["tid"] for m in metas}
+        assert len(metas) >= 2  # main thread + at least one worker
