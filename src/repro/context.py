@@ -8,6 +8,24 @@ suites would be unusable otherwise) a *default* blocking context exists
 before any explicit :func:`init`; an explicit ``init`` is only allowed while
 the default context is still untouched by ``finalize``.
 
+Beyond the single default context the module supports **multiple
+independent contexts** — the substrate the multi-tenant service
+(:mod:`repro.service`) builds sessions on.  A :class:`Context` created
+directly owns its own mode, per-thread deferred-op queues, and pending
+errors.  Each thread holds a *thread-local activation stack*: pushing a
+context with :func:`activate` makes every module-level function
+(:func:`submit`, :func:`wait`, :func:`complete`, ...) route to it on this
+thread only, so concurrent sessions cannot corrupt each other's mode or
+sequence state.  Cross-thread handoff is explicit and two-part: the
+context object is the routing token (create it on one thread, ``with
+activate(ctx):`` on another), and a *pending sequence* moves between
+threads only through :func:`handoff` / :func:`adopt` — the sending thread
+detaches its deferred ops and pending error as a :class:`Handoff` token,
+the receiving thread splices them ahead of its own.  Without that explicit
+step the paper's per-thread-sequence discipline applies verbatim: each
+thread gets its own queue inside the context, and sequences must not share
+non-read-only objects.
+
 :func:`_reset` restores the pristine pre-init state — it is not part of the
 GraphBLAS API and exists for test isolation only.
 """
@@ -31,10 +49,16 @@ from .info import (
 
 __all__ = [
     "Mode",
+    "Context",
     "init",
     "finalize",
     "wait",
     "current_mode",
+    "current_context",
+    "activate",
+    "handoff",
+    "adopt",
+    "Handoff",
     "error",
     "submit",
     "complete",
@@ -48,18 +72,23 @@ class Mode(enum.Enum):
     NONBLOCKING = "GrB_NONBLOCKING"
 
 
-class _Context:
-    """Library context.
+class Context:
+    """One library context: a mode plus per-thread sequences.
 
     Sequences are *per thread* (section IV: "a multithreaded program may
     have a distinct sequence per thread, but those sequences must not
     share objects unless the shared objects are read-only").  Each thread
     gets its own deferred-op queue and pending-error slot; the mode and
-    lifecycle flags are global.
+    lifecycle flags are per-context.
+
+    The process-wide default context is managed by :func:`init` /
+    :func:`finalize`; additional contexts are constructed directly
+    (``Context(Mode.NONBLOCKING)``) and routed to via :func:`activate`.
     """
 
-    def __init__(self, mode: Mode):
+    def __init__(self, mode: Mode, *, name: str = ""):
         self.mode = mode
+        self.name = name
         self._tls = threading.local()
         self.explicitly_initialized = False
         self.finalized = False
@@ -80,53 +109,188 @@ class _Context:
     def pending_error(self, exc: GraphBLASError | None) -> None:
         self._tls.pending_error = exc
 
+    def handoff(self) -> "Handoff":
+        """Detach the calling thread's pending sequence as a handoff token.
 
-_ctx = _Context(Mode.BLOCKING)
+        The thread's queue and pending error are removed (it continues
+        with a fresh, empty sequence); the returned :class:`Handoff` is
+        meant to be passed to :meth:`adopt` on exactly one other thread.
+        """
+        token = Handoff(self.queue, self.pending_error)
+        self._tls.queue = SequenceQueue()
+        self._tls.pending_error = None
+        return token
+
+    def adopt(self, token: "Handoff") -> None:
+        """Splice a detached sequence ahead of this thread's own.
+
+        The handed-off ops happened-before anything this thread has queued
+        in program order, so they drain first; a handed-off pending error
+        likewise takes precedence over a local one.
+        """
+        if not isinstance(token, Handoff):
+            raise InvalidValue(
+                f"adopt() needs a Handoff token, got {type(token).__name__}"
+            )
+        self.queue.splice_front(token.queue)
+        if token.error is not None and self.pending_error is None:
+            self.pending_error = token.error
+        token.error = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.name or hex(id(self))
+        return f"<Context {tag} {self.mode.value}>"
+
+
+class Handoff:
+    """A detached sequence in flight between threads.
+
+    Produced by :meth:`Context.handoff` (or the module-level
+    :func:`handoff`), consumed once by :meth:`Context.adopt`
+    (:func:`adopt`).  Carries the pending deferred ops and any
+    not-yet-raised execution error of the sending thread's sequence.
+    """
+
+    __slots__ = ("queue", "error")
+
+    def __init__(self, queue: SequenceQueue, error: GraphBLASError | None):
+        self.queue = queue
+        self.error = error
+
+
+#: Backward-compatible alias — tests and old callers know ``_Context``.
+_Context = Context
+
+_lifecycle_lock = threading.Lock()
+_ctx = Context(Mode.BLOCKING)  # the process-wide default context
+_active = threading.local()  # per-thread stack of explicitly activated contexts
+
+
+def _stack() -> list:
+    s = getattr(_active, "stack", None)
+    if s is None:
+        s = []
+        _active.stack = s
+    return s
+
+
+def _current() -> Context:
+    s = getattr(_active, "stack", None)
+    if s:
+        return s[-1]
+    return _ctx
+
+
+def current_context() -> Context:
+    """The context module-level calls route to on this thread."""
+    return _current()
+
+
+class activate:
+    """Make *ctx* the current context on this thread for the ``with`` body.
+
+    This is the cross-thread handoff API: a :class:`Context` built on one
+    thread can be activated on any other — the object itself is the
+    handoff token.  Activations nest (a per-thread stack), so a service
+    worker can run a session's sequence without disturbing whatever the
+    thread's surrounding code had active.
+    """
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: Context):
+        if not isinstance(ctx, Context):
+            raise InvalidValue(f"activate() needs a Context, got {type(ctx).__name__}")
+        self._ctx = ctx
+
+    def __enter__(self) -> Context:
+        if self._ctx.finalized:
+            raise InvalidValue("cannot activate a finalized context")
+        _stack().append(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc) -> None:
+        s = _stack()
+        # strict LIFO in correct code; tolerate a foreign frame so an
+        # exception thrown between activations cannot corrupt the stack
+        if s and s[-1] is self._ctx:
+            s.pop()
+        elif self._ctx in s:
+            s.remove(self._ctx)
+
+
+def handoff() -> Handoff:
+    """Detach this thread's pending sequence from the current context.
+
+    The explicit half of cross-thread handoff: sequences are per-thread
+    (section IV), so deferred work queued here is otherwise invisible to
+    every other thread — even one activating the same context.  The
+    returned token should be adopted by exactly one receiving thread.
+    """
+    ctx = _current()
+    _check_usable(ctx)
+    return ctx.handoff()
+
+
+def adopt(token: Handoff) -> None:
+    """Adopt a sequence detached by :func:`handoff` on another thread."""
+    ctx = _current()
+    _check_usable(ctx)
+    ctx.adopt(token)
 
 
 def is_initialized() -> bool:
-    return _ctx.explicitly_initialized
+    return _current().explicitly_initialized
 
 
 def current_mode() -> Mode:
-    return _ctx.mode
+    return _current().mode
 
 
 def init(mode: Mode = Mode.BLOCKING) -> None:
     """``GrB_init``: create the library context with the given mode.
 
-    May be called at most once, and not after :func:`finalize`.
+    May be called at most once, and not after :func:`finalize`.  ``init``
+    always targets the process-wide *default* context; it is rejected on a
+    thread that has a session context activated (sessions fix their mode
+    at construction).
     """
     global _ctx
-    if _ctx.finalized:
+    if getattr(_active, "stack", None):
         raise InvalidValue(
-            "GrB_init after GrB_finalize is not allowed (section IV)"
+            "GrB_init inside an activated session context is not allowed"
         )
-    if _ctx.explicitly_initialized:
-        raise InvalidValue("GrB_init may be called only once")
-    if len(_ctx.queue):
-        raise InvalidValue("GrB_init called inside an active sequence")
-    _ctx = _Context(mode)
-    _ctx.explicitly_initialized = True
+    with _lifecycle_lock:
+        if _ctx.finalized:
+            raise InvalidValue(
+                "GrB_init after GrB_finalize is not allowed (section IV)"
+            )
+        if _ctx.explicitly_initialized:
+            raise InvalidValue("GrB_init may be called only once")
+        if len(_ctx.queue):
+            raise InvalidValue("GrB_init called inside an active sequence")
+        _ctx = Context(mode)
+        _ctx.explicitly_initialized = True
     clear_last_error()
 
 
 def finalize() -> None:
-    """``GrB_finalize``: terminate the context.
+    """``GrB_finalize``: terminate the current context.
 
     Any still-deferred work is completed first (an implementation choice the
     spec permits; dropping it silently would violate program order).
     """
-    if _ctx.finalized:
+    ctx = _current()
+    if ctx.finalized:
         raise InvalidValue("GrB_finalize called twice")
     try:
         wait()
     finally:
-        _ctx.finalized = True
+        ctx.finalized = True
 
 
-def _check_usable() -> None:
-    if _ctx.finalized:
+def _check_usable(ctx: Context) -> None:
+    if ctx.finalized:
         raise InvalidValue("GraphBLAS context has been finalized")
 
 
@@ -149,13 +313,14 @@ def submit(
     standard Table II operation) gives the drain-time planner the
     structure it needs to fuse, dedupe, and schedule the op.
     """
-    _check_usable()
-    if _ctx.mode is Mode.NONBLOCKING and deferrable:
+    ctx = _current()
+    _check_usable(ctx)
+    if ctx.mode is Mode.NONBLOCKING and deferrable:
         # the raw thunk joins the queue; span instrumentation is attached
         # at drain time by the planner, so each *scheduled node* (plain,
         # fused, or CSE'd) records exactly one op span under the capture
         # live when it actually runs
-        _ctx.queue.push(
+        ctx.queue.push(
             DeferredOp(
                 thunk=thunk,
                 reads=reads,
@@ -166,8 +331,8 @@ def submit(
             )
         )
         return
-    if len(_ctx.queue):
-        _drain()
+    if len(ctx.queue):
+        _drain(ctx)
     _trace_wrap(thunk, label, deferred=False)()
 
 
@@ -178,17 +343,17 @@ def _poison(ops) -> None:
             target._poison()
 
 
-def _drain() -> None:
+def _drain(ctx: Context) -> None:
     try:
-        _ctx.queue.drain()
+        ctx.queue.drain()
     except GraphBLASError as exc:
-        _poison(_ctx.queue.failed_tail)
-        if _ctx.pending_error is None:
-            _ctx.pending_error = exc
+        _poison(ctx.queue.failed_tail)
+        if ctx.pending_error is None:
+            ctx.pending_error = exc
     except Exception as exc:  # foreign failure inside a user operator
-        _poison(_ctx.queue.failed_tail)
-        if _ctx.pending_error is None:
-            _ctx.pending_error = Panic(f"unhandled error in deferred op: {exc!r}")
+        _poison(ctx.queue.failed_tail)
+        if ctx.pending_error is None:
+            ctx.pending_error = Panic(f"unhandled error in deferred op: {exc!r}")
 
 
 def wait() -> None:
@@ -197,11 +362,12 @@ def wait() -> None:
     Raises the first execution error encountered while running the deferred
     ops (section V); further detail is available via :func:`error`.
     """
-    _check_usable()
-    _drain()
-    if _ctx.pending_error is not None:
-        exc = _ctx.pending_error
-        _ctx.pending_error = None
+    ctx = _current()
+    _check_usable(ctx)
+    _drain(ctx)
+    if ctx.pending_error is not None:
+        exc = ctx.pending_error
+        ctx.pending_error = None
         raise exc
 
 
@@ -212,10 +378,11 @@ def complete(obj: Any = None) -> None:
     section V such methods surface any execution error involved in defining
     the object's value.
     """
-    _check_usable()
-    if len(_ctx.queue) == 0 and _ctx.pending_error is None:
+    ctx = _current()
+    _check_usable(ctx)
+    if len(ctx.queue) == 0 and ctx.pending_error is None:
         return
-    if obj is None or _ctx.queue.pending_for(obj) or _ctx.pending_error is not None:
+    if obj is None or ctx.queue.pending_for(obj) or ctx.pending_error is not None:
         wait()
 
 
@@ -227,20 +394,23 @@ def complete_before_free(obj: Any) -> None:
     run.  Execution errors are recorded (surfacing at the next ``wait`` or
     forced completion) rather than raised from ``free``.
     """
-    if not _ctx.finalized and _ctx.queue.involves(obj):
-        _drain()
+    ctx = _current()
+    if not ctx.finalized and ctx.queue.involves(obj):
+        _drain(ctx)
 
 
 def queue_stats() -> dict[str, int]:
     """Deferred-queue counters (enqueued/executed/elided/drains plus the
     planner's fused/cse/max_width)."""
-    return _ctx.queue.stats.snapshot()
+    return _current().queue.stats.snapshot()
 
 
 def _reset() -> None:
     """Testing hook: restore the pristine default context."""
     global _ctx
-    _ctx = _Context(Mode.BLOCKING)
+    with _lifecycle_lock:
+        _ctx = Context(Mode.BLOCKING)
+    _active.stack = []
     from .execution.planner import reset_options
     from .obs import metrics as _obs_metrics
     from .obs import spans as _obs_spans

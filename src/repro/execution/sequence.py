@@ -120,6 +120,19 @@ class SequenceQueue:
         self._ops.append(op)
         self.stats.enqueued += 1
 
+    def splice_front(self, other: "SequenceQueue") -> None:
+        """Move *other*'s pending ops ahead of this queue's own.
+
+        Supports explicit cross-thread sequence handoff: the handed-off
+        ops happened-before anything the adopting thread queued, so they
+        run first when the merged sequence drains.
+        """
+        if other is self or not other._ops:
+            return
+        self._ops[:0] = other._ops
+        self.stats.enqueued += len(other._ops)
+        other._ops.clear()
+
     def pending_for(self, obj: Any) -> bool:
         """Is *obj* written by any queued op (i.e. not yet *complete*)?"""
         return any(op.writes is obj for op in self._ops)

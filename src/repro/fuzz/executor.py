@@ -38,6 +38,8 @@ __all__ = [
     "run_optimized",
     "run_differential",
     "check_error_conformance",
+    "build_decl",
+    "dispatch_call",
 ]
 
 
@@ -470,6 +472,13 @@ def _dispatch_optimized(call, objs, env, scalars, dtypes) -> None:
                       objs[a["a"]], objs[a["b"]], desc)
     else:  # pragma: no cover - generator/executor skew
         raise ValueError(f"optimized executor: unknown op {k!r}")
+
+
+# Public aliases: the multi-tenant service executes client-submitted
+# programs through the exact same declarative path the fuzzer uses, so the
+# two surfaces cannot drift apart.
+build_decl = _build_grb
+dispatch_call = _dispatch_optimized
 
 
 def _snapshot_obj(decl, obj) -> dict:

@@ -37,18 +37,42 @@ def _pack(header: dict, *arrays: bytes) -> bytes:
 
 
 def _unpack(data: bytes) -> tuple[dict, list[bytes]]:
+    """Split a blob into header + array sections, bounds-checking every
+    offset: any truncation or corruption is ``InvalidValue``, never a
+    leaked ``struct.error`` / ``JSONDecodeError`` / silent short read."""
+    try:
+        data = bytes(data)
+    except (TypeError, ValueError):
+        raise InvalidValue("serialized object must be a bytes-like blob") from None
     if data[:4] != _MAGIC:
         raise InvalidValue("not a repro-serialized GraphBLAS object")
+    if len(data) < 10:
+        raise InvalidValue("truncated serialized object: incomplete preamble")
     version, hlen = struct.unpack_from("<HI", data, 4)
     if version != _VERSION:
         raise InvalidValue(f"unsupported serialization version {version}")
     pos = 10
-    header = json.loads(data[pos : pos + hlen].decode())
+    if pos + hlen > len(data):
+        raise InvalidValue("truncated serialized object: incomplete header")
+    try:
+        header = json.loads(data[pos : pos + hlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise InvalidValue(f"corrupt serialization header: {exc}") from None
+    if not isinstance(header, dict):
+        raise InvalidValue("corrupt serialization header: not an object")
     pos += hlen
     blobs = []
     while pos < len(data):
+        if pos + 8 > len(data):
+            raise InvalidValue(
+                "truncated serialized object: incomplete section length"
+            )
         (n,) = struct.unpack_from("<Q", data, pos)
         pos += 8
+        if pos + n > len(data):
+            raise InvalidValue(
+                "truncated serialized object: section shorter than declared"
+            )
         blobs.append(data[pos : pos + n])
         pos += n
     return header, blobs
@@ -62,13 +86,27 @@ def _values_blob(values: np.ndarray, domain: GrBType) -> tuple[bytes, str]:
 
 def _values_from_blob(blob: bytes, encoding: str, domain: GrBType) -> np.ndarray:
     if encoding == "pickle":
-        out = np.empty(0, dtype=object)
-        items = pickle.loads(blob)
+        try:
+            items = pickle.loads(blob)
+        except Exception as exc:  # UnpicklingError, EOFError, ValueError, ...
+            raise InvalidValue(f"corrupt pickled value column: {exc}") from None
+        if not isinstance(items, (list, tuple)):
+            raise InvalidValue("corrupt pickled value column: not a sequence")
         out = np.empty(len(items), dtype=object)
         for k, v in enumerate(items):
             out[k] = v
         return out
-    return np.frombuffer(blob, dtype=np.dtype(encoding)).copy()
+    try:
+        dtype = np.dtype(encoding)
+    except TypeError as exc:
+        raise InvalidValue(f"unknown value encoding {encoding!r}: {exc}") from None
+    if dtype.hasobject:
+        raise InvalidValue(f"refusing object-dtype value encoding {encoding!r}")
+    if dtype.itemsize and len(blob) % dtype.itemsize:
+        raise InvalidValue(
+            "truncated value column: length is not a multiple of the itemsize"
+        )
+    return np.frombuffer(blob, dtype=dtype).copy()
 
 
 def serialize(obj) -> bytes:
@@ -116,38 +154,104 @@ def serialize(obj) -> bytes:
 
 
 def _domain_of(header: dict, udt_class: type | None) -> GrBType:
-    if header["domain"] != "udt":
-        return lookup_type(header["domain"])
+    domain = header.get("domain")
+    if not isinstance(domain, str):
+        raise InvalidValue("corrupt serialization header: missing domain")
+    if domain != "udt":
+        return lookup_type(domain)
     if udt_class is None:
         raise InvalidValue(
             "deserializing a user-defined-type object requires udt_class"
         )
-    return type_new(header["udt_name"] or "udt", udt_class)
+    return type_new(header.get("udt_name") or "udt", udt_class)
+
+
+def _header_int(header: dict, key: str) -> int:
+    v = header.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        raise InvalidValue(
+            f"corrupt serialization header: bad {key!r} field {v!r}"
+        )
+    return v
+
+
+def _index_column(blobs: list, i: int, nvals: int, what: str) -> np.ndarray:
+    blob = blobs[i]
+    if len(blob) != nvals * 8:
+        raise InvalidValue(
+            f"corrupt serialized object: {what} column holds "
+            f"{len(blob)} bytes, expected {nvals * 8}"
+        )
+    return np.frombuffer(blob, dtype=np.int64)
 
 
 def deserialize(data: bytes, udt_class: type | None = None):
-    """Reconstruct a serialized Matrix, Vector, or Scalar."""
+    """Reconstruct a serialized Matrix, Vector, or Scalar.
+
+    Malformed input of any shape — truncation at any offset, corrupt
+    header, missing or short sections, count mismatches — raises
+    :class:`~repro.info.InvalidValue`.
+    """
     header, blobs = _unpack(data)
     domain = _domain_of(header, udt_class)
-    kind = header["kind"]
-    if kind == "matrix":
-        rows = np.frombuffer(blobs[0], dtype=np.int64)
-        cols = np.frombuffer(blobs[1], dtype=np.int64)
-        vals = _values_from_blob(blobs[2], header["values"], domain)
-        out = Matrix(domain, header["nrows"], header["ncols"])
-        if len(rows):
-            out.build(rows, cols, vals)
-        return out
-    if kind == "vector":
-        idx = np.frombuffer(blobs[0], dtype=np.int64)
-        vals = _values_from_blob(blobs[1], header["values"], domain)
-        out = Vector(domain, header["size"])
-        if len(idx):
-            out.build(idx, vals)
-        return out
-    if kind == "scalar":
-        out = Scalar(domain)
-        if header["nvals"]:
-            out.set_value(pickle.loads(blobs[0]))
-        return out
+    kind = header.get("kind")
+    try:
+        if kind == "matrix":
+            if len(blobs) != 3:
+                raise InvalidValue(
+                    f"matrix blob needs 3 sections, found {len(blobs)}"
+                )
+            nvals = _header_int(header, "nvals")
+            rows = _index_column(blobs, 0, nvals, "row")
+            cols = _index_column(blobs, 1, nvals, "column")
+            vals = _values_from_blob(blobs[2], header.get("values"), domain)
+            if len(vals) != nvals:
+                raise InvalidValue(
+                    f"value column holds {len(vals)} entries, "
+                    f"header declares {nvals}"
+                )
+            out = Matrix(
+                domain, _header_int(header, "nrows"), _header_int(header, "ncols")
+            )
+            if len(rows):
+                out.build(rows, cols, vals)
+            return out
+        if kind == "vector":
+            if len(blobs) != 2:
+                raise InvalidValue(
+                    f"vector blob needs 2 sections, found {len(blobs)}"
+                )
+            nvals = _header_int(header, "nvals")
+            idx = _index_column(blobs, 0, nvals, "index")
+            vals = _values_from_blob(blobs[1], header.get("values"), domain)
+            if len(vals) != nvals:
+                raise InvalidValue(
+                    f"value column holds {len(vals)} entries, "
+                    f"header declares {nvals}"
+                )
+            out = Vector(domain, _header_int(header, "size"))
+            if len(idx):
+                out.build(idx, vals)
+            return out
+        if kind == "scalar":
+            if len(blobs) != 1:
+                raise InvalidValue(
+                    f"scalar blob needs 1 section, found {len(blobs)}"
+                )
+            out = Scalar(domain)
+            if _header_int(header, "nvals"):
+                try:
+                    value = pickle.loads(blobs[0])
+                except Exception as exc:
+                    raise InvalidValue(
+                        f"corrupt pickled scalar value: {exc}"
+                    ) from None
+                out.set_value(value)
+            return out
+    except InvalidValue:
+        raise
+    except Exception as exc:
+        # a corrupt blob may fail deep inside build/domain checks; every
+        # such failure is still just "malformed input" to the caller
+        raise InvalidValue(f"corrupt serialized {kind} object: {exc}") from None
     raise InvalidValue(f"unknown serialized kind {kind!r}")

@@ -23,10 +23,13 @@ __all__ = [
     "enabled",
     "enable",
     "disable",
+    "BUCKET_BOUNDS",
+    "percentile",
 ]
 
 #: histogram bucket upper bounds (powers of 4; the last bucket is open)
 _BOUNDS = tuple(4**k for k in range(1, 16))
+BUCKET_BOUNDS = _BOUNDS
 
 
 class Histogram:
@@ -132,11 +135,47 @@ class MetricsRegistry:
             prev = b_h.get(name, {"count": 0, "total": 0.0})
             d_count = h["count"] - prev["count"]
             if d_count:
-                hists[name] = {
+                entry = {
                     "count": d_count,
                     "total": h["total"] - prev["total"],
                 }
+                if "buckets" in h:
+                    pb = prev.get("buckets") or [0] * len(h["buckets"])
+                    entry["buckets"] = [a - b for a, b in zip(h["buckets"], pb)]
+                    # min/max of the window are unknowable from snapshots;
+                    # the lifetime bounds are a safe clamp for percentile()
+                    entry["min"] = h.get("min")
+                    entry["max"] = h.get("max")
+                hists[name] = entry
         return {"counters": counters, "histograms": hists}
+
+
+def percentile(hist: dict, q: float) -> float | None:
+    """Estimate the *q*-th percentile (0 < q ≤ 1) of a histogram snapshot.
+
+    *hist* is a :meth:`Histogram.to_dict` payload.  The estimate is the
+    upper bound of the first bucket whose cumulative count reaches
+    ``q * count``, clamped to the observed min/max — the usual resolution
+    trade of fixed power-of-4 buckets (a p99 of "≤ 4096 µs" rather than an
+    exact rank statistic).  Returns ``None`` for an empty histogram.
+    """
+    count = hist.get("count", 0)
+    if not count:
+        return None
+    target = q * count
+    cum = 0
+    for i, n in enumerate(hist["buckets"]):
+        cum += n
+        if cum >= target:
+            bound = hist["max"] if i >= len(_BOUNDS) else _BOUNDS[i]
+            lo = hist.get("min")
+            hi = hist.get("max")
+            if lo is not None:
+                bound = max(bound, lo)
+            if hi is not None:
+                bound = min(bound, hi)
+            return float(bound)
+    return float(hist["max"])  # pragma: no cover - counts always sum
 
 
 #: the process-wide registry

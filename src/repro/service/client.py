@@ -1,0 +1,260 @@
+"""Client front-ends: the in-process :class:`Client` and the JSON-lines
+:class:`TCPClient`.
+
+Both speak the same request model (:mod:`repro.service.request`), so code
+written against one works against the other; the TCP client only adds the
+wire encoding (one JSON object per line, blobs base64 in ``blob_b64``).
+Clients are synchronous by default — each call waits for its future /
+response — with ``submit`` exposed for pipelined use.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+from concurrent.futures import Future
+from typing import Any, Iterable
+
+from ..io.serialize import serialize
+from . import errors as _errors
+from .errors import BadRequest, ServiceError
+
+__all__ = ["Client", "TCPClient", "wire_encode", "wire_decode", "error_from_wire"]
+
+
+def _encode_blobs(value):
+    """Recursively replace bytes values with ``<key>_b64`` base64 strings."""
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if isinstance(v, (bytes, bytearray)):
+                out[str(k) + "_b64"] = base64.b64encode(bytes(v)).decode("ascii")
+            else:
+                out[str(k)] = _encode_blobs(v)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_encode_blobs(v) for v in value]
+    return value
+
+
+def _decode_blobs(value):
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if k.endswith("_b64") and isinstance(v, str):
+                out[k[:-4]] = base64.b64decode(v)
+            else:
+                out[k] = _decode_blobs(v)
+        return out
+    if isinstance(value, list):
+        return [_decode_blobs(v) for v in value]
+    return value
+
+
+def wire_encode(obj: dict) -> bytes:
+    """Encode a request/response dict as one JSON line (blobs → base64)."""
+    return json.dumps(_encode_blobs(obj), separators=(",", ":")).encode() + b"\n"
+
+
+def wire_decode(line: bytes) -> dict:
+    """Decode one JSON line (base64 blobs → bytes)."""
+    try:
+        doc = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"malformed wire line: {exc}") from None
+    if not isinstance(doc, dict):
+        raise BadRequest("wire line must be a JSON object")
+    return _decode_blobs(doc)
+
+
+def error_from_wire(err: dict) -> ServiceError:
+    """Rebuild a typed exception from a wire error descriptor."""
+    cls = getattr(_errors, err.get("kind", ""), None)
+    if cls is None or not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = ServiceError
+    return cls(err.get("message", "remote error"))
+
+
+class Client:
+    """Direct in-process client bound to one session of a Service."""
+
+    def __init__(self, service, session: str | None = None):
+        self._service = service
+        self.session = service.open_session(session)
+
+    # ------------------------------------------------------------- plumbing
+    def submit(self, kind: str, payload: dict | None = None, **kw) -> Future:
+        return self._service.submit(self.session, kind, payload, **kw)
+
+    def request(self, kind: str, payload: dict | None = None, **kw) -> dict:
+        return self._service.request(self.session, kind, payload, **kw)
+
+    # ------------------------------------------------------------- surface
+    def define(
+        self, name: str, kind: str, dtype: str, shape: Iterable[int],
+        entries: Iterable = (),
+    ) -> dict:
+        return self.request("define", {
+            "name": name, "kind": kind, "dtype": dtype,
+            "shape": list(shape), "entries": [list(e) for e in entries],
+        })
+
+    def upload(self, name: str, obj: Any = None, *, blob: bytes | None = None) -> dict:
+        if (obj is None) == (blob is None):
+            raise BadRequest("upload takes exactly one of obj= or blob=")
+        return self.request("upload", {
+            "name": name, "blob": blob if blob is not None else serialize(obj),
+        })
+
+    def download(self, name: str):
+        """Fetch a named object back as a live Matrix/Vector/Scalar."""
+        from ..io.serialize import deserialize
+
+        return deserialize(self.request("download", {"name": name})["blob"])
+
+    def download_blob(self, name: str) -> bytes:
+        return self.request("download", {"name": name})["blob"]
+
+    def program(
+        self, calls: Iterable, *, declare: Iterable = (), fetch: Iterable[str] = (),
+        **kw,
+    ) -> dict:
+        calls = [c.to_dict() if hasattr(c, "to_dict") else dict(c) for c in calls]
+        declare = [d.to_dict() if hasattr(d, "to_dict") else dict(d) for d in declare]
+        return self.request("program", {
+            "calls": calls, "declare": declare, "fetch": list(fetch),
+        }, **kw)
+
+    def algorithm(
+        self, algo: str, graph: str, *, store_as: str | None = None, **args
+    ) -> dict:
+        payload: dict = {"algo": algo, "graph": graph, "args": args}
+        if store_as:
+            payload["store_as"] = store_as
+        return self.request("algorithm", payload)
+
+    def update(self, graph: str, *, set: Iterable = (), remove: Iterable = ()) -> dict:
+        return self.request("update", {
+            "graph": graph,
+            "set": [list(e) for e in set],
+            "remove": [list(e) if isinstance(e, (list, tuple)) else [e]
+                       for e in remove],
+        })
+
+    def query(self, name: str, what: str = "nvals", **kw) -> dict:
+        return self.request("query", {"name": name, "what": what, **kw})
+
+    def free(self, name: str) -> dict:
+        return self.request("free", {"name": name})
+
+    def stats(self) -> dict:
+        return self._service.stats()
+
+    def close(self) -> None:
+        self._service.close_session(self.session)
+
+
+class TCPClient:
+    """Synchronous JSON-lines client for ``python -m repro.service``.
+
+    Speaks the identical surface as :class:`Client`; one request is in
+    flight at a time per connection, so responses arrive in order.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7411,
+        session: str | None = None, timeout: float = 60.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._ids = 0
+        self.session = self.call("open_session", {"session": session})["session"]
+
+    def call(
+        self, kind: str, payload: dict | None = None, *,
+        timeout: float | None = None,
+    ) -> dict:
+        """Send one request and wait for its response (raises typed errors)."""
+        self._ids += 1
+        doc = {
+            "id": self._ids,
+            "kind": kind,
+            "session": getattr(self, "session", None),
+            "payload": payload or {},
+        }
+        if timeout is not None:
+            doc["timeout"] = timeout
+        self._sock.sendall(wire_encode(doc))
+        while True:
+            line = self._rfile.readline()
+            if not line:
+                raise ServiceError("server closed the connection")
+            resp = wire_decode(line)
+            if resp.get("id") != self._ids:
+                continue  # stale response from an abandoned pipeline
+            if resp.get("ok"):
+                return resp.get("result", {})
+            raise error_from_wire(resp.get("error", {}))
+
+    # ----- the same convenience surface as the direct client --------------
+    def define(self, name, kind, dtype, shape, entries=()):
+        return self.call("define", {
+            "name": name, "kind": kind, "dtype": dtype,
+            "shape": list(shape), "entries": [list(e) for e in entries],
+        })
+
+    def upload(self, name, obj=None, *, blob: bytes | None = None):
+        if (obj is None) == (blob is None):
+            raise BadRequest("upload takes exactly one of obj= or blob=")
+        return self.call("upload", {
+            "name": name, "blob": blob if blob is not None else serialize(obj),
+        })
+
+    def download(self, name):
+        from ..io.serialize import deserialize
+
+        return deserialize(self.call("download", {"name": name})["blob"])
+
+    def program(self, calls, *, declare=(), fetch=()):
+        calls = [c.to_dict() if hasattr(c, "to_dict") else dict(c) for c in calls]
+        declare = [d.to_dict() if hasattr(d, "to_dict") else dict(d) for d in declare]
+        return self.call("program", {
+            "calls": calls, "declare": declare, "fetch": list(fetch),
+        })
+
+    def algorithm(self, algo, graph, *, store_as=None, **args):
+        payload = {"algo": algo, "graph": graph, "args": args}
+        if store_as:
+            payload["store_as"] = store_as
+        return self.call("algorithm", payload)
+
+    def update(self, graph, *, set=(), remove=()):
+        return self.call("update", {
+            "graph": graph,
+            "set": [list(e) for e in set],
+            "remove": [list(e) if isinstance(e, (list, tuple)) else [e]
+                       for e in remove],
+        })
+
+    def query(self, name, what="nvals", **kw):
+        return self.call("query", {"name": name, "what": what, **kw})
+
+    def free(self, name):
+        return self.call("free", {"name": name})
+
+    def metrics(self) -> dict:
+        return self.call("metrics")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def close(self, *, close_session: bool = True) -> None:
+        try:
+            if close_session:
+                self.call("close_session", {"session": self.session})
+        finally:
+            try:
+                self._rfile.close()
+            finally:
+                self._sock.close()

@@ -1,0 +1,72 @@
+"""Typed errors of the multi-tenant graph service.
+
+The service extends the paper's two-class error model (section V) one layer
+up: every way a *request* can fail — rejected at admission, expired before
+execution, aimed at a missing session or object, malformed — is a distinct
+exception class carrying a ``GrB_Info``-style code, exactly as
+``OutOfMemory`` and friends do for operations.  The TCP front-end maps the
+class name and ``info`` code onto the wire, so remote clients see the same
+taxonomy as in-process ones.
+"""
+
+from __future__ import annotations
+
+from ..info import GraphBLASError, Info
+
+__all__ = [
+    "ServiceError",
+    "QueueFull",
+    "DeadlineExceeded",
+    "SessionNotFound",
+    "ObjectNotFound",
+    "BadRequest",
+    "ServiceClosed",
+]
+
+
+class ServiceError(GraphBLASError):
+    """Base class for service-layer failures."""
+
+    info = Info.PANIC
+
+
+class QueueFull(ServiceError):
+    """Admission rejected the request: the session's bounded queue is full.
+
+    The backpressure signal — typed, immediate, and never silent, in the
+    spirit of ``GrB_INSUFFICIENT_SPACE``: the caller's request was left
+    untouched and may be retried.
+    """
+
+    info = Info.INSUFFICIENT_SPACE
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before a worker could execute it."""
+
+    info = Info.PANIC
+
+
+class SessionNotFound(ServiceError):
+    """The request names a session that was never opened (or was closed)."""
+
+    info = Info.INVALID_VALUE
+
+
+class ObjectNotFound(ServiceError):
+    """The request references a graph/vector name the session does not hold."""
+
+    info = Info.INVALID_VALUE
+
+
+class BadRequest(ServiceError):
+    """The request payload is structurally invalid (unknown kind, missing
+    fields, write to a read-only shared name, unsupported dtype, ...)."""
+
+    info = Info.INVALID_VALUE
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining or stopped; no new work is admitted."""
+
+    info = Info.PANIC

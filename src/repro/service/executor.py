@@ -1,0 +1,486 @@
+"""Batch executor: drains one session's queue through the planner.
+
+A worker hands this module a session plus the batch of requests it popped.
+Execution happens inside the session's activated context, in program
+order.  Each request **issues** — performs its eager parts (builds,
+uploads, edge updates, algorithm calls), *enqueues* its deferred GraphBLAS
+ops, and computes its result dict.  Reads (``nvals``, ``extract_tuples``,
+serialization, program fetches) are the paper's sequence points: they
+force completion of exactly the pending ops they touch, so every response
+reflects the session state at that request's own point in program order —
+never a later request's mutations.  Ops nobody read stay deferred; one
+batch-final ``wait()`` drains them all, and the drain-time planner sees
+the union across request boundaries and applies dead-op elimination,
+fusion, CSE, and parallel scheduling to it.
+
+With batching disabled (``ServiceConfig.batching=False``) the executor
+waits after each request instead — no cross-request optimization; the
+load generator measures the difference.
+
+Error attribution: an issue-phase error fails only its request.  Futures
+are fulfilled after the batch drain; an error surfacing there poisons the
+failed op's outputs and the un-run tail (section V semantics), so it is
+reported to every not-yet-failed request of the batch — the same
+over-approximation ``GrB_wait`` itself makes when a sequence fails.
+"""
+
+from __future__ import annotations
+
+import base64
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from .. import context, validation
+from ..containers.matrix import Matrix
+from ..containers.scalar import Scalar
+from ..containers.vector import Vector
+from ..fuzz.executor import build_decl, dispatch_call
+from ..fuzz.program import _CANONICAL, Call, Decl
+from ..info import GraphBLASError, NoValue
+from ..io.serialize import deserialize, serialize
+from ..obs import metrics, spans
+from ..types.grb_type import lookup_type
+from .errors import BadRequest, DeadlineExceeded, ObjectNotFound
+from .session import SHARED_PREFIX, Session
+
+__all__ = ["run_batch", "ALGORITHMS", "jsonable"]
+
+
+# --------------------------------------------------------------------------
+# Algorithm registry
+# --------------------------------------------------------------------------
+
+def _algorithms() -> dict[str, Callable]:
+    from .. import algorithms as alg
+
+    return {
+        "pagerank": alg.pagerank,
+        "bfs_levels": alg.bfs_levels,
+        "bfs_parents": alg.bfs_parents,
+        "sssp": alg.sssp,
+        "triangle_count": alg.triangle_count,
+        "connected_components": alg.connected_components,
+        "betweenness_centrality": alg.betweenness_centrality,
+        "core_numbers": alg.core_numbers,
+        "greedy_coloring": alg.greedy_coloring,
+    }
+
+
+ALGORITHMS = _algorithms()
+
+
+def jsonable(v: Any) -> Any:
+    """Coerce numpy scalars/arrays and containers into JSON-able values."""
+    item = getattr(v, "item", None)
+    if callable(item) and np.ndim(v) == 0:
+        return v.item()
+    if isinstance(v, np.ndarray):
+        return [jsonable(x) for x in v.tolist()]
+    if isinstance(v, (list, tuple)):
+        return [jsonable(x) for x in v]
+    if isinstance(v, dict):
+        return {str(k): jsonable(x) for k, x in v.items()}
+    if isinstance(v, frozenset):
+        return sorted(v)
+    return v
+
+
+def _contents(obj) -> dict:
+    """JSON-able content of a collection (the ``fetch`` payload)."""
+    if isinstance(obj, Matrix):
+        rows, cols, vals = obj.extract_tuples()
+        return {
+            "kind": "matrix",
+            "shape": [obj.nrows, obj.ncols],
+            "rows": jsonable(rows),
+            "cols": jsonable(cols),
+            "values": jsonable(vals),
+        }
+    if isinstance(obj, Vector):
+        idx, vals = obj.extract_tuples()
+        return {
+            "kind": "vector",
+            "shape": [obj.size],
+            "indices": jsonable(idx),
+            "values": jsonable(vals),
+        }
+    if isinstance(obj, Scalar):
+        if obj.nvals() == 0:
+            return {"kind": "scalar", "value": None}
+        return {"kind": "scalar", "value": jsonable(obj.extract_value())}
+    raise BadRequest(f"cannot fetch {type(obj).__name__}")
+
+
+# --------------------------------------------------------------------------
+# Name resolution
+# --------------------------------------------------------------------------
+
+def _namespace(service, session: Session) -> tuple[dict, dict]:
+    """Effective (objects, dtype-tokens) visible to *session*.
+
+    Shared objects appear under their ``shared:`` prefix and are read-only
+    for ordinary sessions; the shared session sees its own names bare.
+    """
+    ns: dict[str, Any] = {}
+    dt: dict[str, str] = {}
+    shared = service.shared_session
+    if session is not shared:
+        for k, v in shared.objects.items():
+            ns[SHARED_PREFIX + k] = v
+            dt[SHARED_PREFIX + k] = shared.dtypes[k]
+    ns.update(session.objects)
+    dt.update(session.dtypes)
+    return ns, dt
+
+
+def _get(session: Session, ns: dict, name: str):
+    try:
+        return ns[name]
+    except KeyError:
+        raise ObjectNotFound(
+            f"session {session.name!r} has no object named {name!r}"
+        ) from None
+
+
+def _check_writable(session: Session, name: str) -> None:
+    if name.startswith(SHARED_PREFIX) and not session.is_shared:
+        raise BadRequest(
+            f"{name!r} is read-only here: shared objects are mutated through "
+            f"the {SHARED_PREFIX.rstrip(':')!r} session"
+        )
+
+
+def _store(session: Session, name: str, obj, dtype_token: str | None = None) -> None:
+    _check_writable(session, name)
+    if dtype_token is None:
+        dtype_token = obj.type.name
+    session.objects[name] = obj
+    session.dtypes[name] = dtype_token
+
+
+# --------------------------------------------------------------------------
+# Per-kind issue handlers — each returns the request's result dict,
+# computed at issue time so responses reflect the request's own point in
+# the session's program order (a later request of the same batch must not
+# leak into an earlier response).  Reads (nvals / extract / serialize) are
+# the sequence points of the paper: they force completion of exactly the
+# pending ops they touch, and everything a batch leaves un-read drains in
+# one planner pass at the end.
+# --------------------------------------------------------------------------
+
+def _need(payload: dict, key: str):
+    try:
+        return payload[key]
+    except KeyError:
+        raise BadRequest(f"request payload is missing {key!r}") from None
+
+
+def _decl_from_payload(d: dict) -> Decl:
+    try:
+        return Decl.from_dict(
+            {"entries": [], **{k: d[k] for k in d if k in
+                               ("name", "kind", "dtype", "shape", "entries")}}
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequest(f"malformed declaration: {exc}") from None
+
+
+def _issue_define(service, session: Session, payload: dict):
+    decl = _decl_from_payload(payload)
+    _check_writable(session, decl.name)
+    try:
+        obj = build_decl(decl, session.env)
+    except GraphBLASError:
+        raise
+    except Exception as exc:
+        raise BadRequest(f"cannot build {decl.name!r}: {exc}") from None
+    _store(session, decl.name, obj, decl.dtype)
+    return {"name": decl.name, "nvals": obj.nvals()}
+
+def _issue_upload(service, session: Session, payload: dict):
+    name = _need(payload, "name")
+    blob = payload.get("blob")
+    if blob is None and "blob_b64" in payload:
+        blob = base64.b64decode(payload["blob_b64"])
+    if not isinstance(blob, (bytes, bytearray)):
+        raise BadRequest("upload needs a 'blob' (bytes) or 'blob_b64' field")
+    obj = deserialize(bytes(blob))
+    _store(session, name, obj)
+    kind = type(obj).__name__.lower()
+    return {"name": name, "kind": kind, "nvals": obj.nvals()}
+
+def _issue_download(service, session: Session, payload: dict):
+    name = _need(payload, "name")
+    ns, _ = _namespace(service, session)
+    obj = _get(session, ns, name)
+    return {"name": name, "blob": serialize(obj)}
+
+def _issue_program(service, session: Session, payload: dict):
+    raw_calls = _need(payload, "calls")
+    declares = payload.get("declare", [])
+    fetch = payload.get("fetch", [])
+    for d in declares:
+        decl = _decl_from_payload(d)
+        _check_writable(session, decl.name)
+        _store(session, decl.name, build_decl(decl, session.env), decl.dtype)
+    ns, dtypes = _namespace(service, session)
+    calls = []
+    for c in raw_calls:
+        try:
+            call = Call.from_dict(c) if isinstance(c, dict) else c
+        except (KeyError, TypeError) as exc:
+            raise BadRequest(f"malformed call: {exc}") from None
+        if call.kind not in _CANONICAL:
+            raise BadRequest(f"unknown program op {call.kind!r}")
+        if call.out is not None:
+            _check_writable(session, call.out)
+            if call.out not in ns:
+                raise ObjectNotFound(
+                    f"program output {call.out!r} is not declared"
+                )
+        calls.append(call)
+    scalars: list[Any] = []
+    for call in calls:
+        try:
+            dispatch_call(call, ns, session.env, scalars, dtypes)
+        except KeyError as exc:
+            raise ObjectNotFound(f"program references unknown name {exc}") from None
+
+    out: dict[str, Any] = {"scalars": jsonable(scalars)}
+    if fetch:
+        out["fetched"] = {
+            name: _contents(_get(session, ns, name)) for name in fetch
+        }
+    return out
+
+def _issue_algorithm(service, session: Session, payload: dict):
+    algo = _need(payload, "algo")
+    fn = ALGORITHMS.get(algo)
+    if fn is None:
+        raise BadRequest(
+            f"unknown algorithm {algo!r} (available: {sorted(ALGORITHMS)})"
+        )
+    ns, _ = _namespace(service, session)
+    A = _get(session, ns, _need(payload, "graph"))
+    args = dict(payload.get("args", {}))
+    store_as = payload.get("store_as")
+    result = fn(A, **args)
+    if isinstance(result, np.ndarray) and result.ndim == 1:
+        # dense-array results (pagerank, connected_components) store as a
+        # dense Vector so later programs can consume them by name
+        dom = lookup_type("FP64" if result.dtype.kind == "f" else "INT64")
+        result = Vector.from_coo(
+            dom, len(result), np.arange(len(result)), result.astype(dom.np_dtype)
+        )
+    if isinstance(result, (Matrix, Vector)):
+        if store_as:
+            _check_writable(session, store_as)
+            _store(session, store_as, result)
+            return {"stored": store_as, "nvals": result.nvals()}
+        return {"result": _contents(result)}
+    if store_as:
+        raise BadRequest(f"{algo!r} returns a plain value; cannot store_as")
+    return {"result": jsonable(result)}
+
+def _issue_update(service, session: Session, payload: dict):
+    name = _need(payload, "graph")
+    _check_writable(session, name)
+    ns, _ = _namespace(service, session)
+    obj = _get(session, ns, name)
+    sets = payload.get("set", [])
+    removes = payload.get("remove", [])
+    env = session.env
+    token = session.dtypes.get(name, obj.type.name)
+    if isinstance(obj, Matrix):
+        for i, j, v in sets:
+            obj.set_element(int(i), int(j), env.value(token, v))
+        for entry in removes:
+            i, j = entry[0], entry[1]
+            try:
+                obj.remove_element(int(i), int(j))
+            except NoValue:  # removing an absent edge is a no-op, not an error
+                pass
+    elif isinstance(obj, Vector):
+        for i, v in sets:
+            obj.set_element(int(i), env.value(token, v))
+        for entry in removes:
+            i = entry[0] if isinstance(entry, (list, tuple)) else entry
+            try:
+                obj.remove_element(int(i))
+            except NoValue:
+                pass
+    else:
+        raise BadRequest(f"cannot stream updates into {type(obj).__name__}")
+    return {"name": name, "nvals": obj.nvals()}
+
+def _issue_query(service, session: Session, payload: dict):
+    name = _need(payload, "name")
+    what = payload.get("what", "nvals")
+    ns, _ = _namespace(service, session)
+    obj = _get(session, ns, name)
+    if what == "nvals":
+        return {"nvals": obj.nvals()}
+    if what == "tuples":
+        return _contents(obj)
+    if what == "element":
+        try:
+            if isinstance(obj, Matrix):
+                v = obj.extract_element(
+                    int(_need(payload, "row")), int(_need(payload, "col"))
+                )
+            elif isinstance(obj, Vector):
+                v = obj.extract_element(int(_need(payload, "index")))
+            else:
+                raise BadRequest("element query needs a matrix or vector")
+        except NoValue:
+            return {"value": None, "stored": False}
+        return {"value": jsonable(v), "stored": True}
+    raise BadRequest(f"unknown query {what!r} (nvals | tuples | element)")
+
+def _issue_free(service, session: Session, payload: dict):
+    name = _need(payload, "name")
+    _check_writable(session, name)
+    if name not in session.objects:
+        raise ObjectNotFound(f"session {session.name!r} has no {name!r}")
+    obj = session.objects.pop(name)
+    session.dtypes.pop(name, None)
+    obj.free()
+    return {"freed": name}
+
+
+_ISSUE = {
+    "define": _issue_define,
+    "upload": _issue_upload,
+    "download": _issue_download,
+    "program": _issue_program,
+    "algorithm": _issue_algorithm,
+    "update": _issue_update,
+    "query": _issue_query,
+    "free": _issue_free,
+}
+
+
+# --------------------------------------------------------------------------
+# The batch driver
+# --------------------------------------------------------------------------
+
+def _fail(service, req, exc: BaseException) -> None:
+    if req.future.done():  # pragma: no cover - defensive
+        return
+    reg = metrics.registry
+    reg.inc("service.failed")
+    reg.inc(f"service.failed.{type(exc).__name__}")
+    reg.observe(
+        "service.latency_us", (time.monotonic() - req.t_submit) * 1e6
+    )
+    req.future.set_exception(exc)
+
+
+def _fulfil(service, req, result: dict) -> None:
+    reg = metrics.registry
+    reg.inc("service.completed")
+    reg.observe(
+        "service.latency_us", (time.monotonic() - req.t_submit) * 1e6
+    )
+    req.future.set_result(result)
+
+
+def run_batch(service, session: Session, batch: list) -> None:
+    """Execute *batch* (requests of one session) on the calling worker."""
+    reg = metrics.registry
+    sink = spans.current()
+    reg.inc("service.batches")
+    reg.observe("service.batch_size", len(batch))
+    lock = (
+        service.shared_lock.write()
+        if session.is_shared
+        else service.shared_lock.read()
+    )
+    batching = service.config.batching
+    with context.activate(session.context), lock:
+        bsp = (
+            sink.open("batch", "batch", session=session.name, requests=len(batch))
+            if sink is not None
+            else None
+        )
+        issued: list[tuple] = []
+        try:
+            for req in batch:
+                req.t_start = time.monotonic()
+                reg.observe(
+                    "service.queue_wait_us", (req.t_start - req.t_submit) * 1e6
+                )
+                if req.expired(req.t_start):
+                    reg.inc("service.deadline_exceeded")
+                    session.failed += 1
+                    _fail(service, req, DeadlineExceeded(
+                        f"request {req.rid} ({req.kind}) expired in queue"
+                    ))
+                    continue
+                rsp = (
+                    sink.open(
+                        f"request:{req.kind}", "request",
+                        session=session.name, rid=req.rid,
+                    )
+                    if sink is not None
+                    else None
+                )
+                try:
+                    result = _ISSUE[req.kind](service, session, req.payload)
+                    if not batching:
+                        context.wait()
+                    issued.append((req, result))
+                except GraphBLASError as exc:
+                    session.failed += 1
+                    _fail(service, req, exc)
+                    if rsp is not None:
+                        rsp.attrs["error"] = type(exc).__name__
+                except Exception as exc:
+                    session.failed += 1
+                    _fail(service, req, BadRequest(
+                        f"request {req.rid} ({req.kind}) failed: {exc!r}"
+                    ))
+                    if rsp is not None:
+                        rsp.attrs["error"] = type(exc).__name__
+                finally:
+                    # the span covers the issue phase; deferred work appears
+                    # under the batch's drain span, not per request
+                    if rsp is not None:
+                        sink.close(rsp)
+
+            drain_error: GraphBLASError | None = None
+            if batching:
+                try:
+                    context.wait()
+                except GraphBLASError as exc:
+                    drain_error = exc
+
+            # futures are fulfilled only after the drain: an error surfacing
+            # at the batch wait() poisons the failed op's outputs and the
+            # un-run tail (section V), so it fails every request whose
+            # deferred work may be involved — the same over-approximation
+            # GrB_wait itself makes
+            for req, result in issued:
+                if drain_error is not None:
+                    session.failed += 1
+                    _fail(service, req, drain_error)
+                    continue
+                session.completed += 1
+                _fulfil(service, req, result)
+        finally:
+            # a batch must never leave deferred tenant work behind on this
+            # worker thread, whatever went wrong above
+            try:
+                context.wait()
+            except GraphBLASError:
+                pass
+            if bsp is not None:
+                sink.close(bsp)
+
+
+def validate_session(session: Session) -> None:
+    """Structural-invariant check of every object the session holds."""
+    with context.activate(session.context):
+        validation.check_all(session.objects.values())

@@ -1,0 +1,418 @@
+"""``python -m repro.service.loadgen`` — deterministic multi-tenant load.
+
+Drives N concurrent clients against the service, each with a seeded
+request stream over a private graph plus a read-only shared graph, then
+**replays every stream serially** (one worker, no batching, pipeline
+depth 1) and diffs the responses: a concurrency bug anywhere in the
+sessions / admission / batching stack shows up as a divergence, exactly
+like the conformance fuzzer's reference diffing.
+
+Two transports: direct in-process (default; also measures planner
+batching on vs off and writes a ``repro-bench/1`` baseline) and
+``--connect HOST:PORT`` against a running ``python -m repro.service``
+(CI's service-smoke job).  Exit status is non-zero on any request error
+or divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from collections import deque
+
+from .. import obs
+from ..obs import metrics
+from ..obs.export import BenchRecorder
+from ..obs.metrics import percentile
+from .errors import QueueFull
+from .service import Service, ServiceConfig
+from .session import SHARED_PREFIX, SHARED_SESSION
+
+__all__ = ["build_streams", "run_direct", "run_tcp", "main"]
+
+_SEMIRING = "GrB_PLUS_TIMES_SEMIRING_FP64"
+_BINOP = "GrB_PLUS_FP64"
+_GRAPH_N = 24          # private graph dimension
+_SHARED_N = 32         # shared graph dimension
+
+
+# --------------------------------------------------------------------------
+# Workload construction (pure data — shared by live run and serial replay)
+# --------------------------------------------------------------------------
+
+def _random_entries(rng: random.Random, n: int, density: float):
+    cells = [(i, j) for i in range(n) for j in range(n) if i != j]
+    picked = rng.sample(cells, max(1, int(len(cells) * density)))
+    return [[i, j, round(rng.uniform(0.5, 2.0), 3)] for i, j in picked]
+
+
+def shared_graph_payload(seed: int) -> dict:
+    """The one shared, read-only graph every client may reference."""
+    rng = random.Random(seed ^ 0x5EED)
+    return {
+        "name": "G",
+        "kind": "matrix",
+        "dtype": "FP64",
+        "shape": [_SHARED_N, _SHARED_N],
+        "entries": _random_entries(rng, _SHARED_N, 0.12),
+    }
+
+
+def _op_program(rng: random.Random, graph: str) -> tuple[str, dict]:
+    # two products off the same input + an eWiseAdd combining them: the
+    # planner can CSE the duplicated A*A across requests of one batch
+    return ("program", {
+        "declare": [
+            {"name": "t0", "kind": "matrix", "dtype": "FP64",
+             "shape": [_GRAPH_N, _GRAPH_N]},
+            {"name": "t1", "kind": "matrix", "dtype": "FP64",
+             "shape": [_GRAPH_N, _GRAPH_N]},
+        ],
+        "calls": [
+            {"kind": "mxm", "out": "t0",
+             "args": {"a": graph, "b": graph, "semiring": _SEMIRING}},
+            {"kind": "ewise_add", "out": "t1",
+             "args": {"a": "t0", "b": graph, "binop": _BINOP}},
+        ],
+        "fetch": ["t1"] if rng.random() < 0.5 else [],
+    })
+
+
+def _op_shared_program(rng: random.Random) -> tuple[str, dict]:
+    g = SHARED_PREFIX + "G"
+    return ("program", {
+        "declare": [
+            {"name": "s0", "kind": "matrix", "dtype": "FP64",
+             "shape": [_SHARED_N, _SHARED_N]},
+        ],
+        "calls": [
+            {"kind": "mxm", "out": "s0",
+             "args": {"a": g, "b": g, "semiring": _SEMIRING}},
+        ],
+        "fetch": [],
+    })
+
+
+def _op_algorithm(rng: random.Random, graph: str, n: int) -> tuple[str, dict]:
+    algo = rng.choice(("bfs_levels", "sssp", "pagerank", "triangle_count"))
+    payload: dict = {"algo": algo, "graph": graph, "args": {}}
+    if algo in ("bfs_levels", "sssp"):
+        payload["args"]["source"] = rng.randrange(n)
+    return ("algorithm", payload)
+
+
+def _op_update(rng: random.Random, graph: str, n: int) -> tuple[str, dict]:
+    sets = [[rng.randrange(n), rng.randrange(n), round(rng.uniform(0.5, 2.0), 3)]
+            for _ in range(rng.randrange(1, 4))]
+    removes = [[rng.randrange(n), rng.randrange(n)]
+               for _ in range(rng.randrange(0, 3))]
+    return ("update", {"graph": graph, "set": sets, "remove": removes})
+
+
+def _op_query(rng: random.Random, graph: str) -> tuple[str, dict]:
+    what = rng.choice(("nvals", "tuples"))
+    return ("query", {"name": graph, "what": what})
+
+
+def build_streams(seed: int, clients: int, requests: int) -> list[list]:
+    """Per-client deterministic ``(kind, payload)`` streams.
+
+    The first op of every stream defines the client's private graph; the
+    rest is a seeded mix of programs, algorithms, streaming updates, and
+    queries over the private graph and the read-only shared graph.
+    """
+    streams = []
+    per_client = max(1, requests // clients)
+    for i in range(clients):
+        rng = random.Random(seed * 7919 + i)
+        ops: list = [("define", {
+            "name": "g", "kind": "matrix", "dtype": "FP64",
+            "shape": [_GRAPH_N, _GRAPH_N],
+            "entries": _random_entries(rng, _GRAPH_N, 0.10),
+        })]
+        for _ in range(per_client - 1):
+            r = rng.random()
+            if r < 0.35:
+                ops.append(_op_program(rng, "g"))
+            elif r < 0.45:
+                ops.append(_op_shared_program(rng))
+            elif r < 0.65:
+                if rng.random() < 0.7:
+                    ops.append(_op_algorithm(rng, "g", _GRAPH_N))
+                else:
+                    ops.append(_op_algorithm(
+                        rng, SHARED_PREFIX + "G", _SHARED_N
+                    ))
+            elif r < 0.85:
+                ops.append(_op_update(rng, "g", _GRAPH_N))
+            else:
+                ops.append(_op_query(rng, "g"))
+        streams.append(ops)
+    return streams
+
+
+# --------------------------------------------------------------------------
+# Runners
+# --------------------------------------------------------------------------
+
+def _setup_shared(svc: Service, seed: int) -> None:
+    svc.request(SHARED_SESSION, "define", shared_graph_payload(seed))
+
+
+def run_direct(
+    streams: list[list],
+    *,
+    seed: int,
+    workers: int | None = None,
+    queue_capacity: int = 64,
+    batching: bool = True,
+    pipeline: int = 8,
+) -> dict:
+    """Run the streams in-process; returns results, errors, and stats."""
+    svc = Service(ServiceConfig(
+        workers=workers, queue_capacity=queue_capacity, batching=batching,
+    ))
+    before = metrics.registry.snapshot()
+    try:
+        _setup_shared(svc, seed)
+        results: list[list] = [[] for _ in streams]
+        errors: list[tuple] = []
+        lock = threading.Lock()
+
+        def client_fn(ci: int) -> None:
+            sess = svc.open_session(f"lg{ci}")
+            inflight: deque = deque()
+
+            def settle(n: int) -> None:
+                while len(inflight) > n:
+                    kind, fut = inflight.popleft()
+                    try:
+                        results[ci].append(fut.result(timeout=120))
+                    except Exception as exc:
+                        results[ci].append({"__error__": type(exc).__name__})
+                        with lock:
+                            errors.append((ci, kind, exc))
+
+            for kind, payload in streams[ci]:
+                while True:
+                    try:
+                        fut = svc.submit(sess, kind, payload)
+                        break
+                    except QueueFull:
+                        settle(0)       # backpressure: drain, then retry
+                        time.sleep(0.001)
+                inflight.append((kind, fut))
+                settle(pipeline)
+            settle(0)
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=client_fn, args=(i,), name=f"lg-client-{i}")
+            for i in range(len(streams))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        stats = svc.stats()
+    finally:
+        svc.shutdown()
+    delta = metrics.MetricsRegistry.delta(before, metrics.registry.snapshot())
+    lat = delta["histograms"].get("service.latency_us")
+    return {
+        "results": results,
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "stats": stats,
+        "counters": delta["counters"],
+        "latency_p50_us": percentile(lat, 0.50) if lat else None,
+        "latency_p99_us": percentile(lat, 0.99) if lat else None,
+    }
+
+
+def run_tcp(streams: list[list], *, seed: int, host: str, port: int) -> dict:
+    """Run the streams against a live TCP server (one connection each)."""
+    from .client import TCPClient
+
+    shared = TCPClient(host, port, session=SHARED_SESSION)
+    try:
+        shared.call("define", shared_graph_payload(seed))
+    finally:
+        shared.close(close_session=False)
+
+    results: list[list] = [[] for _ in streams]
+    errors: list[tuple] = []
+    lock = threading.Lock()
+
+    def client_fn(ci: int) -> None:
+        cli = TCPClient(host, port, session=f"lg{ci}")
+        try:
+            for kind, payload in streams[ci]:
+                try:
+                    results[ci].append(cli.call(kind, payload))
+                except Exception as exc:
+                    results[ci].append({"__error__": type(exc).__name__})
+                    with lock:
+                        errors.append((ci, kind, exc))
+        finally:
+            cli.close(close_session=False)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_fn, args=(i,), name=f"lg-client-{i}")
+        for i in range(len(streams))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+
+    probe = TCPClient(host, port)
+    try:
+        stats = probe.stats()
+    finally:
+        probe.close()
+    return {"results": results, "errors": errors, "elapsed_s": elapsed,
+            "stats": stats}
+
+
+def diff_results(live: list[list], ref: list[list]) -> list[tuple]:
+    """Compare live responses with the serial replay; list divergences."""
+    out = []
+    for ci, (a, b) in enumerate(zip(live, ref)):
+        if len(a) != len(b):
+            out.append((ci, -1, f"response count {len(a)} != {len(b)}"))
+            continue
+        for oi, (ra, rb) in enumerate(zip(a, b)):
+            if ra != rb:
+                out.append((ci, oi, f"{ra!r} != {rb!r}"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="deterministic load + serial-replay divergence check",
+    )
+    p.add_argument("--requests", type=int, default=200,
+                   help="total requests across all clients")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--queue-capacity", type=int, default=64)
+    p.add_argument("--pipeline", type=int, default=8,
+                   help="per-client in-flight request window (direct mode)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timed repetitions per bench entry (direct mode)")
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="drive a running TCP server instead of in-process")
+    p.add_argument("--bench-out", default=None,
+                   help="write a repro-bench/1 JSON baseline here")
+    p.add_argument("--trace-out", default=None,
+                   help="write a Chrome trace of one serving window here")
+    p.add_argument("--no-replay", action="store_true",
+                   help="skip the serial-replay divergence check")
+    p.add_argument("--stats-out", default=None,
+                   help="write the final service stats JSON here")
+    args = p.parse_args(argv)
+
+    streams = build_streams(args.seed, args.clients, args.requests)
+    total = sum(len(s) for s in streams)
+    print(f"loadgen: {len(streams)} clients x {len(streams[0])} ops "
+          f"= {total} requests (seed {args.seed})", flush=True)
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        live = run_tcp(streams, seed=args.seed, host=host or "127.0.0.1",
+                       port=int(port))
+    else:
+        live = run_direct(
+            streams, seed=args.seed, workers=args.workers,
+            queue_capacity=args.queue_capacity, pipeline=args.pipeline,
+        )
+
+    st = live["stats"]
+    print(f"  elapsed {live['elapsed_s']:.3f}s  "
+          f"admitted {st['admitted']}  completed {st['completed']}  "
+          f"failed {st['failed']}  rejected {st['rejected_queue_full']}  "
+          f"p50 {st['latency_p50_us']}us  p99 {st['latency_p99_us']}us",
+          flush=True)
+    for ci, kind, exc in live["errors"][:10]:
+        print(f"  ERROR client {ci} {kind}: {type(exc).__name__}: {exc}")
+
+    if args.stats_out:
+        doc = {"stats": st, "errors": len(live["errors"])}
+        with open(args.stats_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"stats -> {args.stats_out}", flush=True)
+
+    divergences: list = []
+    if not args.no_replay:
+        print("replaying serially (1 worker, no batching)...", flush=True)
+        ref = run_direct(streams, seed=args.seed, workers=1,
+                         queue_capacity=max(args.queue_capacity, 4),
+                         batching=False, pipeline=1)
+        divergences = diff_results(live["results"], ref["results"])
+        for ci, oi, what in divergences[:10]:
+            print(f"  DIVERGENCE client {ci} op {oi}: {what}")
+        print(f"  {len(divergences)} divergences", flush=True)
+
+    if args.bench_out and not args.connect:
+        rec = BenchRecorder(meta={
+            "workload": "service.loadgen",
+            "seed": args.seed,
+            "clients": args.clients,
+            "requests": total,
+        })
+        for batching in (True, False):
+            times, extra = [], {}
+            for _ in range(args.repeat):
+                run = run_direct(
+                    streams, seed=args.seed, workers=args.workers,
+                    queue_capacity=args.queue_capacity,
+                    batching=batching, pipeline=args.pipeline,
+                )
+                times.append(run["elapsed_s"])
+                extra = {
+                    "qps": total / run["elapsed_s"],
+                    "batches": run["counters"].get("service.batches", 0),
+                    "mean_batch": (
+                        run["counters"].get("service.batch_size", 0)
+                        / max(1, run["counters"].get("service.batches", 0))
+                    ),
+                    "p50_us": run["latency_p50_us"],
+                    "p99_us": run["latency_p99_us"],
+                    "errors": len(run["errors"]),
+                }
+            rec.record(
+                f"service.loadgen.batching_{'on' if batching else 'off'}",
+                times, **extra,
+            )
+        rec.write(args.bench_out)
+        print(f"bench baseline -> {args.bench_out}", flush=True)
+
+    if args.trace_out and not args.connect:
+        with obs.capture() as cap:
+            run_direct(streams[:2], seed=args.seed, workers=2,
+                       queue_capacity=args.queue_capacity, pipeline=4)
+        cap.export_chrome(args.trace_out)
+        print(f"chrome trace -> {args.trace_out} "
+              f"({len(cap.spans)} spans)", flush=True)
+
+    ok = not live["errors"] and not divergences
+    print("loadgen: OK" if ok else "loadgen: FAILED", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""The request model: what clients may ask the service to do.
+
+A request is plain data — a *kind* plus a JSON-able payload — so the same
+model serves the in-process :class:`~repro.service.client.Client` and the
+JSON-lines TCP front-end without translation.  Programs reuse the fuzzer's
+declarative :class:`~repro.fuzz.program.Call` representation verbatim: a
+client-submitted program is exactly a fuzz program body executed against
+the session's named objects, which keeps the served operation surface and
+the conformance-tested surface one and the same.
+
+Data kinds (queued per session, executed by the worker pool):
+
+=============  ==============================================================
+``define``     create a named Matrix/Vector from a declarative payload
+               (``kind``/``dtype``/``shape``/``entries``)
+``upload``     create a named object from a serialized blob (``blob``)
+``download``   serialize a named object (result carries ``blob`` bytes)
+``program``    run a sequence of Table II calls (``calls``; optional
+               ``declare`` for new outputs, ``fetch`` to return contents)
+``algorithm``  run a registered graph algorithm (``algo``, ``graph``,
+               optional ``args`` and ``store_as``)
+``update``     streaming graph mutation: ``set`` / ``remove`` edge lists
+``query``      read ``nvals`` / ``tuples`` / ``element`` of a named object
+``free``       drop a named object
+=============  ==============================================================
+
+Admin kinds (``open_session``, ``close_session``, ``metrics``, ``stats``,
+``validate``, ``ping``) are executed synchronously by the service, outside
+the admission pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import BadRequest
+
+__all__ = ["Request", "DATA_KINDS", "ADMIN_KINDS", "new_request"]
+
+DATA_KINDS = frozenset(
+    ("define", "upload", "download", "program", "algorithm", "update",
+     "query", "free")
+)
+ADMIN_KINDS = frozenset(
+    ("open_session", "close_session", "metrics", "stats", "validate", "ping")
+)
+
+_ids = itertools.count(1)
+_ids_lock = threading.Lock()
+
+
+@dataclass
+class Request:
+    """One admitted unit of work, tracked from submission to completion."""
+
+    rid: int
+    session: str
+    kind: str
+    payload: dict
+    #: absolute ``time.monotonic`` deadline, or None
+    deadline: float | None
+    future: Future = field(default_factory=Future)
+    #: submission instant (monotonic) — latency is measured from here
+    t_submit: float = 0.0
+    #: instant a worker began executing the batch containing this request
+    t_start: float = 0.0
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+
+def new_request(
+    session: str,
+    kind: str,
+    payload: dict | None = None,
+    *,
+    timeout: float | None = None,
+) -> Request:
+    """Build a :class:`Request`, validating the kind eagerly.
+
+    *timeout* is a relative per-request deadline in seconds; admission and
+    execution both honour it.
+    """
+    if kind not in DATA_KINDS:
+        raise BadRequest(
+            f"unknown request kind {kind!r} (data kinds: {sorted(DATA_KINDS)})"
+        )
+    payload = dict(payload or {})
+    now = time.monotonic()
+    with _ids_lock:
+        rid = next(_ids)
+    return Request(
+        rid=rid,
+        session=session,
+        kind=kind,
+        payload=payload,
+        deadline=None if timeout is None else now + timeout,
+        t_submit=now,
+    )

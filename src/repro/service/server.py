@@ -1,0 +1,163 @@
+"""Threaded JSON-lines TCP front-end for the in-process service.
+
+One JSON object per line in each direction.  Requests carry ``id``,
+``kind``, ``session``, optional ``timeout`` and a kind-specific
+``payload`` object; responses echo the ``id`` with either
+``{"ok": true, "result": {...}}`` or ``{"ok": false, "error":
+{"kind": ..., "message": ..., "info": ...}}``.  Binary blobs travel
+base64-encoded under ``<field>_b64`` keys at any nesting depth.
+
+Each connection gets a handler thread; requests on one connection are
+served in order (the admission pipeline still batches across them when
+they target the same session).  The server owns its :class:`Service` only
+when it created it — an externally supplied service is left running on
+``close()``.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from .client import error_from_wire, wire_decode, wire_encode  # noqa: F401
+from .errors import BadRequest, ServiceError, SessionNotFound
+from .request import ADMIN_KINDS, DATA_KINDS
+from .service import Service, ServiceConfig
+
+__all__ = ["Server", "serve"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "Server" = self.server.owner  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            resp = server.handle_line(line)
+            try:
+                self.wfile.write(wire_encode(resp))
+            except (ConnectionError, OSError):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class Server:
+    """JSON-lines TCP server wrapping one :class:`Service`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7411,
+        service: Service | None = None,
+        config: ServiceConfig | None = None,
+    ):
+        self._owns_service = service is None
+        self.service = service or Service(config)
+        self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
+        self._tcp.owner = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._tcp.server_address[:2]
+
+    # -------------------------------------------------------------- protocol
+    def handle_line(self, line: bytes) -> dict:
+        """Dispatch one request line; always returns a response dict."""
+        rid = None
+        try:
+            doc = wire_decode(line)
+            rid = doc.get("id")
+            kind = doc.get("kind")
+            session = doc.get("session")
+            payload = doc.get("payload") or {}
+            if not isinstance(payload, dict):
+                raise BadRequest("'payload' must be a JSON object")
+            if kind in ADMIN_KINDS:
+                result = self._admin(kind, session, payload)
+            elif kind in DATA_KINDS:
+                if not session:
+                    raise BadRequest("data requests need a 'session' field")
+                result = self.service.request(
+                    session, kind, payload, timeout=doc.get("timeout")
+                )
+            else:
+                raise BadRequest(f"unknown request kind {kind!r}")
+            return {"id": rid, "ok": True, "result": result}
+        except Exception as exc:  # every failure becomes a typed wire error
+            info = getattr(exc, "info", None)
+            return {
+                "id": rid,
+                "ok": False,
+                "error": {
+                    "kind": type(exc).__name__,
+                    "message": str(exc),
+                    "info": getattr(info, "name", None),
+                },
+            }
+
+    def _admin(self, kind: str, session: str | None, payload: dict) -> dict:
+        svc = self.service
+        if kind == "open_session":
+            return {"session": svc.open_session(payload.get("session") or session)}
+        if kind == "close_session":
+            name = payload.get("session") or session
+            if not name:
+                raise SessionNotFound("close_session needs a session name")
+            svc.close_session(name)
+            return {"closed": name}
+        if kind == "metrics":
+            return svc.metrics_snapshot()
+        if kind == "stats":
+            return svc.stats()
+        if kind == "validate":
+            return {"objects_checked": svc.validate_all()}
+        if kind == "ping":
+            return {"pong": True}
+        raise BadRequest(f"unhandled admin kind {kind!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "Server":
+        """Serve in a background thread; returns self once listening."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="svc-tcp", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._tcp.serve_forever()
+
+    def close(self, *, drain: bool = True) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._owns_service:
+            self.service.shutdown(drain=drain)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 7411,
+    config: ServiceConfig | None = None,
+) -> Server:
+    """Start a background server; convenience for tests and notebooks."""
+    return Server(host, port, config=config).start()

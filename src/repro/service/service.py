@@ -1,0 +1,348 @@
+"""The in-process multi-tenant graph service.
+
+:class:`Service` fronts the whole stack: sessions own isolated nonblocking
+contexts and named graphs, an admission pipeline applies backpressure per
+session, and a worker pool drains session queues in planner-batched
+sequences.  The design in one paragraph: **a session is a sequence** — the
+paper's unit of deferred execution — promoted to a serving primitive.
+Admission keeps each sequence bounded, scheduling keeps it serial (one
+worker per session at a time, many sessions in parallel), and batching
+hands the planner whole queue-fuls so fusion/CSE/parallel scheduling work
+across independently submitted requests.
+
+Admission control:
+
+* per-session bounded FIFO queue (``queue_capacity``); a full queue
+  rejects immediately with the typed :class:`~repro.service.errors.QueueFull`
+  — callers see backpressure, never silent drops or unbounded growth;
+* per-request deadlines (absolute, checked when a worker picks the
+  request up) fail with :class:`DeadlineExceeded`;
+* a draining/stopped service rejects with :class:`ServiceClosed`.
+
+Observability: counters and power-of-4 histograms land in the process
+:data:`repro.obs.metrics.registry` (enabled for the service's lifetime —
+the "production profile" of the metrics module); :meth:`Service.stats`
+derives queue depths, QPS, and p50/p99 latency from them, and any
+serving window can be span-captured with :func:`repro.obs.capture` for
+Chrome-trace export.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any
+
+from .. import context
+from ..obs import metrics
+from ..obs.metrics import percentile
+from ..parallel import get_num_threads
+from .errors import QueueFull, ServiceClosed, SessionNotFound
+from .executor import run_batch, validate_session
+from .request import Request, new_request
+from .session import SHARED_SESSION, RWLock, Session
+
+__all__ = ["Service", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`Service` instance."""
+
+    #: worker-pool size; None → ``max(2, repro.parallel.get_num_threads())``
+    workers: int | None = None
+    #: bound of each session's admission queue
+    queue_capacity: int = 64
+    #: most requests one batch may drain from a session's queue
+    max_batch: int = 32
+    #: batch each drained queue through the planner (False → per-request wait)
+    batching: bool = True
+    #: default per-request timeout in seconds (None → no deadline)
+    default_timeout: float | None = None
+    #: execution mode of newly opened session contexts
+    session_mode: context.Mode = context.Mode.NONBLOCKING
+    #: start the worker pool in __init__ (tests may start manually)
+    autostart: bool = True
+
+    def worker_count(self) -> int:
+        return self.workers if self.workers else max(2, get_num_threads())
+
+
+class Service:
+    """Multi-tenant graph service: sessions, admission, batched execution."""
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides")
+        self.config = config
+        self._mu = threading.Lock()
+        self._work = threading.Condition(self._mu)
+        self._ready: deque[Session] = deque()
+        self._sessions: dict[str, Session] = {}
+        self._names = itertools.count(1)
+        self._workers: list[threading.Thread] = []
+        self._stopping = False
+        self._stopped = False
+        self._started = False
+        self._t0 = time.monotonic()
+        self.shared_lock = RWLock()
+        # the shared store is itself a session: mutations to shared graphs
+        # queue there and execute under the write half of shared_lock
+        self._shared = Session(
+            SHARED_SESSION,
+            capacity=config.queue_capacity,
+            mode=config.session_mode,
+        )
+        self._sessions[SHARED_SESSION] = self._shared
+        metrics.registry.enable()
+        if config.autostart:
+            self.start()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        with self._mu:
+            if self._started:
+                return
+            self._started = True
+            n = self.config.worker_count()
+            for i in range(n):
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"svc-worker-{i}", daemon=True
+                )
+                self._workers.append(t)
+                t.start()
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (graceful) new admissions are rejected while
+        already-admitted requests run to completion before the workers
+        exit.  With ``drain=False`` still-queued requests fail with
+        :class:`ServiceClosed`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._work:
+            if self._stopped:
+                return
+            self._stopping = True
+            if not self._started:
+                drain = False  # nothing can drain without a worker pool
+            if not drain:
+                for sess in self._sessions.values():
+                    while sess.pending:
+                        req = sess.pending.popleft()
+                        if not req.future.done():
+                            req.future.set_exception(
+                                ServiceClosed("service shut down before execution")
+                            )
+                if not self._started:
+                    self._ready.clear()
+                    for sess in self._sessions.values():
+                        sess.scheduled = False
+            while any(s.pending or s.scheduled for s in self._sessions.values()):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._work.wait(timeout=remaining)
+            self._stopped = True
+            self._work.notify_all()
+        for t in self._workers:
+            t.join(timeout=5.0)
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------- sessions
+    def open_session(
+        self, name: str | None = None, *, mode: context.Mode | None = None
+    ) -> str:
+        """Create a session; returns its name (generated when omitted)."""
+        with self._mu:
+            if self._stopping:
+                raise ServiceClosed("service is shutting down")
+            if name is None:
+                name = f"s{next(self._names)}"
+                while name in self._sessions:
+                    name = f"s{next(self._names)}"
+            elif name in self._sessions:
+                sess = self._sessions[name]
+                if not sess.closed:
+                    return name  # reopening an open session is a no-op
+                raise SessionNotFound(f"session {name!r} was closed")
+            self._sessions[name] = Session(
+                name,
+                capacity=self.config.queue_capacity,
+                mode=mode or self.config.session_mode,
+            )
+            return name
+
+    def close_session(self, name: str) -> None:
+        """Stop admitting to *name*; queued work still completes."""
+        with self._work:
+            sess = self._sessions.get(name)
+            if sess is None or sess.closed:
+                raise SessionNotFound(f"no open session {name!r}")
+            if sess.is_shared:
+                raise SessionNotFound("the shared session cannot be closed")
+            sess.closed = True
+            while sess.pending or sess.scheduled:
+                self._work.wait()
+
+    def _session(self, name: str) -> Session:
+        sess = self._sessions.get(name)
+        if sess is None or sess.closed:
+            raise SessionNotFound(f"no open session {name!r}")
+        return sess
+
+    @property
+    def shared_session(self) -> Session:
+        return self._shared
+
+    # ------------------------------------------------------------ admission
+    def submit(
+        self,
+        session: str,
+        kind: str,
+        payload: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> Future:
+        """Admit one request; returns its :class:`Future`.
+
+        Raises :class:`QueueFull` / :class:`ServiceClosed` /
+        :class:`SessionNotFound` *synchronously* — admission errors never
+        travel through the future.
+        """
+        req = new_request(
+            session, kind, payload,
+            timeout=self.config.default_timeout if timeout is None else timeout,
+        )
+        reg = metrics.registry
+        with self._work:
+            if self._stopping or self._stopped:
+                reg.inc("service.rejected.closed")
+                raise ServiceClosed("service is shutting down")
+            sess = self._session(session)
+            if len(sess.pending) >= sess.capacity:
+                reg.inc("service.rejected.queue_full")
+                raise QueueFull(
+                    f"session {session!r} queue is full "
+                    f"({sess.capacity} pending)"
+                )
+            reg.inc("service.admitted")
+            sess.admitted += 1
+            sess.pending.append(req)
+            if not sess.scheduled:
+                sess.scheduled = True
+                self._ready.append(sess)
+                self._work.notify()
+        return req.future
+
+    def request(
+        self,
+        session: str,
+        kind: str,
+        payload: dict | None = None,
+        *,
+        timeout: float | None = None,
+        wait_timeout: float | None = 60.0,
+    ) -> dict:
+        """Submit and wait: the synchronous convenience the Client uses."""
+        fut = self.submit(session, kind, payload, timeout=timeout)
+        return fut.result(timeout=wait_timeout)
+
+    # -------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._ready and not self._stopped:
+                    self._work.wait()
+                if self._stopped and not self._ready:
+                    return
+                sess = self._ready.popleft()
+                batch = []
+                while sess.pending and len(batch) < self.config.max_batch:
+                    batch.append(sess.pending.popleft())
+            try:
+                if batch:
+                    run_batch(self, sess, batch)
+            except BaseException as exc:  # executor bug: fail, don't kill worker
+                for req in batch:
+                    if not req.future.done():
+                        req.future.set_exception(
+                            ServiceClosed(f"internal executor failure: {exc!r}")
+                        )
+            finally:
+                with self._work:
+                    if sess.pending:
+                        self._ready.append(sess)
+                        self._work.notify()
+                    else:
+                        sess.scheduled = False
+                    # wake shutdown/close_session drain waiters
+                    self._work.notify_all()
+
+    # ---------------------------------------------------------------- intro
+    def stats(self) -> dict:
+        """Service-level view: queues, totals, QPS, latency percentiles."""
+        snap = metrics.registry.snapshot()
+        counters = snap["counters"]
+        lat = snap["histograms"].get("service.latency_us")
+        uptime = time.monotonic() - self._t0
+        completed = counters.get("service.completed", 0)
+        with self._mu:
+            sessions = {
+                name: {
+                    "depth": s.depth(),
+                    "admitted": s.admitted,
+                    "completed": s.completed,
+                    "failed": s.failed,
+                    "objects": len(s.objects),
+                    "closed": s.closed,
+                }
+                for name, s in self._sessions.items()
+            }
+        return {
+            "uptime_s": uptime,
+            "workers": len(self._workers),
+            "batching": self.config.batching,
+            "queue_capacity": self.config.queue_capacity,
+            "sessions": sessions,
+            "queue_depth": sum(s["depth"] for s in sessions.values()),
+            "admitted": counters.get("service.admitted", 0),
+            "completed": completed,
+            "failed": counters.get("service.failed", 0),
+            "rejected_queue_full": counters.get("service.rejected.queue_full", 0),
+            "rejected_closed": counters.get("service.rejected.closed", 0),
+            "deadline_exceeded": counters.get("service.deadline_exceeded", 0),
+            "batches": counters.get("service.batches", 0),
+            "qps": (completed / uptime) if uptime > 0 else 0.0,
+            "latency_p50_us": percentile(lat, 0.50) if lat else None,
+            "latency_p99_us": percentile(lat, 0.99) if lat else None,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Raw counter/histogram snapshot of the process registry."""
+        return metrics.registry.snapshot()
+
+    def validate_all(self) -> int:
+        """``check_all`` every session's objects; returns objects checked."""
+        with self._mu:
+            sessions = [s for s in self._sessions.values()]
+        n = 0
+        for sess in sessions:
+            validate_session(sess)
+            n += len(sess.objects)
+        return n

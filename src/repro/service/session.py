@@ -1,0 +1,139 @@
+"""Sessions: the unit of tenancy, isolation, and serialization.
+
+A :class:`Session` owns
+
+* an isolated :class:`repro.context.Context` (nonblocking by default) — its
+  GraphBLAS sequences never share mode, queue, or pending-error state with
+  any other tenant;
+* a **named-object store**: matrices/vectors/scalars addressed by client
+  chosen names, plus the dtype token of each (the declarative program
+  executor needs it for scalar coercion);
+* a fresh operator :class:`~repro.fuzz.executor.Env` (UDT domains compare
+  by identity, so each session materializes its own);
+* a **bounded request queue** with FIFO order — the admission-control
+  surface.  One worker executes a session's queue at a time, so a session
+  is exactly one of the paper's "sequences" writ large: per-tenant program
+  order with no intra-session races, while distinct sessions run in
+  parallel across the worker pool.
+
+Queue fields (``pending``, ``scheduled``, ``closed``) are guarded by the
+owning service's single admission lock, not by the session itself — the
+service is the only mutator, which keeps lock ordering trivial.
+
+The module also provides the :class:`RWLock` the service uses around the
+shared graph store: session batches that *read* shared objects take it
+shared, mutations routed through the internal shared session take it
+exclusively — the "read-only objects may be shared between sequences" rule
+of section IV, enforced at serving granularity.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from .. import context
+from ..fuzz.executor import Env
+
+__all__ = ["Session", "RWLock", "SHARED_SESSION", "SHARED_PREFIX"]
+
+#: reserved session name whose object store is readable by every tenant
+SHARED_SESSION = "shared"
+#: operand-name prefix that resolves into the shared store
+SHARED_PREFIX = "shared:"
+
+
+class Session:
+    """One tenant: context + named objects + bounded request queue."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        capacity: int,
+        mode: context.Mode = context.Mode.NONBLOCKING,
+    ):
+        self.name = name
+        self.context = context.Context(mode, name=f"session:{name}")
+        self.env = Env()
+        self.objects: dict[str, Any] = {}
+        self.dtypes: dict[str, str] = {}
+        self.capacity = capacity
+        self.pending: deque = deque()
+        self.scheduled = False
+        self.closed = False
+        # monotonically increasing counters (read for stats, written only
+        # by the admission path / executing worker)
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+
+    @property
+    def is_shared(self) -> bool:
+        return self.name == SHARED_SESSION
+
+    def depth(self) -> int:
+        return len(self.pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Session {self.name} objects={len(self.objects)} "
+            f"pending={len(self.pending)}>"
+        )
+
+
+class RWLock:
+    """Classic writer-preference readers/writer lock (no upgrade)."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _Guard:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire, release):
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+
+        def __exit__(self, *exc):
+            self._release()
+
+    def read(self) -> "_Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "_Guard":
+        return self._Guard(self.acquire_write, self.release_write)

@@ -24,6 +24,31 @@ def rng():
     return np.random.default_rng(20170529)  # the paper's publication date
 
 
+#: execution modes the algorithm suites run under (see exec_mode below)
+EXEC_MODES = ("blocking", "nonblocking_planner")
+
+
+@pytest.fixture
+def exec_mode(request, fresh_context):
+    """Execution mode for a test: ``blocking`` (the default context) or
+    ``nonblocking_planner`` (nonblocking mode, full drain-time planner).
+
+    Modules opt in by declaring a module-level autouse fixture that depends
+    on ``exec_mode``; ``pytest_generate_tests`` then runs every test of the
+    module once per mode.  Results must be identical in both — mode is an
+    execution strategy, never a semantic (section III-B).
+    """
+    mode = getattr(request, "param", "blocking")
+    if mode == "nonblocking_planner":
+        context.init(context.Mode.NONBLOCKING)
+    yield mode
+
+
+def pytest_generate_tests(metafunc):
+    if "exec_mode" in metafunc.fixturenames:
+        metafunc.parametrize("exec_mode", list(EXEC_MODES), indirect=True)
+
+
 def random_matrix(
     rng,
     nrows: int,

@@ -28,6 +28,10 @@ from repro.io import (
     to_networkx,
 )
 
+@pytest.fixture(autouse=True)
+def _run_in_both_modes(exec_mode):
+    """Every test here runs under blocking AND nonblocking+planner mode."""
+
 
 @pytest.fixture(scope="module")
 def digraph():
@@ -95,7 +99,8 @@ class TestBCUpdate:
             bc_update(A, [0])
 
     def test_runs_in_nonblocking_mode(self):
-        grb.init(grb.Mode.NONBLOCKING)
+        if grb.current_mode() is not grb.Mode.NONBLOCKING:
+            grb.init(grb.Mode.NONBLOCKING)
         P = path_graph(6, domain=grb.INT32)
         got = betweenness_centrality(P, batch_size=3)
         want = np.array([0.0, 4.0, 6.0, 6.0, 4.0, 0.0])

@@ -23,6 +23,10 @@ from repro.io import (
     to_scipy_csr,
 )
 
+@pytest.fixture(autouse=True)
+def _run_in_both_modes(exec_mode):
+    """Every test here runs under blocking AND nonblocking+planner mode."""
+
 
 class TestTransitiveClosure:
     def test_matches_networkx(self):

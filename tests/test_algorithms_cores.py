@@ -13,6 +13,10 @@ from repro.algorithms import (
 )
 from repro.io import complete_graph, from_networkx, grid_2d
 
+@pytest.fixture(autouse=True)
+def _run_in_both_modes(exec_mode):
+    """Every test here runs under blocking AND nonblocking+planner mode."""
+
 
 @pytest.fixture(scope="module")
 def social():

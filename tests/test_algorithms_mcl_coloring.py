@@ -8,6 +8,10 @@ import repro as grb
 from repro.algorithms import greedy_coloring, markov_clustering
 from repro.io import complete_graph, from_networkx, grid_2d, path_graph
 
+@pytest.fixture(autouse=True)
+def _run_in_both_modes(exec_mode):
+    """Every test here runs under blocking AND nonblocking+planner mode."""
+
 
 def two_cliques_with_bridge(k=6):
     """Two k-cliques joined by a single edge: the canonical MCL test."""

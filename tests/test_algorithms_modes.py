@@ -1,0 +1,117 @@
+"""Mode is an execution strategy, not a semantic: every algorithm must
+produce *bit-identical* results under blocking mode and under nonblocking
+mode with the full drain-time planner (fusion, CSE, dead-op elimination,
+parallel scheduling).  Exact equality — not approx — is the contract the
+serving layer's batched execution relies on."""
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import context
+from repro.algorithms import (
+    betweenness_centrality,
+    bfs_levels,
+    bfs_parents,
+    connected_components,
+    core_numbers,
+    greedy_coloring,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from repro.io import erdos_renyi, grid_2d, rmat
+
+
+def _both_modes(fn):
+    """Run *fn* twice — blocking default context, then an activated
+    nonblocking session context (planner fully on) — returning both."""
+    blocking = fn()
+    with context.activate(context.Context(context.Mode.NONBLOCKING)):
+        nonblocking = fn()
+        context.wait()
+    return blocking, nonblocking
+
+
+def _assert_bits(a, b):
+    if isinstance(a, grb.Matrix):
+        ra, ca, va = a.extract_tuples()
+        rb, cb, vb = b.extract_tuples()
+        assert ra.tobytes() == rb.tobytes()
+        assert ca.tobytes() == cb.tobytes()
+        assert va.tobytes() == vb.tobytes()
+    elif isinstance(a, grb.Vector):
+        ia, va = a.extract_tuples()
+        ib, vb = b.extract_tuples()
+        assert ia.tobytes() == ib.tobytes()
+        assert va.tobytes() == vb.tobytes()
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype and a.tobytes() == b.tobytes()
+    else:
+        assert type(a) is type(b) and a == b
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "er": erdos_renyi(60, 300, seed=5, domain=grb.FP64),
+        "er_int": erdos_renyi(48, 200, seed=9, domain=grb.INT32),
+        "grid": grid_2d(6, 7, domain=grb.INT32),
+        "rmat": rmat(6, 256, seed=17, domain=grb.FP64),
+    }
+
+
+class TestBitIdentityAcrossModes:
+    def test_bfs_levels(self, graphs):
+        a, b = _both_modes(lambda: bfs_levels(graphs["er_int"], 0))
+        _assert_bits(a, b)
+
+    def test_bfs_parents(self, graphs):
+        a, b = _both_modes(lambda: bfs_parents(graphs["er_int"], 3))
+        _assert_bits(a, b)
+
+    def test_sssp(self, graphs):
+        a, b = _both_modes(lambda: sssp(graphs["er"], 1))
+        _assert_bits(a, b)
+
+    def test_pagerank(self, graphs):
+        # float accumulation order must also be stable across modes
+        a, b = _both_modes(lambda: pagerank(graphs["rmat"]))
+        _assert_bits(a, b)
+
+    def test_triangle_count(self, graphs):
+        a, b = _both_modes(lambda: triangle_count(graphs["grid"]))
+        _assert_bits(a, b)
+
+    def test_connected_components(self, graphs):
+        a, b = _both_modes(lambda: connected_components(graphs["grid"]))
+        _assert_bits(a, b)
+
+    def test_betweenness_centrality(self, graphs):
+        a, b = _both_modes(lambda: betweenness_centrality(graphs["er_int"]))
+        _assert_bits(a, b)
+
+    def test_core_numbers(self, graphs):
+        a, b = _both_modes(lambda: core_numbers(graphs["er_int"]))
+        _assert_bits(a, b)
+
+    def test_greedy_coloring(self, graphs):
+        a, b = _both_modes(lambda: greedy_coloring(graphs["grid"]))
+        _assert_bits(a, b)
+
+    def test_matrix_pipeline(self, graphs):
+        # a hand-rolled multi-op pipeline: planner fusion/CSE candidates
+        A = graphs["er"]
+
+        def run():
+            C = grb.Matrix(grb.FP64, A.nrows, A.ncols)
+            D = grb.Matrix(grb.FP64, A.nrows, A.ncols)
+            sr = grb.PLUS_TIMES[grb.FP64]
+            grb.mxm(C, None, None, sr, A, A)
+            grb.mxm(D, None, None, sr, A, A)  # CSE with the line above
+            E = grb.Matrix(grb.FP64, A.nrows, A.ncols)
+            grb.ewise_add(E, None, None, grb.PLUS[grb.FP64], C, D)
+            return E
+
+        a, b = _both_modes(run)
+        _assert_bits(a, b)

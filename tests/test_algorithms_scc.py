@@ -12,6 +12,10 @@ from repro.algorithms import (
 )
 from repro.io import cycle_graph, erdos_renyi, from_networkx, path_graph, to_networkx
 
+@pytest.fixture(autouse=True)
+def _run_in_both_modes(exec_mode):
+    """Every test here runs under blocking AND nonblocking+planner mode."""
+
 
 class TestSCC:
     @pytest.mark.parametrize("seed,m", [(1, 100), (2, 200), (3, 60)])
