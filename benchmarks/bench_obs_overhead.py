@@ -121,3 +121,45 @@ def test_obs_disabled_overhead(bc_workload, monkeypatch):
     assert a <= b * 1.03 + slack, (
         f"disarmed obs run {a:.6f}s exceeds 3% of stripped run {b:.6f}s"
     )
+
+
+def test_obs_tracing_overhead(bc_workload):
+    """Request tracing within 5%: an installed trace stamps every deferred
+    op, but with no capture armed and no drain accounting collecting, that
+    stamp (a thread-local read at enqueue plus provenance assembly at
+    drain) must stay in the noise of a nonblocking workload."""
+    from repro.obs import tracing
+
+    A, batch = bc_workload
+
+    def run():
+        context._reset()
+        grb.init(grb.Mode.NONBLOCKING)
+        return _bc_once(A, batch)
+
+    K, INNER = 7, 3
+    run()  # warmup
+
+    plain = [float("inf")] * K
+    traced = [float("inf")] * K
+    trace = tracing.TraceContext.mint()
+    for i in range(K):
+        for _ in range(INNER):
+            t0 = time.perf_counter()
+            run()
+            plain[i] = min(plain[i], time.perf_counter() - t0)
+        with tracing.use(trace):
+            for _ in range(INNER):
+                t0 = time.perf_counter()
+                run()
+                traced[i] = min(traced[i], time.perf_counter() - t0)
+
+    a, b = min(traced), min(plain)
+    slack = 200e-6
+    header("request-tracing overhead guard")
+    row("traced min (s)", f"{a:.6f}")
+    row("untraced min (s)", f"{b:.6f}")
+    row("ratio", f"{a / b:.4f}")
+    assert a <= b * 1.05 + slack, (
+        f"traced run {a:.6f}s exceeds 5% of untraced run {b:.6f}s"
+    )

@@ -38,6 +38,7 @@ from typing import Any, Callable
 
 from .execution.sequence import DeferredOp, SequenceQueue
 from .execution.trace import wrap_thunk as _trace_wrap
+from .obs.tracing import current_trace as _current_trace
 from .info import (
     ExecutionError,
     GraphBLASError,
@@ -328,6 +329,7 @@ def submit(
                 label=label,
                 overwrites_output=overwrites_output,
                 spec=spec,
+                trace=_current_trace(),
             )
         )
         return

@@ -24,42 +24,75 @@ from .passes import cse_pass, dead_op_pass, fusion_pass
 __all__ = ["build_plan", "ExecutionPlan"]
 
 
+def _node_provenance(g: Graph) -> dict[int, tuple[list, list]]:
+    """(request_ids, trace_ids) per live node — provenance merge, not loss.
+
+    A node's ids are the union over its member ops' enqueue-time stamps, so
+    a pair fused *across requests* carries both originators.  A CSE source
+    additionally absorbs the ids of every duplicate that will reuse its
+    cached result: the kernel it runs is shared work, and a per-request
+    drain-share apportioned from these ids must bill every beneficiary.
+    """
+    rids: dict[int, set] = {}
+    tids: dict[int, set] = {}
+    for node in g.alive_nodes():
+        traces = [op.trace for op in node.ops if op.trace is not None]
+        rids[node.index] = {str(t.request_id) for t in traces}
+        tids[node.index] = {t.trace_id for t in traces}
+    for node in g.alive_nodes():
+        src = node.cse_source
+        if src is not None and src in rids:
+            rids[src] |= rids[node.index]
+            tids[src] |= tids[node.index]
+    return {
+        i: (sorted(rids[i]), sorted(tids[i])) for i in rids
+    }
+
+
 def _attach_runners(g: Graph) -> None:
     """Give every live node its executable.
 
     Every runner is span-wrapped *now* — drain time — so a scheduled node
     records exactly one op span, under a label that makes planner rewrites
     visible (``mxm+apply[fused]``, ``mxm[cse]``) and with the rewrite's
-    provenance (member labels, CSE source) in the span attrs.  With no
-    capture armed ``wrap_thunk`` hands the runner back unchanged.
+    provenance (member labels, CSE source, originating request ids) in the
+    span attrs.  With no capture armed ``wrap_thunk`` hands the runner back
+    unchanged; with a :class:`repro.obs.tracing.DrainAccounting` installed
+    on the draining thread, runners are additionally timed and their
+    realized flops tallied per request id (bound by closure, so nodes
+    dispatched to pool threads still report back).
     """
+    from ...obs import tracing as _tracing
     from ...operations.common import execute_fused, execute_standard
     from ..trace import wrap_thunk
 
+    acct = _tracing.current_accounting()
+    provenance = _node_provenance(g)
     cache: dict[int, tuple] = {}
     for node in g.alive_nodes():
+        rids, t_ids = provenance[node.index]
+        prov: dict = {}
+        if rids:
+            prov["request_ids"] = rids
+            prov["trace_ids"] = t_ids
         if node.fused_pair is not None:
             p_spec, q_spec = node.fused_pair
 
             def fused_run(p=p_spec, q=q_spec):
                 execute_fused(p, q)
 
-            node.runner = wrap_thunk(
-                fused_run,
-                node.label,
-                deferred=True,
-                provenance={"fused_of": [op.label for op in node.ops]},
+            prov["fused_of"] = [op.label for op in node.ops]
+            runner = wrap_thunk(
+                fused_run, node.label, deferred=True, provenance=prov
             )
         elif node.cse_source is not None:
 
             def cse_run(spec=node.ops[0].spec, src=node.cse_source):
                 execute_standard(spec, precomputed=cache[src])
 
-            node.runner = wrap_thunk(
-                cse_run,
-                node.label,
-                deferred=True,
-                provenance={"cse_of": node.cse_source},
+            prov["cse_of"] = node.cse_source
+            runner = wrap_thunk(
+                cse_run, node.label, deferred=True, provenance=prov
             )
         elif node.capture:
 
@@ -68,11 +101,15 @@ def _attach_runners(g: Graph) -> None:
                     spec, capture=lambda k, v: cache.__setitem__(idx, (k, v))
                 )
 
-            node.runner = wrap_thunk(capture_run, node.label, deferred=True)
-        else:
-            node.runner = wrap_thunk(
-                node.ops[0].thunk, node.label, deferred=True
+            runner = wrap_thunk(
+                capture_run, node.label, deferred=True, provenance=prov or None
             )
+        else:
+            runner = wrap_thunk(
+                node.ops[0].thunk, node.label, deferred=True,
+                provenance=prov or None,
+            )
+        node.runner = acct.wrap(runner, rids) if acct is not None else runner
 
 
 class ExecutionPlan:
@@ -156,11 +193,21 @@ class _SerialPlan:
         self.failed_ops: list[DeferredOp] = []
 
     def run(self) -> None:
+        from ...obs import tracing as _tracing
         from ..trace import wrap_thunk
 
+        acct = _tracing.current_accounting()
         for pos, op in enumerate(self._ops):
+            prov = None
+            rids: list = []
+            if op.trace is not None:
+                rids = [str(op.trace.request_id)]
+                prov = {"request_ids": rids, "trace_ids": [op.trace.trace_id]}
+            runner = wrap_thunk(op.thunk, op.label, deferred=True, provenance=prov)
+            if acct is not None:
+                runner = acct.wrap(runner, rids)
             try:
-                wrap_thunk(op.thunk, op.label, deferred=True)()
+                runner()
             except BaseException:
                 self.failed_ops = self._ops[pos:]
                 raise

@@ -77,6 +77,9 @@ class DeferredOp:
     overwrites_output: bool = False
     #: structural metadata for the planner (standard ops only)
     spec: OpSpec | None = None
+    #: originating request identity (:class:`repro.obs.tracing.TraceContext`)
+    #: stamped at enqueue time; None outside a traced request
+    trace: Any = None
 
 
 @dataclass(slots=True)

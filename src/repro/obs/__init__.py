@@ -27,10 +27,17 @@ returns the raw thunk unchanged, kernels skip all measurement).
 
 from __future__ import annotations
 
-from . import export, metrics, spans
-from .export import BenchRecorder, chrome_trace, per_label_report
-from .metrics import MetricsRegistry, registry
+from . import export, metrics, spans, tracing
+from .export import (
+    BenchRecorder,
+    chrome_trace,
+    per_label_report,
+    prometheus_text,
+    timeline_html,
+)
+from .metrics import MetricsRegistry, SLOTracker, registry
 from .spans import Span, SpanSink, annotate, annotate_add
+from .tracing import TraceContext
 
 __all__ = [
     "Capture",
@@ -39,15 +46,20 @@ __all__ = [
     "Span",
     "SpanSink",
     "MetricsRegistry",
+    "SLOTracker",
     "registry",
     "BenchRecorder",
     "chrome_trace",
     "per_label_report",
+    "prometheus_text",
+    "timeline_html",
+    "TraceContext",
     "annotate",
     "annotate_add",
     "spans",
     "metrics",
     "export",
+    "tracing",
 ]
 
 
@@ -123,6 +135,14 @@ class Capture:
             json.dump(doc, fh)
             fh.write("\n")
         return doc
+
+    def timeline_html(self, **kw) -> str:
+        return timeline_html(self.spans, **kw)
+
+    def export_timeline(self, path, **kw) -> None:
+        """Write the per-request timeline / flamegraph HTML to *path*."""
+        with open(path, "w") as fh:
+            fh.write(self.timeline_html(**kw))
 
     def report(self) -> str:
         return per_label_report(

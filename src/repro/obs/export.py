@@ -1,13 +1,24 @@
-"""Exporters: Chrome trace-event JSON, flat per-label reports, and the
-machine-readable bench recorder behind the repo's ``BENCH_*.json``
-perf-trajectory files.
+"""Exporters: Chrome trace-event JSON, flat per-label reports, Prometheus
+text exposition, the per-request timeline HTML, and the machine-readable
+bench recorder behind the repo's ``BENCH_*.json`` perf-trajectory files.
 
 * :func:`chrome_trace` renders a span list into the Trace Event Format
   that ``chrome://tracing`` / Perfetto load: one complete ("X") event per
-  span with its attrs in ``args``, plus thread-name metadata events.
+  span with its attrs in ``args``, plus process/thread-name metadata
+  events so service workers and pool threads show up labelled, not as
+  bare TIDs.
 * :func:`per_label_report` is the human-readable successor of the old
   ``Tracer.summary()``: per-label counts and totals, estimated vs realized
   flops, nnz written, and the planner's fusion/CSE provenance.
+* :func:`prometheus_text` renders a metrics snapshot as the Prometheus
+  text exposition format (counters → ``_total``, histograms → cumulative
+  ``_bucket``/``_sum``/``_count``) — the body of the server's plaintext
+  ``metrics`` command.
+* :func:`timeline_html` renders a span capture as a self-contained HTML
+  report: one lane per request (queue/issue bars plus every drain-time
+  op attributed to it, fused and CSE'd included) and a per-thread
+  flamegraph of the raw spans.  No external assets — CI uploads it as an
+  artifact that opens anywhere.
 * :class:`BenchRecorder` measures named workloads and writes a stable JSON
   schema (``repro-bench/1``) so successive PRs' baselines are diffable by
   machine.
@@ -15,6 +26,7 @@ perf-trajectory files.
 
 from __future__ import annotations
 
+import html as _html
 import json
 import platform
 import statistics
@@ -22,9 +34,16 @@ import sys
 import time
 from typing import Callable, Iterable
 
+from .metrics import BUCKET_BOUNDS
 from .spans import Span
 
-__all__ = ["chrome_trace", "per_label_report", "BenchRecorder"]
+__all__ = [
+    "chrome_trace",
+    "per_label_report",
+    "prometheus_text",
+    "timeline_html",
+    "BenchRecorder",
+]
 
 
 def _jsonable(v):
@@ -51,7 +70,24 @@ def chrome_trace(spans: Iterable[Span], *, pid: int = 1) -> dict:
     trace opens at t=0 regardless of the process's ``perf_counter`` epoch.
     """
     spans = list(spans)
-    events: list[dict] = []
+    events: list[dict] = [
+        # process metadata first, so chrome://tracing groups the lanes
+        # under a meaningful producer name instead of "pid 1"
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro.obs"},
+        },
+        {
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"sort_index": 0},
+        },
+    ]
     tid_map: dict[int, int] = {}
     base = min((sp.t0 for sp in spans), default=0.0)
     for sp in sorted(spans, key=lambda s: s.t0):
@@ -64,6 +100,15 @@ def chrome_trace(spans: Iterable[Span], *, pid: int = 1) -> dict:
                     "pid": pid,
                     "tid": tid,
                     "args": {"name": sp.thread},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
                 }
             )
         args = {k: _jsonable(v) for k, v in sp.attrs.items()}
@@ -153,6 +198,223 @@ def per_label_report(
         for name in sorted(counters):
             lines.append(f"  {name:<44}{counters[name]}")
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Prometheus text exposition
+# --------------------------------------------------------------------------
+
+def _prom_name(name: str, prefix: str) -> str:
+    safe = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def _prom_value(v) -> str:
+    if v is None:
+        return "NaN"
+    f = float(v)
+    if f == float("inf"):
+        return "+Inf"
+    if f == float("-inf"):
+        return "-Inf"
+    return repr(f) if isinstance(v, float) else str(int(v))
+
+
+def prometheus_text(
+    snapshot: dict, *, gauges: dict | None = None, prefix: str = "repro"
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format.
+
+    Counters become ``<prefix>_<name>_total`` counter series; histograms
+    become the conventional cumulative ``_bucket{le="..."}`` series plus
+    ``_sum`` and ``_count``; *gauges* (service-level point-in-time values
+    such as queue depth) are emitted as gauge series.  Metric names are
+    sanitized to ``[a-zA-Z0-9_]`` — dots in registry names map to
+    underscores, so ``service.latency_us`` scrapes as
+    ``repro_service_latency_us``.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        pname = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_prom_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} histogram")
+        cum = 0
+        buckets = h.get("buckets", [])
+        for bound, n in zip(BUCKET_BOUNDS, buckets):
+            cum += n
+            lines.append(f'{pname}_bucket{{le="{bound}"}} {cum}')
+        cum += buckets[-1] if len(buckets) > len(BUCKET_BOUNDS) else 0
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {cum}')
+        lines.append(f"{pname}_sum {_prom_value(h.get('total', 0.0))}")
+        lines.append(f"{pname}_count {_prom_value(h.get('count', 0))}")
+    for name in sorted(gauges or {}):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_prom_value(gauges[name])}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# Per-request timeline / flamegraph HTML
+# --------------------------------------------------------------------------
+
+_TIMELINE_CSS = """
+body{font:13px/1.45 -apple-system,Segoe UI,sans-serif;margin:20px;
+     background:#fafafa;color:#1a1a1a}
+h1{font-size:18px} h2{font-size:15px;margin-top:28px}
+.lane{position:relative;height:22px;margin:2px 0;background:#f0f0f2;
+      border-radius:3px}
+.lane .name{position:absolute;left:4px;top:2px;font-size:11px;color:#555;
+      z-index:2;pointer-events:none;white-space:nowrap}
+.seg{position:absolute;top:2px;height:18px;border-radius:2px;opacity:.92;
+     min-width:1px}
+.seg.request{background:#4c78a8}.seg.op{background:#f58518}
+.seg.kernel{background:#54a24b}.seg.drain{background:#b279a2}
+.seg.batch{background:#9d9d9d}.seg.fused{background:#e45756}
+.seg.cse{background:#72b7b2}.seg.region{background:#c5b0d5}
+.flame .seg{height:14px}
+.legend span{display:inline-block;padding:1px 8px;margin-right:6px;
+     border-radius:3px;color:#fff;font-size:11px}
+.meta{color:#666;font-size:12px}
+"""
+
+
+def _request_ids_of(sp: Span) -> tuple:
+    rids = sp.attrs.get("request_ids")
+    if isinstance(rids, (list, tuple)):
+        return tuple(str(r) for r in rids)
+    return ()
+
+
+def _seg_class(sp: Span) -> str:
+    if "fused_of" in sp.attrs:
+        return "fused"
+    if "cse_of" in sp.attrs:
+        return "cse"
+    return sp.kind if sp.kind in (
+        "request", "op", "kernel", "drain", "batch"
+    ) else "region"
+
+
+def _seg_html(sp: Span, t0: float, scale: float, *, cls: str | None = None) -> str:
+    left = (sp.t0 - t0) * scale
+    width = max(sp.seconds * scale, 0.08)
+    tip = f"{sp.label} [{sp.kind}] {sp.seconds * 1e3:.3f} ms"
+    rids = _request_ids_of(sp)
+    if rids:
+        tip += " requests=" + ",".join(rids)
+    for key in ("fused_of", "cse_of", "flops_realized", "nnz_out"):
+        if key in sp.attrs:
+            tip += f" {key}={sp.attrs[key]}"
+    return (
+        f'<div class="seg {cls or _seg_class(sp)}" '
+        f'style="left:{left:.3f}%;width:{width:.3f}%" '
+        f'title="{_html.escape(tip, quote=True)}"></div>'
+    )
+
+
+def timeline_html(
+    spans: Iterable[Span],
+    *,
+    title: str = "repro request timeline",
+    request_timings: dict | None = None,
+) -> str:
+    """Self-contained HTML: per-request lanes plus per-thread flamegraph.
+
+    The request section draws one lane per originating request id seen in
+    the capture: its ``request:*`` issue span plus every drain-scheduled
+    op span whose provenance names the request — fused and CSE'd nodes
+    appear in *every* contributing request's lane, which is exactly the
+    point: shared work is visible as shared.  *request_timings* (optional,
+    ``{request_id: {"queue_wait_us": ..., "issue_us": ...,
+    "drain_share_us": ...}}``) adds the measured latency decomposition to
+    each lane's label.
+    """
+    spans = sorted(spans, key=lambda s: (s.t0, s.sid))
+    if not spans:
+        return (
+            "<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>{_html.escape(title)}</title></head>"
+            "<body><p>no spans captured</p></body></html>"
+        )
+    t0 = min(sp.t0 for sp in spans)
+    t1 = max(sp.t1 for sp in spans)
+    scale = 100.0 / max(t1 - t0, 1e-9)
+
+    by_request: dict[str, list[Span]] = {}
+    for sp in spans:
+        for rid in _request_ids_of(sp):
+            by_request.setdefault(rid, []).append(sp)
+
+    out = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_html.escape(title)}</title>",
+        f"<style>{_TIMELINE_CSS}</style></head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+        f"<p class='meta'>{len(spans)} spans, "
+        f"{(t1 - t0) * 1e3:.2f} ms window, "
+        f"{len(by_request)} attributed requests</p>",
+        "<p class='legend'>"
+        "<span class='seg request' style='position:static'>request</span>"
+        "<span class='seg op' style='position:static'>op</span>"
+        "<span class='seg fused' style='position:static'>fused</span>"
+        "<span class='seg cse' style='position:static'>cse</span>"
+        "<span class='seg kernel' style='position:static'>kernel</span>"
+        "<span class='seg drain' style='position:static'>drain</span>"
+        "</p>",
+        "<h2>Per-request timeline</h2>",
+    ]
+    for rid in sorted(by_request):
+        label = f"request {rid}"
+        timing = (request_timings or {}).get(rid)
+        if timing:
+            label += (
+                f" — queue {timing.get('queue_wait_us', 0):.0f}us"
+                f" + issue {timing.get('issue_us', 0):.0f}us"
+                f" + drain-share {timing.get('drain_share_us', 0):.0f}us"
+            )
+        segs = "".join(
+            _seg_html(sp, t0, scale)
+            for sp in by_request[rid]
+            if sp.kind in ("request", "op")
+        )
+        out.append(
+            f'<div class="lane"><span class="name">'
+            f"{_html.escape(label)}</span>{segs}</div>"
+        )
+    if not by_request:
+        out.append("<p class='meta'>no request-attributed spans</p>")
+
+    out.append("<h2>Per-thread flamegraph</h2>")
+    threads: dict[int, list[Span]] = {}
+    for sp in spans:
+        threads.setdefault(sp.tid, []).append(sp)
+    depth_of: dict[int, int] = {}
+    for tid, tspans in threads.items():
+        name = tspans[0].thread
+        out.append(f"<p class='meta'>{_html.escape(name)}</p>")
+        sids = {sp.sid for sp in tspans}
+        for sp in tspans:
+            parent_depth = (
+                depth_of.get(sp.parent, -1) if sp.parent in sids else -1
+            )
+            depth_of[sp.sid] = parent_depth + 1
+        max_depth = max((depth_of[sp.sid] for sp in tspans), default=0)
+        rows: list[list[str]] = [[] for _ in range(max_depth + 1)]
+        for sp in tspans:
+            rows[depth_of[sp.sid]].append(_seg_html(sp, t0, scale))
+        out.append("<div class='flame'>")
+        for row in rows:
+            out.append(f'<div class="lane">{"".join(row)}</div>')
+        out.append("</div>")
+    out.append("</body></html>")
+    return "\n".join(out)
 
 
 class BenchRecorder:

@@ -15,10 +15,13 @@ does no measurement work at all.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 
 __all__ = [
     "Histogram",
     "MetricsRegistry",
+    "SLOTracker",
     "registry",
     "enabled",
     "enable",
@@ -176,6 +179,93 @@ def percentile(hist: dict, q: float) -> float | None:
                 bound = min(bound, hi)
             return float(bound)
     return float(hist["max"])  # pragma: no cover - counts always sum
+
+
+class SLOTracker:
+    """Rolling-window latency SLO: p99 target, exact window percentile,
+    and error-budget burn counters.
+
+    The tracker keeps the last *window_s* seconds of observations (exact
+    values, not buckets — a window is small enough that the power-of-4
+    resolution trade is the wrong one here).  A request **breaches** when
+    its latency exceeds the target or when it fails outright; the error
+    budget is the fraction of requests allowed to breach (1% by default —
+    the definition of a p99 target), and ``burn_rate`` is breach-fraction
+    divided by budget: 1.0 means burning exactly as fast as allowed,
+    above 1.0 the SLO is being missed.
+    """
+
+    def __init__(
+        self,
+        target_us: float,
+        window_s: float = 60.0,
+        error_budget: float = 0.01,
+        clock=time.monotonic,
+    ):
+        if target_us <= 0:
+            raise ValueError("SLO target must be positive")
+        self.target_us = float(target_us)
+        self.window_s = float(window_s)
+        self.error_budget = float(error_budget)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._window: deque[tuple[float, float]] = deque()  # (t, latency_us)
+        self.total = 0
+        self.breaches = 0
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        w = self._window
+        while w and w[0][0] < horizon:
+            w.popleft()
+
+    def observe(self, latency_us: float) -> None:
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            self._window.append((now, float(latency_us)))
+            self.total += 1
+            if latency_us > self.target_us:
+                self.breaches += 1
+
+    def record_failure(self) -> None:
+        """A failed request burns budget regardless of how fast it failed."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            self._window.append((now, float("inf")))
+            self.total += 1
+            self.breaches += 1
+
+    def summary(self) -> dict:
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            lat = sorted(v for _, v in self._window)
+            total, breaches = self.total, self.breaches
+        window_p99 = None
+        if lat:
+            k = max(0, -(-99 * len(lat) // 100) - 1)  # ceil(0.99 n) - 1
+            window_p99 = lat[k]
+        window_breaches = sum(1 for v in lat if v > self.target_us)
+        breach_fraction = (breaches / total) if total else 0.0
+        return {
+            "target_p99_us": self.target_us,
+            "window_s": self.window_s,
+            "window_count": len(lat),
+            "window_p99_us": window_p99,
+            "window_breaches": window_breaches,
+            "window_met": window_p99 is None or window_p99 <= self.target_us,
+            "total": total,
+            "breaches": breaches,
+            "error_budget": self.error_budget,
+            "burn_rate": (
+                breach_fraction / self.error_budget if self.error_budget else None
+            ),
+            "budget_remaining": max(
+                0.0, 1.0 - (breach_fraction / self.error_budget)
+            ) if self.error_budget else None,
+        }
 
 
 #: the process-wide registry

@@ -83,6 +83,15 @@ class SpanSink:
     def open(self, label: str, kind: str, deferred: bool = False, **attrs) -> Span:
         th = threading.current_thread()
         stack = _stack()
+        if stack:
+            # request provenance flows downward: a kernel span opened inside
+            # a request-attributed op span carries the same originating ids,
+            # so exporters can filter a whole trace by request without
+            # walking parent chains
+            parent_attrs = stack[-1].attrs
+            for key in ("request_ids", "trace_ids"):
+                if key in parent_attrs and key not in attrs:
+                    attrs[key] = parent_attrs[key]
         sp = Span(
             sid=next(self._ids),
             parent=stack[-1].sid if stack else None,

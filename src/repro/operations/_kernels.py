@@ -28,6 +28,7 @@ from ..containers.formats import CSRView
 from ..containers.mask import MaskView
 from ..obs import metrics as _metrics
 from ..obs import spans as _obs_spans
+from ..obs.tracing import tally_flops as _tally_flops
 from ..parallel import (
     get_num_threads,
     parallel_threshold,
@@ -228,6 +229,7 @@ def _observed_kernel(label: str, run, *, flops_estimated: int, nnz_in: int):
         reg.inc("kernel.flops_realized", realized)
         reg.inc("kernel.nnz_out", len(keys))
         reg.observe("kernel.flops", realized)
+        _tally_flops(realized)  # drain accounting, when a batch is collecting
         return keys, vals
     finally:
         if sp is not None:

@@ -33,6 +33,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="wait per request instead of per batch")
     p.add_argument("--timeout", type=float, default=None,
                    help="default per-request deadline in seconds")
+    p.add_argument("--slo-p99-ms", type=float, default=None,
+                   help="rolling-window p99 latency target in milliseconds "
+                        "(reported by stats/health/metrics)")
     args = p.parse_args(argv)
 
     cfg = ServiceConfig(
@@ -41,6 +44,7 @@ def main(argv: list[str] | None = None) -> int:
         max_batch=args.max_batch,
         batching=not args.no_batching,
         default_timeout=args.timeout,
+        slo_p99_ms=args.slo_p99_ms,
     )
     server = Server(args.host, args.port, config=cfg)
     host, port = server.address

@@ -17,6 +17,7 @@ from concurrent.futures import Future
 from typing import Any, Iterable
 
 from ..io.serialize import serialize
+from ..obs.tracing import TraceContext
 from . import errors as _errors
 from .errors import BadRequest, ServiceError
 
@@ -85,9 +86,13 @@ class Client:
 
     # ------------------------------------------------------------- plumbing
     def submit(self, kind: str, payload: dict | None = None, **kw) -> Future:
+        # mint the trace here — the outermost edge — so everything one
+        # client call causes shares a trace_id
+        kw.setdefault("trace", TraceContext.mint())
         return self._service.submit(self.session, kind, payload, **kw)
 
     def request(self, kind: str, payload: dict | None = None, **kw) -> dict:
+        kw.setdefault("trace", TraceContext.mint())
         return self._service.request(self.session, kind, payload, **kw)
 
     # ------------------------------------------------------------- surface
@@ -151,6 +156,15 @@ class Client:
     def stats(self) -> dict:
         return self._service.stats()
 
+    def metrics(self) -> dict:
+        return self._service.metrics_snapshot()
+
+    def health(self) -> dict:
+        return self._service.health()
+
+    def ping(self) -> dict:
+        return {"pong": True}
+
     def close(self) -> None:
         self._service.close_session(self.session)
 
@@ -174,15 +188,26 @@ class TCPClient:
     def call(
         self, kind: str, payload: dict | None = None, *,
         timeout: float | None = None,
+        trace: TraceContext | None = None,
+        timing: bool = False,
     ) -> dict:
-        """Send one request and wait for its response (raises typed errors)."""
+        """Send one request and wait for its response (raises typed errors).
+
+        A :class:`TraceContext` is minted per call (or supplied) and rides
+        the wire, so server-side spans and drain accounting attribute back
+        to this client call; *timing* asks the server to include the
+        request's latency decomposition in the result.
+        """
         self._ids += 1
         doc = {
             "id": self._ids,
             "kind": kind,
             "session": getattr(self, "session", None),
             "payload": payload or {},
+            "trace": (trace or TraceContext.mint()).to_wire(),
         }
+        if timing:
+            doc["timing"] = True
         if timeout is not None:
             doc["timeout"] = timeout
         self._sock.sendall(wire_encode(doc))
@@ -216,12 +241,12 @@ class TCPClient:
 
         return deserialize(self.call("download", {"name": name})["blob"])
 
-    def program(self, calls, *, declare=(), fetch=()):
+    def program(self, calls, *, declare=(), fetch=(), **kw):
         calls = [c.to_dict() if hasattr(c, "to_dict") else dict(c) for c in calls]
         declare = [d.to_dict() if hasattr(d, "to_dict") else dict(d) for d in declare]
         return self.call("program", {
             "calls": calls, "declare": declare, "fetch": list(fetch),
-        })
+        }, **kw)
 
     def algorithm(self, algo, graph, *, store_as=None, **args):
         payload = {"algo": algo, "graph": graph, "args": args}
@@ -248,6 +273,12 @@ class TCPClient:
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def ping(self) -> dict:
+        return self.call("ping")
 
     def close(self, *, close_session: bool = True) -> None:
         try:

@@ -40,7 +40,7 @@ from ..fuzz.executor import build_decl, dispatch_call
 from ..fuzz.program import _CANONICAL, Call, Decl
 from ..info import GraphBLASError, NoValue
 from ..io.serialize import deserialize, serialize
-from ..obs import metrics, spans
+from ..obs import metrics, spans, tracing
 from ..types.grb_type import lookup_type
 from .errors import BadRequest, DeadlineExceeded, ObjectNotFound
 from .session import SHARED_PREFIX, Session
@@ -375,15 +375,20 @@ def _fail(service, req, exc: BaseException) -> None:
     reg.observe(
         "service.latency_us", (time.monotonic() - req.t_submit) * 1e6
     )
+    slo = getattr(service, "slo", None)
+    if slo is not None:
+        slo.record_failure()
     req.future.set_exception(exc)
 
 
 def _fulfil(service, req, result: dict) -> None:
     reg = metrics.registry
     reg.inc("service.completed")
-    reg.observe(
-        "service.latency_us", (time.monotonic() - req.t_submit) * 1e6
-    )
+    latency_us = (time.monotonic() - req.t_submit) * 1e6
+    reg.observe("service.latency_us", latency_us)
+    slo = getattr(service, "slo", None)
+    if slo is not None:
+        slo.observe(latency_us)
     req.future.set_result(result)
 
 
@@ -405,6 +410,9 @@ def run_batch(service, session: Session, batch: list) -> None:
             if sink is not None
             else None
         )
+        # (req, result, issue_us, own_drain_us) — own_drain_us is the
+        # per-request wait when batching is off; the batched drain is
+        # apportioned by the accounting below instead
         issued: list[tuple] = []
         try:
             for req in batch:
@@ -419,19 +427,34 @@ def run_batch(service, session: Session, batch: list) -> None:
                         f"request {req.rid} ({req.kind}) expired in queue"
                     ))
                     continue
+                span_kw: dict = {"session": session.name, "rid": req.rid}
+                if req.trace is not None:
+                    # set provenance on the request span so every child —
+                    # including sequence-point drains forced mid-issue —
+                    # inherits the originating ids
+                    span_kw["trace_id"] = req.trace.trace_id
+                    span_kw["request_ids"] = [str(req.trace.request_id)]
+                    span_kw["trace_ids"] = [req.trace.trace_id]
                 rsp = (
-                    sink.open(
-                        f"request:{req.kind}", "request",
-                        session=session.name, rid=req.rid,
-                    )
+                    sink.open(f"request:{req.kind}", "request", **span_kw)
                     if sink is not None
                     else None
                 )
                 try:
-                    result = _ISSUE[req.kind](service, session, req.payload)
+                    t_i0 = time.perf_counter()
+                    with tracing.use(req.trace):
+                        result = _ISSUE[req.kind](service, session, req.payload)
+                    issue_us = (time.perf_counter() - t_i0) * 1e6
+                    own_drain_us = 0.0
                     if not batching:
+                        # no cross-request batch → the whole drain is this
+                        # request's; no apportioning needed
+                        t_d0 = time.perf_counter()
                         context.wait()
-                    issued.append((req, result))
+                        own_drain_us = (time.perf_counter() - t_d0) * 1e6
+                        reg.observe("service.drain_us", own_drain_us)
+                    reg.observe("service.issue_us", issue_us)
+                    issued.append((req, result, issue_us, own_drain_us))
                 except GraphBLASError as exc:
                     session.failed += 1
                     _fail(service, req, exc)
@@ -446,27 +469,59 @@ def run_batch(service, session: Session, batch: list) -> None:
                         rsp.attrs["error"] = type(exc).__name__
                 finally:
                     # the span covers the issue phase; deferred work appears
-                    # under the batch's drain span, not per request
+                    # under the batch's drain span carrying per-node
+                    # request_ids provenance instead
                     if rsp is not None:
                         sink.close(rsp)
 
             drain_error: GraphBLASError | None = None
+            shares: dict[str, float] = {}
             if batching:
+                # one drain for the whole batch: install accounting so the
+                # planner bills each scheduled node's wall/flops to the
+                # requests whose deferred ops it runs, then apportion the
+                # measured drain wall-clock by those tallies
+                acc = tracing.DrainAccounting()
+                t_d0 = time.perf_counter()
                 try:
-                    context.wait()
+                    with tracing.accounting(acc):
+                        context.wait()
                 except GraphBLASError as exc:
                     drain_error = exc
+                drain_wall = time.perf_counter() - t_d0
+                reg.observe("service.drain_us", drain_wall * 1e6)
+                shares = {
+                    rid: s * 1e6 for rid, s in acc.shares(drain_wall).items()
+                }
 
             # futures are fulfilled only after the drain: an error surfacing
             # at the batch wait() poisons the failed op's outputs and the
             # un-run tail (section V), so it fails every request whose
             # deferred work may be involved — the same over-approximation
             # GrB_wait itself makes
-            for req, result in issued:
+            for req, result, issue_us, own_drain_us in issued:
                 if drain_error is not None:
                     session.failed += 1
                     _fail(service, req, drain_error)
                     continue
+                rid_key = (
+                    str(req.trace.request_id) if req.trace is not None
+                    else str(req.rid)
+                )
+                drain_share_us = (
+                    shares.get(rid_key, 0.0) if batching else own_drain_us
+                )
+                reg.observe("service.drain_share_us", drain_share_us)
+                if req.timing:
+                    result = dict(result)
+                    result["timing"] = {
+                        "trace_id": req.trace.trace_id if req.trace else None,
+                        "request_id": rid_key,
+                        "queue_wait_us": (req.t_start - req.t_submit) * 1e6,
+                        "issue_us": issue_us,
+                        "drain_share_us": drain_share_us,
+                        "total_us": (time.monotonic() - req.t_submit) * 1e6,
+                    }
                 session.completed += 1
                 _fulfil(service, req, result)
         finally:

@@ -24,9 +24,11 @@ import threading
 import time
 from collections import deque
 
+import math
+
 from .. import obs
 from ..obs import metrics
-from ..obs.export import BenchRecorder
+from ..obs.export import BenchRecorder, timeline_html
 from ..obs.metrics import percentile
 from .errors import QueueFull
 from .service import Service, ServiceConfig
@@ -171,10 +173,12 @@ def run_direct(
     queue_capacity: int = 64,
     batching: bool = True,
     pipeline: int = 8,
+    slo_p99_ms: float | None = None,
 ) -> dict:
     """Run the streams in-process; returns results, errors, and stats."""
     svc = Service(ServiceConfig(
         workers=workers, queue_capacity=queue_capacity, batching=batching,
+        slo_p99_ms=slo_p99_ms,
     ))
     before = metrics.registry.snapshot()
     try:
@@ -200,7 +204,7 @@ def run_direct(
             for kind, payload in streams[ci]:
                 while True:
                     try:
-                        fut = svc.submit(sess, kind, payload)
+                        fut = svc.submit(sess, kind, payload, timing=True)
                         break
                     except QueueFull:
                         settle(0)       # backpressure: drain, then retry
@@ -254,7 +258,7 @@ def run_tcp(streams: list[list], *, seed: int, host: str, port: int) -> dict:
         try:
             for kind, payload in streams[ci]:
                 try:
-                    results[ci].append(cli.call(kind, payload))
+                    results[ci].append(cli.call(kind, payload, timing=True))
                 except Exception as exc:
                     results[ci].append({"__error__": type(exc).__name__})
                     with lock:
@@ -282,6 +286,14 @@ def run_tcp(streams: list[list], *, seed: int, host: str, port: int) -> dict:
             "stats": stats}
 
 
+def _strip_timing(r):
+    # timing is measurement, not semantics — a replay diverges on results,
+    # never on how long they took
+    if isinstance(r, dict) and "timing" in r:
+        return {k: v for k, v in r.items() if k != "timing"}
+    return r
+
+
 def diff_results(live: list[list], ref: list[list]) -> list[tuple]:
     """Compare live responses with the serial replay; list divergences."""
     out = []
@@ -290,8 +302,41 @@ def diff_results(live: list[list], ref: list[list]) -> list[tuple]:
             out.append((ci, -1, f"response count {len(a)} != {len(b)}"))
             continue
         for oi, (ra, rb) in enumerate(zip(a, b)):
+            ra, rb = _strip_timing(ra), _strip_timing(rb)
             if ra != rb:
                 out.append((ci, oi, f"{ra!r} != {rb!r}"))
+    return out
+
+
+def timing_summary(results: list[list]) -> dict:
+    """Aggregate the per-request latency decompositions of a run."""
+    rows = [
+        r["timing"] for stream in results for r in stream
+        if isinstance(r, dict) and "timing" in r
+    ]
+    if not rows:
+        return {"count": 0}
+
+    def pct(vals: list, q: float) -> float:
+        vals = sorted(vals)
+        return vals[max(0, math.ceil(q * len(vals)) - 1)]
+
+    out: dict = {"count": len(rows)}
+    for stage in ("queue_wait_us", "issue_us", "drain_share_us", "total_us"):
+        vals = [row[stage] for row in rows]
+        out[stage] = {
+            "mean": sum(vals) / len(vals),
+            "p50": pct(vals, 0.50),
+            "p99": pct(vals, 0.99),
+        }
+    # how much of each wall latency the decomposition explains
+    covered = [
+        (row["queue_wait_us"] + row["issue_us"] + row["drain_share_us"])
+        / row["total_us"]
+        for row in rows if row["total_us"] > 0
+    ]
+    if covered:
+        out["coverage_mean"] = sum(covered) / len(covered)
     return out
 
 
@@ -320,10 +365,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="write a repro-bench/1 JSON baseline here")
     p.add_argument("--trace-out", default=None,
                    help="write a Chrome trace of one serving window here")
+    p.add_argument("--timeline-out", default=None,
+                   help="write a per-request timeline/flamegraph HTML here")
     p.add_argument("--no-replay", action="store_true",
                    help="skip the serial-replay divergence check")
     p.add_argument("--stats-out", default=None,
                    help="write the final service stats JSON here")
+    p.add_argument("--slo-p99-ms", type=float, default=None,
+                   help="fail (exit nonzero) when the run's p99 latency "
+                        "exceeds this many milliseconds")
     args = p.parse_args(argv)
 
     streams = build_streams(args.seed, args.clients, args.requests)
@@ -339,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
         live = run_direct(
             streams, seed=args.seed, workers=args.workers,
             queue_capacity=args.queue_capacity, pipeline=args.pipeline,
+            slo_p99_ms=args.slo_p99_ms,
         )
 
     st = live["stats"]
@@ -350,8 +401,36 @@ def main(argv: list[str] | None = None) -> int:
     for ci, kind, exc in live["errors"][:10]:
         print(f"  ERROR client {ci} {kind}: {type(exc).__name__}: {exc}")
 
+    timings = timing_summary(live["results"])
+    if timings.get("count"):
+        print(f"  per-request breakdown ({timings['count']} timed): "
+              f"queue p50 {timings['queue_wait_us']['p50']:.0f}us  "
+              f"issue p50 {timings['issue_us']['p50']:.0f}us  "
+              f"drain-share p50 {timings['drain_share_us']['p50']:.0f}us  "
+              f"coverage {timings.get('coverage_mean', 0.0):.2f}",
+              flush=True)
+
+    slo_missed = False
+    if args.slo_p99_ms is not None:
+        target_us = args.slo_p99_ms * 1e3
+        slo = st.get("slo") or {}
+        observed = slo.get("window_p99_us")
+        if observed is None:
+            observed = st.get("latency_p99_us")
+        slo_missed = observed is not None and observed > target_us
+        shown = f"{observed:.0f}us" if observed is not None else "n/a"
+        print(f"  SLO p99 target {target_us:.0f}us, observed {shown}: "
+              f"{'MISSED' if slo_missed else 'met'}", flush=True)
+
     if args.stats_out:
-        doc = {"stats": st, "errors": len(live["errors"])}
+        doc = {
+            "stats": st,
+            "errors": len(live["errors"]),
+            "request_timing": timings,
+        }
+        if args.slo_p99_ms is not None:
+            doc["slo_p99_ms"] = args.slo_p99_ms
+            doc["slo_missed"] = slo_missed
         with open(args.stats_out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
         print(f"stats -> {args.stats_out}", flush=True)
@@ -401,15 +480,29 @@ def main(argv: list[str] | None = None) -> int:
         rec.write(args.bench_out)
         print(f"bench baseline -> {args.bench_out}", flush=True)
 
-    if args.trace_out and not args.connect:
+    if (args.trace_out or args.timeline_out) and not args.connect:
         with obs.capture() as cap:
-            run_direct(streams[:2], seed=args.seed, workers=2,
-                       queue_capacity=args.queue_capacity, pipeline=4)
-        cap.export_chrome(args.trace_out)
-        print(f"chrome trace -> {args.trace_out} "
-              f"({len(cap.spans)} spans)", flush=True)
+            window = run_direct(streams[:2], seed=args.seed, workers=2,
+                                queue_capacity=args.queue_capacity, pipeline=4)
+        if args.trace_out:
+            cap.export_chrome(args.trace_out)
+            print(f"chrome trace -> {args.trace_out} "
+                  f"({len(cap.spans)} spans)", flush=True)
+        if args.timeline_out:
+            per_request = {
+                r["timing"]["request_id"]: r["timing"]
+                for stream in window["results"] for r in stream
+                if isinstance(r, dict) and "timing" in r
+            }
+            with open(args.timeline_out, "w") as fh:
+                fh.write(timeline_html(
+                    cap.spans,
+                    title="repro loadgen serving window",
+                    request_timings=per_request,
+                ))
+            print(f"timeline -> {args.timeline_out}", flush=True)
 
-    ok = not live["errors"] and not divergences
+    ok = not live["errors"] and not divergences and not slo_missed
     print("loadgen: OK" if ok else "loadgen: FAILED", flush=True)
     return 0 if ok else 1
 

@@ -25,8 +25,13 @@ Data kinds (queued per session, executed by the worker pool):
 =============  ==============================================================
 
 Admin kinds (``open_session``, ``close_session``, ``metrics``, ``stats``,
-``validate``, ``ping``) are executed synchronously by the service, outside
-the admission pipeline.
+``health``, ``validate``, ``ping``) are executed synchronously by the
+service, outside the admission pipeline.
+
+Every admitted request carries a :class:`~repro.obs.tracing.TraceContext`
+— minted at admission when the client did not supply one — and an opt-in
+``timing`` flag; when set, the response gains a ``timing`` dict with the
+request's queue-wait / issue / drain-share latency decomposition.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs.tracing import TraceContext
 from .errors import BadRequest
 
 __all__ = ["Request", "DATA_KINDS", "ADMIN_KINDS", "new_request"]
@@ -47,7 +53,8 @@ DATA_KINDS = frozenset(
      "query", "free")
 )
 ADMIN_KINDS = frozenset(
-    ("open_session", "close_session", "metrics", "stats", "validate", "ping")
+    ("open_session", "close_session", "metrics", "stats", "health",
+     "validate", "ping")
 )
 
 _ids = itertools.count(1)
@@ -69,6 +76,10 @@ class Request:
     t_submit: float = 0.0
     #: instant a worker began executing the batch containing this request
     t_start: float = 0.0
+    #: request identity for span provenance and drain accounting
+    trace: TraceContext | None = None
+    #: include the latency decomposition in the response dict
+    timing: bool = False
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -82,11 +93,15 @@ def new_request(
     payload: dict | None = None,
     *,
     timeout: float | None = None,
+    trace: TraceContext | None = None,
+    timing: bool = False,
 ) -> Request:
     """Build a :class:`Request`, validating the kind eagerly.
 
     *timeout* is a relative per-request deadline in seconds; admission and
-    execution both honour it.
+    execution both honour it.  *trace* propagates a client-minted
+    :class:`TraceContext`; when absent one is minted here so every admitted
+    request is attributable.
     """
     if kind not in DATA_KINDS:
         raise BadRequest(
@@ -96,6 +111,8 @@ def new_request(
     now = time.monotonic()
     with _ids_lock:
         rid = next(_ids)
+    if trace is None:
+        trace = TraceContext.mint(request_id=f"r{rid}")
     return Request(
         rid=rid,
         session=session,
@@ -103,4 +120,6 @@ def new_request(
         payload=payload,
         deadline=None if timeout is None else now + timeout,
         t_submit=now,
+        trace=trace,
+        timing=timing,
     )

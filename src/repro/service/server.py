@@ -1,11 +1,19 @@
 """Threaded JSON-lines TCP front-end for the in-process service.
 
 One JSON object per line in each direction.  Requests carry ``id``,
-``kind``, ``session``, optional ``timeout`` and a kind-specific
-``payload`` object; responses echo the ``id`` with either
-``{"ok": true, "result": {...}}`` or ``{"ok": false, "error":
-{"kind": ..., "message": ..., "info": ...}}``.  Binary blobs travel
-base64-encoded under ``<field>_b64`` keys at any nesting depth.
+``kind``, ``session``, optional ``timeout``, ``trace`` (a client-minted
+``{"trace_id", "request_id"}`` identity), ``timing`` (opt into the
+latency decomposition) and a kind-specific ``payload`` object; responses
+echo the ``id`` with either ``{"ok": true, "result": {...}}`` or
+``{"ok": false, "error": {"kind": ..., "message": ..., "info": ...}}``.
+Binary blobs travel base64-encoded under ``<field>_b64`` keys at any
+nesting depth.
+
+Two bare plaintext commands escape the JSON protocol for probes and
+scrapers: a line reading exactly ``metrics`` answers with Prometheus
+text exposition and ``health`` with a one-line JSON health document;
+both close the connection after answering, so
+``printf 'metrics\\n' | nc HOST PORT`` just works.
 
 Each connection gets a handler thread; requests on one connection are
 served in order (the admission pipeline still batches across them when
@@ -16,16 +24,22 @@ when it created it — an externally supplied service is left running on
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import threading
 
+from ..obs.export import prometheus_text
+from ..obs.tracing import TraceContext
 from .client import error_from_wire, wire_decode, wire_encode  # noqa: F401
 from .errors import BadRequest, ServiceError, SessionNotFound
 from .request import ADMIN_KINDS, DATA_KINDS
 from .service import Service, ServiceConfig
 
 __all__ = ["Server", "serve"]
+
+#: bare (non-JSON) one-shot commands: answer in plaintext, close the socket
+PLAIN_COMMANDS = frozenset((b"metrics", b"health"))
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -38,8 +52,17 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if not line:
                 return
-            if not line.strip():
+            stripped = line.strip()
+            if not stripped:
                 continue
+            if stripped in PLAIN_COMMANDS:
+                try:
+                    self.wfile.write(
+                        server.handle_plain(stripped.decode()).encode()
+                    )
+                except (ConnectionError, OSError):
+                    pass
+                return  # one-shot: close so `nc`-style probes terminate
             resp = server.handle_line(line)
             try:
                 self.wfile.write(wire_encode(resp))
@@ -90,7 +113,9 @@ class Server:
                 if not session:
                     raise BadRequest("data requests need a 'session' field")
                 result = self.service.request(
-                    session, kind, payload, timeout=doc.get("timeout")
+                    session, kind, payload, timeout=doc.get("timeout"),
+                    trace=TraceContext.from_wire(doc.get("trace")),
+                    timing=bool(doc.get("timing")),
                 )
             else:
                 raise BadRequest(f"unknown request kind {kind!r}")
@@ -121,11 +146,31 @@ class Server:
             return svc.metrics_snapshot()
         if kind == "stats":
             return svc.stats()
+        if kind == "health":
+            return svc.health()
         if kind == "validate":
             return {"objects_checked": svc.validate_all()}
         if kind == "ping":
             return {"pong": True}
         raise BadRequest(f"unhandled admin kind {kind!r}")  # pragma: no cover
+
+    def handle_plain(self, cmd: str) -> str:
+        """Answer a bare plaintext ``metrics`` / ``health`` probe line."""
+        if cmd == "metrics":
+            h = self.service.health()
+            return prometheus_text(
+                self.service.metrics_snapshot(),
+                gauges={
+                    "service.up": 1,
+                    "service.queue_depth": h["queue_depth"],
+                    "service.sessions_open": h["sessions"],
+                    "service.workers": h["workers"],
+                    "service.uptime_seconds": h["uptime_s"],
+                },
+            )
+        if cmd == "health":
+            return json.dumps(self.service.health()) + "\n"
+        raise BadRequest(f"unknown plain command {cmd!r}")  # pragma: no cover
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> "Server":

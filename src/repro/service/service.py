@@ -39,7 +39,8 @@ from typing import Any
 
 from .. import context
 from ..obs import metrics
-from ..obs.metrics import percentile
+from ..obs.metrics import SLOTracker, percentile
+from ..obs.tracing import TraceContext
 from ..parallel import get_num_threads
 from .errors import QueueFull, ServiceClosed, SessionNotFound
 from .executor import run_batch, validate_session
@@ -67,6 +68,10 @@ class ServiceConfig:
     session_mode: context.Mode = context.Mode.NONBLOCKING
     #: start the worker pool in __init__ (tests may start manually)
     autostart: bool = True
+    #: rolling-window p99 latency target in milliseconds (None → no SLO)
+    slo_p99_ms: float | None = None
+    #: width of the SLO observation window in seconds
+    slo_window_s: float = 60.0
 
     def worker_count(self) -> int:
         return self.workers if self.workers else max(2, get_num_threads())
@@ -100,6 +105,11 @@ class Service:
             mode=config.session_mode,
         )
         self._sessions[SHARED_SESSION] = self._shared
+        self.slo: SLOTracker | None = (
+            SLOTracker(config.slo_p99_ms * 1e3, window_s=config.slo_window_s)
+            if config.slo_p99_ms is not None
+            else None
+        )
         metrics.registry.enable()
         if config.autostart:
             self.start()
@@ -218,16 +228,22 @@ class Service:
         payload: dict | None = None,
         *,
         timeout: float | None = None,
+        trace: TraceContext | None = None,
+        timing: bool = False,
     ) -> Future:
         """Admit one request; returns its :class:`Future`.
 
         Raises :class:`QueueFull` / :class:`ServiceClosed` /
         :class:`SessionNotFound` *synchronously* — admission errors never
-        travel through the future.
+        travel through the future.  *trace* carries a client-minted
+        :class:`TraceContext` (one is minted at admission otherwise);
+        *timing* opts the response into the per-request latency
+        decomposition.
         """
         req = new_request(
             session, kind, payload,
             timeout=self.config.default_timeout if timeout is None else timeout,
+            trace=trace, timing=timing,
         )
         reg = metrics.registry
         with self._work:
@@ -258,9 +274,13 @@ class Service:
         *,
         timeout: float | None = None,
         wait_timeout: float | None = 60.0,
+        trace: TraceContext | None = None,
+        timing: bool = False,
     ) -> dict:
         """Submit and wait: the synchronous convenience the Client uses."""
-        fut = self.submit(session, kind, payload, timeout=timeout)
+        fut = self.submit(
+            session, kind, payload, timeout=timeout, trace=trace, timing=timing
+        )
         return fut.result(timeout=wait_timeout)
 
     # -------------------------------------------------------------- workers
@@ -299,7 +319,8 @@ class Service:
         """Service-level view: queues, totals, QPS, latency percentiles."""
         snap = metrics.registry.snapshot()
         counters = snap["counters"]
-        lat = snap["histograms"].get("service.latency_us")
+        hists = snap["histograms"]
+        lat = hists.get("service.latency_us")
         uptime = time.monotonic() - self._t0
         completed = counters.get("service.completed", 0)
         with self._mu:
@@ -331,7 +352,48 @@ class Service:
             "qps": (completed / uptime) if uptime > 0 else 0.0,
             "latency_p50_us": percentile(lat, 0.50) if lat else None,
             "latency_p99_us": percentile(lat, 0.99) if lat else None,
+            "breakdown": {
+                stage: {
+                    "p50_us": percentile(h, 0.50) if h else None,
+                    "p99_us": percentile(h, 0.99) if h else None,
+                    "count": h["count"] if h else 0,
+                }
+                for stage, h in (
+                    ("queue_wait", hists.get("service.queue_wait_us")),
+                    ("issue", hists.get("service.issue_us")),
+                    ("drain", hists.get("service.drain_us")),
+                    ("drain_share", hists.get("service.drain_share_us")),
+                )
+            },
+            "slo": self.slo.summary() if self.slo is not None else None,
         }
+
+    def health(self) -> dict:
+        """Liveness/readiness: cheap enough for a probe loop."""
+        with self._mu:
+            depth = sum(
+                len(s.pending) for s in self._sessions.values()
+            )
+            sessions = sum(
+                1 for s in self._sessions.values() if not s.closed
+            )
+            status = (
+                "stopping" if self._stopping or self._stopped
+                else "ok" if self._started
+                else "idle"
+            )
+        out = {
+            "status": status,
+            "uptime_s": time.monotonic() - self._t0,
+            "workers": len(self._workers),
+            "sessions": sessions,
+            "queue_depth": depth,
+        }
+        if self.slo is not None:
+            s = self.slo.summary()
+            out["slo_met"] = s["window_met"]
+            out["slo_burn_rate"] = s["burn_rate"]
+        return out
 
     def metrics_snapshot(self) -> dict:
         """Raw counter/histogram snapshot of the process registry."""

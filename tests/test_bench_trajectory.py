@@ -1,0 +1,143 @@
+"""tools/bench_trajectory.py: schema validation and the regression table
+over the committed BENCH_*.json baselines."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# tools/ is not a package — load the harness straight from its file
+_spec = importlib.util.spec_from_file_location(
+    "bench_trajectory", os.path.join(REPO, "tools", "bench_trajectory.py")
+)
+bt = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bt)
+
+
+def _baseline(names=("a", "b"), median=0.010):
+    return {
+        "schema": bt.SCHEMA,
+        "benchmarks": [
+            {
+                "name": n,
+                "runs": 3,
+                "min_s": median * 0.9,
+                "median_s": median,
+                "mean_s": median * 1.01,
+                "max_s": median * 1.2,
+            }
+            for n in names
+        ],
+    }
+
+
+class TestValidate:
+    def test_good_baseline_is_clean(self):
+        assert bt.validate(_baseline(), "x.json") == []
+
+    @pytest.mark.parametrize(
+        "mangle, needle",
+        [
+            (lambda d: d.update(schema="bogus/9"), "schema"),
+            (lambda d: d.update(benchmarks=[]), "non-empty list"),
+            (lambda d: d.update(benchmarks="nope"), "non-empty list"),
+            (lambda d: d["benchmarks"][0].pop("name"), "name"),
+            (lambda d: d["benchmarks"][0].update(runs=0), "runs"),
+            (lambda d: d["benchmarks"][0].update(runs=True), "runs"),
+            (lambda d: d["benchmarks"][0].update(median_s=-1), "median_s"),
+            (lambda d: d["benchmarks"][0].update(median_s="fast"), "median_s"),
+            (lambda d: d["benchmarks"][0].pop("max_s"), "max_s"),
+        ],
+    )
+    def test_mangled_baseline_is_flagged(self, mangle, needle):
+        doc = _baseline()
+        mangle(doc)
+        errs = bt.validate(doc, "x.json")
+        assert errs and any(needle in e for e in errs)
+
+    def test_duplicate_name_is_flagged(self):
+        doc = _baseline(names=("same", "same"))
+        assert any("duplicates" in e for e in bt.validate(doc, "x.json"))
+
+    def test_ordering_violation_is_flagged(self):
+        doc = _baseline(names=("a",))
+        doc["benchmarks"][0]["min_s"] = 99.0
+        assert any("violated" in e for e in bt.validate(doc, "x.json"))
+
+    def test_non_object_top_level(self):
+        assert bt.validate([1, 2], "x.json")
+
+
+class TestCommittedBaselines:
+    def test_repo_baselines_validate_clean(self):
+        docs, errors = bt.load_baselines(REPO)
+        assert errors == []
+        labels = [label for label, _ in docs]
+        assert {"pr3", "pr4", "pr5"} <= set(labels)
+
+    def test_check_mode_passes_on_repo(self, capsys):
+        assert bt.main(["--dir", REPO, "--check"]) == 0
+        assert "INVALID" not in capsys.readouterr().err
+
+
+class TestLoadAndRender:
+    def test_numeric_aware_ordering(self, tmp_path):
+        for tag in ("pr10", "pr3", "pr4"):
+            (tmp_path / f"BENCH_{tag}.json").write_text(
+                json.dumps(_baseline())
+            )
+        docs, errors = bt.load_baselines(str(tmp_path))
+        assert errors == []
+        assert [label for label, _ in docs] == ["pr3", "pr4", "pr10"]
+
+    def test_invalid_file_fails_check(self, tmp_path, capsys):
+        (tmp_path / "BENCH_ok.json").write_text(json.dumps(_baseline()))
+        bad = _baseline()
+        bad["schema"] = "wrong/0"
+        (tmp_path / "BENCH_bad.json").write_text(json.dumps(bad))
+        assert bt.main(["--dir", str(tmp_path), "--check"]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_unreadable_json_fails_check(self, tmp_path, capsys):
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        assert bt.main(["--dir", str(tmp_path), "--check"]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_empty_dir_fails(self, tmp_path, capsys):
+        assert bt.main(["--dir", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_table_cells_and_deltas(self, tmp_path):
+        (tmp_path / "BENCH_pr1.json").write_text(
+            json.dumps(_baseline(median=0.010))
+        )
+        (tmp_path / "BENCH_pr2.json").write_text(
+            json.dumps(_baseline(median=0.012))
+        )
+        docs, _ = bt.load_baselines(str(tmp_path))
+        table = bt.render_table(docs)
+        assert "benchmark" in table and "a" in table and "b" in table
+        assert "10.00ms" in table
+        assert "12.00ms +20%" in table
+
+    def test_missing_benchmark_renders_dash(self, tmp_path):
+        (tmp_path / "BENCH_pr1.json").write_text(
+            json.dumps(_baseline(names=("only_early",)))
+        )
+        (tmp_path / "BENCH_pr2.json").write_text(
+            json.dumps(_baseline(names=("only_late",)))
+        )
+        docs, _ = bt.load_baselines(str(tmp_path))
+        table = bt.render_table(docs)
+        assert "-" in table.splitlines()[-1]
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "BENCH_pr1.json").write_text(json.dumps(_baseline()))
+        out = tmp_path / "traj.json"
+        assert bt.main(["--dir", str(tmp_path), "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["baselines"] == ["pr1"]
+        assert doc["trajectory"]["a"][0]["median_s"] == pytest.approx(0.010)

@@ -1,0 +1,160 @@
+"""MetricsRegistry delta semantics: bucket-wise histogram deltas under
+concurrent writers, and percentile estimates pinned at the power-of-4
+bucket boundaries."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestHistogramDelta:
+    def test_delta_is_bucket_wise(self):
+        reg = MetricsRegistry()
+        reg.enable()
+        reg.observe("h", 3)      # bucket le=4
+        before = reg.snapshot()
+        reg.observe("h", 3)      # le=4 again
+        reg.observe("h", 100)    # le=256
+        reg.observe("h", 10**9)  # le=1073741824 (the last closed bucket)
+        after = reg.snapshot()
+        d = MetricsRegistry.delta(before, after)["histograms"]["h"]
+        assert d["count"] == 3
+        assert d["total"] == pytest.approx(3 + 100 + 10**9)
+        buckets = d["buckets"]
+        assert buckets[BUCKET_BOUNDS.index(4)] == 1
+        assert buckets[BUCKET_BOUNDS.index(256)] == 1
+        assert buckets[BUCKET_BOUNDS.index(4**15)] == 1
+        assert sum(buckets) == 3
+
+    def test_delta_of_new_histogram_is_its_snapshot(self):
+        reg = MetricsRegistry()
+        reg.enable()
+        before = reg.snapshot()
+        reg.observe("fresh", 17)
+        d = MetricsRegistry.delta(before, reg.snapshot())["histograms"]
+        assert d["fresh"]["count"] == 1
+        assert d["fresh"]["buckets"][BUCKET_BOUNDS.index(64)] == 1
+
+    def test_unchanged_histogram_absent_from_delta(self):
+        reg = MetricsRegistry()
+        reg.enable()
+        reg.observe("quiet", 5)
+        snap = reg.snapshot()
+        assert MetricsRegistry.delta(snap, snap)["histograms"] == {}
+
+    def test_delta_under_concurrent_writers(self):
+        """Writers race the window edges; the windowed delta must still be
+        exactly the observations made between the two snapshots, bucket by
+        bucket."""
+        reg = MetricsRegistry()
+        reg.enable()
+        WRITERS, PER_WRITER = 8, 500
+        # values chosen to land in distinct buckets deterministically
+        values = [2, 40, 1000, 100_000]
+        start = threading.Barrier(WRITERS + 1)
+
+        def writer(wi: int) -> None:
+            start.wait()
+            for k in range(PER_WRITER):
+                reg.observe("lat", values[(wi + k) % len(values)])
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(WRITERS)
+        ]
+        for t in threads:
+            t.start()
+        before = reg.snapshot()
+        start.wait()  # release the writers only after the 'before' edge
+        for t in threads:
+            t.join()
+        after = reg.snapshot()
+
+        d = MetricsRegistry.delta(before, after)["histograms"]["lat"]
+        total_obs = WRITERS * PER_WRITER
+        assert d["count"] == total_obs
+        assert sum(d["buckets"]) == total_obs
+        # every writer hits each value PER_WRITER/len(values) times
+        per_bucket = total_obs // len(values)
+        for v in values:
+            bi = next(i for i, b in enumerate(BUCKET_BOUNDS) if v <= b)
+            assert d["buckets"][bi] == per_bucket
+        assert d["total"] == pytest.approx(per_bucket * sum(values))
+
+    def test_counter_delta_under_concurrent_writers(self):
+        reg = MetricsRegistry()
+        reg.enable()
+        before = reg.snapshot()
+        N = 1000
+
+        def bump():
+            for _ in range(N):
+                reg.inc("c")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        d = MetricsRegistry.delta(before, reg.snapshot())["counters"]
+        assert d["c"] == 4 * N
+
+
+class TestPercentileAtBucketBoundaries:
+    """percentile() resolves to bucket *upper bounds* (clamped by observed
+    min/max) — pin that contract at the power-of-4 edges."""
+
+    def _hist_with(self, values):
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        return h.to_dict()
+
+    @pytest.mark.parametrize("bound", [4, 16, 64, 256, 1024, 4**15])
+    def test_exact_boundary_value_reports_its_bucket(self, bound):
+        # a value sitting exactly on a boundary belongs to that bucket
+        # (buckets are <= bound), so the percentile is the value itself
+        d = self._hist_with([bound])
+        assert percentile(d, 0.99) == float(bound)
+
+    @pytest.mark.parametrize("bound", [4, 16, 64, 256])
+    def test_one_past_boundary_rolls_to_next_bucket(self, bound):
+        d = self._hist_with([bound + 1])
+        # estimate = next bucket's bound, clamped to the observed max
+        assert percentile(d, 0.99) == float(bound + 1)
+
+    def test_p50_and_p99_split_across_buckets(self):
+        # 99 tiny observations and one huge one: p50 stays in the small
+        # bucket, p99 must not (the boundary case CI dashboards read)
+        d = self._hist_with([3] * 99 + [5000])
+        assert percentile(d, 0.50) == 4.0
+        assert percentile(d, 0.99) == 4.0
+        assert percentile(d, 0.999) == 5000.0
+
+    def test_overflow_bucket_uses_observed_max(self):
+        huge = 4**15 + 12345
+        d = self._hist_with([huge])
+        assert percentile(d, 0.99) == float(huge)
+
+    def test_empty_histogram_is_none(self):
+        assert percentile(Histogram().to_dict(), 0.99) is None
+
+    def test_windowed_delta_percentile(self):
+        """percentile() over a delta window (the stats() path): only the
+        window's observations move the estimate."""
+        reg = MetricsRegistry()
+        reg.enable()
+        for _ in range(100):
+            reg.observe("lat", 3)          # history: all tiny
+        before = reg.snapshot()
+        for _ in range(10):
+            reg.observe("lat", 900)        # window: all in le=1024
+        d = MetricsRegistry.delta(before, reg.snapshot())["histograms"]["lat"]
+        # bucket bound 1024, clamped to the observed max of 900
+        assert percentile(d, 0.99) == 900.0

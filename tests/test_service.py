@@ -274,6 +274,31 @@ class TestObservability:
         _define_graph(c)
         assert svc.validate_all() >= 1
 
+    def test_client_metrics_parity_with_tcp(self):
+        """Local Client and TCPClient expose the same admin surface with
+        the same snapshot shape."""
+        from repro.service.server import serve
+
+        with serve(port=0) as srv:
+            host, port = srv.address
+            local = Client(srv.service)
+            remote = TCPClient(host, port)
+            _define_graph(local)
+            _define_graph(remote, name="g2")
+
+            for snap in (local.metrics(), remote.metrics()):
+                assert set(snap) >= {"counters", "histograms"}
+                assert snap["counters"]["service.admitted"] >= 2
+                assert "service.latency_us" in snap["histograms"]
+                hist = snap["histograms"]["service.latency_us"]
+                assert set(hist) >= {"count", "total", "buckets"}
+
+            for h in (local.health(), remote.health()):
+                assert h["status"] in ("ok", "idle")
+                assert h["workers"] >= 1
+            assert local.ping() == remote.ping() == {"pong": True}
+            remote.close()
+
 
 class TestConcurrencyCorrectness:
     def test_concurrent_clients_match_serial_replay(self):

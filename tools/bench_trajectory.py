@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Bench-trajectory harness: the repo's performance history in one table.
+
+Every PR that touches performance leaves a ``BENCH_<tag>.json`` baseline
+behind (``repro-bench/1`` schema, written by
+:class:`repro.obs.export.BenchRecorder`).  This tool loads them all,
+validates each against the schema, and renders a regression table —
+benchmarks as rows, baseline files as columns, each cell the median in
+milliseconds plus the delta against the previous baseline that measured
+the same benchmark.  CI runs it with ``--check`` so a schema-breaking or
+hand-mangled baseline fails the build instead of silently rotting.
+
+Usage::
+
+    python tools/bench_trajectory.py            # table over ./BENCH_*.json
+    python tools/bench_trajectory.py --check    # validate only, no table
+    python tools/bench_trajectory.py --dir path --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+SCHEMA = "repro-bench/1"
+
+#: required numeric statistics of every benchmark entry
+STAT_FIELDS = ("min_s", "median_s", "mean_s", "max_s")
+
+
+def validate(doc: object, path: str) -> list[str]:
+    """Schema errors of one parsed baseline document (empty → valid)."""
+    errs: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errs.append(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        errs.append(f"{path}: 'benchmarks' must be a non-empty list")
+        return errs
+    seen: set[str] = set()
+    for i, b in enumerate(benches):
+        where = f"{path}: benchmarks[{i}]"
+        if not isinstance(b, dict):
+            errs.append(f"{where} must be an object")
+            continue
+        name = b.get("name")
+        if not isinstance(name, str) or not name:
+            errs.append(f"{where} needs a non-empty string 'name'")
+        elif name in seen:
+            errs.append(f"{where} duplicates name {name!r}")
+        else:
+            seen.add(name)
+        runs = b.get("runs")
+        if not isinstance(runs, int) or isinstance(runs, bool) or runs < 1:
+            errs.append(f"{where} needs integer 'runs' >= 1")
+        for f in STAT_FIELDS:
+            v = b.get(f)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                errs.append(f"{where} needs non-negative number {f!r}")
+        if all(isinstance(b.get(f), (int, float)) for f in STAT_FIELDS):
+            if not (b["min_s"] <= b["median_s"] <= b["max_s"]):
+                errs.append(f"{where}: min_s <= median_s <= max_s violated")
+    return errs
+
+
+def _order_key(path: str):
+    """BENCH_pr3 < BENCH_pr4 < BENCH_pr10 — numeric-aware, name-stable."""
+    base = os.path.basename(path)
+    parts = re.split(r"(\d+)", base)
+    return [int(p) if p.isdigit() else p for p in parts]
+
+
+def load_baselines(directory: str) -> tuple[list[tuple[str, dict]], list[str]]:
+    """All ``BENCH_*.json`` under *directory*, ordered; plus schema errors."""
+    paths = sorted(
+        glob.glob(os.path.join(directory, "BENCH_*.json")), key=_order_key
+    )
+    docs: list[tuple[str, dict]] = []
+    errors: list[str] = []
+    for path in paths:
+        label = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{path}: unreadable: {exc}")
+            continue
+        errs = validate(doc, path)
+        if errs:
+            errors.extend(errs)
+            continue
+        docs.append((label, doc))
+    return docs, errors
+
+
+def trajectory(docs: list[tuple[str, dict]]) -> dict:
+    """{benchmark: [(label, median_s, delta_vs_prev | None), ...]}."""
+    out: dict[str, list] = {}
+    for label, doc in docs:
+        for b in doc["benchmarks"]:
+            out.setdefault(b["name"], []).append((label, b["median_s"]))
+    traj: dict[str, list] = {}
+    for name, points in out.items():
+        rows = []
+        prev = None
+        for label, median in points:
+            delta = None if prev in (None, 0) else (median - prev) / prev
+            rows.append((label, median, delta))
+            prev = median
+        traj[name] = rows
+    return traj
+
+
+def render_table(docs: list[tuple[str, dict]]) -> str:
+    """The human-facing regression table over all baselines."""
+    labels = [label for label, _ in docs]
+    traj = trajectory(docs)
+    name_w = max([len("benchmark")] + [len(n) for n in traj])
+    col_w = max([12] + [len(lb) + 9 for lb in labels])
+
+    def cell(text: str) -> str:
+        return text.rjust(col_w)
+
+    lines = [
+        " ".join([("benchmark").ljust(name_w)] + [cell(lb) for lb in labels]),
+        " ".join(["-" * name_w] + ["-" * col_w for _ in labels]),
+    ]
+    for name in sorted(traj):
+        by_label = {lb: (med, d) for lb, med, d in traj[name]}
+        row = [name.ljust(name_w)]
+        for lb in labels:
+            if lb not in by_label:
+                row.append(cell("-"))
+                continue
+            med, delta = by_label[lb]
+            text = f"{med * 1e3:.2f}ms"
+            if delta is not None:
+                text += f" {delta * 100:+.0f}%"
+            row.append(cell(text))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python tools/bench_trajectory.py",
+        description="validate BENCH_*.json baselines and render the "
+                    "performance trajectory table",
+    )
+    p.add_argument("--dir", default=".",
+                   help="directory holding the BENCH_*.json baselines")
+    p.add_argument("--check", action="store_true",
+                   help="validate schemas only; print nothing but errors")
+    p.add_argument("--json", default=None,
+                   help="also write the trajectory as JSON here")
+    args = p.parse_args(argv)
+
+    docs, errors = load_baselines(args.dir)
+    for err in errors:
+        print(f"INVALID {err}", file=sys.stderr)
+    if not docs and not errors:
+        print(f"no BENCH_*.json baselines under {args.dir!r}", file=sys.stderr)
+        return 1
+
+    if not args.check and docs:
+        print(f"{len(docs)} baselines: "
+              + ", ".join(label for label, _ in docs))
+        print(render_table(docs))
+
+    if args.json and docs:
+        doc = {
+            "baselines": [label for label, _ in docs],
+            "trajectory": {
+                name: [
+                    {"baseline": lb, "median_s": med, "delta": d}
+                    for lb, med, d in rows
+                ]
+                for name, rows in trajectory(docs).items()
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
