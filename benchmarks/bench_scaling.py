@@ -10,12 +10,20 @@ Three series on RMAT graphs of growing scale:
 
 Each parametrized case is one point of the series; the pytest-benchmark
 table *is* the figure data.
+
+The backend sweep re-runs the mxm series under each execution backend
+(``serial`` / ``threads`` / ``processes``); the processes column is the
+shard pool's scaling point, honest about the host core count (a 1-core
+CI runner oversubscribes the pool and shows IPC overhead, not speedup).
 """
+
+import os
 
 import numpy as np
 import pytest
 
 import repro as grb
+from repro import context, parallel
 from repro.algebra import PLUS_TIMES
 from repro.algorithms import bc_update, bfs_levels
 from repro.io import rmat
@@ -23,6 +31,7 @@ from repro.io import rmat
 from conftest import header, row
 
 SCALES = [7, 8, 9, 10]
+BACKENDS = ("serial", "threads", "processes")
 
 
 @pytest.fixture(scope="module")
@@ -45,6 +54,37 @@ class BenchMxmScaling:
             header("Scaling series: mxm on RMAT (edge_factor 8)")
         row(
             f"scale {scale} (n={A.nrows}, m={A.nvals()})",
+            f"out nvals={C.nvals()}",
+        )
+
+
+class BenchMxmBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("scale", SCALES)
+    def bench_mxm_backend(self, benchmark, graphs, scale, backend):
+        A = graphs[scale]
+        context.init(context.Mode.NONBLOCKING)
+        parallel.set_backend(backend)
+        if backend == "processes":
+            # ship everything; pool sized to the host, capped at 8
+            parallel.set_parallel_threshold(0)
+            parallel.set_shard_workers(max(2, min(8, os.cpu_count() or 1)))
+
+        def run():
+            C = grb.Matrix(grb.INT32, A.nrows, A.ncols)
+            grb.mxm(C, None, None, PLUS_TIMES[grb.INT32], A, A)
+            grb.wait()
+            return C
+
+        try:
+            C = benchmark(run)
+        finally:
+            parallel.set_backend("threads")
+            parallel.set_parallel_threshold(parallel.config.DEFAULT_THRESHOLD)
+        if scale == SCALES[0] and backend == BACKENDS[0]:
+            header("Scaling series: mxm by backend (nonblocking drain)")
+        row(
+            f"scale {scale} {backend} (m={A.nvals()})",
             f"out nvals={C.nvals()}",
         )
 

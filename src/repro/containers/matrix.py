@@ -43,7 +43,10 @@ __all__ = ["Matrix", "matrix_new"]
 class Matrix(OpaqueObject):
     """An opaque GraphBLAS matrix."""
 
-    __slots__ = ("_type", "_nrows", "_ncols", "_keys", "_values", "_csr", "_csc")
+    __slots__ = (
+        "_type", "_nrows", "_ncols", "_keys", "_values", "_csr", "_csc",
+        "_version",
+    )
 
     def __init__(self, domain: GrBType, nrows: int, ncols: int, *, name: str = ""):
         super().__init__(name)
@@ -63,6 +66,10 @@ class Matrix(OpaqueObject):
         self._values = np.empty(0, dtype=domain.np_dtype)
         self._csr: CSRView | None = None
         self._csc: CSRView | None = None
+        #: bumped on every content mutation — the shard publication cache
+        #: keys shared-memory copies by ``(id(A), A._version)`` so a stale
+        #: block layout can never be shipped after a hazard-ordered write
+        self._version = 0
 
     # ------------------------------------------------------------ metadata
     @property
@@ -104,6 +111,7 @@ class Matrix(OpaqueObject):
         self._values = values
         self._csr = None
         self._csc = None
+        self._version += 1
         self._poisoned = False
 
     def csr(self) -> CSRView:
@@ -181,6 +189,7 @@ class Matrix(OpaqueObject):
                 self._values[pos] = v
                 self._csr = None
                 self._csc = None
+                self._version += 1
             else:
                 self._set_content(
                     np.insert(self._keys, pos, key),

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ...parallel import get_num_threads, serial_section, thread_pool
+from ...parallel import get_backend, get_num_threads, serial_section, thread_pool
 from ..sequence import DeferredOp, QueueStats
 from .config import options
 from .graph import Graph, OpNode, build_graph
@@ -109,6 +109,14 @@ def _attach_runners(g: Graph) -> None:
                 node.ops[0].thunk, node.label, deferred=True,
                 provenance=prov or None,
             )
+            # plain single-op nodes are candidates for the sharded backend;
+            # the shard scheduler re-wraps its own completion with the same
+            # provenance/accounting, so stash them here
+            node.shard = {
+                "spec": node.ops[0].spec,
+                "prov": prov or None,
+                "rids": rids,
+            }
         node.runner = acct.wrap(runner, rids) if acct is not None else runner
 
 
@@ -141,8 +149,11 @@ class ExecutionPlan:
         if self._levels:
             width = max(len(level) for level in self._levels)
             self._stats.max_width = max(self._stats.max_width, width)
+        sharded = self._parallel and get_backend() == "processes"
         for lvl, level in enumerate(self._levels):
-            if self._parallel and len(level) > 1 and get_num_threads() > 1:
+            if sharded:
+                self._run_level_sharded(lvl, level)
+            elif self._parallel and len(level) > 1 and get_num_threads() > 1:
                 self._run_level_parallel(lvl, level)
             else:
                 self._run_level_serial(lvl, level)
@@ -155,6 +166,27 @@ class ExecutionPlan:
                 self._fail(lvl, level[pos:])
                 raise
             self._stats.executed += len(node.ops)
+
+    def _run_level_sharded(self, lvl: int, level: list[OpNode]) -> None:
+        # The shard scheduler owns the whole level: it ships what the gate
+        # allows, runs the rest locally, and reports per-node failures with
+        # the same collect-then-first-in-program-order contract as the
+        # thread path.  Anything it *raises* (worker death → Panic) fails
+        # the entire level.
+        from ...shard.scheduler import run_level as _shard_run_level
+
+        try:
+            failures = _shard_run_level(level)
+        except BaseException:
+            self._fail(lvl, level)
+            raise
+        failed = {n.index for n, _ in failures}
+        for node in level:
+            if node.index not in failed:
+                self._stats.executed += len(node.ops)
+        if failures:
+            self._fail(lvl, [n for n, _ in failures])
+            raise failures[0][1]
 
     def _run_level_parallel(self, lvl: int, level: list[OpNode]) -> None:
         # Workers run under serial_section so a node's kernels don't submit

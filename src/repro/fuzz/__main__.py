@@ -26,6 +26,7 @@ from pathlib import Path
 from .corpus import emit_regression, load_corpus, save_corpus
 from .coverage import SpecCoverage
 from .executor import (
+    PROCESSES,
     check_error_conformance,
     default_modes,
     exhaustive_modes,
@@ -48,6 +49,9 @@ def _parse_args(argv):
                    help="error-model programs to fuzz (default: n // 5)")
     p.add_argument("--exhaustive", action="store_true",
                    help="all 16 planner-pass combinations (slower)")
+    p.add_argument("--processes", action="store_true",
+                   help="add the sharded multi-process backend to the "
+                        "differential pair (2-worker pool, 2x2 grid)")
     p.add_argument("--replay", metavar="PATH",
                    help="replay programs from a corpus .jsonl or an emitted "
                         "regression .py instead of generating")
@@ -79,6 +83,8 @@ def main(argv=None) -> int:
         args.errors = max(args.n // 5, 1)
 
     modes = exhaustive_modes() if args.exhaustive else default_modes()
+    if args.processes:
+        modes = modes + [PROCESSES]
     print(f"modes: {', '.join(m.name for m in modes)}")
 
     if args.replay:

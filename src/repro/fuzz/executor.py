@@ -29,6 +29,7 @@ from typing import Any
 
 __all__ = [
     "ExecMode",
+    "PROCESSES",
     "default_modes",
     "ablation_modes",
     "exhaustive_modes",
@@ -52,6 +53,10 @@ class ExecMode:
     #: planner knob overrides applied before the run (nonblocking only);
     #: stored as a sorted tuple of (knob, value) so the mode is hashable
     planner: tuple = ()
+    #: execution backend for the run ("serial" | "threads" | "processes");
+    #: "processes" drops the parallel threshold to 0 and forces a small
+    #: 2-worker / (2, 2)-grid pool so every shippable op actually shards
+    backend: str = "threads"
 
     def knobs(self) -> dict:
         return dict(self.planner)
@@ -62,6 +67,10 @@ def _nb(name: str, **knobs: bool) -> ExecMode:
 
 
 BLOCKING = ExecMode("blocking")
+
+#: nonblocking under the full planner with the sharded process backend —
+#: the differential pair that proves blocking vs multi-process bit-identity
+PROCESSES = ExecMode("nb-processes", nonblocking=True, backend="processes")
 
 
 def ablation_modes() -> list[ExecMode]:
@@ -502,16 +511,31 @@ def run_optimized(program, mode: ExecMode, *, obs_capture: bool = False) -> Snap
     snapshotting and validation happen *outside* the window so they
     never perturb the counters.
     """
-    from .. import context, obs, validation
+    from .. import context, obs, parallel, validation
     from ..execution import planner
 
     context._reset()
+    prior = (
+        parallel.get_backend(),
+        parallel.parallel_threshold(),
+        parallel.shard_workers(),
+        parallel.shard_grid(),
+    )
     try:
         if mode.nonblocking:
             context.init(context.Mode.NONBLOCKING)
         knobs = mode.knobs()
         if knobs:
             planner.configure(**knobs)
+        if mode.backend != "threads":
+            parallel.set_backend(mode.backend)
+        if mode.backend == "processes":
+            # make sharding bite on fuzz-sized programs: no threshold, a
+            # 2-worker pool, and a forced 2×2 grid so the tile-merge path
+            # (exact domains) is exercised, not just stripes
+            parallel.set_parallel_threshold(0)
+            parallel.set_shard_workers(2)
+            parallel.set_shard_grid((2, 2))
         env = Env()
         dtypes = {d.name: d.dtype for d in program.decls}
         scalars: list[Any] = []
@@ -539,6 +563,10 @@ def run_optimized(program, mode: ExecMode, *, obs_capture: bool = False) -> Snap
                 snap.objects[d.name] = _snapshot_obj(d, objs[d.name])
         return snap
     finally:
+        parallel.set_backend(prior[0])
+        parallel.set_parallel_threshold(prior[1])
+        parallel.set_shard_workers(prior[2])
+        parallel.set_shard_grid(prior[3])
         context._reset()
 
 

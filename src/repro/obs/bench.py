@@ -52,17 +52,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="BC batch width (default 16)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="measured runs per workload (default 3)")
+    parser.add_argument("--backend", choices=("serial", "threads", "processes"),
+                        default="threads",
+                        help="drain execution backend for the planner runs")
+    parser.add_argument("--shard-workers", type=int, default=None,
+                        help="shard pool size for the processes backend")
     args = parser.parse_args(argv)
 
     import numpy as np
 
     import repro as grb
-    from repro import context, obs
+    from repro import context, obs, parallel
     from repro.io import erdos_renyi
+
+    parallel.set_backend(args.backend)
+    if args.shard_workers is not None:
+        parallel.set_shard_workers(args.shard_workers)
 
     rec = obs.BenchRecorder(meta={"suite": "repro.obs.bench",
                                   "scale": args.scale,
-                                  "sources": args.sources})
+                                  "sources": args.sources,
+                                  "backend": args.backend})
 
     # --- Fig. 3 BC, blocking -------------------------------------------
     A, run_bc = _bc_workload(args.scale, args.sources)

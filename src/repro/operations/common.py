@@ -40,6 +40,7 @@ __all__ = [
     "run_write_pipeline",
     "submit_standard_op",
     "execute_standard",
+    "execute_sharded",
     "execute_fused",
     "check_output",
     "check_input",
@@ -242,6 +243,31 @@ def execute_standard(
         t_keys, t_vals = spec.kernel(mask_view)
         if capture is not None:
             capture(t_keys, t_vals)
+    run_write_pipeline(
+        spec.out, spec.mask, spec.accum, d, t_keys, t_vals, spec.t_type,
+        mask_view=mask_view,
+    )
+
+
+def execute_sharded(
+    spec: OpSpec, t_keys: np.ndarray, t_vals: np.ndarray
+) -> None:
+    """Complete a standard op whose T was computed by the shard pool.
+
+    The workers produced T *unmasked* (mask push-down only ever drops
+    whole output cells, never individual products of a surviving cell, so
+    filtering after the fact is value-identical); everything stateful —
+    mask, accumulator, replace/merge write — runs here in the parent,
+    through the very same pipeline the local path uses.
+    """
+    d = spec.desc
+    if _obs_spans.current() is not None:
+        _obs_spans.annotate(
+            kind=spec.kind,
+            sharded=True,
+            nnz_in=int(sum(len(x._content()[0]) for x in spec.inputs)),
+        )
+    mask_view = build_mask_view(spec.mask, d.mask_complement, d.mask_structure)
     run_write_pipeline(
         spec.out, spec.mask, spec.accum, d, t_keys, t_vals, spec.t_type,
         mask_view=mask_view,

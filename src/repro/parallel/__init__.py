@@ -11,23 +11,37 @@ byte-for-byte; the ablation benchmark flips it on.
 """
 
 from .config import (
+    get_backend,
     get_num_threads,
     parallel_threshold,
     pool_stats,
     row_blocks,
     serial_section,
+    set_backend,
     set_num_threads,
     set_parallel_threshold,
+    set_shard_grid,
+    set_shard_workers,
+    shard_grid,
+    shard_workers,
+    shutdown_pools,
     thread_pool,
 )
 
 __all__ = [
+    "get_backend",
+    "set_backend",
     "get_num_threads",
     "set_num_threads",
     "parallel_threshold",
     "set_parallel_threshold",
+    "shard_workers",
+    "set_shard_workers",
+    "shard_grid",
+    "set_shard_grid",
     "row_blocks",
     "thread_pool",
     "serial_section",
     "pool_stats",
+    "shutdown_pools",
 ]

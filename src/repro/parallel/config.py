@@ -1,13 +1,27 @@
-"""Thread-pool configuration for parallel kernels.
+"""Execution-backend configuration for parallel kernels.
 
-A single process-wide pool is created lazily and resized on demand; the
-kernels ask :func:`get_num_threads` and :func:`parallel_threshold` to decide
-whether splitting is worthwhile (below the threshold the partition overhead
-dominates — the classic HPC rule that you profile before you parallelize).
+Three backends share this module's knobs:
+
+* ``serial`` — everything on the calling thread;
+* ``threads`` — the original shared thread pool (numpy releases the GIL
+  inside vectorized segments, so speedups are real though modest);
+* ``processes`` — the sharded multi-process backend
+  (:mod:`repro.shard`): CSR blocks in shared memory, OpSpecs shipped to a
+  persistent worker pool, partials merged back in the parent.
+
+A single process-wide thread pool is created lazily and resized on demand;
+the kernels ask :func:`get_num_threads` and :func:`parallel_threshold` to
+decide whether splitting is worthwhile (below the threshold the partition
+overhead dominates — the classic HPC rule that you profile before you
+parallelize).  :func:`shutdown_pools` — registered with :mod:`atexit` —
+tears down both pools *and* unlinks every registered shared-memory
+segment, so an aborted drain can never leak ``/dev/shm`` entries past
+interpreter exit.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -18,18 +32,37 @@ import numpy as np
 from ..info import InvalidValue
 
 __all__ = [
+    "get_backend",
+    "set_backend",
     "get_num_threads",
     "set_num_threads",
     "parallel_threshold",
     "set_parallel_threshold",
+    "shard_workers",
+    "set_shard_workers",
+    "shard_grid",
+    "set_shard_grid",
     "row_blocks",
     "thread_pool",
     "serial_section",
     "pool_stats",
+    "shutdown_pools",
 ]
 
+BACKENDS = ("serial", "threads", "processes")
+DEFAULT_THRESHOLD = 200_000
+#: hard cap on shard workers — deliberately *not* clamped to cpu_count():
+#: oversubscription is how the 2-worker CI grid runs on 1-core runners
+_MAX_SHARD_WORKERS = 64
+
+_backend = "threads"
 _num_threads = 1
-_threshold = 200_000  # estimated flops below which kernels stay serial
+_threshold = DEFAULT_THRESHOLD  # estimated flops below which kernels stay serial
+_shard_workers = max(1, min(
+    int(os.environ.get("REPRO_SHARD_WORKERS", 0) or (os.cpu_count() or 1)),
+    _MAX_SHARD_WORKERS,
+))
+_shard_grid: tuple[int, int] | None = None
 _pool: ThreadPoolExecutor | None = None
 _pool_size = 0
 _handle: "_PoolHandle | None" = None
@@ -42,10 +75,65 @@ _completed = 0
 _busy_seconds = 0.0
 
 
+def get_backend() -> str:
+    return _backend
+
+
+def set_backend(name: str) -> None:
+    """Select the execution backend: ``serial``, ``threads`` or ``processes``."""
+    global _backend
+    if name not in BACKENDS:
+        raise InvalidValue(
+            f"unknown backend {name!r}; expected one of {BACKENDS}"
+        )
+    _backend = name
+
+
+def shard_workers() -> int:
+    return _shard_workers
+
+
+def set_shard_workers(n: int) -> None:
+    """Worker count of the shard process pool (``processes`` backend).
+
+    Unlike :func:`set_num_threads` this is *not* clamped to the host core
+    count: process workers escape the GIL, and CI deliberately runs a
+    2-worker grid on single-core runners to exercise the protocol.
+    """
+    global _shard_workers
+    if n < 1:
+        raise InvalidValue("shard worker count must be >= 1")
+    _shard_workers = int(min(n, _MAX_SHARD_WORKERS))
+
+
+def shard_grid() -> tuple[int, int] | None:
+    return _shard_grid
+
+
+def set_shard_grid(grid: tuple[int, int] | None) -> None:
+    """Force the 2D (row-stripes × column-splits) block grid for sharded
+    SpGEMM; ``None`` restores the automatic policy (stripes only).  Column
+    splits apply only to exact add-domains (bool/integer), where the
+    semiring-add merge of partial products is bitwise associative."""
+    global _shard_grid
+    if grid is None:
+        _shard_grid = None
+        return
+    pr, pc = int(grid[0]), int(grid[1])
+    if pr < 1 or pc < 1:
+        raise InvalidValue("shard grid dimensions must be >= 1")
+    _shard_grid = (pr, pc)
+
+
 def get_num_threads() -> int:
     # Inside a serial section the calling thread *is* a pool worker; letting
     # its kernels submit to the pool again would deadlock a bounded pool.
     if getattr(_tls, "serial", 0):
+        return 1
+    # the thread pool only fans out under its own backend: serial mode is
+    # serial, and the processes backend owns all parallelism (its workers
+    # must not find a nested thread pool under themselves)
+    if _backend != "threads":
         return 1
     return _num_threads
 
@@ -148,6 +236,37 @@ def pool_stats() -> dict:
             "busy_seconds": _busy_seconds,
             "workers": _pool_size or _num_threads,
         }
+
+
+def shutdown_pools() -> None:
+    """Tear down both execution pools and unlink all shared memory.
+
+    Idempotent and safe to call at any time; registered with :mod:`atexit`
+    so an interpreter exiting mid-drain (crash, test abort, Ctrl-C) leaves
+    no worker processes and no ``/dev/shm`` segments behind.
+    """
+    global _pool, _pool_size, _handle
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_size = 0
+        _handle = None
+    # the shard modules import lazily: a process that never used the
+    # processes backend must not pay for (or fail on) their import here
+    import sys
+
+    shard_pool = sys.modules.get("repro.shard.pool")
+    if shard_pool is not None:
+        shard_pool.shutdown_pool()
+    shard_sched = sys.modules.get("repro.shard.scheduler")
+    if shard_sched is not None:
+        shard_sched.invalidate_all()
+    shard_shm = sys.modules.get("repro.shard.shm")
+    if shard_shm is not None:
+        shard_shm.registry.unlink_all()
+
+
+atexit.register(shutdown_pools)
 
 
 def row_blocks(work_per_row: np.ndarray, nblocks: int) -> list[slice]:

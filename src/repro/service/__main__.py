@@ -36,6 +36,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--slo-p99-ms", type=float, default=None,
                    help="rolling-window p99 latency target in milliseconds "
                         "(reported by stats/health/metrics)")
+    p.add_argument("--backend", choices=("serial", "threads", "processes"),
+                   default="threads",
+                   help="drain execution backend")
+    p.add_argument("--shard-workers", type=int, default=None,
+                   help="shard pool size for the processes backend")
     args = p.parse_args(argv)
 
     cfg = ServiceConfig(
@@ -45,6 +50,8 @@ def main(argv: list[str] | None = None) -> int:
         batching=not args.no_batching,
         default_timeout=args.timeout,
         slo_p99_ms=args.slo_p99_ms,
+        backend=args.backend,
+        shard_workers=args.shard_workers,
     )
     server = Server(args.host, args.port, config=cfg)
     host, port = server.address

@@ -174,11 +174,13 @@ def run_direct(
     batching: bool = True,
     pipeline: int = 8,
     slo_p99_ms: float | None = None,
+    backend: str = "threads",
+    shard_workers: int | None = None,
 ) -> dict:
     """Run the streams in-process; returns results, errors, and stats."""
     svc = Service(ServiceConfig(
         workers=workers, queue_capacity=queue_capacity, batching=batching,
-        slo_p99_ms=slo_p99_ms,
+        slo_p99_ms=slo_p99_ms, backend=backend, shard_workers=shard_workers,
     ))
     before = metrics.registry.snapshot()
     try:
@@ -374,6 +376,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--slo-p99-ms", type=float, default=None,
                    help="fail (exit nonzero) when the run's p99 latency "
                         "exceeds this many milliseconds")
+    p.add_argument("--backend", choices=("serial", "threads", "processes"),
+                   default="threads",
+                   help="drain execution backend (direct mode)")
+    p.add_argument("--shard-workers", type=int, default=None,
+                   help="shard pool size for the processes backend")
     args = p.parse_args(argv)
 
     streams = build_streams(args.seed, args.clients, args.requests)
@@ -389,7 +396,8 @@ def main(argv: list[str] | None = None) -> int:
         live = run_direct(
             streams, seed=args.seed, workers=args.workers,
             queue_capacity=args.queue_capacity, pipeline=args.pipeline,
-            slo_p99_ms=args.slo_p99_ms,
+            slo_p99_ms=args.slo_p99_ms, backend=args.backend,
+            shard_workers=args.shard_workers,
         )
 
     st = live["stats"]
@@ -452,6 +460,7 @@ def main(argv: list[str] | None = None) -> int:
             "seed": args.seed,
             "clients": args.clients,
             "requests": total,
+            "backend": args.backend,
         })
         for batching in (True, False):
             times, extra = [], {}
@@ -460,6 +469,7 @@ def main(argv: list[str] | None = None) -> int:
                     streams, seed=args.seed, workers=args.workers,
                     queue_capacity=args.queue_capacity,
                     batching=batching, pipeline=args.pipeline,
+                    backend=args.backend, shard_workers=args.shard_workers,
                 )
                 times.append(run["elapsed_s"])
                 extra = {

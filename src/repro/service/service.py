@@ -41,6 +41,7 @@ from .. import context
 from ..obs import metrics
 from ..obs.metrics import SLOTracker, percentile
 from ..obs.tracing import TraceContext
+from .. import parallel
 from ..parallel import get_num_threads
 from .errors import QueueFull, ServiceClosed, SessionNotFound
 from .executor import run_batch, validate_session
@@ -72,9 +73,22 @@ class ServiceConfig:
     slo_p99_ms: float | None = None
     #: width of the SLO observation window in seconds
     slo_window_s: float = 60.0
+    #: kernel execution backend for drained batches
+    #: (``serial`` | ``threads`` | ``processes`` — see :mod:`repro.parallel`)
+    backend: str = "threads"
+    #: shard-pool size for the ``processes`` backend (None → leave the
+    #: process-wide :func:`repro.parallel.shard_workers` setting alone)
+    shard_workers: int | None = None
 
     def worker_count(self) -> int:
-        return self.workers if self.workers else max(2, get_num_threads())
+        if self.workers:
+            return self.workers
+        if self.backend == "processes":
+            # drain batches fan out across the shard pool; a small service
+            # pool is enough to keep it fed (get_num_threads() is pinned to
+            # 1 under non-thread backends)
+            return 2
+        return max(2, get_num_threads())
 
 
 class Service:
@@ -111,6 +125,9 @@ class Service:
             else None
         )
         metrics.registry.enable()
+        parallel.set_backend(config.backend)
+        if config.shard_workers is not None:
+            parallel.set_shard_workers(config.shard_workers)
         if config.autostart:
             self.start()
 

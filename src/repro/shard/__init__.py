@@ -1,0 +1,47 @@
+"""Sharded multi-process execution backend (``backend = "processes"``).
+
+Escapes the GIL the way distributed GraphBLAS implementations escape the
+node: data lives in a block distribution (here: shared-memory CSR
+segments, CombBLAS-style 2D in spirit), computation is described by tiny
+shipped descriptors (OpSpecs → :class:`~repro.shard.opspec.ShardTask`),
+and partial results are merged back under the algebra's own monoids.  The
+paper's opaque-object design (section III) is what makes the whole
+backend a drop-in: no API surface changes, containers simply complete
+with bit-identical content.
+
+Modules
+-------
+``shm``        refcounted SharedMemory registry, leak-proof teardown
+``layout``     BlockLayout descriptors; publish/attach CSR segments
+``protocol``   pickle-framed pipe messages (Task/Result/Free/…)
+``opspec``     shippability gate + block task planning
+``worker``     spawned worker loop (attach → blockwise kernel → reply)
+``pool``       persistent spawn pool, master/worker dispatch, crash → Panic
+``merge``      stripe concat + k-tile monoid merge rules
+``scheduler``  per-DAG-level orchestration, publication cache, obs wiring
+``bench``      serial vs processes scaling benchmark (BENCH_pr6.json)
+"""
+
+from .layout import BlockLayout, attach_csr, publish_csr
+from .opspec import NodePlan, ShardTask, plan_node
+from .pool import ShardPool, get_pool, pool_stats, shutdown_pool
+from .scheduler import invalidate_all, publication_stats, run_level
+from .shm import ShmRegistry, registry
+
+__all__ = [
+    "BlockLayout",
+    "publish_csr",
+    "attach_csr",
+    "ShardTask",
+    "NodePlan",
+    "plan_node",
+    "ShardPool",
+    "get_pool",
+    "shutdown_pool",
+    "pool_stats",
+    "run_level",
+    "publication_stats",
+    "invalidate_all",
+    "ShmRegistry",
+    "registry",
+]

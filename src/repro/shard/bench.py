@@ -1,0 +1,131 @@
+"""Scaling baseline for the sharded backend: ``python -m repro.shard.bench``.
+
+Times the drain-path SpGEMM and SpMV workloads on the same Erdős–Rényi
+graph under the ``serial`` backend and under the ``processes`` backend
+with an N-worker shard pool, and writes a ``repro-bench/1`` baseline
+(``BENCH_pr6.json`` by default) that ``tools/bench_trajectory.py``
+validates in CI.  The processes entries carry a ``speedup_vs_serial``
+field plus the host core count, so a reader can tell a genuine scaling
+number from a 1-core CI box oversubscribing its pool.
+
+Must be launched as a real module (``python -m repro.shard.bench``):
+the spawn start method re-imports ``__main__`` in every worker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _run_backend(backend: str, shard_workers: int, args) -> dict:
+    """Median-of-N timings for mxm/mxv under *backend*; fresh context."""
+    import repro as grb
+    from repro import context, obs, parallel
+    from repro.io import erdos_renyi
+
+    context._reset()
+    context.init(context.Mode.NONBLOCKING)
+    parallel.set_backend(backend)
+    if backend == "processes":
+        parallel.set_shard_workers(shard_workers)
+
+    rec = obs.BenchRecorder()
+    try:
+        E1 = erdos_renyi(args.nodes, args.edges, seed=1, domain=grb.FP64)
+        E2 = erdos_renyi(args.nodes, args.edges, seed=2, domain=grb.FP64)
+        C = grb.Matrix(grb.FP64, args.nodes, args.nodes)
+
+        def run_mxm():
+            grb.mxm(C, None, None, grb.PLUS_TIMES[grb.FP64], E1, E2)
+            grb.wait()
+            return C.nvals()
+
+        rec.measure(
+            f"shard.mxm.er{args.nodes}x{args.edges}.{backend}",
+            run_mxm, repeat=args.repeat, nnz_in=E1.nvals(),
+        )
+
+        import numpy as np
+
+        v = grb.Vector.from_coo(
+            grb.FP64, args.nodes, np.arange(args.nodes),
+            np.ones(args.nodes, dtype=np.float64),
+        )
+        w = grb.Vector(grb.FP64, args.nodes)
+
+        def run_mxv():
+            grb.mxv(w, None, None, grb.PLUS_TIMES[grb.FP64], E1, v)
+            grb.wait()
+            return w.nvals()
+
+        rec.measure(
+            f"shard.mxv.er{args.nodes}x{args.edges}.{backend}",
+            run_mxv, repeat=args.repeat, nnz_in=E1.nvals(),
+        )
+    finally:
+        parallel.shutdown_pools()
+        parallel.set_backend("threads")
+        context._reset()
+    return {e["name"]: e for e in rec.entries}
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.shard.bench",
+        description="serial-vs-processes scaling baseline for the shard pool",
+    )
+    p.add_argument("--out", default="BENCH_pr6.json",
+                   help="bench JSON output path")
+    p.add_argument("--nodes", type=int, default=131072)
+    p.add_argument("--edges", type=int, default=1_000_000)
+    p.add_argument("--repeat", type=int, default=3,
+                   help="measured runs per workload (default 3)")
+    p.add_argument("--shard-workers", type=int, default=8,
+                   help="shard pool size for the processes run (default 8)")
+    args = p.parse_args(argv)
+
+    from repro import obs
+
+    cores = os.cpu_count() or 1
+    print(f"shard bench: er({args.nodes}, {args.edges}), "
+          f"{args.shard_workers}-worker pool on {cores} core(s)", flush=True)
+
+    serial = _run_backend("serial", args.shard_workers, args)
+    procs = _run_backend("processes", args.shard_workers, args)
+
+    rec = obs.BenchRecorder(meta={
+        "suite": "repro.shard.bench",
+        "nodes": args.nodes,
+        "edges": args.edges,
+        "shard_workers": args.shard_workers,
+        "host_cores": cores,
+    })
+    for entry in {**serial, **procs}.values():
+        rec.entries.append(entry)
+
+    for kind in ("mxm", "mxv"):
+        s_name = f"shard.{kind}.er{args.nodes}x{args.edges}.serial"
+        p_name = f"shard.{kind}.er{args.nodes}x{args.edges}.processes"
+        s_med, p_med = serial[s_name]["median_s"], procs[p_name]["median_s"]
+        speedup = s_med / p_med if p_med else float("inf")
+        procs[p_name]["speedup_vs_serial"] = speedup
+        procs[p_name]["pool_workers"] = args.shard_workers
+        print(f"  {kind}: serial {s_med * 1e3:.1f}ms  "
+              f"processes[{args.shard_workers}] {p_med * 1e3:.1f}ms  "
+              f"speedup {speedup:.2f}x", flush=True)
+
+    doc = rec.write(args.out)
+    with open(args.out) as fh:
+        loaded = json.load(fh)
+    if not loaded.get("benchmarks"):
+        print(f"error: {args.out} has no benchmark entries", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}: {len(doc['benchmarks'])} entries", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Block layout descriptors: how a CSR lives in shared memory.
+
+A published matrix is one shared-memory segment holding its CSR triple
+(``indptr`` | ``indices`` | ``values``, packed back to back) plus a
+:class:`BlockLayout` — a small picklable descriptor carrying the segment
+name, the array offsets/dtypes, and the 1D row-stripe cuts of the block
+distribution.  Tasks ship the *descriptor*; the data crosses the process
+boundary exactly once, through the kernel page cache.
+
+The distribution is CombBLAS-style 2D in spirit but derived lazily:
+stripes (and, for exact-dtype SpGEMM, column splits) are row/column
+*ranges over the one shared CSR*, not physically re-tiled copies.  Workers
+slice by offset, which keeps publication O(nnz) and keeps stripe results
+bitwise identical to the serial kernel (same arrays, same row slices, same
+folds — exactly the thread-pool path's concatenation argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..containers.formats import CSRView
+from .shm import ShmRegistry, attach
+
+__all__ = ["BlockLayout", "publish_csr", "attach_csr", "stripe_cuts"]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Picklable descriptor of one shared-memory CSR block distribution."""
+
+    seg_name: str
+    nrows: int
+    ncols: int
+    nnz: int
+    #: numpy dtype string of the value array (never object — UDTs are
+    #: unshippable and gated out before publication)
+    values_dtype: str
+    #: row-stripe boundaries: ``cuts[i]..cuts[i+1]`` is stripe *i*
+    cuts: tuple[int, ...]
+
+    # packed segment offsets (bytes)
+    @property
+    def indptr_bytes(self) -> int:
+        return (self.nrows + 1) * 8
+
+    @property
+    def indices_bytes(self) -> int:
+        return self.nnz * 8
+
+    @property
+    def values_bytes(self) -> int:
+        return self.nnz * np.dtype(self.values_dtype).itemsize
+
+    @property
+    def total_bytes(self) -> int:
+        return self.indptr_bytes + self.indices_bytes + self.values_bytes
+
+
+def stripe_cuts(work_per_row: np.ndarray, nstripes: int) -> tuple[int, ...]:
+    """Work-balanced contiguous stripe boundaries over the row space."""
+    from ..parallel import row_blocks
+
+    blocks = row_blocks(work_per_row, nstripes)
+    return tuple(b.start for b in blocks) + (blocks[-1].stop,)
+
+
+def publish_csr(
+    view: CSRView, registry: ShmRegistry, cuts: tuple[int, ...]
+) -> BlockLayout:
+    """Copy *view* into one new shared segment; returns its layout.
+
+    The caller (publication cache) owns the create-time lease.
+    """
+    vdtype = view.values.dtype
+    layout = BlockLayout(
+        seg_name="",  # placeholder; rebuilt below with the real name
+        nrows=view.nrows,
+        ncols=view.ncols,
+        nnz=view.nnz,
+        values_dtype=vdtype.str,
+        cuts=cuts,
+    )
+    seg = registry.create(layout.total_bytes)
+    buf = seg.buf
+    o = 0
+    for arr, dt in (
+        (view.indptr, np.dtype(np.int64)),
+        (view.indices, np.dtype(np.int64)),
+        (view.values, vdtype),
+    ):
+        n = len(arr) * dt.itemsize
+        dst = np.ndarray(len(arr), dtype=dt, buffer=buf, offset=o)
+        dst[:] = arr
+        o += n
+    return BlockLayout(
+        seg_name=seg.name,
+        nrows=view.nrows,
+        ncols=view.ncols,
+        nnz=view.nnz,
+        values_dtype=vdtype.str,
+        cuts=cuts,
+    )
+
+
+def attach_csr(layout: BlockLayout, cache: dict) -> CSRView:
+    """Worker-side: map *layout* back into a :class:`CSRView`.
+
+    *cache* maps segment name → ``(SharedMemory, CSRView)`` so repeated
+    tasks against the same publication reuse one mapping; entries are
+    closed when the parent broadcasts a free (see :mod:`.worker`).  The
+    returned arrays alias the shared buffer and MUST be treated read-only.
+    """
+    hit = cache.get(layout.seg_name)
+    if hit is not None:
+        return hit[1]
+    seg = attach(layout.seg_name)
+    buf = seg.buf
+    indptr = np.ndarray(
+        layout.nrows + 1, dtype=np.int64, buffer=buf, offset=0
+    )
+    indices = np.ndarray(
+        layout.nnz, dtype=np.int64, buffer=buf, offset=layout.indptr_bytes
+    )
+    values = np.ndarray(
+        layout.nnz,
+        dtype=np.dtype(layout.values_dtype),
+        buffer=buf,
+        offset=layout.indptr_bytes + layout.indices_bytes,
+    )
+    view = CSRView(
+        indptr=indptr,
+        indices=indices,
+        values=values,
+        nrows=layout.nrows,
+        ncols=layout.ncols,
+    )
+    cache[layout.seg_name] = (seg, view)
+    return view

@@ -1,0 +1,253 @@
+"""Shippability gate and task planning for the sharded backend.
+
+:func:`plan_node` decides, per DAG node, whether the drain scheduler may
+ship its kernel to the worker pool, and if so cuts it into
+:class:`ShardTask` block tasks.  Tasks carry *descriptors only*: shared
+segment names, row/inner-dim windows, and operator *registry names* —
+never data and never callables.  Workers rebuild the operator from
+:mod:`repro.algebra.predefined`'s registries, which is why the gate
+demands the spec's operator be the registry's own instance: a user-built
+(or user-defined-type) operator has no name the worker could resolve, so
+those nodes simply run locally via their normal runner.
+
+Unshippable ≠ failure.  The gate returning ``None`` is the common case —
+fused pairs and CSE nodes (their kernels are closures over planner state),
+UDT domains (object arrays can't live in shared memory), sub-threshold
+work (IPC latency would dominate), and every non-multiply op class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algebra.monoid import Monoid
+from ..algebra.predefined import MONOID_REGISTRY, SEMIRING_REGISTRY
+from ..algebra.semiring import Semiring
+from ..operations._kernels import estimate_flops
+from ..parallel import parallel_threshold, shard_grid, shard_workers, row_blocks
+from ..types import cast_array
+
+__all__ = ["ShardTask", "NodePlan", "plan_node", "SHIPPABLE_KINDS"]
+
+SHIPPABLE_KINDS = ("mxm", "mxv", "vxm", "reduce")
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One block task: operator names + shm layouts + index windows."""
+
+    kind: str
+    #: registry name of the Semiring (mxm/mxv/vxm) or Monoid (reduce)
+    op_name: str
+    #: layout of the (already published) primary matrix operand, in the
+    #: orientation the descriptor demands
+    a: object
+    #: GrBType name of A's stored domain (worker casts to the op's input)
+    a_type: str
+    #: row window [lo, hi) of the output this task produces
+    lo: int
+    hi: int
+    b: object | None = None
+    b_type: str | None = None
+    #: inline vector operand (mxv/vxm), values pre-cast to the mul domain
+    v_keys: object | None = None
+    v_vals: object | None = None
+    #: vxm operand order: multiply runs as v ⊗ A
+    swap: bool = False
+    #: inner-dimension window for 2D SpGEMM tiles (None = full stripe)
+    klo: int | None = None
+    khi: int | None = None
+
+
+@dataclass
+class NodePlan:
+    """A shippable node, cut into tasks, plus what assembly needs."""
+
+    node: object
+    spec: object
+    tasks: list = field(default_factory=list)
+    #: "concat" (stripes, any domain) or "tiles" (k-split, exact domains)
+    merge: str = "concat"
+    #: additive monoid for the tile merge (None when merge == "concat")
+    add_monoid: object = None
+    out_dtype: object = None
+    #: tasks-per-stripe (1 for stripes; pc for tiles, stripe-major order)
+    tiles_per_stripe: int = 1
+    #: shared segments this plan reads (leased for the level's duration)
+    seg_names: tuple = ()
+    flops_estimated: int = 0
+
+
+def _registry_semiring(op) -> Semiring | None:
+    if isinstance(op, Semiring) and SEMIRING_REGISTRY.get(op.name) is op:
+        return op
+    return None
+
+
+def _registry_monoid(op) -> Monoid | None:
+    if isinstance(op, Monoid) and MONOID_REGISTRY.get(op.name) is op:
+        return op
+    return None
+
+
+def _kcuts(inner: int, pc: int) -> list[tuple[int, int]]:
+    bounds = sorted({inner * i // pc for i in range(pc + 1)} | {0, inner})
+    return [
+        (bounds[i], bounds[i + 1])
+        for i in range(len(bounds) - 1)
+        if bounds[i] < bounds[i + 1]
+    ] or [(0, inner)]
+
+
+def plan_node(node, publish) -> NodePlan | None:
+    """Gate *node* and, when shippable, plan its block tasks.
+
+    *publish* is the scheduler's publication hook:
+    ``publish(obj, orient, view) -> BlockLayout`` (cached per object
+    version, so repeated drains over the same matrix ship no new bytes).
+    """
+    info = getattr(node, "shard", None)
+    if info is None:
+        return None
+    spec = info["spec"]
+    if spec is None or spec.kernel is None:
+        return None
+    kind = spec.kind
+    if kind not in SHIPPABLE_KINDS:
+        return None
+    d = spec.desc
+    threshold = parallel_threshold()
+    grid = shard_grid()
+    pr = grid[0] if grid is not None else shard_workers()
+
+    if kind == "mxm":
+        sr = _registry_semiring(spec.op_token)
+        if sr is None:
+            return None
+        A, B = spec.inputs
+        if A.type.is_udt or B.type.is_udt or spec.t_type.is_udt:
+            return None
+        a_view = A.csc() if d.transpose0 else A.csr()
+        b_view = B.csc() if d.transpose1 else B.csr()
+        flops = estimate_flops(a_view, b_view)
+        if flops < threshold:
+            return None
+        work = np.zeros(a_view.nrows, dtype=np.int64)
+        if a_view.nnz:
+            np.add.at(
+                work, a_view.row_ids(), np.diff(b_view.indptr)[a_view.indices]
+            )
+        stripes = row_blocks(work, pr)
+        # column (inner-dim) splits only where the semiring-add merge of
+        # partial products is exactly associative: bool/integer domains
+        pc = grid[1] if grid is not None else 1
+        if pc > 1 and spec.t_type.np_dtype.kind not in "biu":
+            pc = 1
+        la = publish(A, "csc" if d.transpose0 else "csr", a_view)
+        lb = publish(B, "csc" if d.transpose1 else "csr", b_view)
+        plan = NodePlan(
+            node=node,
+            spec=spec,
+            merge="tiles" if pc > 1 else "concat",
+            add_monoid=sr.add if pc > 1 else None,
+            out_dtype=spec.t_type.np_dtype,
+            seg_names=tuple({la.seg_name, lb.seg_name}),
+            flops_estimated=flops,
+        )
+        kwins = _kcuts(b_view.nrows, pc) if pc > 1 else [(None, None)]
+        plan.tiles_per_stripe = len(kwins)
+        for blk in stripes:
+            for klo, khi in kwins:
+                plan.tasks.append(
+                    ShardTask(
+                        kind="mxm",
+                        op_name=sr.name,
+                        a=la,
+                        a_type=A.type.name,
+                        lo=blk.start,
+                        hi=blk.stop,
+                        b=lb,
+                        b_type=B.type.name,
+                        klo=klo,
+                        khi=khi,
+                    )
+                )
+        return plan
+
+    if kind in ("mxv", "vxm"):
+        sr = _registry_semiring(spec.op_token)
+        if sr is None:
+            return None
+        if kind == "mxv":
+            A, u = spec.inputs
+            a_view = A.csc() if d.transpose0 else A.csr()
+            orient = "csc" if d.transpose0 else "csr"
+            v_dst, swap = sr.d_in2, False
+        else:
+            u, A = spec.inputs
+            # vxm runs the row kernel on the transposed orientation
+            a_view = A.csr() if d.transpose1 else A.csc()
+            orient = "csr" if d.transpose1 else "csc"
+            v_dst, swap = sr.d_in1, True
+        if A.type.is_udt or u.type.is_udt or spec.t_type.is_udt:
+            return None
+        if a_view.nnz < threshold:
+            return None
+        la = publish(A, orient, a_view)
+        v_keys, v_raw = u._content()
+        v_vals = cast_array(v_raw, u.type, v_dst)
+        plan = NodePlan(
+            node=node,
+            spec=spec,
+            out_dtype=spec.t_type.np_dtype,
+            seg_names=(la.seg_name,),
+            flops_estimated=a_view.nnz,
+        )
+        for blk in row_blocks(np.diff(a_view.indptr), pr):
+            plan.tasks.append(
+                ShardTask(
+                    kind=kind,
+                    op_name=sr.name,
+                    a=la,
+                    a_type=A.type.name,
+                    lo=blk.start,
+                    hi=blk.stop,
+                    v_keys=v_keys,
+                    v_vals=v_vals,
+                    swap=swap,
+                )
+            )
+        return plan
+
+    # kind == "reduce": matrix → vector row reduction
+    red = _registry_monoid(spec.reducer)
+    if red is None:
+        return None
+    (A,) = spec.inputs
+    if A.type.is_udt or spec.t_type.is_udt:
+        return None
+    a_view = A.csc() if d.transpose0 else A.csr()
+    if a_view.nnz < threshold:
+        return None
+    la = publish(A, "csc" if d.transpose0 else "csr", a_view)
+    plan = NodePlan(
+        node=node,
+        spec=spec,
+        out_dtype=spec.t_type.np_dtype,
+        seg_names=(la.seg_name,),
+        flops_estimated=a_view.nnz,
+    )
+    for blk in row_blocks(np.diff(a_view.indptr), pr):
+        plan.tasks.append(
+            ShardTask(
+                kind="reduce",
+                op_name=red.name,
+                a=la,
+                a_type=A.type.name,
+                lo=blk.start,
+                hi=blk.stop,
+            )
+        )
+    return plan

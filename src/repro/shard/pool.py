@@ -1,0 +1,196 @@
+"""The persistent spawn-based worker pool and its task loop.
+
+One pool per parent process, sized by :func:`repro.parallel.shard_workers`
+and rebuilt on resize or after a crash.  Dispatch is classic master/worker
+with at most one task in flight per worker: the parent sends a task only
+to an idle worker and always drains results as they arrive, so the duplex
+pipes can never fill in both directions at once (the deadlock mode of
+fire-hose dispatch when tasks carry inline vector payloads).
+
+A worker dying mid-level surfaces as ``EOFError`` on its pipe; the pool
+raises :class:`repro.info.Panic`, marks itself dead (the next drain
+respawns a fresh pool), and the caller's teardown path — ultimately
+:func:`repro.parallel.shutdown_pools` at interpreter exit — unlinks every
+registered segment, so even a crashed drain leaks nothing in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+
+from ..info import Panic
+from .protocol import Free, Hello, Shutdown, Task, recv_msg, send_msg
+from .worker import worker_main
+
+__all__ = ["ShardPool", "get_pool", "shutdown_pool", "pool_stats"]
+
+_HELLO_TIMEOUT_S = 120.0
+
+
+class ShardPool:
+    def __init__(self, nworkers: int):
+        self.size = int(max(1, nworkers))
+        self.dead = False
+        self._mu = threading.Lock()
+        self._workers: list = []  # (Process, Connection)
+        self.tasks_done = 0
+        self.task_seconds = 0.0
+        ctx = get_context("spawn")
+        try:
+            for wid in range(self.size):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, wid),
+                    daemon=True,
+                    name=f"repro-shard-{wid}",
+                )
+                proc.start()
+                child_conn.close()
+                self._workers.append((proc, parent_conn))
+            for _, conn in self._workers:
+                if not conn.poll(_HELLO_TIMEOUT_S):
+                    raise Panic("shard worker failed to start (no handshake)")
+                hello = recv_msg(conn)
+                if not isinstance(hello, Hello):
+                    raise Panic(f"bad shard handshake: {hello!r}")
+        except BaseException:
+            self._kill()
+            raise
+
+    @property
+    def pids(self) -> list[int]:
+        return [p.pid for p, _ in self._workers]
+
+    def run_tasks(self, tasks: list[Task]) -> dict:
+        """Run *tasks* to completion; returns {task_id: Result | Error}.
+
+        Serialized by the pool lock — concurrent service drains queue here
+        rather than interleaving frames on the pipes.  Raises ``Panic`` if
+        a worker dies; the pool is unusable afterwards.
+        """
+        with self._mu:
+            if self.dead:
+                raise Panic("shard pool is dead")
+            results: dict = {}
+            queue = deque(tasks)
+            busy: dict = {}  # Connection -> Task
+            idle = deque(conn for _, conn in self._workers)
+            try:
+                while queue or busy:
+                    while queue and idle:
+                        conn = idle.popleft()
+                        task = queue.popleft()
+                        try:
+                            send_msg(conn, task)
+                        except (BrokenPipeError, OSError):
+                            raise Panic(
+                                "shard worker died (send failed); "
+                                "aborting the drain"
+                            ) from None
+                        busy[conn] = task
+                    ready = mp_connection.wait(list(busy))
+                    for conn in ready:
+                        try:
+                            msg = recv_msg(conn)
+                        except (EOFError, OSError):
+                            raise Panic(
+                                "shard worker died mid-level (pipe closed); "
+                                "aborting the drain"
+                            ) from None
+                        busy.pop(conn, None)
+                        idle.append(conn)
+                        results[msg.task_id] = msg
+                        self.tasks_done += 1
+                        self.task_seconds += getattr(msg, "seconds", 0.0)
+            except BaseException:
+                self._kill()
+                raise
+            return results
+
+    def broadcast_free(self, names) -> None:
+        """Tell every worker to drop cached attachments for *names*."""
+        if self.dead or not names:
+            return
+        with self._mu:
+            for _, conn in self._workers:
+                try:
+                    send_msg(conn, Free(names=tuple(names)))
+                except Exception:
+                    pass
+
+    def shutdown(self) -> None:
+        with self._mu:
+            if self.dead:
+                return
+            for _, conn in self._workers:
+                try:
+                    send_msg(conn, Shutdown())
+                except Exception:
+                    pass
+            for proc, conn in self._workers:
+                proc.join(timeout=5)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            self._workers.clear()
+            self.dead = True
+
+    def _kill(self) -> None:
+        self.dead = True
+        for proc, conn in self._workers:
+            try:
+                conn.close()
+            except Exception:
+                pass
+            if proc.is_alive():
+                proc.terminate()
+        for proc, _ in self._workers:
+            proc.join(timeout=5)
+        self._workers.clear()
+
+
+_pool: ShardPool | None = None
+_pool_mu = threading.Lock()
+
+
+def get_pool() -> ShardPool:
+    """The process-wide pool, (re)built to the current worker count."""
+    global _pool
+    from ..parallel import shard_workers
+
+    with _pool_mu:
+        want = shard_workers()
+        if _pool is not None and (_pool.dead or _pool.size != want):
+            _pool.shutdown()
+            _pool = None
+        if _pool is None:
+            _pool = ShardPool(want)
+        return _pool
+
+
+def shutdown_pool() -> None:
+    """Stop the pool if one exists (idempotent; used by atexit teardown)."""
+    global _pool
+    with _pool_mu:
+        if _pool is not None:
+            _pool.shutdown()
+            _pool = None
+
+
+def pool_stats() -> dict:
+    with _pool_mu:
+        if _pool is None or _pool.dead:
+            return {"workers": 0, "tasks_done": 0, "task_seconds": 0.0}
+        return {
+            "workers": _pool.size,
+            "tasks_done": _pool.tasks_done,
+            "task_seconds": _pool.task_seconds,
+        }

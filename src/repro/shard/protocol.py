@@ -1,0 +1,85 @@
+"""Pickle-framed pipe protocol between the drain scheduler and workers.
+
+Messages are tiny: tasks carry :class:`~repro.shard.opspec.ShardTask`
+descriptors (segment names + ranges + operator registry names), results
+carry the partial's flat keys/values.  The matrix payloads never transit
+the pipe — they live in shared memory.
+
+Framing is explicit ``pickle.dumps`` + ``Connection.send_bytes`` rather
+than ``Connection.send`` so a half-written frame from a dying peer
+surfaces as ``EOFError`` at the next read instead of a corrupt unpickle.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Hello",
+    "Task",
+    "Result",
+    "Error",
+    "Free",
+    "Shutdown",
+    "send_msg",
+    "recv_msg",
+]
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker → parent, once at startup: the handshake the pool awaits."""
+
+    worker_id: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class Task:
+    """Parent → worker: run one block task.  *op* is a ShardTask."""
+
+    task_id: int
+    op: object
+
+
+@dataclass(frozen=True)
+class Result:
+    """Worker → parent: one block partial as sorted flat keys/values."""
+
+    task_id: int
+    keys: object
+    vals: object
+    worker_id: int
+    pid: int
+    seconds: float
+    flops: int = 0
+
+
+@dataclass(frozen=True)
+class Error:
+    """Worker → parent: the task raised; *message* is the formatted trace."""
+
+    task_id: int
+    message: str
+    worker_id: int = -1
+
+
+@dataclass(frozen=True)
+class Free:
+    """Parent → worker: close cached attachments for these segment names."""
+
+    names: tuple = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Parent → worker: drain and exit."""
+
+
+def send_msg(conn, msg) -> None:
+    conn.send_bytes(pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def recv_msg(conn):
+    return pickle.loads(conn.recv_bytes())

@@ -1,0 +1,158 @@
+"""Refcounted shared-memory lifecycle for the sharded backend.
+
+The parent process is the *only* creator of segments; workers attach
+read-only by name.  Every segment is tracked by the process-global
+:data:`registry` from the instant it is created, so teardown —
+:func:`ShmRegistry.unlink_all`, wired into
+:func:`repro.parallel.shutdown_pools` and thence :mod:`atexit` — can
+always unlink everything, even after an aborted drain or a worker crash.
+Segment names carry the creating pid (``rshard{pid}-{seq}``), which makes
+``/dev/shm`` leak checks in tests trivial and collisions across
+concurrently fuzzing processes impossible.
+
+Worker side: Python < 3.13 has a long-standing ``resource_tracker`` bug —
+attaching to a segment registers it with the *attacher's* tracker, which
+unlinks the name when that process exits, yanking the memory out from
+under everyone else.  :func:`attach` unregisters the attachment
+immediately, leaving lifecycle ownership with the parent where it
+belongs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from multiprocessing import shared_memory
+
+__all__ = ["ShmRegistry", "registry", "attach", "NAME_PREFIX"]
+
+NAME_PREFIX = f"rshard{os.getpid()}-"
+
+
+class ShmRegistry:
+    """Parent-side ledger of every live segment, with lease refcounts.
+
+    A segment stays mapped while any lease is outstanding (the publication
+    cache holds one; each in-flight task batch holds one more).  When the
+    last lease is released *and* the segment was marked for removal, it is
+    closed and unlinked.  :meth:`unlink_all` ignores refcounts — it is the
+    crash/teardown path.
+    """
+
+    def __init__(self):
+        self._mu = threading.Lock()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._refs: dict[str, int] = {}
+        self._doomed: set[str] = set()
+        self._seq = 0
+        #: lifetime counters (read by repro.obs via shard.pool stats)
+        self.created = 0
+        self.unlinked = 0
+        self.bytes_created = 0
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Create a tracked segment with one lease held by the caller."""
+        with self._mu:
+            self._seq += 1
+            name = f"{NAME_PREFIX}{self._seq}"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+        with self._mu:
+            self._segments[seg.name] = seg
+            self._refs[seg.name] = 1
+            self.created += 1
+            self.bytes_created += seg.size
+        return seg
+
+    def lease(self, name: str) -> None:
+        with self._mu:
+            if name not in self._segments:
+                raise KeyError(f"unknown shared-memory segment {name!r}")
+            self._refs[name] += 1
+
+    def release(self, name: str) -> None:
+        """Drop one lease; unlink when doomed and no leases remain."""
+        with self._mu:
+            if name not in self._segments:
+                return
+            self._refs[name] -= 1
+            dead = self._refs[name] <= 0 and name in self._doomed
+            seg = self._segments.pop(name) if dead else None
+            if dead:
+                self._refs.pop(name, None)
+                self._doomed.discard(name)
+        if seg is not None:
+            self._destroy(seg)
+
+    def discard(self, name: str) -> None:
+        """Mark *name* for removal; unlinks now if no leases are out."""
+        with self._mu:
+            if name not in self._segments:
+                return
+            self._doomed.add(name)
+            dead = self._refs.get(name, 0) <= 0
+            seg = self._segments.pop(name) if dead else None
+            if dead:
+                self._refs.pop(name, None)
+                self._doomed.discard(name)
+        if seg is not None:
+            self._destroy(seg)
+
+    def live_names(self) -> list[str]:
+        with self._mu:
+            return sorted(self._segments)
+
+    def unlink_all(self) -> None:
+        """Close and unlink every tracked segment, refcounts be damned."""
+        with self._mu:
+            segs = list(self._segments.values())
+            self._segments.clear()
+            self._refs.clear()
+            self._doomed.clear()
+        for seg in segs:
+            self._destroy(seg)
+
+    def _destroy(self, seg: shared_memory.SharedMemory) -> None:
+        for fn in (seg.close, seg.unlink):
+            try:
+                fn()
+            except (FileNotFoundError, OSError):  # already gone — fine
+                pass
+        self.unlinked += 1
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "live": len(self._segments),
+                "created": self.created,
+                "unlinked": self.unlinked,
+                "bytes_created": self.bytes_created,
+            }
+
+
+#: the one parent-side registry (workers never import this module's state —
+#: spawn gives them a fresh copy whose registry stays empty)
+registry = ShmRegistry()
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Worker-side attach by name, without adopting lifecycle ownership.
+
+    Attaching must not register the segment with the resource tracker
+    (bpo-39959): workers share the parent's tracker process, so a worker's
+    registration/unregistration would clobber the parent's own entry and
+    either unlink live memory early or KeyError at tracker shutdown.
+    Python 3.13 has ``track=False`` for exactly this; earlier versions get
+    the same effect by suppressing ``register`` for the attach call (the
+    worker loop is single-threaded, so the patch window is private).
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig

@@ -1,0 +1,138 @@
+"""Worker-process entry point for the sharded backend.
+
+Spawned (never forked — the parent may hold live threads and pool locks)
+with one duplex pipe back to the drain scheduler.  The loop is
+deliberately dumb: receive a :class:`~repro.shard.protocol.Task`, attach
+its shared segments, rebuild the operator from the algebra registries, run
+the block kernel from :mod:`repro.operations.blockwise`, ship the partial
+back.  Workers never create shared memory, never see masks or
+accumulators (the parent's write pipeline owns GraphBLAS semantics), and
+never nest parallelism — the backend is pinned to ``serial`` so kernels
+cannot fan out beneath the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+__all__ = ["worker_main"]
+
+
+def _run_task(task, seg_cache: dict, cast_cache: dict):
+    """Execute one ShardTask → (keys, vals, flops)."""
+    from ..algebra.predefined import MONOID_REGISTRY, SEMIRING_REGISTRY
+    from ..operations import blockwise
+    from ..types import cast_array, lookup_type
+    from .layout import attach_csr
+
+    a_view = attach_csr(task.a, seg_cache)
+
+    def cast(view, layout, src_name, dst_type):
+        key = (layout.seg_name, dst_type.name)
+        hit = cast_cache.get(key)
+        if hit is None:
+            hit = cast_array(view.values, lookup_type(src_name), dst_type)
+            cast_cache[key] = hit
+        return hit
+
+    if task.kind == "mxm":
+        sr = SEMIRING_REGISTRY[task.op_name]
+        b_view = attach_csr(task.b, seg_cache)
+        a_vals = cast(a_view, task.a, task.a_type, sr.d_in1)
+        b_vals = cast(b_view, task.b, task.b_type, sr.d_in2)
+        if task.klo is None:
+            return blockwise.spgemm_stripe(
+                a_view, a_vals, b_view, b_vals, sr, task.lo, task.hi
+            )
+        return blockwise.spgemm_tile(
+            a_view, a_vals, b_view, b_vals, sr,
+            task.lo, task.hi, task.klo, task.khi,
+        )
+    if task.kind in ("mxv", "vxm"):
+        sr = SEMIRING_REGISTRY[task.op_name]
+        a_vals = cast(
+            a_view, task.a, task.a_type,
+            sr.d_in2 if task.swap else sr.d_in1,
+        )
+        return blockwise.spmv_stripe(
+            a_view, a_vals, task.v_keys, task.v_vals, sr,
+            task.swap, task.lo, task.hi,
+        )
+    if task.kind == "reduce":
+        mon = MONOID_REGISTRY[task.op_name]
+        a_vals = cast(a_view, task.a, task.a_type, mon.domain)
+        return blockwise.reduce_rows_stripe(
+            a_view, a_vals, mon, task.lo, task.hi
+        )
+    raise ValueError(f"unknown shard task kind {task.kind!r}")
+
+
+def _free_segments(names, seg_cache: dict, cast_cache: dict) -> None:
+    for name in names:
+        for key in [k for k in cast_cache if k[0] == name]:
+            cast_cache.pop(key, None)
+        entry = seg_cache.pop(name, None)
+        if entry is not None:
+            try:
+                entry[0].close()
+            except Exception:
+                # a numpy view may still pin the mapping; the segment is
+                # already unlinked parent-side, so dropping our reference
+                # and letting gc finish the close is fine
+                pass
+
+
+def worker_main(conn, worker_id: int) -> None:
+    from ..parallel import set_backend
+    from .protocol import Free, Hello, Shutdown, Task, Error, Result, recv_msg, send_msg
+
+    set_backend("serial")  # no thread fan-out beneath the process pool
+    seg_cache: dict = {}
+    cast_cache: dict = {}
+    send_msg(conn, Hello(worker_id=worker_id, pid=os.getpid()))
+    try:
+        while True:
+            try:
+                msg = recv_msg(conn)
+            except (EOFError, OSError):
+                break
+            if isinstance(msg, Shutdown):
+                break
+            if isinstance(msg, Free):
+                _free_segments(msg.names, seg_cache, cast_cache)
+                continue
+            if not isinstance(msg, Task):
+                continue
+            t0 = time.perf_counter()
+            try:
+                keys, vals, flops = _run_task(msg.op, seg_cache, cast_cache)
+            except BaseException:
+                send_msg(
+                    conn,
+                    Error(
+                        task_id=msg.task_id,
+                        message=traceback.format_exc(),
+                        worker_id=worker_id,
+                    ),
+                )
+                continue
+            send_msg(
+                conn,
+                Result(
+                    task_id=msg.task_id,
+                    keys=keys,
+                    vals=vals,
+                    worker_id=worker_id,
+                    pid=os.getpid(),
+                    seconds=time.perf_counter() - t0,
+                    flops=flops,
+                ),
+            )
+    finally:
+        _free_segments(list(seg_cache), seg_cache, cast_cache)
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 import repro as grb
-from repro import context
+from repro import context, parallel
 from repro.reference import RefMatrix, RefVector
 
 
@@ -17,6 +17,11 @@ def fresh_context():
     context._reset()
     yield
     context._reset()
+    # shard-backend tests flip process-global execution knobs; restore the
+    # defaults so ordering between test modules can never matter
+    parallel.set_backend("threads")
+    parallel.set_parallel_threshold(parallel.config.DEFAULT_THRESHOLD)
+    parallel.set_shard_grid(None)
 
 
 @pytest.fixture
