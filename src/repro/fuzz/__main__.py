@@ -28,6 +28,7 @@ from .coverage import SpecCoverage
 from .executor import (
     PROCESSES,
     check_error_conformance,
+    check_memo_conformance,
     default_modes,
     exhaustive_modes,
     run_differential,
@@ -52,6 +53,11 @@ def _parse_args(argv):
     p.add_argument("--processes", action="store_true",
                    help="add the sharded multi-process backend to the "
                         "differential pair (2-worker pool, 2x2 grid)")
+    p.add_argument("--memo", action="store_true",
+                   help="add the cached multi-tenant service to the "
+                        "differential pair: every program runs cold and "
+                        "warm through one cache-enabled Service and must "
+                        "match the oracle bit-for-bit")
     p.add_argument("--replay", metavar="PATH",
                    help="replay programs from a corpus .jsonl or an emitted "
                         "regression .py instead of generating")
@@ -127,6 +133,30 @@ def main(argv=None) -> int:
         f"{elapsed:.1f}s — {len(failures)} divergence(s)"
     )
 
+    memo_failures = []
+    if args.memo:
+        from ..service import Service, ServiceConfig
+
+        svc = Service(ServiceConfig(workers=2))
+        try:
+            t0 = time.perf_counter()
+            for i, program in enumerate(programs):
+                complaint = check_memo_conformance(program, svc)
+                if complaint is not None:
+                    print(f"[memo {i}] DIVERGENCE: {program!r}")
+                    print(f"    {complaint}")
+                    memo_failures.append((i, complaint))
+            cache = svc.stats()["cache"]
+            print(
+                f"memo: {len(programs)} programs x (cold+warm) through the "
+                f"cached service in {time.perf_counter() - t0:.1f}s — "
+                f"{len(memo_failures)} divergence(s), "
+                f"hit_rate={cache['hit_rate']:.2f} "
+                f"({cache['hits']}h/{cache['misses']}m/{cache['bypasses']}b)"
+            )
+        finally:
+            svc.shutdown()
+
     error_failures = []
     if not args.replay and args.errors:
         for i in range(args.errors):
@@ -146,7 +176,7 @@ def main(argv=None) -> int:
     # single program and cannot span the whole spec surface
     gaps = [] if args.replay else coverage.gaps()
 
-    if failures or error_failures or gaps:
+    if failures or memo_failures or error_failures or gaps:
         return 1
     print("\nOK: optimized backend conforms to the reference oracle")
     return 0

@@ -38,6 +38,8 @@ __all__ = [
     "run_reference",
     "run_optimized",
     "run_differential",
+    "run_service_cached",
+    "check_memo_conformance",
     "check_error_conformance",
     "build_decl",
     "dispatch_call",
@@ -625,6 +627,87 @@ def run_differential(program, modes=None) -> DivergenceReport | None:
         for msg in compare_snapshots(program, ref, got):
             failures.append((mode.name, msg))
     return DivergenceReport(program, failures) if failures else None
+
+
+# --------------------------------------------------------------------------
+# Cached-service conformance (the memo differential pair)
+# --------------------------------------------------------------------------
+
+def run_service_cached(program, service) -> tuple[Snapshot, str | None]:
+    """Run *program* through the multi-tenant service as one ``program``
+    request against a fresh session, fetching every declared object.
+
+    Returns ``(snapshot, cache_status)`` where *cache_status* is the
+    request's ``timing["cache"]`` field (``"hit"`` / ``"miss"`` /
+    ``"bypass"``, or None when the service runs without a cache).
+    """
+    payload = {
+        "declare": [d.to_dict() for d in program.decls],
+        "calls": [c.to_dict() for c in program.calls],
+        "fetch": [d.name for d in program.decls],
+    }
+    name = service.open_session()
+    resp = service.request(name, "program", payload, timing=True)
+    env = Env()
+    snap = Snapshot(scalars=list(resp.get("scalars", [])))
+    for d in program.decls:
+        c = resp["fetched"][d.name]
+        if d.kind == "matrix":
+            snap.objects[d.name] = {
+                (int(i), int(j)): env.value(d.dtype, v)
+                for i, j, v in zip(c["rows"], c["cols"], c["values"])
+            }
+        else:
+            snap.objects[d.name] = {
+                int(i): env.value(d.dtype, v)
+                for i, v in zip(c["indices"], c["values"])
+            }
+    return snap, resp.get("timing", {}).get("cache")
+
+
+def check_memo_conformance(program, service) -> str | None:
+    """The cache-consistency differential: reference oracle vs the cached
+    service, cold (miss/bypass) *and* warm (hit, from a different session).
+
+    A cacheable program must produce identical results on both service
+    runs, the warm run must actually hit, and a bypass decision must be
+    deterministic.  None means conformant.
+    """
+    ref = run_reference(program)
+
+    def _normalize(snap: Snapshot) -> Snapshot:
+        # the wire response JSON-ifies PSET frozensets into sorted lists;
+        # fold them back using the reference scalars as the type guide
+        if len(snap.scalars) == len(ref.scalars):
+            snap.scalars = [
+                frozenset(s)
+                if isinstance(r, frozenset) and isinstance(s, list) else s
+                for r, s in zip(ref.scalars, snap.scalars)
+            ]
+        return snap
+
+    try:
+        cold, st_cold = run_service_cached(program, service)
+    except Exception as exc:
+        return f"cold service run raised {type(exc).__name__}: {exc}"
+    try:
+        warm, st_warm = run_service_cached(program, service)
+    except Exception as exc:
+        return f"warm service run raised {type(exc).__name__}: {exc}"
+    msgs = compare_snapshots(program, ref, _normalize(cold))
+    if msgs:
+        return f"cold ({st_cold}) vs reference: " + "; ".join(msgs)
+    msgs = compare_snapshots(program, ref, _normalize(warm))
+    if msgs:
+        return f"warm ({st_warm}) vs reference: " + "; ".join(msgs)
+    if st_cold == "miss" and st_warm != "hit":
+        return (
+            "cacheable program missed on identical resubmission "
+            f"(cold={st_cold!r}, warm={st_warm!r})"
+        )
+    if st_cold == "bypass" and st_warm != "bypass":
+        return f"bypass decision not deterministic ({st_cold!r} then {st_warm!r})"
+    return None
 
 
 # --------------------------------------------------------------------------

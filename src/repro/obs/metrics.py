@@ -181,6 +181,13 @@ def percentile(hist: dict, q: float) -> float | None:
     return float(hist["max"])  # pragma: no cover - counts always sum
 
 
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe rate for counter pairs (``hits / (hits + misses)``-style):
+    0.0 on an empty denominator instead of a division error, so metric
+    consumers can report rates before any traffic has arrived."""
+    return (numerator / denominator) if denominator else 0.0
+
+
 class SLOTracker:
     """Rolling-window latency SLO: p99 target, exact window percentile,
     and error-budget burn counters.

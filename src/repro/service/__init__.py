@@ -30,9 +30,11 @@ from .errors import (
     ServiceError,
     SessionNotFound,
 )
+from .memo import CacheDecision, ResultCache, analyze_request
 from .request import ADMIN_KINDS, DATA_KINDS, Request
 from .service import Service, ServiceConfig
-from .session import SHARED_PREFIX, SHARED_SESSION, RWLock, Session
+from .session import SHARED_PREFIX, SHARED_SESSION, Session
+from .snapshot import GraphVersion, SnapshotStore
 
 __all__ = [
     "Service",
@@ -41,7 +43,11 @@ __all__ = [
     "TCPClient",
     "Session",
     "Request",
-    "RWLock",
+    "GraphVersion",
+    "SnapshotStore",
+    "ResultCache",
+    "CacheDecision",
+    "analyze_request",
     "ServiceError",
     "QueueFull",
     "DeadlineExceeded",

@@ -43,6 +43,7 @@ from ..io.serialize import deserialize, serialize
 from ..obs import metrics, spans, tracing
 from ..types.grb_type import lookup_type
 from .errors import BadRequest, DeadlineExceeded, ObjectNotFound
+from .memo import analyze_request, build_entry, materialize
 from .session import SHARED_PREFIX, Session
 
 __all__ = ["run_batch", "ALGORITHMS", "jsonable"]
@@ -117,22 +118,66 @@ def _contents(obj) -> dict:
 # Name resolution
 # --------------------------------------------------------------------------
 
-def _namespace(service, session: Session) -> tuple[dict, dict]:
+class _Exec:
+    """Per-request execution context.
+
+    *version* is the immutable shared-store :class:`GraphVersion` the
+    request pinned at admission (None for shared-session requests, which
+    operate on the live working set).  *fresh* is the copy-on-write
+    tracking set of a shared-session request: names created or duplicated
+    since the last publication, i.e. safe to mutate in place.
+    """
+
+    __slots__ = ("version", "fresh")
+
+    def __init__(self, version=None, fresh=None):
+        self.version = version
+        self.fresh = fresh
+
+
+def _namespace(service, session: Session, ectx: _Exec | None = None) -> tuple[dict, dict]:
     """Effective (objects, dtype-tokens) visible to *session*.
 
     Shared objects appear under their ``shared:`` prefix and are read-only
-    for ordinary sessions; the shared session sees its own names bare.
+    for ordinary sessions; they resolve out of the request's **pinned
+    snapshot version**, so the view is frozen even while the writer
+    publishes.  The shared session sees its own live names bare.
     """
     ns: dict[str, Any] = {}
     dt: dict[str, str] = {}
-    shared = service.shared_session
-    if session is not shared:
-        for k, v in shared.objects.items():
+    if not session.is_shared:
+        if ectx is not None and ectx.version is not None:
+            src_obj, src_dt = ectx.version.objects, ectx.version.dtypes
+        else:  # direct handler calls outside the admission pipeline
+            shared = service.shared_session
+            src_obj, src_dt = shared.objects, shared.dtypes
+        for k, v in src_obj.items():
             ns[SHARED_PREFIX + k] = v
-            dt[SHARED_PREFIX + k] = shared.dtypes[k]
+            dt[SHARED_PREFIX + k] = src_dt[k]
     ns.update(session.objects)
     dt.update(session.dtypes)
     return ns, dt
+
+
+def _cow(session: Session, ectx: _Exec | None, name: str):
+    """Writer-side copy-on-write: duplicate *name* before its first
+    mutation since the last publication, so every published version stays
+    frozen.  Returns the (possibly replacement) object, or None when the
+    name does not resolve."""
+    obj = session.objects.get(name)
+    if obj is None or ectx is None or ectx.fresh is None or name in ectx.fresh:
+        return obj
+    dup = getattr(obj, "dup", None)
+    if callable(dup):
+        obj = dup()
+        session.objects[name] = obj
+    ectx.fresh.add(name)
+    return obj
+
+
+def _mark_fresh(ectx: _Exec | None, name: str) -> None:
+    if ectx is not None and ectx.fresh is not None:
+        ectx.fresh.add(name)
 
 
 def _get(session: Session, ns: dict, name: str):
@@ -187,7 +232,7 @@ def _decl_from_payload(d: dict) -> Decl:
         raise BadRequest(f"malformed declaration: {exc}") from None
 
 
-def _issue_define(service, session: Session, payload: dict):
+def _issue_define(service, session: Session, payload: dict, ectx: _Exec | None = None):
     decl = _decl_from_payload(payload)
     _check_writable(session, decl.name)
     try:
@@ -197,9 +242,10 @@ def _issue_define(service, session: Session, payload: dict):
     except Exception as exc:
         raise BadRequest(f"cannot build {decl.name!r}: {exc}") from None
     _store(session, decl.name, obj, decl.dtype)
+    _mark_fresh(ectx, decl.name)
     return {"name": decl.name, "nvals": obj.nvals()}
 
-def _issue_upload(service, session: Session, payload: dict):
+def _issue_upload(service, session: Session, payload: dict, ectx: _Exec | None = None):
     name = _need(payload, "name")
     blob = payload.get("blob")
     if blob is None and "blob_b64" in payload:
@@ -208,16 +254,17 @@ def _issue_upload(service, session: Session, payload: dict):
         raise BadRequest("upload needs a 'blob' (bytes) or 'blob_b64' field")
     obj = deserialize(bytes(blob))
     _store(session, name, obj)
+    _mark_fresh(ectx, name)
     kind = type(obj).__name__.lower()
     return {"name": name, "kind": kind, "nvals": obj.nvals()}
 
-def _issue_download(service, session: Session, payload: dict):
+def _issue_download(service, session: Session, payload: dict, ectx: _Exec | None = None):
     name = _need(payload, "name")
-    ns, _ = _namespace(service, session)
+    ns, _ = _namespace(service, session, ectx)
     obj = _get(session, ns, name)
     return {"name": name, "blob": serialize(obj)}
 
-def _issue_program(service, session: Session, payload: dict):
+def _issue_program(service, session: Session, payload: dict, ectx: _Exec | None = None):
     raw_calls = _need(payload, "calls")
     declares = payload.get("declare", [])
     fetch = payload.get("fetch", [])
@@ -225,7 +272,8 @@ def _issue_program(service, session: Session, payload: dict):
         decl = _decl_from_payload(d)
         _check_writable(session, decl.name)
         _store(session, decl.name, build_decl(decl, session.env), decl.dtype)
-    ns, dtypes = _namespace(service, session)
+        _mark_fresh(ectx, decl.name)
+    ns, dtypes = _namespace(service, session, ectx)
     calls = []
     for c in raw_calls:
         try:
@@ -236,6 +284,10 @@ def _issue_program(service, session: Session, payload: dict):
             raise BadRequest(f"unknown program op {call.kind!r}")
         if call.out is not None:
             _check_writable(session, call.out)
+            if session.is_shared and call.out in session.objects:
+                # all duplication happens here, before any call is
+                # dispatched, while nothing is deferred against the target
+                ns[call.out] = _cow(session, ectx, call.out)
             if call.out not in ns:
                 raise ObjectNotFound(
                     f"program output {call.out!r} is not declared"
@@ -255,14 +307,14 @@ def _issue_program(service, session: Session, payload: dict):
         }
     return out
 
-def _issue_algorithm(service, session: Session, payload: dict):
+def _issue_algorithm(service, session: Session, payload: dict, ectx: _Exec | None = None):
     algo = _need(payload, "algo")
     fn = ALGORITHMS.get(algo)
     if fn is None:
         raise BadRequest(
             f"unknown algorithm {algo!r} (available: {sorted(ALGORITHMS)})"
         )
-    ns, _ = _namespace(service, session)
+    ns, _ = _namespace(service, session, ectx)
     A = _get(session, ns, _need(payload, "graph"))
     args = dict(payload.get("args", {}))
     store_as = payload.get("store_as")
@@ -278,17 +330,21 @@ def _issue_algorithm(service, session: Session, payload: dict):
         if store_as:
             _check_writable(session, store_as)
             _store(session, store_as, result)
+            _mark_fresh(ectx, store_as)
             return {"stored": store_as, "nvals": result.nvals()}
         return {"result": _contents(result)}
     if store_as:
         raise BadRequest(f"{algo!r} returns a plain value; cannot store_as")
     return {"result": jsonable(result)}
 
-def _issue_update(service, session: Session, payload: dict):
+def _issue_update(service, session: Session, payload: dict, ectx: _Exec | None = None):
     name = _need(payload, "graph")
     _check_writable(session, name)
-    ns, _ = _namespace(service, session)
+    ns, _ = _namespace(service, session, ectx)
     obj = _get(session, ns, name)
+    if session.is_shared:
+        # in-place edits must never reach a published version's object
+        obj = _cow(session, ectx, name) or obj
     sets = payload.get("set", [])
     removes = payload.get("remove", [])
     env = session.env
@@ -315,10 +371,10 @@ def _issue_update(service, session: Session, payload: dict):
         raise BadRequest(f"cannot stream updates into {type(obj).__name__}")
     return {"name": name, "nvals": obj.nvals()}
 
-def _issue_query(service, session: Session, payload: dict):
+def _issue_query(service, session: Session, payload: dict, ectx: _Exec | None = None):
     name = _need(payload, "name")
     what = payload.get("what", "nvals")
-    ns, _ = _namespace(service, session)
+    ns, _ = _namespace(service, session, ectx)
     obj = _get(session, ns, name)
     if what == "nvals":
         return {"nvals": obj.nvals()}
@@ -339,14 +395,17 @@ def _issue_query(service, session: Session, payload: dict):
         return {"value": jsonable(v), "stored": True}
     raise BadRequest(f"unknown query {what!r} (nvals | tuples | element)")
 
-def _issue_free(service, session: Session, payload: dict):
+def _issue_free(service, session: Session, payload: dict, ectx: _Exec | None = None):
     name = _need(payload, "name")
     _check_writable(session, name)
     if name not in session.objects:
         raise ObjectNotFound(f"session {session.name!r} has no {name!r}")
     obj = session.objects.pop(name)
     session.dtypes.pop(name, None)
-    obj.free()
+    if not session.is_shared:
+        # a shared object may still be referenced by published (pinned)
+        # versions: drop the working-set name only, let GC reclaim buffers
+        obj.free()
     return {"freed": name}
 
 
@@ -366,7 +425,41 @@ _ISSUE = {
 # The batch driver
 # --------------------------------------------------------------------------
 
+def _mutates(kind: str, payload: dict) -> bool:
+    """Does this shared-session request change the shared store?  A True
+    answer triggers a snapshot publication after it executes."""
+    if kind in ("define", "upload", "update", "free"):
+        return True
+    if kind == "program":
+        if payload.get("declare"):
+            return True
+        for c in payload.get("calls", []) or []:
+            out = c.get("out") if isinstance(c, dict) else getattr(c, "out", None)
+            if out is not None:
+                return True
+        return False
+    if kind == "algorithm":
+        return payload.get("store_as") is not None
+    return False
+
+
+def _writer_reset(service, session: Session) -> None:
+    """Discard a failed shared mutation's partial working state.
+
+    Every successful mutating request publishes immediately, so the
+    current version *is* the pre-request state; swinging the working set
+    back to it makes shared mutations transactional per request."""
+    try:
+        context.wait()
+    except GraphBLASError:
+        pass
+    current = service.snapshots.current
+    session.objects = dict(current.objects)
+    session.dtypes = dict(current.dtypes)
+
+
 def _fail(service, req, exc: BaseException) -> None:
+    req.release_version()
     if req.future.done():  # pragma: no cover - defensive
         return
     reg = metrics.registry
@@ -382,6 +475,7 @@ def _fail(service, req, exc: BaseException) -> None:
 
 
 def _fulfil(service, req, result: dict) -> None:
+    req.release_version()
     reg = metrics.registry
     reg.inc("service.completed")
     latency_us = (time.monotonic() - req.t_submit) * 1e6
@@ -393,26 +487,34 @@ def _fulfil(service, req, result: dict) -> None:
 
 
 def run_batch(service, session: Session, batch: list) -> None:
-    """Execute *batch* (requests of one session) on the calling worker."""
+    """Execute *batch* (requests of one session) on the calling worker.
+
+    Reader sessions run lock-free against the snapshot version each
+    request pinned at admission.  The shared (writer) session runs
+    copy-on-write: mutated objects are duplicated before their first
+    in-place edit, the request's deferred ops are drained, and the
+    resulting working set is published as the next immutable version —
+    one publication per mutating request, so version numbers order the
+    write history densely.
+    """
     reg = metrics.registry
     sink = spans.current()
     reg.inc("service.batches")
     reg.observe("service.batch_size", len(batch))
-    lock = (
-        service.shared_lock.write()
-        if session.is_shared
-        else service.shared_lock.read()
-    )
     batching = service.config.batching
-    with context.activate(session.context), lock:
+    is_writer = session.is_shared
+    memo = getattr(service, "memo", None)
+    snapshots = getattr(service, "snapshots", None)
+    with context.activate(session.context):
         bsp = (
             sink.open("batch", "batch", session=session.name, requests=len(batch))
             if sink is not None
             else None
         )
-        # (req, result, issue_us, own_drain_us) — own_drain_us is the
+        # (req, result, issue_us, own_drain_us, meta) — own_drain_us is the
         # per-request wait when batching is off; the batched drain is
-        # apportioned by the accounting below instead
+        # apportioned by the accounting below instead.  meta carries the
+        # snapshot/cache facts of the request for the timing response.
         issued: list[tuple] = []
         try:
             for req in batch:
@@ -440,10 +542,64 @@ def run_batch(service, session: Session, batch: list) -> None:
                     if sink is not None
                     else None
                 )
+                ectx = _Exec(
+                    version=req.version, fresh=set() if is_writer else None
+                )
+                meta: dict = {}
+                if req.version is not None:
+                    meta["shared_version"] = req.version.vid
                 try:
                     t_i0 = time.perf_counter()
                     with tracing.use(req.trace):
-                        result = _ISSUE[req.kind](service, session, req.payload)
+                        result = None
+                        decision = None
+                        if memo is not None and not is_writer and req.version is not None:
+                            decision = req.memo_decision
+                            if decision is None:  # admitted before the cache
+                                decision = analyze_request(req.kind, req.payload)
+                            if decision.cacheable:
+                                entry = memo.lookup(
+                                    req.version.vid, decision.digest
+                                )
+                                if entry is not None:
+                                    result = materialize(entry, decision, session)
+                                meta["cache"] = "hit" if result is not None else "miss"
+                            else:
+                                memo.note_bypass(decision.reason)
+                                meta["cache"] = "bypass"
+                        if result is None:
+                            result = _ISSUE[req.kind](
+                                service, session, req.payload, ectx
+                            )
+                            if (
+                                is_writer
+                                and snapshots is not None
+                                and _mutates(req.kind, req.payload)
+                            ):
+                                # freeze this mutation's effects, then make
+                                # them visible to future admissions
+                                context.wait()
+                                v = snapshots.publish(
+                                    dict(session.objects), dict(session.dtypes)
+                                )
+                                meta["published_version"] = v.vid
+                                if memo is not None:
+                                    memo.on_publish(v.vid)
+                            if (
+                                decision is not None
+                                and decision.cacheable
+                                and memo is not None
+                            ):
+                                # building the entry serializes the declared
+                                # outputs — a sequence point that forces this
+                                # request's ops, so the blobs capture exactly
+                                # its view; errors propagate like any other
+                                # failure of this request's deferred work
+                                memo.insert(
+                                    req.version.vid,
+                                    decision.digest,
+                                    build_entry(decision, session, result),
+                                )
                     issue_us = (time.perf_counter() - t_i0) * 1e6
                     own_drain_us = 0.0
                     if not batching:
@@ -454,14 +610,18 @@ def run_batch(service, session: Session, batch: list) -> None:
                         own_drain_us = (time.perf_counter() - t_d0) * 1e6
                         reg.observe("service.drain_us", own_drain_us)
                     reg.observe("service.issue_us", issue_us)
-                    issued.append((req, result, issue_us, own_drain_us))
+                    issued.append((req, result, issue_us, own_drain_us, meta))
                 except GraphBLASError as exc:
                     session.failed += 1
+                    if is_writer:
+                        _writer_reset(service, session)
                     _fail(service, req, exc)
                     if rsp is not None:
                         rsp.attrs["error"] = type(exc).__name__
                 except Exception as exc:
                     session.failed += 1
+                    if is_writer:
+                        _writer_reset(service, session)
                     _fail(service, req, BadRequest(
                         f"request {req.rid} ({req.kind}) failed: {exc!r}"
                     ))
@@ -472,6 +632,8 @@ def run_batch(service, session: Session, batch: list) -> None:
                     # under the batch's drain span carrying per-node
                     # request_ids provenance instead
                     if rsp is not None:
+                        if "cache" in meta:
+                            rsp.attrs["cache"] = meta["cache"]
                         sink.close(rsp)
 
             drain_error: GraphBLASError | None = None
@@ -499,7 +661,7 @@ def run_batch(service, session: Session, batch: list) -> None:
             # un-run tail (section V), so it fails every request whose
             # deferred work may be involved — the same over-approximation
             # GrB_wait itself makes
-            for req, result, issue_us, own_drain_us in issued:
+            for req, result, issue_us, own_drain_us, meta in issued:
                 if drain_error is not None:
                     session.failed += 1
                     _fail(service, req, drain_error)
@@ -521,6 +683,7 @@ def run_batch(service, session: Session, batch: list) -> None:
                         "issue_us": issue_us,
                         "drain_share_us": drain_share_us,
                         "total_us": (time.monotonic() - req.t_submit) * 1e6,
+                        **meta,
                     }
                 session.completed += 1
                 _fulfil(service, req, result)

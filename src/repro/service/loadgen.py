@@ -1,17 +1,27 @@
 """``python -m repro.service.loadgen`` — deterministic multi-tenant load.
 
 Drives N concurrent clients against the service, each with a seeded
-request stream over a private graph plus a read-only shared graph, then
-**replays every stream serially** (one worker, no batching, pipeline
-depth 1) and diffs the responses: a concurrency bug anywhere in the
-sessions / admission / batching stack shows up as a divergence, exactly
-like the conformance fuzzer's reference diffing.
+request stream over a private graph plus a shared graph, then **replays
+every stream serially** (one worker, no batching, cache off) and diffs
+the responses: a concurrency or caching bug anywhere in the sessions /
+admission / snapshot / memoization stack shows up as a divergence,
+exactly like the conformance fuzzer's reference diffing.
+
+The replay is *version ordered*: every live response records which
+shared-graph snapshot version the request observed (``shared_version``)
+and which version each shared mutation published (``published_version``),
+so the serial replay applies shared writes in exactly their live
+publication order and issues each read against the same snapshot it saw
+live.  That keeps the diff sound even under ``--zipf-s`` mixes where
+concurrent writers stream updates into the shared graph while readers
+hammer a zipf-skewed pool of repeated (memoizable) requests.
 
 Two transports: direct in-process (default; also measures planner
-batching on vs off and writes a ``repro-bench/1`` baseline) and
-``--connect HOST:PORT`` against a running ``python -m repro.service``
-(CI's service-smoke job).  Exit status is non-zero on any request error
-or divergence.
+batching on vs off — or cache on vs off under ``--zipf-s`` — and writes
+a ``repro-bench/1`` baseline) and ``--connect HOST:PORT`` against a
+running ``python -m repro.service`` (CI's service-smoke job).  Exit
+status is non-zero on any request error, divergence, or a cache hit
+rate below ``--min-hit-rate``.
 """
 
 from __future__ import annotations
@@ -34,10 +44,18 @@ from .errors import QueueFull
 from .service import Service, ServiceConfig
 from .session import SHARED_PREFIX, SHARED_SESSION
 
-__all__ = ["build_streams", "run_direct", "run_tcp", "main"]
+__all__ = [
+    "build_streams",
+    "build_zipf_streams",
+    "run_direct",
+    "run_tcp",
+    "replay_versioned",
+    "main",
+]
 
 _SEMIRING = "GrB_PLUS_TIMES_SEMIRING_FP64"
 _BINOP = "GrB_PLUS_FP64"
+_MONOID = "GrB_PLUS_MONOID_FP64"
 _GRAPH_N = 24          # private graph dimension
 _SHARED_N = 32         # shared graph dimension
 
@@ -158,6 +176,138 @@ def build_streams(seed: int, clients: int, requests: int) -> list[list]:
 
 
 # --------------------------------------------------------------------------
+# Zipf workload: repeated shared-graph reads + streaming shared writes
+# --------------------------------------------------------------------------
+
+def _zipf_cdf(k: int, s: float) -> list[float]:
+    weights = [1.0 / (rank + 1) ** s for rank in range(k)]
+    total = sum(weights)
+    acc, cdf = 0.0, []
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    return cdf
+
+
+def _zipf_pick(rng: random.Random, cdf: list[float]) -> int:
+    x = rng.random()
+    for rank, edge in enumerate(cdf):
+        if x <= edge:
+            return rank
+    return len(cdf) - 1
+
+
+def _shared_read_pool(seed: int, pool: int) -> list[tuple[str, dict]]:
+    """Deterministic pool of *memoizable* read requests over ``shared:G``.
+
+    Every template reads only the shared graph (plus its own declared
+    temporaries), uses registry operators, and fetches what it computes,
+    so the result cache can serve repeats without touching session state.
+    """
+    rng = random.Random(seed * 104729 + 11)
+    g = SHARED_PREFIX + "G"
+    templates: list[tuple[str, dict]] = [
+        ("query", {"name": g, "what": "nvals"}),
+        ("algorithm", {"algo": "pagerank", "graph": g, "args": {}}),
+        ("algorithm", {"algo": "triangle_count", "graph": g, "args": {}}),
+    ]
+    while len(templates) < pool:
+        r = rng.random()
+        if r < 0.25:
+            templates.append(("query", {
+                "name": g, "what": "element",
+                "row": rng.randrange(_SHARED_N),
+                "col": rng.randrange(_SHARED_N),
+            }))
+        elif r < 0.50:
+            templates.append(("algorithm", {
+                "algo": rng.choice(("bfs_levels", "sssp")),
+                "graph": g,
+                "args": {"source": rng.randrange(_SHARED_N)},
+            }))
+        else:
+            src = rng.randrange(_SHARED_N)
+            val = round(rng.uniform(0.5, 2.0), 3)
+            templates.append(("program", {
+                "declare": [
+                    {"name": "v", "kind": "vector", "dtype": "FP64",
+                     "shape": [_SHARED_N], "entries": [[src, val]]},
+                    {"name": "t", "kind": "vector", "dtype": "FP64",
+                     "shape": [_SHARED_N]},
+                ],
+                "calls": [
+                    {"kind": "mxv", "out": "t",
+                     "args": {"a": g, "u": "v", "semiring": _SEMIRING}},
+                    {"kind": "reduce_scalar", "out": None,
+                     "args": {"a": "t", "monoid": _MONOID}},
+                ],
+                "fetch": ["t"],
+            }))
+    return templates[:pool]
+
+
+def _unique_read(rng: random.Random, nonce: int) -> tuple[str, dict]:
+    # a never-repeating seed value makes the program's canonical digest
+    # unique, so a stream of these is the 0%-hit-rate control mix
+    g = SHARED_PREFIX + "G"
+    return ("program", {
+        "declare": [
+            {"name": "v", "kind": "vector", "dtype": "FP64",
+             "shape": [_SHARED_N],
+             "entries": [[rng.randrange(_SHARED_N), 1.0 + nonce * 1e-6]]},
+            {"name": "t", "kind": "vector", "dtype": "FP64",
+             "shape": [_SHARED_N]},
+        ],
+        "calls": [
+            {"kind": "mxv", "out": "t",
+             "args": {"a": g, "u": "v", "semiring": _SEMIRING}},
+        ],
+        "fetch": ["t"],
+    })
+
+
+def build_zipf_streams(
+    seed: int,
+    clients: int,
+    requests: int,
+    *,
+    zipf_s: float = 1.2,
+    write_rate: float = 0.05,
+    pool: int = 32,
+    unique: bool = False,
+) -> list[list]:
+    """Per-client ``(kind, payload, to_shared)`` streams over ``shared:G``.
+
+    Reads are drawn zipf(s)-skewed from a request pool shared by every
+    client, so popular requests repeat across clients and are servable
+    from the cross-request result cache.  A ``write_rate`` fraction of
+    ops are streaming ``update`` mutations submitted *to the shared
+    session* (``to_shared=True``), each of which publishes a new snapshot
+    version and invalidates the cache.  ``unique=True`` replaces the
+    zipf pool with never-repeating programs — the 0%-hit-rate control.
+    """
+    templates = _shared_read_pool(seed, pool)
+    cdf = _zipf_cdf(len(templates), zipf_s)
+    streams: list[list] = []
+    per_client = max(1, requests // clients)
+    for i in range(clients):
+        rng = random.Random(seed * 7919 + 31 * i + 1)
+        ops: list = []
+        for j in range(per_client):
+            if rng.random() < write_rate:
+                kind, payload = _op_update(rng, "G", _SHARED_N)
+                ops.append((kind, payload, True))
+            elif unique:
+                kind, payload = _unique_read(rng, i * per_client + j)
+                ops.append((kind, payload, False))
+            else:
+                kind, payload = templates[_zipf_pick(rng, cdf)]
+                ops.append((kind, payload, False))
+        streams.append(ops)
+    return streams
+
+
+# --------------------------------------------------------------------------
 # Runners
 # --------------------------------------------------------------------------
 
@@ -176,11 +326,13 @@ def run_direct(
     slo_p99_ms: float | None = None,
     backend: str = "threads",
     shard_workers: int | None = None,
+    cache: bool = True,
 ) -> dict:
     """Run the streams in-process; returns results, errors, and stats."""
     svc = Service(ServiceConfig(
         workers=workers, queue_capacity=queue_capacity, batching=batching,
         slo_p99_ms=slo_p99_ms, backend=backend, shard_workers=shard_workers,
+        cache=cache,
     ))
     before = metrics.registry.snapshot()
     try:
@@ -203,10 +355,11 @@ def run_direct(
                         with lock:
                             errors.append((ci, kind, exc))
 
-            for kind, payload in streams[ci]:
+            for kind, payload, *rest in streams[ci]:
+                target = SHARED_SESSION if (rest and rest[0]) else sess
                 while True:
                     try:
-                        fut = svc.submit(sess, kind, payload, timing=True)
+                        fut = svc.submit(target, kind, payload, timing=True)
                         break
                     except QueueFull:
                         settle(0)       # backpressure: drain, then retry
@@ -257,16 +410,27 @@ def run_tcp(streams: list[list], *, seed: int, host: str, port: int) -> dict:
 
     def client_fn(ci: int) -> None:
         cli = TCPClient(host, port, session=f"lg{ci}")
+        shared_cli = None
         try:
-            for kind, payload in streams[ci]:
+            for kind, payload, *rest in streams[ci]:
+                if rest and rest[0]:
+                    if shared_cli is None:
+                        shared_cli = TCPClient(
+                            host, port, session=SHARED_SESSION
+                        )
+                    conn = shared_cli
+                else:
+                    conn = cli
                 try:
-                    results[ci].append(cli.call(kind, payload, timing=True))
+                    results[ci].append(conn.call(kind, payload, timing=True))
                 except Exception as exc:
                     results[ci].append({"__error__": type(exc).__name__})
                     with lock:
                         errors.append((ci, kind, exc))
         finally:
             cli.close(close_session=False)
+            if shared_cli is not None:
+                shared_cli.close(close_session=False)
 
     t0 = time.perf_counter()
     threads = [
@@ -286,6 +450,97 @@ def run_tcp(streams: list[list], *, seed: int, host: str, port: int) -> dict:
         probe.close()
     return {"results": results, "errors": errors, "elapsed_s": elapsed,
             "stats": stats}
+
+
+def replay_versioned(
+    streams: list[list],
+    live_results: list[list],
+    *,
+    seed: int,
+    queue_capacity: int = 64,
+) -> dict:
+    """Serial, cache-off replay that honours the live run's version order.
+
+    Shared mutations are re-applied in the exact order they *published*
+    live (``timing["published_version"]``), and every read is issued only
+    once the replay's shared store has reached the snapshot version that
+    read observed live (``timing["shared_version"]``).  Per-client read
+    order is preserved (admission pins are monotonic per client), so the
+    replay reproduces both the private-state evolution of each client and
+    the shared-state epoch each response was computed against — which is
+    what makes diffing sound under a streaming-write mix.
+    """
+    svc = Service(ServiceConfig(
+        workers=1, queue_capacity=max(queue_capacity, 4),
+        batching=False, cache=False,
+    ))
+    problems: list[tuple] = []
+    out: list[list] = [[None] * len(s) for s in streams]
+    try:
+        _setup_shared(svc, seed)
+        writers: dict[int, tuple] = {}
+        pending: list[deque] = []
+        for ci, stream in enumerate(streams):
+            dq: deque = deque()
+            last_v = svc.snapshots.current_vid()
+            for oi, (kind, payload, *rest) in enumerate(stream):
+                live = (live_results[ci][oi]
+                        if oi < len(live_results[ci]) else None)
+                timing = live.get("timing") if isinstance(live, dict) else None
+                timing = timing or {}
+                if rest and rest[0]:
+                    pv = timing.get("published_version")
+                    if pv is None:
+                        # the live mutation failed before publishing; replay
+                        # it at the client's current position so the replay
+                        # fails (or diverges) visibly at the same op
+                        dq.append((oi, kind, payload, last_v, True))
+                    else:
+                        writers[pv] = (ci, oi, kind, payload)
+                else:
+                    v = timing.get("shared_version", last_v)
+                    last_v = v
+                    dq.append((oi, kind, payload, v, False))
+            pending.append(dq)
+
+        sessions = [svc.open_session(f"rp{ci}") for ci in range(len(streams))]
+
+        def run_one(sess_name, ci, oi, kind, payload) -> None:
+            try:
+                out[ci][oi] = svc.request(sess_name, kind, payload,
+                                          timing=True)
+            except Exception as exc:
+                out[ci][oi] = {"__error__": type(exc).__name__}
+
+        cur = svc.snapshots.current_vid()
+        while True:
+            for ci, dq in enumerate(pending):
+                while dq and dq[0][3] <= cur:
+                    oi, kind, payload, _v, to_shared = dq.popleft()
+                    sess = SHARED_SESSION if to_shared else sessions[ci]
+                    run_one(sess, ci, oi, kind, payload)
+            nxt = cur + 1
+            if nxt in writers:
+                ci, oi, kind, payload = writers.pop(nxt)
+                run_one(SHARED_SESSION, ci, oi, kind, payload)
+                cur = svc.snapshots.current_vid()
+                if cur < nxt:
+                    problems.append((ci, oi,
+                                     f"replayed mutation did not publish "
+                                     f"version {nxt}"))
+                    break
+            elif any(pending):
+                for ci, dq in enumerate(pending):
+                    for oi, _k, _p, v, _s in dq:
+                        problems.append((ci, oi,
+                                         f"observed version {v} unreachable "
+                                         f"(replay stuck at {cur})"))
+                break
+            else:
+                break
+    finally:
+        svc.shutdown()
+    return {"results": out, "problems": problems}
 
 
 def _strip_timing(r):
@@ -381,12 +636,40 @@ def main(argv: list[str] | None = None) -> int:
                    help="drain execution backend (direct mode)")
     p.add_argument("--shard-workers", type=int, default=None,
                    help="shard pool size for the processes backend")
+    p.add_argument("--zipf-s", type=float, default=None,
+                   help="switch to the zipf-skewed shared-read mix with "
+                        "this skew exponent (repeated memoizable requests "
+                        "+ streaming shared writes)")
+    p.add_argument("--write-rate", type=float, default=0.05,
+                   help="fraction of zipf-mix ops that mutate the shared "
+                        "graph (each publishes a snapshot version)")
+    p.add_argument("--unique-mix", action="store_true",
+                   help="zipf mode with never-repeating reads: the "
+                        "0%%-hit-rate control workload")
+    p.add_argument("--cache", dest="cache", action="store_true",
+                   default=True, help="enable the result cache (default)")
+    p.add_argument("--no-cache", dest="cache", action="store_false",
+                   help="disable the cross-request result cache")
+    p.add_argument("--min-hit-rate", type=float, default=None,
+                   help="fail (exit nonzero) when the run's cache hit "
+                        "rate falls below this fraction")
     args = p.parse_args(argv)
 
-    streams = build_streams(args.seed, args.clients, args.requests)
+    zipf_mode = args.zipf_s is not None or args.unique_mix
+    if zipf_mode:
+        streams = build_zipf_streams(
+            args.seed, args.clients, args.requests,
+            zipf_s=args.zipf_s if args.zipf_s is not None else 1.2,
+            write_rate=args.write_rate, unique=args.unique_mix,
+        )
+    else:
+        streams = build_streams(args.seed, args.clients, args.requests)
     total = sum(len(s) for s in streams)
+    mix = "unique" if args.unique_mix else (
+        f"zipf(s={args.zipf_s})" if zipf_mode else "classic")
     print(f"loadgen: {len(streams)} clients x {len(streams[0])} ops "
-          f"= {total} requests (seed {args.seed})", flush=True)
+          f"= {total} requests (seed {args.seed}, mix {mix}, "
+          f"cache {'on' if args.cache else 'off'})", flush=True)
 
     if args.connect:
         host, _, port = args.connect.rpartition(":")
@@ -397,7 +680,7 @@ def main(argv: list[str] | None = None) -> int:
             streams, seed=args.seed, workers=args.workers,
             queue_capacity=args.queue_capacity, pipeline=args.pipeline,
             slo_p99_ms=args.slo_p99_ms, backend=args.backend,
-            shard_workers=args.shard_workers,
+            shard_workers=args.shard_workers, cache=args.cache,
         )
 
     st = live["stats"]
@@ -408,6 +691,27 @@ def main(argv: list[str] | None = None) -> int:
           flush=True)
     for ci, kind, exc in live["errors"][:10]:
         print(f"  ERROR client {ci} {kind}: {type(exc).__name__}: {exc}")
+
+    hit_rate_missed = False
+    cache_st = st.get("cache")
+    if cache_st:
+        print(f"  cache: hit_rate {cache_st['hit_rate']:.2f} "
+              f"({cache_st['hits']}h/{cache_st['misses']}m/"
+              f"{cache_st['bypasses']}b)  "
+              f"entries {cache_st['entries']}  "
+              f"invalidations {cache_st['invalidations']}", flush=True)
+    snap_st = st.get("snapshots")
+    if snap_st:
+        print(f"  snapshots: version {snap_st['version']}  "
+              f"published {snap_st['published']}  "
+              f"retired {snap_st['retired']}  "
+              f"live {snap_st['live_versions']}", flush=True)
+    if args.min_hit_rate is not None:
+        observed = cache_st["hit_rate"] if cache_st else 0.0
+        hit_rate_missed = observed < args.min_hit_rate
+        print(f"  hit-rate target {args.min_hit_rate:.2f}, observed "
+              f"{observed:.2f}: "
+              f"{'MISSED' if hit_rate_missed else 'met'}", flush=True)
 
     timings = timing_summary(live["results"])
     if timings.get("count"):
@@ -445,11 +749,12 @@ def main(argv: list[str] | None = None) -> int:
 
     divergences: list = []
     if not args.no_replay:
-        print("replaying serially (1 worker, no batching)...", flush=True)
-        ref = run_direct(streams, seed=args.seed, workers=1,
-                         queue_capacity=max(args.queue_capacity, 4),
-                         batching=False, pipeline=1)
+        print("replaying serially (1 worker, no batching, cache off, "
+              "version-ordered shared writes)...", flush=True)
+        ref = replay_versioned(streams, live["results"], seed=args.seed,
+                               queue_capacity=args.queue_capacity)
         divergences = diff_results(live["results"], ref["results"])
+        divergences += ref["problems"]
         for ci, oi, what in divergences[:10]:
             print(f"  DIVERGENCE client {ci} op {oi}: {what}")
         print(f"  {len(divergences)} divergences", flush=True)
@@ -461,17 +766,20 @@ def main(argv: list[str] | None = None) -> int:
             "clients": args.clients,
             "requests": total,
             "backend": args.backend,
+            "mix": mix,
         })
-        for batching in (True, False):
+
+        def timed(name: str, bench_streams: list[list], **kw) -> None:
             times, extra = [], {}
             for _ in range(args.repeat):
                 run = run_direct(
-                    streams, seed=args.seed, workers=args.workers,
+                    bench_streams, seed=args.seed, workers=args.workers,
                     queue_capacity=args.queue_capacity,
-                    batching=batching, pipeline=args.pipeline,
-                    backend=args.backend, shard_workers=args.shard_workers,
+                    pipeline=args.pipeline, backend=args.backend,
+                    shard_workers=args.shard_workers, **kw,
                 )
                 times.append(run["elapsed_s"])
+                cache_stats = run["stats"].get("cache")
                 extra = {
                     "qps": total / run["elapsed_s"],
                     "batches": run["counters"].get("service.batches", 0),
@@ -482,11 +790,31 @@ def main(argv: list[str] | None = None) -> int:
                     "p50_us": run["latency_p50_us"],
                     "p99_us": run["latency_p99_us"],
                     "errors": len(run["errors"]),
+                    "hit_rate": (cache_stats or {}).get("hit_rate", 0.0),
                 }
-            rec.record(
-                f"service.loadgen.batching_{'on' if batching else 'off'}",
-                times, **extra,
+            rec.record(name, times, **extra)
+
+        if zipf_mode:
+            # cache on vs off on the skewed (memoizable) mix, plus the
+            # 0%-hit-rate unique control: the cache must win the former
+            # and stay out of the way on the latter
+            for on in (True, False):
+                timed(f"service.loadgen.zipf_cache_{'on' if on else 'off'}",
+                      streams, cache=on)
+            unique_streams = build_zipf_streams(
+                args.seed, args.clients, args.requests,
+                zipf_s=args.zipf_s if args.zipf_s is not None else 1.2,
+                write_rate=args.write_rate, unique=True,
             )
+            for on in (True, False):
+                timed(f"service.loadgen.unique_cache_{'on' if on else 'off'}",
+                      unique_streams, cache=on)
+        else:
+            for batching in (True, False):
+                timed(
+                    f"service.loadgen.batching_{'on' if batching else 'off'}",
+                    streams, batching=batching,
+                )
         rec.write(args.bench_out)
         print(f"bench baseline -> {args.bench_out}", flush=True)
 
@@ -512,7 +840,8 @@ def main(argv: list[str] | None = None) -> int:
                 ))
             print(f"timeline -> {args.timeline_out}", flush=True)
 
-    ok = not live["errors"] and not divergences and not slo_missed
+    ok = (not live["errors"] and not divergences and not slo_missed
+          and not hit_rate_missed)
     print("loadgen: OK" if ok else "loadgen: FAILED", flush=True)
     return 0 if ok else 1
 

@@ -80,11 +80,33 @@ class Request:
     trace: TraceContext | None = None
     #: include the latency decomposition in the response dict
     timing: bool = False
+    #: shared-store :class:`~repro.service.snapshot.GraphVersion` pinned at
+    #: admission (None for shared-session requests, which see live state)
+    version: Any = None
+    #: :class:`~repro.service.memo.CacheDecision` precomputed at admission —
+    #: analysis is pure in ``(kind, payload)``, so the submitting thread does
+    #: it instead of the worker's serialized issue loop
+    memo_decision: Any = None
+    #: the store that pinned ``version`` (unpin goes back to it)
+    _snapshots: Any = None
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
             return False
         return (time.monotonic() if now is None else now) > self.deadline
+
+    def pin_version(self, snapshots) -> None:
+        """Pin the current shared-store version to this request."""
+        self.version = snapshots.pin()
+        self._snapshots = snapshots
+
+    def release_version(self) -> None:
+        """Unpin the admitted version (idempotent — every completion path
+        calls this, including failure and shutdown paths)."""
+        if self.version is not None and self._snapshots is not None:
+            self._snapshots.unpin(self.version)
+            self.version = None
+            self._snapshots = None
 
 
 def new_request(

@@ -158,16 +158,24 @@ class Server:
         """Answer a bare plaintext ``metrics`` / ``health`` probe line."""
         if cmd == "metrics":
             h = self.service.health()
-            return prometheus_text(
-                self.service.metrics_snapshot(),
-                gauges={
-                    "service.up": 1,
-                    "service.queue_depth": h["queue_depth"],
-                    "service.sessions_open": h["sessions"],
-                    "service.workers": h["workers"],
-                    "service.uptime_seconds": h["uptime_s"],
-                },
-            )
+            gauges = {
+                "service.up": 1,
+                "service.queue_depth": h["queue_depth"],
+                "service.sessions_open": h["sessions"],
+                "service.workers": h["workers"],
+                "service.uptime_seconds": h["uptime_s"],
+            }
+            snap = self.service.snapshots.stats()
+            gauges["service.snapshot_version"] = snap["version"]
+            gauges["service.snapshot_live_versions"] = snap["live_versions"]
+            gauges["service.snapshot_pinned"] = snap["pinned"]
+            if self.service.memo is not None:
+                cache = self.service.memo.stats()
+                gauges["service.cache_entries"] = cache["entries"]
+                gauges["service.cache_bytes"] = cache["bytes"]
+                gauges["service.cache_hit_rate"] = cache["hit_rate"]
+            return prometheus_text(self.service.metrics_snapshot(),
+                                   gauges=gauges)
         if cmd == "health":
             return json.dumps(self.service.health()) + "\n"
         raise BadRequest(f"unknown plain command {cmd!r}")  # pragma: no cover

@@ -45,8 +45,10 @@ from .. import parallel
 from ..parallel import get_num_threads
 from .errors import QueueFull, ServiceClosed, SessionNotFound
 from .executor import run_batch, validate_session
+from .memo import ResultCache, analyze_request
 from .request import Request, new_request
-from .session import SHARED_SESSION, RWLock, Session
+from .session import SHARED_SESSION, Session
+from .snapshot import SnapshotStore
 
 __all__ = ["Service", "ServiceConfig"]
 
@@ -79,6 +81,11 @@ class ServiceConfig:
     #: shard-pool size for the ``processes`` backend (None → leave the
     #: process-wide :func:`repro.parallel.shard_workers` setting alone)
     shard_workers: int | None = None
+    #: cross-request result cache (memoization of cacheable reads on
+    #: shared graphs, keyed by snapshot version + canonical program hash)
+    cache: bool = True
+    #: LRU byte budget of the result cache
+    cache_bytes: int = 64 * 1024 * 1024
 
     def worker_count(self) -> int:
         if self.workers:
@@ -110,9 +117,16 @@ class Service:
         self._stopped = False
         self._started = False
         self._t0 = time.monotonic()
-        self.shared_lock = RWLock()
-        # the shared store is itself a session: mutations to shared graphs
-        # queue there and execute under the write half of shared_lock
+        # the shared graph store is a sequence of immutable copy-on-write
+        # versions: every non-shared request pins the current version at
+        # admission; the shared session is the single writer and publishes
+        # a new version per mutating request
+        self.snapshots = SnapshotStore()
+        self.memo: ResultCache | None = (
+            ResultCache(config.cache_bytes) if config.cache else None
+        )
+        # mutations to shared graphs queue through the shared session — the
+        # only path that sees (and builds) unpublished working state
         self._shared = Session(
             SHARED_SESSION,
             capacity=config.queue_capacity,
@@ -165,6 +179,7 @@ class Service:
                 for sess in self._sessions.values():
                     while sess.pending:
                         req = sess.pending.popleft()
+                        req.release_version()
                         if not req.future.done():
                             req.future.set_exception(
                                 ServiceClosed("service shut down before execution")
@@ -262,6 +277,11 @@ class Service:
             timeout=self.config.default_timeout if timeout is None else timeout,
             trace=trace, timing=timing,
         )
+        if self.memo is not None:
+            # pure in (kind, payload): canonicalize on the submitting
+            # thread, outside the admission lock, so the worker's issue
+            # loop only pays for the lookup
+            req.memo_decision = analyze_request(req.kind, req.payload)
         reg = metrics.registry
         with self._work:
             if self._stopping or self._stopped:
@@ -276,6 +296,11 @@ class Service:
                 )
             reg.inc("service.admitted")
             sess.admitted += 1
+            if not sess.is_shared:
+                # the read path: pin the current shared-store version now so
+                # the request sees one frozen publication regardless of any
+                # writer publishing between admission and execution
+                req.pin_version(self.snapshots)
             sess.pending.append(req)
             if not sess.scheduled:
                 sess.scheduled = True
@@ -317,6 +342,7 @@ class Service:
                     run_batch(self, sess, batch)
             except BaseException as exc:  # executor bug: fail, don't kill worker
                 for req in batch:
+                    req.release_version()
                     if not req.future.done():
                         req.future.set_exception(
                             ServiceClosed(f"internal executor failure: {exc!r}")
@@ -383,6 +409,8 @@ class Service:
                 )
             },
             "slo": self.slo.summary() if self.slo is not None else None,
+            "snapshots": self.snapshots.stats(),
+            "cache": self.memo.stats() if self.memo is not None else None,
         }
 
     def health(self) -> dict:

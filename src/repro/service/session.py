@@ -20,23 +20,24 @@ Queue fields (``pending``, ``scheduled``, ``closed``) are guarded by the
 owning service's single admission lock, not by the session itself — the
 service is the only mutator, which keeps lock ordering trivial.
 
-The module also provides the :class:`RWLock` the service uses around the
-shared graph store: session batches that *read* shared objects take it
-shared, mutations routed through the internal shared session take it
-exclusively — the "read-only objects may be shared between sequences" rule
-of section IV, enforced at serving granularity.
+Shared-store coherence is **lock-free for readers**: batches that read
+shared objects execute against an immutable :class:`~repro.service.snapshot.GraphVersion`
+pinned at admission, and mutations routed through the internal shared
+session publish new versions through the service's
+:class:`~repro.service.snapshot.SnapshotStore` — the "read-only objects
+may be shared between sequences" rule of section IV, enforced by
+copy-on-write publication instead of the RWLock earlier revisions used.
 """
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Any
 
 from .. import context
 from ..fuzz.executor import Env
 
-__all__ = ["Session", "RWLock", "SHARED_SESSION", "SHARED_PREFIX"]
+__all__ = ["Session", "SHARED_SESSION", "SHARED_PREFIX"]
 
 #: reserved session name whose object store is readable by every tenant
 SHARED_SESSION = "shared"
@@ -81,59 +82,3 @@ class Session:
             f"<Session {self.name} objects={len(self.objects)} "
             f"pending={len(self.pending)}>"
         )
-
-
-class RWLock:
-    """Classic writer-preference readers/writer lock (no upgrade)."""
-
-    def __init__(self):
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writer = False
-        self._writers_waiting = 0
-
-    def acquire_read(self) -> None:
-        with self._cond:
-            while self._writer or self._writers_waiting:
-                self._cond.wait()
-            self._readers += 1
-
-    def release_read(self) -> None:
-        with self._cond:
-            self._readers -= 1
-            if self._readers == 0:
-                self._cond.notify_all()
-
-    def acquire_write(self) -> None:
-        with self._cond:
-            self._writers_waiting += 1
-            try:
-                while self._writer or self._readers:
-                    self._cond.wait()
-            finally:
-                self._writers_waiting -= 1
-            self._writer = True
-
-    def release_write(self) -> None:
-        with self._cond:
-            self._writer = False
-            self._cond.notify_all()
-
-    class _Guard:
-        __slots__ = ("_acquire", "_release")
-
-        def __init__(self, acquire, release):
-            self._acquire = acquire
-            self._release = release
-
-        def __enter__(self):
-            self._acquire()
-
-        def __exit__(self, *exc):
-            self._release()
-
-    def read(self) -> "_Guard":
-        return self._Guard(self.acquire_read, self.release_read)
-
-    def write(self) -> "_Guard":
-        return self._Guard(self.acquire_write, self.release_write)

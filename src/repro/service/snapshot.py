@@ -1,0 +1,147 @@
+"""Copy-on-write versioned snapshots of the shared graph store.
+
+This module replaces the service's former ``RWLock``.  The old design
+serialized every reader batch against every writer batch; under the
+read-mostly traffic the service targets, that lock *was* the hot path.
+The snapshot design removes it entirely:
+
+* the shared store is a sequence of **immutable versions**; a version is
+  a plain ``{name: object}`` mapping whose objects are never mutated
+  after publication;
+* a **reader pins** the current version at admission — an O(1) pointer
+  grab plus a refcount bump under a mutex that is never held across any
+  graph work, so readers never wait for writers and writers never wait
+  for readers;
+* a **writer publishes** a new version atomically: the shared session's
+  batch executor builds a copy-on-write working set (untouched objects
+  are carried over by reference, mutated ones are duplicated first) and
+  swaps the current-version pointer;
+* an old version is **retired** as soon as it is unpinned and no longer
+  current, so the store's memory footprint is bounded by the number of
+  in-flight reader batches, not by write traffic.
+
+This is the paper's "read-only objects may be shared between sequences"
+rule made first-class: every reader sequence sees one frozen, fully
+drained publication of the shared store, and the writer sequence is the
+only mutator — of private duplicates, never of anything published.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["GraphVersion", "SnapshotStore"]
+
+
+class GraphVersion:
+    """One immutable publication of the shared store.
+
+    ``objects`` / ``dtypes`` must never be mutated after construction —
+    the store hands the same instance to any number of concurrent
+    readers.  Refcounting fields are guarded by the owning store's lock.
+    """
+
+    __slots__ = ("vid", "objects", "dtypes", "pins", "retired")
+
+    def __init__(self, vid: int, objects: dict[str, Any], dtypes: dict[str, str]):
+        self.vid = vid
+        self.objects = objects
+        self.dtypes = dtypes
+        self.pins = 0
+        self.retired = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GraphVersion v{self.vid} objects={len(self.objects)} "
+            f"pins={self.pins}{' retired' if self.retired else ''}>"
+        )
+
+
+class SnapshotStore:
+    """The versioned shared store: pin / publish / retire.
+
+    The single mutex guards only the version table and refcounts; it is
+    held for O(1) pointer work.  All graph copying happens in the writer
+    *before* :meth:`publish` is called, and all graph reading happens in
+    readers *after* :meth:`pin` returns — neither under the lock.
+    """
+
+    def __init__(self):
+        self._mu = threading.Lock()
+        self._current = GraphVersion(0, {}, {})
+        self._versions: dict[int, GraphVersion] = {0: self._current}
+        #: total versions ever retired (monotonic; the stress suite
+        #: asserts this tracks publication count, i.e. no version leaks)
+        self.retired = 0
+        #: total publications (monotonic)
+        self.published = 0
+
+    # ---------------------------------------------------------------- reads
+    @property
+    def current(self) -> GraphVersion:
+        """The latest publication (an unpinned peek — executor-internal
+        uses only; readers that outlive a lock region must :meth:`pin`)."""
+        return self._current
+
+    def current_vid(self) -> int:
+        return self._current.vid
+
+    def pin(self) -> GraphVersion:
+        """Pin and return the current version.  The caller must
+        :meth:`unpin` exactly once; until then the version's objects are
+        guaranteed immutable and alive."""
+        with self._mu:
+            v = self._current
+            v.pins += 1
+            return v
+
+    def unpin(self, version: GraphVersion) -> None:
+        with self._mu:
+            version.pins -= 1
+            self._maybe_retire(version)
+
+    # --------------------------------------------------------------- writes
+    def publish(self, objects: dict[str, Any], dtypes: dict[str, str]) -> GraphVersion:
+        """Atomically install *objects*/*dtypes* as the next version.
+
+        The caller transfers ownership: the mappings (and any objects in
+        them not shared with prior versions) must not be mutated after
+        this call.  Returns the new version.  The superseded version is
+        retired immediately if nobody holds a pin on it.
+        """
+        with self._mu:
+            old = self._current
+            v = GraphVersion(old.vid + 1, objects, dtypes)
+            self._versions[v.vid] = v
+            self._current = v
+            self.published += 1
+            self._maybe_retire(old)
+            return v
+
+    # -------------------------------------------------------------- interna
+    def _maybe_retire(self, version: GraphVersion) -> None:
+        # lock held.  Retiring only drops the store's reference: objects
+        # may be shared with newer versions (copy-on-write), so their
+        # buffers are reclaimed by the garbage collector once the last
+        # version referencing them goes away — never freed eagerly.
+        if version.pins == 0 and version is not self._current and not version.retired:
+            version.retired = True
+            del self._versions[version.vid]
+            self.retired += 1
+
+    # ----------------------------------------------------------------- intro
+    def live_versions(self) -> int:
+        with self._mu:
+            return len(self._versions)
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "version": self._current.vid,
+                "objects": len(self._current.objects),
+                "live_versions": len(self._versions),
+                "pinned": sum(v.pins for v in self._versions.values()),
+                "published": self.published,
+                "retired": self.retired,
+            }
