@@ -1,0 +1,49 @@
+"""Kernel backends on fused chains: interpreter vs codegen.
+
+Every workload is the same planned sequence run under both backends —
+results are bit-identical by contract (the identity suite and the fuzzer
+enforce it), so the only thing these rows measure is the cost of the
+execution strategy.  With numba absent the codegen rows use the stitch
+flavor and the expectation is parity; with numba installed the pure apply
+chain is where the compiled scalar loop pays.
+
+``python -m repro.kernels.bench`` is the CLI twin that writes the
+``BENCH_pr8.json`` trajectory baseline.
+"""
+
+import pytest
+
+from repro import parallel
+from repro.kernels import bench as kb
+from repro.kernels import codegen
+
+from conftest import header, row
+
+FLAVOR = "numba" if codegen._numba_available() else "stitch"
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    yield
+    parallel.set_kernel_backend("interpreter")
+
+
+class BenchCodegen:
+    @pytest.mark.parametrize("backend", ["interpreter", "codegen"])
+    def bench_apply_chain(self, benchmark, backend):
+        fused, sums = benchmark(
+            lambda: kb.wl_apply_chain(backend, n=400, nnz=24000, depth=4)
+        )
+        header(f"fused apply chain — {backend}"
+               + (f" [{FLAVOR}]" if backend == "codegen" else ""))
+        row("12-link FP64 apply pipeline", f"fused={fused}")
+
+    @pytest.mark.parametrize("backend", ["interpreter", "codegen"])
+    def bench_mxm_chain(self, benchmark, backend):
+        fused, sums = benchmark(lambda: kb.wl_mxm_chain(backend, 400, 24000))
+        row(f"mxm→apply→apply→select ({backend})", f"fused={fused}")
+
+    @pytest.mark.parametrize("backend", ["interpreter", "codegen"])
+    def bench_small_many(self, benchmark, backend):
+        fused, sums = benchmark(lambda: kb.wl_small_many(backend, 60))
+        row(f"60 small chains ({backend})", f"fused={fused}")

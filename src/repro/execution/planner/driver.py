@@ -63,7 +63,7 @@ def _attach_runners(g: Graph) -> None:
     dispatched to pool threads still report back).
     """
     from ...obs import tracing as _tracing
-    from ...operations.common import execute_fused, execute_standard
+    from ...operations.common import execute_chain, execute_standard
     from ..trace import wrap_thunk
 
     acct = _tracing.current_accounting()
@@ -75,11 +75,10 @@ def _attach_runners(g: Graph) -> None:
         if rids:
             prov["request_ids"] = rids
             prov["trace_ids"] = t_ids
-        if node.fused_pair is not None:
-            p_spec, q_spec = node.fused_pair
+        if node.fused_chain is not None:
 
-            def fused_run(p=p_spec, q=q_spec):
-                execute_fused(p, q)
+            def fused_run(specs=tuple(node.fused_chain)):
+                execute_chain(list(specs))
 
             prov["fused_of"] = [op.label for op in node.ops]
             runner = wrap_thunk(

@@ -34,8 +34,10 @@ class OpNode:
     preds: set[int] = field(default_factory=set)
     succs: set[int] = field(default_factory=set)
     alive: bool = True
-    #: (producer spec, consumer spec) when this node is a fused pair
-    fused_pair: tuple[OpSpec, OpSpec] | None = None
+    #: member specs in stream order when this node is a fused chain —
+    #: producer first, then every absorbed stream link (two entries for a
+    #: classic pair, more when the fusion pass kept extending)
+    fused_chain: list[OpSpec] | None = None
     #: index of the node whose cached T this CSE duplicate reuses
     cse_source: int | None = None
     #: True when a later CSE duplicate needs this node's T captured
@@ -50,7 +52,7 @@ class OpNode:
 
     @property
     def label(self) -> str:
-        if self.fused_pair is not None:
+        if self.fused_chain is not None:
             return "+".join(op.label for op in self.ops) + "[fused]"
         if self.cse_source is not None:
             return self.ops[0].label + "[cse]"

@@ -55,11 +55,12 @@ def dead_op_pass(
 
 
 def fusion_pass(g: Graph, ops: list[DeferredOp], owner: list[int]) -> int:
-    """Contract producer→consumer pairs whose intermediate is unobservable.
+    """Contract producer→consumer chains whose intermediates are unobservable.
 
     A producer P (pure overwrite of X, spec'd kernel) fuses with the one
-    consumer Q of its result when Q is a single-input value map (``apply``)
-    or row reduction (``reduce``) over X, and X's value between P and Q can
+    consumer Q of its result when Q is a single-input stream transform —
+    a value map (``apply``), a predicate filter (``select``), or a row
+    reduction (``reduce``) — over X, and X's value between P and Q can
     never be seen after the drain:
 
     * **case (a)** — Q writes X itself, accum-free, unmasked-or-replace:
@@ -74,14 +75,26 @@ def fusion_pass(g: Graph, ops: list[DeferredOp], owner: list[int]) -> int:
     contraction must not close a cycle through unrelated objects
     (P → m → Q via WAR/WAW chains); :meth:`Graph.has_path` guards that.
 
+    The same argument then applies *to the chain itself*: whenever the
+    just-absorbed link is overwrite-shaped (no accumulator, unmasked or
+    replace-mode — so its output would hold exactly its mask-filtered T),
+    its result is another un-materialized stream, and the pass greedily
+    tries to absorb *its* sole consumer too.  Chains therefore grow to
+    arbitrary length, one contraction (and one increment of the return
+    value) per absorbed link; the semantic tests live in
+    :mod:`repro.kernels.chain` and any chain built here is runnable by the
+    interpreter backend — legality never depends on codegen eligibility.
+
     *owner* maps op position → owning node index and is updated in place.
     """
+    from ...kernels.chain import is_stream_link, overwrite_shaped
+
     fused = 0
     for i, p_op in enumerate(ops):
         if owner[i] != i or not g.nodes[i].alive:
             continue
         node_p = g.nodes[i]
-        if node_p.fused_pair is not None:
+        if node_p.fused_chain is not None:
             continue
         p_spec = p_op.spec
         if (
@@ -90,55 +103,66 @@ def fusion_pass(g: Graph, ops: list[DeferredOp], owner: list[int]) -> int:
             or not p_op.overwrites_output
         ):
             continue
-        X = p_op.writes
 
-        # who touches X after P?  (op granularity, program order)
-        readers: list[int] = []
-        next_writer: int | None = None
-        for k in range(i + 1, len(ops)):
-            o = ops[k]
-            if _reads(o, X):
-                readers.append(k)
-            if o.writes is X:
-                next_writer = k
+        tail_pos = i
+        while True:
+            X = ops[tail_pos].writes
+
+            # who touches X after the chain's tail?  (op granularity,
+            # program order)
+            readers: list[int] = []
+            next_writer: int | None = None
+            for k in range(tail_pos + 1, len(ops)):
+                o = ops[k]
+                if _reads(o, X):
+                    readers.append(k)
+                if o.writes is X:
+                    next_writer = k
+                    break
+            if len(readers) != 1:
                 break
-        if len(readers) != 1:
-            continue
-        j = readers[0]
-        if owner[j] != j or not g.nodes[j].alive:
-            continue
-        if g.nodes[j].fused_pair is not None:
-            continue
-        q_op = ops[j]
-        q_spec = q_op.spec
-        if q_spec is None or (q_spec.post is None and q_spec.reducer is None):
-            continue
-        if q_spec.inputs != (X,) or q_spec.mask is X:
-            continue
-        if q_spec.desc.transpose0:
-            continue
+            j = readers[0]
+            if owner[j] != j or not g.nodes[j].alive:
+                break
+            if g.nodes[j].fused_chain is not None:
+                break
+            q_op = ops[j]
+            q_spec = q_op.spec
+            if q_spec is None or not is_stream_link(q_spec):
+                break
+            if q_spec.inputs != (X,) or q_spec.mask is X:
+                break
+            if q_spec.desc.transpose0:
+                break
 
-        if next_writer == j:
-            # case (a): the in-place consumer — X becomes Q's result
-            if q_spec.accum is not None:
-                continue
-            if q_spec.mask is not None and not q_spec.desc.replace:
-                continue
-        else:
-            # case (b): P's value of X must be provably dead after Q
-            if next_writer is None:
-                continue  # X would keep P's result — must materialize
-            w_op = ops[next_writer]
-            if not w_op.overwrites_output or _reads(w_op, X):
-                continue
+            if next_writer == j:
+                # case (a): the in-place consumer — X becomes Q's result
+                if not overwrite_shaped(q_spec):
+                    break
+            else:
+                # case (b): the tail's value of X must be provably dead
+                if next_writer is None:
+                    break  # X would keep the stream — must materialize
+                w_op = ops[next_writer]
+                if not w_op.overwrites_output or _reads(w_op, X):
+                    break
 
-        if g.has_path(i, j, skip_direct=True):
-            continue  # contraction would close a cycle
+            if g.has_path(i, j, skip_direct=True):
+                break  # contraction would close a cycle
 
-        g.contract(i, j)
-        node_p.fused_pair = (p_spec, q_spec)
-        owner[j] = i
-        fused += 1
+            g.contract(i, j)
+            if node_p.fused_chain is None:
+                node_p.fused_chain = [p_spec, q_spec]
+            else:
+                node_p.fused_chain.append(q_spec)
+            owner[j] = i
+            fused += 1
+
+            # the chain streams past Q only when Q's own write would have
+            # been a pure overwrite of its mask-filtered T
+            if not overwrite_shaped(q_spec):
+                break
+            tail_pos = j
     return fused
 
 
@@ -166,7 +190,7 @@ def cse_pass(g: Graph, ops: list[DeferredOp], owner: list[int]) -> int:
         if (
             owner[k] == k
             and node.alive
-            and node.fused_pair is None
+            and node.fused_chain is None
             and spec is not None
             and spec.kernel is not None
             and spec.op_token is not None

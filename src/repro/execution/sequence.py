@@ -59,6 +59,10 @@ class OpSpec:
     post: Callable | None = None
     #: row-reduction monoid/shim (present only on matrix→vector ``reduce``)
     reducer: Any = None
+    #: ``(IndexUnaryOp, thunk scalar)`` of a ``select`` (present only there;
+    #: deliberately *not* op_token — the CSE fingerprint has no thunk slot,
+    #: so select must never be CSE'd by operator identity alone)
+    selector: Any = None
 
 
 @dataclass(slots=True)

@@ -1,0 +1,153 @@
+"""Fused-chain microbench: kernel backends head to head.
+
+Three chain-dominated workloads — a deep pure-apply pipeline (the numba
+flavor's home turf), an mxm-headed mixed chain (stitch flavor), and a
+swarm of small chains (dispatch + cache-hit overhead) — each run under the
+interpreter and the codegen backend with bit-identical results asserted on
+every repetition.  Timings land in the ``repro-bench/1`` schema so
+``tools/bench_trajectory.py`` can diff them against earlier baselines::
+
+    PYTHONPATH=src python -m repro.kernels.bench --out BENCH_pr8.json
+
+The codegen entries carry ``speedup_vs_interpreter``; with numba absent
+(the stitch fallback) the expectation is parity, with numba present the
+deep apply chain is where the compiled loop pays.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro as grb
+from .. import context, parallel
+from ..obs.export import BenchRecorder
+from . import cache as kernel_cache
+from . import codegen
+
+
+def _graph(n: int, nnz: int, seed: int) -> grb.Matrix:
+    r = np.random.default_rng(seed)
+    keys = r.choice(n * n, size=min(nnz, n * n), replace=False)
+    rows, cols = np.divmod(keys, n)
+    return grb.Matrix.from_coo(
+        grb.FP64, n, n, rows, cols, r.uniform(-2.0, 2.0, len(keys))
+    )
+
+
+def _begin(backend: str) -> None:
+    context._reset()
+    parallel.set_kernel_backend(backend)
+    grb.init(grb.Mode.NONBLOCKING)
+
+
+def _finish(*objs):
+    grb.wait()
+    fused = context._current().queue.stats.fused
+    sums = tuple(float(o.extract_tuples()[-1].sum()) for o in objs)
+    return fused, sums
+
+
+def wl_apply_chain(backend: str, n: int, nnz: int, depth: int):
+    """Cheap producer, then *depth* rounds of in-place FP64 applies — a
+    pure same-dtype apply chain, the numba-eligible shape."""
+    _begin(backend)
+    A = _graph(n, nnz, 3)
+    C = grb.Matrix(grb.FP64, n, n)
+    grb.ewise_add(C, None, None, grb.PLUS[grb.FP64], A, A)
+    for _ in range(depth):
+        grb.apply(C, None, None, grb.AINV[grb.FP64], C)
+        grb.apply(C, None, None, grb.ABS[grb.FP64], C)
+        grb.apply(C, None, None, grb.MINV[grb.FP64], C)
+    return _finish(C)
+
+
+def wl_mxm_chain(backend: str, n: int, nnz: int):
+    """mxm head streamed through apply links and a select — the stitch
+    flavor (mixed roles are never numba-eligible)."""
+    _begin(backend)
+    A = _graph(n, nnz, 5)
+    C = grb.Matrix(grb.FP64, n, n)
+    grb.mxm(C, None, None, grb.PLUS_TIMES[grb.FP64], A, A)
+    grb.apply(C, None, None, grb.AINV[grb.FP64], C)
+    grb.apply(C, None, None, grb.ABS[grb.FP64], C)
+    grb.select(C, None, None, grb.index_unary_op("GrB_VALUEGT_FP64"), C, 0.5)
+    return _finish(C)
+
+
+def wl_small_many(backend: str, chains: int):
+    """Many small chains: per-chain dispatch, key lookup, and memory-cache
+    hits dominate the value path."""
+    _begin(backend)
+    outs = []
+    for i in range(chains):
+        A = _graph(40, 320, 100 + i)
+        C = grb.Matrix(grb.FP64, 40, 40)
+        grb.ewise_add(C, None, None, grb.PLUS[grb.FP64], A, A)
+        grb.apply(C, None, None, grb.AINV[grb.FP64], C)
+        grb.apply(C, None, None, grb.ABS[grb.FP64], C)
+        outs.append(C)
+    return _finish(*outs)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=None, help="write BENCH json here")
+    ap.add_argument("--repeat", type=int, default=7)
+    ap.add_argument("--n", type=int, default=400)
+    ap.add_argument("--nnz", type=int, default=24000)
+    ap.add_argument("--depth", type=int, default=4)
+    ap.add_argument("--chains", type=int, default=60)
+    args = ap.parse_args(argv)
+
+    flavor = "numba" if codegen._numba_available() else "stitch"
+    rec = BenchRecorder(
+        meta={
+            "workload": "kernels.chain",
+            "flavor": flavor,
+            "n": args.n,
+            "nnz": args.nnz,
+            "depth": args.depth,
+        }
+    )
+    workloads = [
+        ("apply_chain", lambda b: wl_apply_chain(b, args.n, args.nnz, args.depth)),
+        ("mxm_chain", lambda b: wl_mxm_chain(b, args.n, args.nnz)),
+        ("small_many", lambda b: wl_small_many(b, args.chains)),
+    ]
+    for name, fn in workloads:
+        baseline = fn("interpreter")  # also the correctness oracle
+        entries = {}
+        for backend in ("interpreter", "codegen"):
+            result = rec.measure(
+                f"kernels.chain.{name}.{backend}",
+                lambda backend=backend: fn(backend),
+                repeat=args.repeat,
+                warmup=2,
+                backend=backend,
+                fused=baseline[0],
+            )
+            assert result == baseline, (
+                f"{name}: {backend} diverged from the interpreter"
+            )
+            entries[backend] = rec.entries[-1]
+        # min-over-runs is the standard microbench statistic: both medians
+        # are recorded too, but min is robust to scheduler noise
+        speedup = entries["interpreter"]["min_s"] / entries["codegen"]["min_s"]
+        entries["codegen"]["speedup_vs_interpreter"] = round(speedup, 4)
+        entries["codegen"]["flavor"] = flavor
+        print(
+            f"{name:<12} interpreter {entries['interpreter']['min_s']*1e3:8.2f} ms"
+            f"   codegen[{flavor}] {entries['codegen']['min_s']*1e3:8.2f} ms"
+            f"   speedup {speedup:5.2f}x   fused={baseline[0]}"
+        )
+    print(f"kernel cache: {kernel_cache.stats()}")
+    if args.out:
+        rec.write(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""The on-disk kernel cache: versioned, corruption-tolerant, process-safe.
+
+Generated kernels are plain Python source — self-contained modules whose
+free names rebind through the operator/type registries — so caching them is
+caching text.  Each entry is one JSON file named by the chain's canonical
+key (see :func:`repro.kernels.chain.chain_key`), carrying a schema tag, the
+cache version, the flavor and the source.
+
+Robustness contract (the satellite the tests pin):
+
+* a corrupt, truncated, or stale-version entry is *ignored* — the chain is
+  recompiled from its signature and the entry silently rewritten; a broken
+  cache can cost a compile, never a wrong result or a crash;
+* writes go through a same-directory temp file + :func:`os.replace`, so a
+  reader never observes a torn entry and concurrent writers (two processes
+  compiling the same chain produce byte-identical source) last-write-win
+  atomically;
+* the directory comes from ``REPRO_KERNEL_CACHE`` (tests point it at a
+  tmpdir) or defaults under the user cache home.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .chain import CACHE_VERSION
+
+__all__ = [
+    "ENTRY_SCHEMA",
+    "cache_dir",
+    "load_source",
+    "store_source",
+    "invalidate",
+    "clear_memory",
+    "stats",
+]
+
+ENTRY_SCHEMA = "repro-kernel/1"
+
+#: per-process counters the tests and obs read (reset via clear_memory)
+_stats = {
+    "disk_hits": 0,
+    "disk_misses": 0,
+    "rejects": 0,   # corrupt / truncated / stale entries ignored
+    "writes": 0,
+}
+
+
+def cache_dir() -> Path:
+    env = os.environ.get("REPRO_KERNEL_CACHE")
+    if env:
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro" / "kernels"
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def load_source(key: str) -> str | None:
+    """Source text for *key*, or None (miss, corrupt, or stale).
+
+    Every failure mode — unreadable file, bad JSON, wrong schema, wrong
+    version, key mismatch, non-string source — lands in the same place:
+    pretend the entry does not exist and let the caller recompile.
+    """
+    path = _entry_path(key)
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        _stats["disk_misses"] += 1
+        return None
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+        if (
+            doc.get("schema") != ENTRY_SCHEMA
+            or doc.get("version") != CACHE_VERSION
+            or doc.get("key") != key
+            or not isinstance(doc.get("source"), str)
+        ):
+            raise ValueError("stale or foreign cache entry")
+    except (ValueError, TypeError, AttributeError):
+        _stats["rejects"] += 1
+        return None
+    _stats["disk_hits"] += 1
+    return doc["source"]
+
+
+def store_source(key: str, flavor: str, source: str) -> None:
+    """Atomically (re)write one entry; failures are non-fatal by design —
+    a read-only or full cache directory degrades to compile-every-process,
+    never to an error on the op path."""
+    path = _entry_path(key)
+    doc = {
+        "schema": ENTRY_SCHEMA,
+        "version": CACHE_VERSION,
+        "key": key,
+        "flavor": flavor,
+        "source": source,
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:12]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return
+    _stats["writes"] += 1
+
+
+def invalidate(key: str) -> None:
+    """Drop one entry (a compiled kernel that failed at run time)."""
+    try:
+        _entry_path(key).unlink()
+    except OSError:
+        pass
+
+
+def clear_memory() -> None:
+    """Reset the per-process counters (test isolation helper)."""
+    for k in _stats:
+        _stats[k] = 0
+
+
+def stats() -> dict:
+    return dict(_stats)

@@ -42,6 +42,7 @@ __all__ = [
     "reduce_rows",
     "reduce_rows_flat",
     "fused_apply",
+    "fused_select",
     "estimate_flops",
 ]
 
@@ -200,17 +201,32 @@ def spgemm(
     )
 
 
-def _observed_kernel(label: str, run, *, flops_estimated: int, nnz_in: int):
+def _observed_kernel(
+    label: str,
+    run,
+    *,
+    flops_estimated: int,
+    nnz_in: int,
+    backend: str = "interpreter",
+    compiled: bool = False,
+):
     """Shared measurement shell for semiring kernels.
 
     *run* takes the realized-flops accumulator list and returns
     ``(keys, vals)``; the shell opens the kernel span, counts into the
     process registry, and guarantees the span closes on error paths.
+    *backend*/*compiled* are kernel provenance: which kernel suite produced
+    T, and whether a generated (compiled) kernel ran rather than the
+    hand-written one.
     """
     sink = _obs_spans.current()
     acc: list = []
     sp = (
-        sink.open(label, "kernel", flops_estimated=flops_estimated, nnz_in=nnz_in)
+        sink.open(
+            label, "kernel",
+            flops_estimated=flops_estimated, nnz_in=nnz_in,
+            backend=backend, compiled=compiled,
+        )
         if sink is not None
         else None
     )
@@ -465,3 +481,58 @@ def _fused_apply_impl(
         keep = mask_view.allows(keys)
         keys, vals = keys[keep], vals[keep]
     return keys, post(vals)
+
+
+def fused_select(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    mask_view: MaskView | None,
+    spec,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Predicate filter over a producer's un-materialized result: the
+    fusion form of the ``select`` kernel.  *spec* is the select link's
+    OpSpec (its ``selector`` holds the IndexUnaryOp and thunk); the mask
+    filter mirrors the unfused kernel's push-down order exactly."""
+    if _obs_spans.current() is not None or _metrics.registry.enabled:
+
+        def run(acc):
+            out = _fused_select_impl(keys, vals, mask_view, spec)
+            acc.append(len(out[0]))  # one predicate evaluation per survivor
+            return out
+
+        return _observed_kernel(
+            "select[fused]", run,
+            flops_estimated=len(keys), nnz_in=len(keys),
+        )
+    return _fused_select_impl(keys, vals, mask_view, spec)
+
+
+def _fused_select_impl(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    mask_view: MaskView | None,
+    spec,
+) -> tuple[np.ndarray, np.ndarray]:
+    from .._sparseutil import unflatten_keys
+    from ..types import cast_array
+
+    if mask_view is not None and len(keys):
+        keep = mask_view.allows(keys)
+        keys, vals = keys[keep], vals[keep]
+    if len(keys) == 0:
+        return keys, vals.copy()
+    iuop, thunk = spec.selector
+    ncols = getattr(spec.out, "ncols", None)
+    if ncols is not None:
+        rows, cols = unflatten_keys(keys, ncols)
+    else:
+        rows, cols = keys, np.zeros(len(keys), dtype=np.int64)
+    vals_in = (
+        cast_array(vals, spec.inputs[0].type, iuop.d_in)
+        if iuop.d_in is not None
+        else vals
+    )
+    verdict = np.asarray(
+        iuop.apply_arrays(vals_in, rows, cols, thunk)
+    ).astype(bool)
+    return keys[verdict], vals[verdict]

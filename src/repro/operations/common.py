@@ -41,6 +41,7 @@ __all__ = [
     "submit_standard_op",
     "execute_standard",
     "execute_sharded",
+    "execute_chain",
     "execute_fused",
     "check_output",
     "check_input",
@@ -291,31 +292,30 @@ def _producer_result(spec: OpSpec) -> tuple[np.ndarray, np.ndarray]:
     return t_keys, cast_array(t_vals, spec.t_type, spec.out.type)
 
 
-def execute_fused(p_spec: OpSpec, q_spec: OpSpec) -> None:
-    """Run producer P and consumer Q as one fused kernel.
+def execute_chain(specs: list[OpSpec]) -> None:
+    """Run a fused chain ``[producer, link, ...]`` as one streamed kernel.
 
-    P's output X is never materialized: P's result streams straight into
-    Q's value map (``apply``) or row reduction (``reduce``).  The planner's
-    fusion pass has already proven the intermediate value of X unobservable.
+    The producer's output is never materialized: its result streams through
+    every absorbed link (``apply`` / ``select`` / ``reduce``) and only the
+    tail runs a write pipeline.  The planner's fusion pass has already
+    proven every intermediate value unobservable.
+
+    *Which* kernel suite computes the stream is the active kernel backend's
+    decision (:func:`repro.kernels.active_backend` — interpreter or
+    codegen); the op span records the choice as provenance.
     """
-    from ._kernels import fused_apply, reduce_rows_flat
+    from ..kernels import active_backend
 
-    x_keys, x_vals = _producer_result(p_spec)
-    d = q_spec.desc
-    mask_view = build_mask_view(q_spec.mask, d.mask_complement, d.mask_structure)
-    if q_spec.reducer is not None:
-        # matrix→vector reduce: the unfused kernel ignores the mask (it
-        # filters the *reduced* vector in the write pipeline, not the input)
-        vals = cast_array(x_vals, p_spec.out.type, q_spec.t_type)
-        t_keys, t_vals = reduce_rows_flat(
-            x_keys, vals, p_spec.out.ncols, q_spec.reducer
-        )
-    else:
-        t_keys, t_vals = fused_apply(x_keys, x_vals, mask_view, q_spec.post)
-    run_write_pipeline(
-        q_spec.out, q_spec.mask, q_spec.accum, d, t_keys, t_vals,
-        q_spec.t_type, mask_view=mask_view,
-    )
+    backend = active_backend()
+    if _obs_spans.current() is not None:
+        _obs_spans.annotate(backend=backend.name)
+    backend.run_chain(specs)
+
+
+def execute_fused(p_spec: OpSpec, q_spec: OpSpec) -> None:
+    """Back-compat entry for a two-element chain (the pre-chain planner's
+    producer→consumer contraction)."""
+    execute_chain([p_spec, q_spec])
 
 
 def submit_standard_op(
@@ -331,6 +331,7 @@ def submit_standard_op(
     op_token: Any = None,
     post: Callable[[np.ndarray], np.ndarray] | None = None,
     reducer: Any = None,
+    selector: Any = None,
 ) -> None:
     """Package a validated operation into the execution model.
 
@@ -340,10 +341,10 @@ def submit_standard_op(
     again regardless).  API errors must already have been raised by the
     caller; this function only routes the work.
 
-    *op_token* (the operator's identity), *post* (an apply-style value map)
-    and *reducer* (a row-reduction monoid) are planner metadata: they make
-    the op eligible for common-subexpression elimination and for fusion as
-    a consumer.  Ops without them still join the dataflow DAG via the
+    *op_token* (the operator's identity), *post* (an apply-style value map),
+    *reducer* (a row-reduction monoid) and *selector* (a select predicate
+    with its thunk) are planner metadata: they make the op eligible for
+    common-subexpression elimination and for fusion as a consumer.  Ops without them still join the dataflow DAG via the
     generic spec.
     """
     d = effective(desc)
@@ -359,6 +360,7 @@ def submit_standard_op(
         op_token=op_token,
         post=post,
         reducer=reducer,
+        selector=selector,
     )
 
     def thunk():

@@ -76,5 +76,6 @@ def select(
     submit_standard_op(
         C, Mask, accum, desc,
         label="select", t_type=A.type, kernel=kernel, inputs=(A,),
+        selector=(op, thunk_scalar),
     )
     return C

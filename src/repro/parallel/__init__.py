@@ -12,12 +12,15 @@ byte-for-byte; the ablation benchmark flips it on.
 
 from .config import (
     get_backend,
+    get_kernel_backend,
     get_num_threads,
+    register_kernel_backend,
     parallel_threshold,
     pool_stats,
     row_blocks,
     serial_section,
     set_backend,
+    set_kernel_backend,
     set_num_threads,
     set_parallel_threshold,
     set_shard_grid,
@@ -31,6 +34,9 @@ from .config import (
 __all__ = [
     "get_backend",
     "set_backend",
+    "get_kernel_backend",
+    "set_kernel_backend",
+    "register_kernel_backend",
     "get_num_threads",
     "set_num_threads",
     "parallel_threshold",

@@ -78,6 +78,9 @@ class ServiceConfig:
     #: kernel execution backend for drained batches
     #: (``serial`` | ``threads`` | ``processes`` — see :mod:`repro.parallel`)
     backend: str = "threads"
+    #: kernel suite for drained batches (``interpreter`` | ``codegen`` —
+    #: see :mod:`repro.kernels`); codegen compiles eligible fused chains
+    kernel_backend: str = "interpreter"
     #: shard-pool size for the ``processes`` backend (None → leave the
     #: process-wide :func:`repro.parallel.shard_workers` setting alone)
     shard_workers: int | None = None
@@ -140,6 +143,7 @@ class Service:
         )
         metrics.registry.enable()
         parallel.set_backend(config.backend)
+        parallel.set_kernel_backend(config.kernel_backend)
         if config.shard_workers is not None:
             parallel.set_shard_workers(config.shard_workers)
         if config.autostart:

@@ -85,10 +85,13 @@ def _free_segments(names, seg_cache: dict, cast_cache: dict) -> None:
 
 
 def worker_main(conn, worker_id: int) -> None:
-    from ..parallel import set_backend
+    from ..parallel import set_backend, set_kernel_backend
     from .protocol import Free, Hello, Shutdown, Task, Error, Result, recv_msg, send_msg
 
     set_backend("serial")  # no thread fan-out beneath the process pool
+    # workers compute unfused T blocks only — chains never ship, so the
+    # interpreter suite is pinned regardless of the parent's selection
+    set_kernel_backend("interpreter")
     seg_cache: dict = {}
     cast_cache: dict = {}
     send_msg(conn, Hello(worker_id=worker_id, pid=os.getpid()))

@@ -1,0 +1,233 @@
+"""Robustness of the on-disk kernel cache.
+
+The invariant under attack: a damaged cache may cost a recompile, it must
+never cost correctness or a crash.  Corrupt, truncated, stale-versioned,
+foreign-schema, uncompilable, and runtime-exploding entries all fall back
+to regenerated kernels or the interpreter — and the damaged entry is
+repaired (rewritten) or retired (unlinked).  Concurrent writers from
+separate processes go through atomic same-directory renames, so readers
+can never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import context, parallel
+from repro.kernels import cache as kc
+from repro.kernels import codegen as cg
+from repro.kernels.chain import CACHE_VERSION
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture
+def kernel_cache(tmp_path, monkeypatch):
+    """A fresh cache dir + pristine per-process kernel state."""
+    path = tmp_path / "kernels"
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(path))
+    cg.clear_kernels()
+    kc.clear_memory()
+    yield path
+    cg.clear_kernels()
+    kc.clear_memory()
+
+
+def _run_chain(backend="codegen"):
+    """A deterministic mxm→apply→apply chain; returns C's exact tuples."""
+    context._reset()
+    parallel.set_kernel_backend(backend)
+    grb.init(grb.Mode.NONBLOCKING)
+    r = np.random.default_rng(5)
+    n = 12
+    keys = r.choice(n * n, size=60, replace=False)
+    rows, cols = np.divmod(keys, n)
+    A = grb.Matrix.from_coo(grb.FP64, n, n, rows, cols, r.uniform(-2, 2, 60))
+    C = grb.Matrix(grb.FP64, n, n)
+    grb.mxm(C, None, None, grb.PLUS_TIMES[grb.FP64], A, A)
+    grb.apply(C, None, None, grb.AINV[grb.FP64], C)
+    grb.apply(C, None, None, grb.ABS[grb.FP64], C)
+    grb.wait()
+    return C.extract_tuples()
+
+
+def _assert_same(a, b):
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y) and x.dtype == y.dtype
+
+
+@pytest.fixture
+def expected():
+    return _run_chain("interpreter")
+
+
+def _sole_entry(path: Path) -> Path:
+    entries = list(path.glob("*.json"))
+    assert len(entries) == 1
+    return entries[0]
+
+
+class TestDamagedEntries:
+    def damage_then_rerun(self, path, expected, damage):
+        _run_chain()
+        entry = _sole_entry(path)
+        original = entry.read_text(encoding="utf-8")
+        damage(entry)
+        cg.clear_kernels()
+        kc.clear_memory()
+        _assert_same(_run_chain(), expected)
+        return entry, original
+
+    def test_corrupt_entry_falls_back_and_is_rewritten(
+        self, kernel_cache, expected
+    ):
+        entry, original = self.damage_then_rerun(
+            kernel_cache, expected,
+            lambda e: e.write_bytes(b"\x00\xffnot json at all"),
+        )
+        assert kc.stats()["rejects"] == 1
+        # repaired: the rewritten entry is byte-identical generated source
+        assert entry.read_text(encoding="utf-8") == original
+
+    def test_truncated_entry_falls_back_and_is_rewritten(
+        self, kernel_cache, expected
+    ):
+        entry, original = self.damage_then_rerun(
+            kernel_cache, expected,
+            lambda e: e.write_text(
+                e.read_text(encoding="utf-8")[:40], encoding="utf-8"
+            ),
+        )
+        assert kc.stats()["rejects"] == 1
+        assert entry.read_text(encoding="utf-8") == original
+
+    def test_stale_version_is_ignored_and_rewritten(
+        self, kernel_cache, expected
+    ):
+        def stale(e):
+            doc = json.loads(e.read_text(encoding="utf-8"))
+            doc["version"] = CACHE_VERSION - 1
+            e.write_text(json.dumps(doc), encoding="utf-8")
+
+        entry, original = self.damage_then_rerun(kernel_cache, expected, stale)
+        assert kc.stats()["rejects"] == 1
+        assert entry.read_text(encoding="utf-8") == original
+
+    def test_foreign_schema_is_ignored(self, kernel_cache, expected):
+        def foreign(e):
+            doc = json.loads(e.read_text(encoding="utf-8"))
+            doc["schema"] = "someone-elses-cache/9"
+            e.write_text(json.dumps(doc), encoding="utf-8")
+
+        entry, original = self.damage_then_rerun(
+            kernel_cache, expected, foreign
+        )
+        assert entry.read_text(encoding="utf-8") == original
+
+    def test_wrong_key_is_ignored(self, kernel_cache, expected):
+        def miskeyed(e):
+            doc = json.loads(e.read_text(encoding="utf-8"))
+            doc["key"] = "0" * 32
+            e.write_text(json.dumps(doc), encoding="utf-8")
+
+        entry, original = self.damage_then_rerun(
+            kernel_cache, expected, miskeyed
+        )
+        assert entry.read_text(encoding="utf-8") == original
+
+    def test_uncompilable_source_is_regenerated(self, kernel_cache, expected):
+        def break_source(e):
+            doc = json.loads(e.read_text(encoding="utf-8"))
+            doc["source"] = "def fused_chain(:\n"  # syntax error
+            e.write_text(json.dumps(doc), encoding="utf-8")
+
+        entry, original = self.damage_then_rerun(
+            kernel_cache, expected, break_source
+        )
+        assert entry.read_text(encoding="utf-8") == original
+
+    def test_runtime_exploding_kernel_is_retired(self, kernel_cache, expected):
+        def booby_trap(e):
+            doc = json.loads(e.read_text(encoding="utf-8"))
+            doc["source"] = (
+                "def fused_chain(keys, vals, masks, dims):\n"
+                "    raise RuntimeError('boom')\n"
+            )
+            e.write_text(json.dumps(doc), encoding="utf-8")
+
+        _run_chain()
+        entry = _sole_entry(kernel_cache)
+        booby_trap(entry)
+        cg.clear_kernels()
+        kc.clear_memory()
+        # the trap compiles fine, detonates at run time: the chain must
+        # still complete (interpreter fallback) and the entry must be gone
+        _assert_same(_run_chain(), expected)
+        assert not entry.exists()
+        # and with the bad key retired, the next run stays correct too
+        _assert_same(_run_chain(), expected)
+
+
+class TestConcurrency:
+    def test_concurrent_processes_do_not_tear_entries(
+        self, kernel_cache, expected
+    ):
+        script = (
+            "import numpy as np\n"
+            "import repro as grb\n"
+            "from repro import parallel\n"
+            "parallel.set_kernel_backend('codegen')\n"
+            "grb.init(grb.Mode.NONBLOCKING)\n"
+            "r = np.random.default_rng(5)\n"
+            "n = 12\n"
+            "keys = r.choice(n * n, size=60, replace=False)\n"
+            "rows, cols = np.divmod(keys, n)\n"
+            "A = grb.Matrix.from_coo(grb.FP64, n, n, rows, cols,"
+            " r.uniform(-2, 2, 60))\n"
+            "C = grb.Matrix(grb.FP64, n, n)\n"
+            "grb.mxm(C, None, None, grb.PLUS_TIMES[grb.FP64], A, A)\n"
+            "grb.apply(C, None, None, grb.AINV[grb.FP64], C)\n"
+            "grb.apply(C, None, None, grb.ABS[grb.FP64], C)\n"
+            "grb.wait()\n"
+            "rows, cols, vals = C.extract_tuples()\n"
+            "print(len(rows), repr(float(vals.sum())))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC
+        env["REPRO_KERNEL_CACHE"] = str(kernel_cache)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for _ in range(4)
+        ]
+        outputs = []
+        for p in procs:
+            out, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err.decode()
+            outputs.append(out.decode().strip())
+        # every process computed the same thing ...
+        assert len(set(outputs)) == 1
+        rows, cols, vals = expected
+        assert outputs[0] == f"{len(rows)} {float(vals.sum())!r}"
+        # ... and every surviving entry is whole: valid JSON, right schema,
+        # key matching its filename, loadable source
+        entries = list(kernel_cache.glob("*.json"))
+        assert entries
+        for e in entries:
+            doc = json.loads(e.read_text(encoding="utf-8"))
+            assert doc["schema"] == kc.ENTRY_SCHEMA
+            assert doc["version"] == CACHE_VERSION
+            assert doc["key"] == e.stem
+            assert kc.load_source(e.stem) == doc["source"]
+        # no abandoned temp files either
+        assert not list(kernel_cache.glob("*.tmp"))

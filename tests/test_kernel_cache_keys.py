@@ -1,0 +1,164 @@
+"""Stability properties of the kernel-cache identity.
+
+The cache key must be *exactly* as discriminating as the generated source:
+programs that differ only in temporary naming, input data, or the order of
+independent operations share a key (alpha-rename/reorder invariance), while
+any change that alters what the kernel computes — semiring, link operator,
+accumulator, mask kind, REPLACE bit, dtype, select thunk, flavor — splits
+it.  Too coarse a key serves the wrong kernel; too fine a key defeats the
+cache.  Both directions are pinned here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import context, parallel
+from repro.kernels import KernelBackend, chain_key, chain_signature, register_backend
+from repro.kernels.interpreter import interpret_chain
+
+
+class RecordingBackend(KernelBackend):
+    """Runs chains through the interpreter while capturing signatures —
+    also the smallest possible proof that the backend registry is open."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.sigs: list = []
+
+    def run_chain(self, specs) -> None:
+        self.sigs.append(chain_signature(list(specs)))
+        interpret_chain(list(specs))
+
+
+_RECORDER = RecordingBackend()
+register_backend(_RECORDER)
+
+
+def _keys_for(program, seed=7) -> list[tuple]:
+    """Signatures + stitch keys of every chain *program* forms."""
+    context._reset()
+    parallel.set_kernel_backend("recording")
+    grb.init(grb.Mode.NONBLOCKING)
+    _RECORDER.sigs = []
+    r = np.random.default_rng(seed)
+    program(r)
+    grb.wait()
+    sigs = [s for s in _RECORDER.sigs if s is not None]
+    assert sigs, "program formed no codegen-eligible chain"
+    return [(s, chain_key(s, "stitch")) for s in sigs]
+
+
+def _mat(r, dom, n=12, density=0.4):
+    nnz = int(density * n * n)
+    keys = r.choice(n * n, size=nnz, replace=False)
+    rows, cols = np.divmod(keys, n)
+    return grb.Matrix.from_coo(dom, n, n, rows, cols, r.uniform(-2, 2, nnz))
+
+
+def _chain(r, dom=grb.FP64, sr=None, link_op=None, accum=None,
+           mask=None, desc=None, thunk=None, n=12):
+    """One parameterized producer→apply[→select] chain."""
+    A = _mat(r, dom, n)
+    C = grb.Matrix(dom, n, n)
+    grb.mxm(C, None, None, sr or grb.PLUS_TIMES[dom], A, A)
+    grb.apply(C, None, None, grb.AINV[dom], C)
+    E = grb.Matrix(dom, n, n)
+    M = None
+    if mask == "value" or mask == "comp" or mask == "struct":
+        M = _mat(r, grb.BOOL, n, 0.5)
+    grb.apply(E, M, accum, link_op or grb.ABS[dom], C, desc)
+    if thunk is not None:
+        sfx = "FP32" if dom is grb.FP32 else "FP64"
+        grb.select(E, None, None,
+                   grb.index_unary_op(f"GrB_VALUEGT_{sfx}"), E, thunk)
+    # overwrite C so the apply-into-E tail may join C's chain (case b):
+    # without a later overwriter the planner must materialize C between
+    grb.ewise_add(C, None, None, grb.PLUS[dom], A, A)
+    return C, E
+
+
+class TestInvariance:
+    def test_alpha_rename_and_fresh_data_share_a_key(self):
+        # two structurally identical programs built from different object
+        # identities and different random draws: identity is structural
+        a = _keys_for(lambda r: _chain(r), seed=1)
+        b = _keys_for(lambda r: _chain(r), seed=99)
+        assert [k for _, k in a] == [k for _, k in b]
+
+    def test_reordering_independent_programs_preserves_keys(self):
+        def fwd(r):
+            _chain(r, dom=grb.FP64)
+            _chain(r, dom=grb.FP32)
+
+        def rev(r):
+            _chain(r, dom=grb.FP32)
+            _chain(r, dom=grb.FP64)
+
+        assert sorted(k for _, k in _keys_for(fwd)) == sorted(
+            k for _, k in _keys_for(rev)
+        )
+
+    def test_signature_never_leaks_live_objects(self):
+        # the signature must be pure data (JSON-able), or the disk cache
+        # and cross-process sharing could not exist
+        import json
+
+        for sig, _ in _keys_for(lambda r: _chain(r)):
+            json.dumps(sig)
+
+
+class TestSplitting:
+    BASE = staticmethod(lambda r: _chain(r))
+
+    VARIANTS = {
+        "semiring": lambda r: _chain(r, sr=grb.MIN_PLUS[grb.FP64]),
+        "link-op": lambda r: _chain(r, link_op=grb.MINV[grb.FP64]),
+        "accum": lambda r: _chain(r, accum=grb.PLUS[grb.FP64]),
+        "mask-value": lambda r: _chain(r, mask="value"),
+        "mask-comp": lambda r: _chain(
+            r, mask="comp",
+            desc=grb.Descriptor().set(grb.MASK, grb.SCMP),
+        ),
+        "mask-struct": lambda r: _chain(
+            r, mask="struct",
+            desc=grb.Descriptor().set(grb.MASK, grb.STRUCTURE),
+        ),
+        "replace": lambda r: _chain(
+            r, mask="value",
+            desc=grb.Descriptor().set(grb.OUTP, grb.REPLACE),
+        ),
+        "dtype": lambda r: _chain(r, dom=grb.FP32),
+        "thunk": lambda r: _chain(r, thunk=0.25),
+    }
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_semantic_change_splits_the_key(self, variant):
+        base_keys = {k for _, k in _keys_for(self.BASE)}
+        var_keys = {k for _, k in _keys_for(self.VARIANTS[variant])}
+        # no chain of the variant may collide with a base chain unless the
+        # varied attribute never reached a chain — guard against that first
+        assert var_keys != base_keys
+        sigs_b = [s for s, _ in _keys_for(self.BASE)]
+        sigs_v = [s for s, _ in _keys_for(self.VARIANTS[variant])]
+        assert sigs_b != sigs_v, f"{variant} did not alter any signature"
+
+    def test_distinct_thunks_split(self):
+        a = {k for _, k in _keys_for(lambda r: _chain(r, thunk=0.25))}
+        b = {k for _, k in _keys_for(lambda r: _chain(r, thunk=0.75))}
+        assert a != b
+
+    def test_flavor_splits_the_key(self):
+        (sig, stitch_key), *_ = _keys_for(self.BASE)
+        assert chain_key(sig, "numba") != stitch_key
+
+    def test_cache_version_is_part_of_the_key(self, monkeypatch):
+        from repro.kernels import chain as chain_mod
+
+        (sig, key), *_ = _keys_for(self.BASE)
+        monkeypatch.setattr(chain_mod, "CACHE_VERSION",
+                            chain_mod.CACHE_VERSION + 1)
+        assert chain_key(sig, "stitch") != key
