@@ -1,7 +1,8 @@
-"""Storage formats: COO assembly for builds and CSR/CSC views for kernels."""
+"""Storage formats: COO assembly, CSR/CSC kernel views, DCSR hypersparse."""
 
 from .coo import assemble, check_indices
 from .csr import CSRView, csr_from_keys, transpose_permutation
+from .dcsr import DCSRView, dcsr_from_keys
 
 __all__ = [
     "assemble",
@@ -9,4 +10,6 @@ __all__ = [
     "CSRView",
     "csr_from_keys",
     "transpose_permutation",
+    "DCSRView",
+    "dcsr_from_keys",
 ]

@@ -1,0 +1,103 @@
+"""DCSR (doubly-compressed sparse row) hypersparse views.
+
+CSR spends ``O(nrows)`` on the row pointer even when almost every row is
+empty — exactly the regime streaming ingest produces (a few hot rows of a
+huge vertex space receive edges).  DCSR compresses the row dimension too:
+only rows with at least one stored entry appear, named explicitly in
+``row_ids`` with their own compact pointer array.  A hash index over
+``row_ids`` gives O(1) expected row lookup without materialising a dense
+``nrows``-length table.
+
+The view is derived from the same canonical sorted flat-key storage as
+:class:`~repro.containers.formats.csr.CSRView`, so building it is one
+``unique`` over the row ids — O(nnz) — and it never disagrees with the CSR
+view of the same version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DCSRView", "dcsr_from_keys"]
+
+
+@dataclass(frozen=True, slots=True)
+class DCSRView:
+    """Read-only doubly-compressed row view over flat-key storage.
+
+    ``row_ids[k]`` is the k-th non-empty row; its entries live in
+    ``indices/values[indptr[k]:indptr[k+1]]``.  ``nvec`` (the number of
+    non-empty rows) is ``len(row_ids)`` — the hypersparsity ratio is
+    ``nvec / nrows``.
+    """
+
+    row_ids: np.ndarray  # int64, sorted, the non-empty rows
+    indptr: np.ndarray  # int64, len nvec+1, into indices/values
+    indices: np.ndarray  # int64 column ids, sorted within each row
+    values: np.ndarray  # parallel to indices
+    nrows: int
+    ncols: int
+    _index: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def nvec(self) -> int:
+        return len(self.row_ids)
+
+    @property
+    def hypersparsity(self) -> float:
+        """Fraction of rows that are non-empty (0.0 for an empty matrix)."""
+        return self.nvec / self.nrows if self.nrows else 0.0
+
+    def _hash_index(self) -> dict:
+        if not self._index and self.nvec:
+            self._index.update(
+                (int(r), k) for k, r in enumerate(self.row_ids)
+            )
+        return self._index
+
+    def row_slice(self, i: int) -> slice:
+        """Entry slice of row *i*; empty slice when the row is not stored."""
+        k = self._hash_index().get(int(i))
+        if k is None:
+            return slice(0, 0)
+        return slice(int(self.indptr[k]), int(self.indptr[k + 1]))
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column ids, values) of row *i* — empty arrays for empty rows."""
+        sl = self.row_slice(i)
+        return self.indices[sl], self.values[sl]
+
+    def row_counts(self) -> np.ndarray:
+        """Entry count per *stored* row (parallel to ``row_ids``)."""
+        return np.diff(self.indptr)
+
+
+def dcsr_from_keys(
+    keys: np.ndarray, values: np.ndarray, nrows: int, ncols: int
+) -> DCSRView:
+    """Build the DCSR view of sorted row-major flat keys (O(nnz))."""
+    if len(keys) and ncols > 0:
+        rows = keys // np.int64(ncols)
+        cols = keys % np.int64(ncols)
+        row_ids, starts = np.unique(rows, return_index=True)
+        indptr = np.empty(len(row_ids) + 1, dtype=np.int64)
+        indptr[:-1] = starts
+        indptr[-1] = len(keys)
+    else:
+        row_ids = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+        indptr = np.zeros(1, dtype=np.int64)
+    return DCSRView(
+        row_ids=row_ids,
+        indptr=indptr,
+        indices=cols,
+        values=values,
+        nrows=nrows,
+        ncols=ncols,
+    )

@@ -31,9 +31,11 @@ from ..types import GrBType
 from .base import OpaqueObject
 from .formats import (
     CSRView,
+    DCSRView,
     assemble,
     check_indices,
     csr_from_keys,
+    dcsr_from_keys,
     transpose_permutation,
 )
 
@@ -45,7 +47,7 @@ class Matrix(OpaqueObject):
 
     __slots__ = (
         "_type", "_nrows", "_ncols", "_keys", "_values", "_csr", "_csc",
-        "_version",
+        "_dcsr", "_version",
     )
 
     def __init__(self, domain: GrBType, nrows: int, ncols: int, *, name: str = ""):
@@ -66,6 +68,7 @@ class Matrix(OpaqueObject):
         self._values = np.empty(0, dtype=domain.np_dtype)
         self._csr: CSRView | None = None
         self._csc: CSRView | None = None
+        self._dcsr: DCSRView | None = None
         #: bumped on every content mutation — the shard publication cache
         #: keys shared-memory copies by ``(id(A), A._version)`` so a stale
         #: block layout can never be shipped after a hazard-ordered write
@@ -111,6 +114,7 @@ class Matrix(OpaqueObject):
         self._values = values
         self._csr = None
         self._csc = None
+        self._dcsr = None
         self._version += 1
         self._poisoned = False
 
@@ -132,6 +136,14 @@ class Matrix(OpaqueObject):
                 t_keys, self._values[perm], self._ncols, self._nrows
             )
         return self._csc
+
+    def dcsr(self) -> DCSRView:
+        """Cached hypersparse DCSR view: only non-empty rows are stored."""
+        if self._dcsr is None:
+            self._dcsr = dcsr_from_keys(
+                self._keys, self._values, self._nrows, self._ncols
+            )
+        return self._dcsr
 
     def build(self, rows, cols, values, dup: BinaryOp | None = None) -> "Matrix":
         """``GrB_Matrix_build`` (Table VI): copy tuples into an empty matrix."""
@@ -189,6 +201,7 @@ class Matrix(OpaqueObject):
                 self._values[pos] = v
                 self._csr = None
                 self._csc = None
+                self._dcsr = None
                 self._version += 1
             else:
                 self._set_content(

@@ -63,6 +63,11 @@ def _parse_args(argv):
                         "differential pair: every program runs cold and "
                         "warm through one cache-enabled Service and must "
                         "match the oracle bit-for-bit")
+    p.add_argument("--streaming", action="store_true",
+                   help="fuzz the streaming subsystem: random edge-delta "
+                        "schedules through EdgeBuffer, incremental "
+                        "pagerank/bfs/components handles diffed against "
+                        "recompute-from-scratch in both execution modes")
     p.add_argument("--replay", metavar="PATH",
                    help="replay programs from a corpus .jsonl or an emitted "
                         "regression .py instead of generating")
@@ -165,6 +170,23 @@ def main(argv=None) -> int:
         finally:
             svc.shutdown()
 
+    streaming_failures = []
+    if args.streaming:
+        from .streaming import check_streaming_conformance
+
+        t0 = time.perf_counter()
+        for i in range(args.n):
+            complaint = check_streaming_conformance(args.seed + i)
+            if complaint is not None:
+                print(f"[streaming {i}] DIVERGENCE: seed={args.seed + i}")
+                print(f"    {complaint}")
+                streaming_failures.append((i, complaint))
+        print(
+            f"streaming: {args.n} delta schedules x 2 modes in "
+            f"{time.perf_counter() - t0:.1f}s — "
+            f"{len(streaming_failures)} divergence(s)"
+        )
+
     error_failures = []
     if not args.replay and args.errors:
         for i in range(args.errors):
@@ -184,7 +206,7 @@ def main(argv=None) -> int:
     # single program and cannot span the whole spec surface
     gaps = [] if args.replay else coverage.gaps()
 
-    if failures or memo_failures or error_failures or gaps:
+    if failures or memo_failures or streaming_failures or error_failures or gaps:
         return 1
     print("\nOK: optimized backend conforms to the reference oracle")
     return 0

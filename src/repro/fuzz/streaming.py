@@ -1,0 +1,201 @@
+"""Differential fuzzing of the streaming subsystem.
+
+One scenario = one random graph plus a random edge-delta schedule pushed
+through :class:`repro.stream.EdgeBuffer`.  After every flush the three
+incremental handles (:mod:`repro.stream.incremental`) are advanced by the
+flush's exact :class:`~repro.stream.delta.EdgeDelta` and diffed against
+recompute-from-scratch on the mutated graph; the merged matrix content is
+additionally diffed against a dict last-writer-wins model of the whole
+edit history.  Every scenario runs under both execution modes (blocking
+and nonblocking with the full drain-time planner) — the deferred rebuild
+must be mode-invariant like any other operation.
+
+Oracles:
+
+* **ingest**: ``A.extract_tuples()`` equals the dict model exactly;
+* **bfs_levels / connected_components**: bit-identical to the scratch
+  algorithms;
+* **pagerank**: within ``1e-5`` per entry of scratch (both are within
+  ``O(tol·n/(1-α))`` of the same fixed point; NaN/Inf from degenerate
+  weights must appear in both or neither).
+
+Schedules deliberately inject the handles' fallback triggers — zero and
+negative weights, asymmetric writes to symmetric graphs, oversized
+batches — so the guard paths are fuzzed as hard as the fast paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import context
+from ..algorithms.bfs import bfs_levels
+from ..algorithms.components import connected_components
+from ..algorithms.pagerank import pagerank
+from ..containers.matrix import Matrix
+from ..stream import EdgeBuffer, IncrementalBFS, IncrementalCC, IncrementalPagerank
+from ..types import FP64
+
+__all__ = ["check_streaming_conformance"]
+
+_MODES = ("blocking", "nonblocking_planner")
+
+
+def _random_graph(rng, n: int, symmetric: bool) -> Matrix:
+    density = float(rng.uniform(0.05, 0.4))
+    nnz = min(int(round(density * n * n)), n * n)
+    keys = rng.choice(n * n, size=nnz, replace=False)
+    rows, cols = np.divmod(keys, n)
+    vals = _random_values(rng, nnz)
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+        # last-writer-wins dedup of the mirrored coordinates
+        key = rows * n + cols
+        order = np.argsort(key, kind="stable")
+        key, rows, cols, vals = key[order], rows[order], cols[order], vals[order]
+        keep = np.ones(len(key), dtype=bool)
+        np.not_equal(key[1:], key[:-1], out=keep[1:])
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    return Matrix.from_coo(FP64, n, n, rows, cols, vals)
+
+
+def _random_values(rng, k: int) -> np.ndarray:
+    vals = rng.uniform(0.1, 2.0, k)
+    # rare hostile weights: falsy edges break the BFS fast path, negative
+    # weights make PageRank degenerate — the guards must catch both
+    hostile = rng.random(k)
+    vals[hostile < 0.05] = 0.0
+    vals[(hostile >= 0.05) & (hostile < 0.10)] = -1.0
+    return vals
+
+
+def _scenario(seed: int) -> str | None:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 20))
+    symmetric = bool(rng.random() < 0.4)
+    A = _random_graph(rng, n, symmetric)
+    source = int(rng.integers(0, n))
+
+    model: dict[tuple[int, int], float] = {}
+    r0, c0, v0 = A.extract_tuples()
+    for i, j, v in zip(r0, c0, v0):
+        model[(int(i), int(j))] = float(v)
+
+    handles = {
+        "pagerank": IncrementalPagerank(A),
+        "bfs_levels": IncrementalBFS(A, source),
+        "connected_components": IncrementalCC(A),
+    }
+
+    for round_no in range(int(rng.integers(2, 6))):
+        buf = EdgeBuffer(A)
+        # a flush may carry several append calls, including writes that
+        # overwrite each other within the batch (last writer must win)
+        for _ in range(int(rng.integers(1, 4))):
+            k = int(rng.integers(1, max(2, n)))
+            ri = rng.integers(0, n, k)
+            ci = rng.integers(0, n, k)
+            if rng.random() < 0.7:
+                vals = _random_values(rng, k)
+                if symmetric and rng.random() < 0.8:
+                    buf.set_edges(
+                        np.concatenate([ri, ci]), np.concatenate([ci, ri]),
+                        np.concatenate([vals, vals]),
+                    )
+                else:
+                    buf.set_edges(ri, ci, vals)
+            else:
+                if symmetric and rng.random() < 0.8:
+                    buf.remove_edges(
+                        np.concatenate([ri, ci]), np.concatenate([ci, ri])
+                    )
+                else:
+                    buf.remove_edges(ri, ci)
+        fr = buf.flush()
+        delta = fr.delta  # sequence point: forces the deferred rebuild
+
+        # oracle 1: the merged content is the dict model of the history
+        for i, j, om, ov, nm, nv in zip(
+            delta.rows, delta.cols, delta.old_mask, delta.old_values,
+            delta.new_mask, delta.new_values,
+        ):
+            if nm:
+                model[(int(i), int(j))] = float(nv)
+            else:
+                model.pop((int(i), int(j)), None)
+        rr, cc, vv = A.extract_tuples()
+        got = {
+            (int(i), int(j)): float(v) for i, j, v in zip(rr, cc, vv)
+        }
+        if got != model:
+            extra = set(got) - set(model)
+            missing = set(model) - set(got)
+            diff = {
+                k for k in set(got) & set(model) if got[k] != model[k]
+            }
+            return (
+                f"round {round_no}: merged content diverges from the "
+                f"last-writer-wins model (extra={sorted(extra)[:4]}, "
+                f"missing={sorted(missing)[:4]}, value-diff={sorted(diff)[:4]})"
+            )
+
+        # oracle 2: every incremental handle equals recompute-from-scratch
+        for name, h in handles.items():
+            h.update(A, delta)
+        ref_pr = pagerank(A)
+        got_pr = handles["pagerank"].result()
+        ok = np.allclose(got_pr, ref_pr, rtol=0.0, atol=1e-5, equal_nan=True)
+        if not ok and not (
+            # degenerate weights: NaN/Inf patterns must agree instead
+            np.array_equal(np.isfinite(got_pr), np.isfinite(ref_pr))
+            and np.allclose(
+                got_pr[np.isfinite(ref_pr)], ref_pr[np.isfinite(ref_pr)],
+                rtol=0.0, atol=1e-5,
+            )
+        ):
+            worst = float(np.nanmax(np.abs(got_pr - ref_pr)))
+            return (
+                f"round {round_no}: incremental pagerank diverges "
+                f"(mode={handles['pagerank'].last_mode}, max|Δ|={worst:.2e})"
+            )
+
+        ref_bfs = bfs_levels(A, source)
+        bi, bv = ref_bfs.extract_tuples()
+        ref_bfs.free()
+        gi, gv = handles["bfs_levels"].result().extract_tuples()
+        if not (np.array_equal(bi, gi) and np.array_equal(bv, gv)):
+            return (
+                f"round {round_no}: incremental bfs diverges "
+                f"(mode={handles['bfs_levels'].last_mode}, "
+                f"ref={list(zip(bi, bv))[:6]}, got={list(zip(gi, gv))[:6]})"
+            )
+
+        ref_cc = connected_components(A)
+        got_cc = handles["connected_components"].result()
+        if not np.array_equal(ref_cc, got_cc):
+            bad = np.nonzero(ref_cc != got_cc)[0][:6]
+            return (
+                f"round {round_no}: incremental components diverge "
+                f"(mode={handles['connected_components'].last_mode}, "
+                f"at={bad.tolist()})"
+            )
+    return None
+
+
+def check_streaming_conformance(seed: int) -> str | None:
+    """Run one seeded streaming scenario under both execution modes.
+
+    Returns a human-readable complaint on the first divergence, else None.
+    """
+    for mode in _MODES:
+        context._reset()
+        if mode == "nonblocking_planner":
+            context.init(context.Mode.NONBLOCKING)
+        try:
+            complaint = _scenario(seed)
+        finally:
+            context._reset()
+        if complaint is not None:
+            return f"[{mode}] {complaint}"
+    return None

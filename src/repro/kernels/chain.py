@@ -230,15 +230,16 @@ def chain_key(sig: dict, flavor: str) -> str:
 # Numba flavor eligibility
 # --------------------------------------------------------------------------
 
+_INT_DTYPES = {
+    "INT8", "INT16", "INT32", "INT64",
+    "UINT8", "UINT16", "UINT32", "UINT64",
+}
+
 #: unary families a generated scalar loop reproduces bit-for-bit.  Each
 #: entry maps base name → (allowed dtype tokens, scalar expression); the
 #: expression sees ``x`` (current value) and ``one`` (dtype-typed 1).
 NUMBA_SCALAR_EXPRS = {
-    "GrB_IDENTITY": (
-        {"INT8", "INT16", "INT32", "INT64",
-         "UINT8", "UINT16", "UINT32", "UINT64", "FP32", "FP64"},
-        "x",
-    ),
+    "GrB_IDENTITY": (_INT_DTYPES | {"BOOL", "FP32", "FP64"}, "x"),
     "GrB_AINV": (
         {"INT8", "INT16", "INT32", "INT64", "FP32", "FP64"},
         "-x",
@@ -250,12 +251,26 @@ NUMBA_SCALAR_EXPRS = {
         {"FP32", "FP64"},
         "(one / x) if x != 0 else np.copysign(np.inf, x)",
     ),
+    "GrB_LNOT": ({"BOOL"}, "not x"),
+    "GrB_BNOT": (_INT_DTYPES, "~x"),
+    # sqrt is exactly rounded in every IEEE mode, so FP32 is safe; exp/log
+    # stay FP64-only — a float32 libm can disagree with numpy's
+    # float32-native loops at the last ulp, and bit-identity is the bar
+    "GxB_SQRT": ({"FP32", "FP64"}, "np.sqrt(x)"),
+    "GxB_EXP": ({"FP64"}, "np.exp(x)"),
+    "GxB_LOG": ({"FP64"}, "np.log(x)"),
 }
+
+#: every builtin dtype suffix — operator names end in one of these, but
+#: suffix-less singletons (``GrB_LNOT``) must not lose their last segment
+_DTYPE_SUFFIXES = frozenset(_INT_DTYPES | {"BOOL", "FP32", "FP64"})
 
 
 def _split_op(name: str) -> tuple[str, str]:
     base, _, dtype = name.rpartition("_")
-    return base, dtype
+    if dtype in _DTYPE_SUFFIXES:
+        return base, dtype
+    return name, ""
 
 
 def numba_eligible(sig: dict) -> bool:
@@ -270,7 +285,10 @@ def numba_eligible(sig: dict) -> bool:
             return False
         base, op_dtype = _split_op(link["op"])
         allowed = NUMBA_SCALAR_EXPRS.get(base)
-        if allowed is None or op_dtype != dtype or dtype not in allowed[0]:
+        # suffix-less singletons (GrB_LNOT) carry no dtype in the name;
+        # their fixed domain is enforced by the allowed set + in/t/out
+        if allowed is None or op_dtype not in ("", dtype) \
+                or dtype not in allowed[0]:
             return False
         if (_split_op(link["t"])[1] != dtype
                 or _split_op(link["out"])[1] != dtype):

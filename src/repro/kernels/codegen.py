@@ -25,6 +25,7 @@ from __future__ import annotations
 from . import cache
 from .chain import (
     NUMBA_SCALAR_EXPRS,
+    _split_op,
     chain_key,
     chain_signature,
     numba_eligible,
@@ -194,6 +195,7 @@ def build_stitch_source(sig: dict) -> str:
 
 
 _NP_OF = {
+    "BOOL": "bool_",
     "INT8": "int8", "INT16": "int16", "INT32": "int32", "INT64": "int64",
     "UINT8": "uint8", "UINT16": "uint16", "UINT32": "uint32",
     "UINT64": "uint64", "FP32": "float32", "FP64": "float64",
@@ -213,10 +215,10 @@ def build_numba_source(sig: dict) -> str:
     the module fails to exec, the cache layer reports a failed compile,
     and the chain is rebuilt under the stitch flavor's own key.
     """
-    dtype = sig["links"][0]["op"].rsplit("_", 1)[1]
+    dtype = _split_op(sig["links"][0]["in"])[1]
     np_name = _NP_OF[dtype]
     exprs = [
-        NUMBA_SCALAR_EXPRS[link["op"].rsplit("_", 1)[0]][1]
+        NUMBA_SCALAR_EXPRS[_split_op(link["op"])[0]][1]
         for link in sig["links"]
     ]
     lines = [

@@ -32,6 +32,9 @@ __all__ = [
     "ONE",
     "LNOT",
     "BNOT",
+    "SQRT",
+    "EXP",
+    "LOG",
     "unary_op",
     "unary_op_new",
     "UNARY_REGISTRY",
@@ -157,8 +160,32 @@ BNOT = _make_family(
     "BNOT", INTEGER_TYPES, lambda t: np.bitwise_not, spec_prefix="GrB"
 )
 
+
+def _float_math_build(np_fn):
+    # domain errors (sqrt/log of a negative) follow C's math.h: NaN/-Inf
+    # land in the output instead of raising, like SuiteSparse's kernels
+    def build(t: GrBType):
+        def fn(x):
+            with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+                return np_fn(x).astype(t.np_dtype, copy=False)
+
+        return fn
+
+    return build
+
+
+SQRT = _make_family(
+    "SQRT", FLOAT_TYPES, _float_math_build(np.sqrt), spec_prefix="GxB"
+)
+EXP = _make_family(
+    "EXP", FLOAT_TYPES, _float_math_build(np.exp), spec_prefix="GxB"
+)
+LOG = _make_family(
+    "LOG", FLOAT_TYPES, _float_math_build(np.log), spec_prefix="GxB"
+)
+
 ALL_UNARY_FAMILIES: dict[str, OpFamily] = {
-    f.name: f for f in (IDENTITY, AINV, MINV, ABS, ONE, BNOT)
+    f.name: f for f in (IDENTITY, AINV, MINV, ABS, ONE, BNOT, SQRT, EXP, LOG)
 }
 
 # Sanity: float MINV of 2.0 is 0.5, not integer-truncated.

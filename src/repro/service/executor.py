@@ -41,10 +41,12 @@ from ..fuzz.program import _CANONICAL, Call, Decl
 from ..info import GraphBLASError, NoValue
 from ..io.serialize import deserialize, serialize
 from ..obs import metrics, spans, tracing
+from ..stream import EdgeBuffer
 from ..types.grb_type import lookup_type
 from .errors import BadRequest, DeadlineExceeded, ObjectNotFound
 from .memo import analyze_request, build_entry, materialize
 from .session import SHARED_PREFIX, Session
+from .streams import STREAMABLE_ALGOS
 
 __all__ = ["run_batch", "ALGORITHMS", "jsonable"]
 
@@ -315,10 +317,31 @@ def _issue_algorithm(service, session: Session, payload: dict, ectx: _Exec | Non
             f"unknown algorithm {algo!r} (available: {sorted(ALGORITHMS)})"
         )
     ns, _ = _namespace(service, session, ectx)
-    A = _get(session, ns, _need(payload, "graph"))
+    graph_name = _need(payload, "graph")
+    A = _get(session, ns, graph_name)
     args = dict(payload.get("args", {}))
     store_as = payload.get("store_as")
-    result = fn(A, **args)
+    result = None
+    streams = getattr(service, "streams", None)
+    if (
+        streams is not None
+        and not session.is_shared
+        and ectx is not None
+        and ectx.version is not None
+        and isinstance(graph_name, str)
+        and graph_name.startswith(SHARED_PREFIX)
+        and algo in STREAMABLE_ALGOS
+        and isinstance(A, Matrix)
+    ):
+        # incremental serving: a maintained handle re-validated against
+        # this request's pinned snapshot version answers without running
+        # the full algorithm (falls through to it when no handle applies)
+        result = streams.serve(
+            graph_name[len(SHARED_PREFIX):], algo, args,
+            ectx.version.vid, A, service.snapshots.current_vid(),
+        )
+    if result is None:
+        result = fn(A, **args)
     if isinstance(result, np.ndarray) and result.ndim == 1:
         # dense-array results (pagerank, connected_components) store as a
         # dense Vector so later programs can consume them by name
@@ -371,6 +394,51 @@ def _issue_update(service, session: Session, payload: dict, ectx: _Exec | None =
         raise BadRequest(f"cannot stream updates into {type(obj).__name__}")
     return {"name": name, "nvals": obj.nvals()}
 
+def _issue_stream_mutate(
+    service, session: Session, payload: dict, ectx: _Exec | None = None
+):
+    """Batched edge mutation through the streaming ingest path.
+
+    The whole ``set``/``remove`` batch lands in one
+    :class:`~repro.stream.EdgeBuffer` flush — a single deferred rebuild in
+    the planner DAG — instead of ``update``'s per-element edits.  On the
+    shared session the flush is noted with the service's
+    :class:`~repro.service.streams.StreamState` so the publication that
+    follows advances incremental algorithm handles from the edge delta.
+    """
+    name = _need(payload, "graph")
+    _check_writable(session, name)
+    ns, _ = _namespace(service, session, ectx)
+    obj = _get(session, ns, name)
+    if session.is_shared:
+        obj = _cow(session, ectx, name) or obj
+    if not isinstance(obj, Matrix):
+        raise BadRequest("stream_mutate requires a Matrix graph")
+    sets = payload.get("set", []) or []
+    removes = payload.get("remove", []) or []
+    buf = EdgeBuffer(obj)
+    if sets:
+        buf.set_edges(
+            [int(e[0]) for e in sets],
+            [int(e[1]) for e in sets],
+            [e[2] for e in sets],
+        )
+    if removes:
+        buf.remove_edges(
+            [int(e[0]) for e in removes],
+            [int(e[1]) for e in removes],
+        )
+    fr = buf.flush()
+    streams = getattr(service, "streams", None)
+    if streams is not None and session.is_shared:
+        streams.note_flush(name, fr)
+    metrics.registry.inc("service.stream_mutate")
+    return {
+        "name": name,
+        "accepted": {"set": len(sets), "remove": len(removes)},
+    }
+
+
 def _issue_query(service, session: Session, payload: dict, ectx: _Exec | None = None):
     name = _need(payload, "name")
     what = payload.get("what", "nvals")
@@ -416,6 +484,7 @@ _ISSUE = {
     "program": _issue_program,
     "algorithm": _issue_algorithm,
     "update": _issue_update,
+    "stream_mutate": _issue_stream_mutate,
     "query": _issue_query,
     "free": _issue_free,
 }
@@ -428,7 +497,7 @@ _ISSUE = {
 def _mutates(kind: str, payload: dict) -> bool:
     """Does this shared-session request change the shared store?  A True
     answer triggers a snapshot publication after it executes."""
-    if kind in ("define", "upload", "update", "free"):
+    if kind in ("define", "upload", "update", "stream_mutate", "free"):
         return True
     if kind == "program":
         if payload.get("declare"):
@@ -453,6 +522,9 @@ def _writer_reset(service, session: Session) -> None:
         context.wait()
     except GraphBLASError:
         pass
+    streams = getattr(service, "streams", None)
+    if streams is not None:
+        streams.on_abort()
     current = service.snapshots.current
     session.objects = dict(current.objects)
     session.dtypes = dict(current.dtypes)
@@ -579,12 +651,26 @@ def run_batch(service, session: Session, batch: list) -> None:
                                 # freeze this mutation's effects, then make
                                 # them visible to future admissions
                                 context.wait()
+                                prev = snapshots.current
                                 v = snapshots.publish(
                                     dict(session.objects), dict(session.dtypes)
                                 )
                                 meta["published_version"] = v.vid
+                                # copy-on-write keeps untouched objects
+                                # identical, so identity names the changed set
+                                changed = {
+                                    k for k, o in v.objects.items()
+                                    if prev.objects.get(k) is not o
+                                } | (set(prev.objects) - set(v.objects))
+                                streams = getattr(service, "streams", None)
+                                if streams is not None:
+                                    sizes = streams.on_publish(v, changed)
+                                    if sizes:
+                                        meta["stream_delta"] = sum(
+                                            sizes.values()
+                                        )
                                 if memo is not None:
-                                    memo.on_publish(v.vid)
+                                    memo.on_publish(v.vid, changed=changed)
                             if (
                                 decision is not None
                                 and decision.cacheable

@@ -133,6 +133,16 @@ def _op_update(rng: random.Random, graph: str, n: int) -> tuple[str, dict]:
     return ("update", {"graph": graph, "set": sets, "remove": removes})
 
 
+def _op_stream_mutate(rng: random.Random, graph: str, n: int) -> tuple[str, dict]:
+    # bigger batches than the point-update path: the whole batch is one
+    # deferred rebuild, and on the shared graph one snapshot publish
+    sets = [[rng.randrange(n), rng.randrange(n), round(rng.uniform(0.5, 2.0), 3)]
+            for _ in range(rng.randrange(2, 9))]
+    removes = [[rng.randrange(n), rng.randrange(n)]
+               for _ in range(rng.randrange(0, 5))]
+    return ("stream_mutate", {"graph": graph, "set": sets, "remove": removes})
+
+
 def _op_query(rng: random.Random, graph: str) -> tuple[str, dict]:
     what = rng.choice(("nvals", "tuples"))
     return ("query", {"name": graph, "what": what})
@@ -168,7 +178,10 @@ def build_streams(seed: int, clients: int, requests: int) -> list[list]:
                         rng, SHARED_PREFIX + "G", _SHARED_N
                     ))
             elif r < 0.85:
-                ops.append(_op_update(rng, "g", _GRAPH_N))
+                if rng.random() < 0.5:
+                    ops.append(_op_update(rng, "g", _GRAPH_N))
+                else:
+                    ops.append(_op_stream_mutate(rng, "g", _GRAPH_N))
             else:
                 ops.append(_op_query(rng, "g"))
         streams.append(ops)
@@ -295,7 +308,13 @@ def build_zipf_streams(
         ops: list = []
         for j in range(per_client):
             if rng.random() < write_rate:
-                kind, payload = _op_update(rng, "G", _SHARED_N)
+                # mostly batched streaming mutations (one rebuild + one
+                # publish carrying the edge delta to incremental handles),
+                # with point updates mixed in to exercise handle drops
+                if rng.random() < 0.7:
+                    kind, payload = _op_stream_mutate(rng, "G", _SHARED_N)
+                else:
+                    kind, payload = _op_update(rng, "G", _SHARED_N)
                 ops.append((kind, payload, True))
             elif unique:
                 kind, payload = _unique_read(rng, i * per_client + j)
@@ -551,6 +570,37 @@ def _strip_timing(r):
     return r
 
 
+#: absolute float tolerance of the replay diff — incremental pagerank is
+#: exact only up to O(tol·n/(1-α)) against from-scratch (docs/streaming.md)
+_FLOAT_ATOL = 1e-5
+
+
+def _approx_eq(a, b) -> bool:
+    """Structural equality with a float tolerance.
+
+    Only float-typed leaves compare approximately (NaN equals NaN);
+    everything else — ints, bools, strings, shapes — must match exactly,
+    so count/pattern bugs cannot hide behind the tolerance.
+    """
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _approx_eq(v, b[k]) for k, v in a.items()
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _approx_eq(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, float) or isinstance(b, float):
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            return False
+        if math.isnan(a) and math.isnan(b):
+            return True
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return abs(a - b) <= _FLOAT_ATOL
+    return a == b
+
+
 def diff_results(live: list[list], ref: list[list]) -> list[tuple]:
     """Compare live responses with the serial replay; list divergences."""
     out = []
@@ -560,17 +610,16 @@ def diff_results(live: list[list], ref: list[list]) -> list[tuple]:
             continue
         for oi, (ra, rb) in enumerate(zip(a, b)):
             ra, rb = _strip_timing(ra), _strip_timing(rb)
-            if ra != rb:
+            if not _approx_eq(ra, rb):
                 out.append((ci, oi, f"{ra!r} != {rb!r}"))
     return out
 
 
-def timing_summary(results: list[list]) -> dict:
-    """Aggregate the per-request latency decompositions of a run."""
-    rows = [
-        r["timing"] for stream in results for r in stream
-        if isinstance(r, dict) and "timing" in r
-    ]
+#: request kinds that mutate graph state (everything else is a read)
+_MUTATE_KINDS = frozenset(("define", "upload", "update", "stream_mutate", "free"))
+
+
+def _aggregate_timings(rows: list[dict]) -> dict:
     if not rows:
         return {"count": 0}
 
@@ -594,6 +643,37 @@ def timing_summary(results: list[list]) -> dict:
     ]
     if covered:
         out["coverage_mean"] = sum(covered) / len(covered)
+    return out
+
+
+def timing_summary(results: list[list], streams: list[list] | None = None) -> dict:
+    """Aggregate the per-request latency decompositions of a run.
+
+    With *streams* (the submitted ``(kind, payload, ...)`` lists, index-
+    aligned with *results*), the summary additionally splits into a
+    ``by_kind`` read/mutate breakdown — a mutation's latency includes its
+    snapshot publish and handle advancement, so one merged histogram
+    hides the asymmetry a mixed workload actually serves.
+    """
+    rows: list[dict] = []
+    read_rows: list[dict] = []
+    mutate_rows: list[dict] = []
+    for ci, stream in enumerate(results):
+        for oi, r in enumerate(stream):
+            if not (isinstance(r, dict) and "timing" in r):
+                continue
+            row = r["timing"]
+            rows.append(row)
+            if streams is not None and ci < len(streams) \
+                    and oi < len(streams[ci]):
+                kind = streams[ci][oi][0]
+                (mutate_rows if kind in _MUTATE_KINDS else read_rows).append(row)
+    out = _aggregate_timings(rows)
+    if streams is not None and rows:
+        out["by_kind"] = {
+            "read": _aggregate_timings(read_rows),
+            "mutate": _aggregate_timings(mutate_rows),
+        }
     return out
 
 
@@ -713,7 +793,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{observed:.2f}: "
               f"{'MISSED' if hit_rate_missed else 'met'}", flush=True)
 
-    timings = timing_summary(live["results"])
+    timings = timing_summary(live["results"], streams)
     if timings.get("count"):
         print(f"  per-request breakdown ({timings['count']} timed): "
               f"queue p50 {timings['queue_wait_us']['p50']:.0f}us  "
@@ -721,6 +801,20 @@ def main(argv: list[str] | None = None) -> int:
               f"drain-share p50 {timings['drain_share_us']['p50']:.0f}us  "
               f"coverage {timings.get('coverage_mean', 0.0):.2f}",
               flush=True)
+        by_kind = timings.get("by_kind") or {}
+        for group in ("read", "mutate"):
+            g = by_kind.get(group) or {}
+            if g.get("count"):
+                print(f"    {group}: {g['count']} reqs  "
+                      f"p50 {g['total_us']['p50']:.0f}us  "
+                      f"p99 {g['total_us']['p99']:.0f}us", flush=True)
+    streams_st = st.get("streams")
+    if streams_st and (streams_st["created"] or streams_st["served"]):
+        print(f"  streams: handles {streams_st['handles']}  "
+              f"created {streams_st['created']}  "
+              f"advanced {streams_st['advanced']}  "
+              f"dropped {streams_st['dropped']}  "
+              f"served {streams_st['served']}", flush=True)
 
     slo_missed = False
     if args.slo_p99_ms is not None:

@@ -53,6 +53,10 @@ class CacheEntry:
     #: serialized ``store_as`` result (algorithms)
     store_blob: bytes | None = None
     nbytes: int = 0
+    #: bare shared names the cached request read (from the decision) — a
+    #: publish that touches none of them re-keys the entry instead of
+    #: dropping it
+    shared_reads: frozenset = frozenset()
 
 
 #: sentinel "kind" for states with no fetched contents (never matches)
@@ -120,6 +124,7 @@ def build_entry(decision: CacheDecision, session: Session, result: dict) -> Cach
         + _approx_bytes(entry.response)
         + _approx_bytes(entry.contents)
     )
+    entry.shared_reads = decision.shared_reads
     return entry
 
 
@@ -192,6 +197,7 @@ class ResultCache:
         self.evictions = 0
         self.invalidations = 0
         self.inserts = 0
+        self.rekeys = 0
 
     # ------------------------------------------------------------------ hits
     def lookup(self, vid: int, digest: str) -> CacheEntry | None:
@@ -233,22 +239,50 @@ class ResultCache:
         metrics.registry.inc(f"service.cache.bypass.{reason}")
 
     # ---------------------------------------------------------- invalidation
-    def on_publish(self, new_vid: int) -> None:
-        """Reclaim entries of superseded versions.
+    def on_publish(self, new_vid: int, changed: set | None = None) -> None:
+        """Reclaim or carry over entries of superseded versions.
 
         Stale entries are already unreachable (readers pin the new
-        version, and the version id is in the key); this only frees the
-        bytes they hold.
+        version, and the version id is in the key).  Without *changed*
+        (the delta-blind legacy path) every superseded entry is dropped.
+        With *changed* — the set of bare shared names whose objects this
+        publication replaced — entries reading only *untouched* names are
+        **re-keyed** to the new version instead: their result is
+        observationally identical there (copy-on-write keeps untouched
+        objects byte-for-byte the same object), so the cache survives a
+        stream of publishes that never touch what it holds.
         """
         reg = metrics.registry
         with self._mu:
-            dead = [k for k in self._entries if k[0] < new_vid]
+            dead: list[tuple[int, str]] = []
+            moves: list[tuple[tuple[int, str], CacheEntry]] = []
+            for k, e in self._entries.items():
+                if k[0] >= new_vid:
+                    continue
+                if changed is not None and not (e.shared_reads & changed):
+                    moves.append((k, e))
+                else:
+                    dead.append(k)
             for k in dead:
                 entry = self._entries.pop(k)
                 self._bytes -= entry.nbytes
                 self.invalidations += 1
             if dead:
                 reg.inc("service.cache.invalidation", len(dead))
+            rekeyed = 0
+            for k, e in moves:
+                del self._entries[k]
+                nk = (new_vid, k[1])
+                if nk in self._entries:
+                    # already recomputed at the new version; keep that one
+                    self._bytes -= e.nbytes
+                    self.invalidations += 1
+                    continue
+                self._entries[nk] = e
+                rekeyed += 1
+            if rekeyed:
+                self.rekeys += rekeyed
+                reg.inc("service.cache.rekeyed", rekeyed)
 
     def clear(self) -> None:
         with self._mu:
@@ -268,5 +302,6 @@ class ResultCache:
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
                 "inserts": self.inserts,
+                "rekeys": self.rekeys,
                 "hit_rate": metrics.ratio(self.hits, self.hits + self.misses),
             }

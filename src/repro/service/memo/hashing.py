@@ -80,6 +80,10 @@ class CacheDecision:
     #: (key-equal, hence identical) declaration instead of a serialized
     #: blob, so entries skip serializing them entirely.
     pristine: Any = None
+    #: bare (prefix-stripped) shared-store names the request reads — the
+    #: delta-aware invalidation set: a publish that leaves all of them
+    #: untouched re-keys the entry to the new version instead of dropping
+    shared_reads: frozenset = frozenset()
 
 
 def _bypass(kind: str, reason: str) -> CacheDecision:
@@ -166,6 +170,7 @@ def _analyze_program(payload: dict) -> CacheDecision:
         return _bypass("program", "malformed")
 
     hasher = DataflowHasher()
+    shared_reads: set[str] = set()
     declared: list[tuple[str, str, Any]] = []  # states filled in at the end
     decl_names: set[str] = set()
     decl_dtypes: dict[str, str] = {}
@@ -220,6 +225,8 @@ def _analyze_program(payload: dict) -> CacheDecision:
                 return _bypass("program", "malformed")
             if ref not in decl_names and not ref.startswith(SHARED_PREFIX):
                 return _bypass("program", "private-ref")
+            if ref.startswith(SHARED_PREFIX):
+                shared_reads.add(ref[len(SHARED_PREFIX):])
             reads.append((key, ref))
         if out is not None and out not in decl_names:
             # writing into a pre-existing session object: the write is a
@@ -255,6 +262,8 @@ def _analyze_program(payload: dict) -> CacheDecision:
             return _bypass("program", "malformed")
         if name not in decl_names and not name.startswith(SHARED_PREFIX):
             return _bypass("program", "private-ref")
+        if name.startswith(SHARED_PREFIX):
+            shared_reads.add(name[len(SHARED_PREFIX):])
         fetches.append((name, _hex(name)))
 
     # pristine ⇔ never written: the "decl"/"call" state tags make this a
@@ -279,6 +288,7 @@ def _analyze_program(payload: dict) -> CacheDecision:
         declared=tuple(declared),
         fetches=tuple(fetches),
         pristine=pristine,
+        shared_reads=frozenset(shared_reads),
     )
 
 
@@ -304,6 +314,7 @@ def _analyze_algorithm(payload: dict) -> CacheDecision:
     )
     return CacheDecision(
         cacheable=True, kind="algorithm", digest=d, store_as=store_as,
+        shared_reads=frozenset((graph[len(SHARED_PREFIX):],)),
     )
 
 
@@ -319,7 +330,10 @@ def _analyze_query(payload: dict) -> CacheDecision:
     except (TypeError, RecursionError):
         return _bypass("query", "unhashable")
     d = ("query", DataflowHasher().external(name), str(what), coords)
-    return CacheDecision(cacheable=True, kind="query", digest=d)
+    return CacheDecision(
+        cacheable=True, kind="query", digest=d,
+        shared_reads=frozenset((name[len(SHARED_PREFIX):],)),
+    )
 
 
 def analyze_request(kind: str, payload: dict) -> CacheDecision:

@@ -19,7 +19,12 @@ Data kinds (queued per session, executed by the worker pool):
                ``declare`` for new outputs, ``fetch`` to return contents)
 ``algorithm``  run a registered graph algorithm (``algo``, ``graph``,
                optional ``args`` and ``store_as``)
-``update``     streaming graph mutation: ``set`` / ``remove`` edge lists
+``update``     point graph mutation: ``set`` / ``remove`` edge lists applied
+               one element at a time
+``stream_mutate``  batched streaming mutation: ``set`` / ``remove`` edge
+               lists buffered through :class:`repro.stream.EdgeBuffer` and
+               rebuilt as one deferred planner op; on the shared session
+               the publish carries the edge delta to incremental handles
 ``query``      read ``nvals`` / ``tuples`` / ``element`` of a named object
 ``free``       drop a named object
 =============  ==============================================================
@@ -50,7 +55,7 @@ __all__ = ["Request", "DATA_KINDS", "ADMIN_KINDS", "new_request"]
 
 DATA_KINDS = frozenset(
     ("define", "upload", "download", "program", "algorithm", "update",
-     "query", "free")
+     "stream_mutate", "query", "free")
 )
 ADMIN_KINDS = frozenset(
     ("open_session", "close_session", "metrics", "stats", "health",

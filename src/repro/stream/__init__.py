@@ -1,0 +1,36 @@
+"""Streaming graph subsystem: batched ingest + incremental algorithms.
+
+The GraphBLAS nonblocking mode exists so implementations can defer and
+batch mutations; this package exploits it end to end:
+
+* :mod:`repro.stream.delta` — :class:`EdgeDelta`, the exact record of one
+  flushed edge batch (adds / removes / value changes against the
+  pre-flush content);
+* :mod:`repro.stream.ingest` — :class:`EdgeBuffer`, a COO append buffer
+  with last-writer-wins dedup whose :meth:`~EdgeBuffer.flush` submits the
+  CSR rebuild as a *first-class deferred op* into the planner DAG, so
+  rebuilds schedule like any other node and respect RAW/WAW hazards
+  against queued reads;
+* :mod:`repro.stream.incremental` — handles that maintain PageRank, BFS
+  levels, and connected components from an :class:`EdgeDelta` instead of
+  recomputing, each with an exact-fallback guard.
+"""
+
+from .delta import EdgeDelta
+from .incremental import (
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalPagerank,
+    make_handle,
+)
+from .ingest import EdgeBuffer, FlushResult
+
+__all__ = [
+    "EdgeDelta",
+    "EdgeBuffer",
+    "FlushResult",
+    "IncrementalPagerank",
+    "IncrementalBFS",
+    "IncrementalCC",
+    "make_handle",
+]

@@ -1,0 +1,181 @@
+"""Incremental-vs-full streaming bench: what delta maintenance buys.
+
+One workload per incremental algorithm (PageRank, BFS levels, connected
+components): a base graph takes a schedule of small edge batches, and
+each round is served either by advancing an incremental handle across
+the flushed :class:`~repro.stream.delta.EdgeDelta` or by recomputing the
+algorithm from scratch.  Both variants pay the same ingest (the
+EdgeBuffer merge-rebuild) and the same initial full compute, so the
+difference is purely the serving strategy.  Results are asserted
+equivalent every repetition — exactly for the integer algorithms, within
+the documented O(tol·n/(1−α)) envelope for PageRank — and the handles'
+measured ``work_ratio`` (edges touched incrementally per edge a full
+recompute touches) lands in the baseline next to the timings::
+
+    PYTHONPATH=src python -m repro.stream.bench --out BENCH_pr9.json
+
+Timings use the ``repro-bench/1`` schema so ``tools/bench_trajectory.py``
+diffs them against the committed baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro as grb
+from .. import algorithms, context
+from ..obs.export import BenchRecorder
+from .incremental import make_handle
+from .ingest import EdgeBuffer
+
+_PR_ATOL = 1e-5
+
+
+def _base_arrays(n: int, nnz: int, seed: int, symmetric: bool):
+    r = np.random.default_rng(seed)
+    keys = r.choice(n * n, size=min(nnz, n * n), replace=False)
+    rows, cols = np.divmod(keys, n)
+    vals = r.uniform(0.1, 2.0, len(keys))
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+        keys = rows * n + cols
+        _, first = np.unique(keys, return_index=True)
+        rows, cols, vals = rows[first], cols[first], vals[first]
+    return rows, cols, vals
+
+
+def _schedule(n: int, rounds: int, batch: int, seed: int, symmetric: bool):
+    """Per-round (rows, cols, vals) set-batches, mirrored when symmetric."""
+    r = np.random.default_rng(seed * 31 + 7)
+    out = []
+    for _ in range(rounds):
+        rows = r.integers(0, n, batch)
+        cols = r.integers(0, n, batch)
+        vals = r.uniform(0.1, 2.0, batch)
+        if symmetric:
+            rows, cols = (
+                np.concatenate([rows, cols]), np.concatenate([cols, rows])
+            )
+            vals = np.concatenate([vals, vals])
+        out.append((rows, cols, vals))
+    return out
+
+
+def _build(n: int, base) -> grb.Matrix:
+    return grb.Matrix.from_coo(grb.FP64, n, n, *base)
+
+
+_ALGOS = {
+    # name -> (args, symmetric, result-of-handle, result-of-scratch)
+    "pagerank": ({}, False),
+    "bfs_levels": ({"source": 0}, False),
+    "connected_components": ({}, True),
+}
+
+
+def _scratch(algo: str, A: grb.Matrix, args: dict):
+    out = getattr(algorithms, algo)(A, **args)
+    if isinstance(out, grb.Vector):
+        return out.extract_tuples()
+    return out
+
+
+def run_incremental(algo: str, args: dict, n: int, base, schedule):
+    """Handle-maintained serving; returns (final result, mean work ratio)."""
+    context._reset()
+    A = _build(n, base)
+    h = make_handle(algo, A, args)
+    assert h is not None
+    buf = EdgeBuffer(A)
+    ratios = []
+    for rows, cols, vals in schedule:
+        delta = buf.set_edges(rows, cols, vals).flush().delta
+        h.update(A, delta)
+        ratios.append(h.last_work_ratio)
+        h.result()
+    return h.result(), float(np.mean(ratios))
+
+
+def run_full(algo: str, args: dict, n: int, base, schedule):
+    """From-scratch serving: same ingest, full recompute every round."""
+    context._reset()
+    A = _build(n, base)
+    out = _scratch(algo, A, args)
+    buf = EdgeBuffer(A)
+    for rows, cols, vals in schedule:
+        buf.set_edges(rows, cols, vals).flush().delta
+        out = _scratch(algo, A, args)
+    return out
+
+
+def _equivalent(algo: str, inc, full) -> bool:
+    if algo == "pagerank":
+        return np.allclose(inc, full, rtol=0, atol=_PR_ATOL, equal_nan=True)
+    if algo == "bfs_levels":
+        gi, gv = inc.extract_tuples()
+        return (
+            np.array_equal(gi, full[0]) and np.array_equal(gv, full[1])
+        )
+    return np.array_equal(inc, full)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=None, help="write BENCH json here")
+    ap.add_argument("--repeat", type=int, default=5)
+    ap.add_argument("--n", type=int, default=300)
+    ap.add_argument("--nnz", type=int, default=3000)
+    ap.add_argument("--rounds", type=int, default=8)
+    ap.add_argument("--batch", type=int, default=4,
+                    help="edge writes per delta batch (small-delta regime)")
+    args = ap.parse_args(argv)
+
+    rec = BenchRecorder(meta={
+        "workload": "stream.incremental",
+        "n": args.n,
+        "nnz": args.nnz,
+        "rounds": args.rounds,
+        "batch": args.batch,
+    })
+    for algo, (algo_args, symmetric) in _ALGOS.items():
+        base = _base_arrays(args.n, args.nnz, 5, symmetric)
+        schedule = _schedule(args.n, args.rounds, args.batch, 5, symmetric)
+
+        inc_result = rec.measure(
+            f"stream.{algo}.incremental",
+            lambda: run_incremental(algo, algo_args, args.n, base, schedule),
+            repeat=args.repeat, warmup=1, rounds=args.rounds,
+        )
+        full_result = rec.measure(
+            f"stream.{algo}.full_recompute",
+            lambda: run_full(algo, algo_args, args.n, base, schedule),
+            repeat=args.repeat, warmup=1, rounds=args.rounds,
+        )
+        assert _equivalent(algo, inc_result[0], full_result), (
+            f"{algo}: incremental diverged from full recompute"
+        )
+        inc_e = next(e for e in rec.entries
+                     if e["name"] == f"stream.{algo}.incremental")
+        full_e = next(e for e in rec.entries
+                      if e["name"] == f"stream.{algo}.full_recompute")
+        speedup = full_e["min_s"] / inc_e["min_s"]
+        inc_e["speedup_vs_full"] = round(speedup, 4)
+        inc_e["mean_work_ratio"] = round(inc_result[1], 6)
+        print(
+            f"{algo:<22} incremental {inc_e['min_s']*1e3:8.2f} ms"
+            f"   full {full_e['min_s']*1e3:8.2f} ms"
+            f"   speedup {speedup:5.2f}x"
+            f"   work_ratio {inc_result[1]:.4f}"
+        )
+    if args.out:
+        rec.write(args.out)
+        print(f"wrote {args.out}")
+    context._reset()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

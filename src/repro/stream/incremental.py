@@ -1,0 +1,604 @@
+"""Incremental recomputation of PageRank / BFS levels / components.
+
+Each handle maintains the result of one algorithm over an evolving graph
+and advances it from an :class:`~repro.stream.delta.EdgeDelta` instead of
+recomputing — delta-push PageRank with a residual queue, frontier-repair
+BFS, union-merge connected components.  Every handle carries an
+**exact-fallback guard**: when the delta is too large, or a structural
+precondition of the fast path fails (falsy BFS edge values, asymmetric CC
+pattern, degenerate PageRank weights), the handle transparently reruns
+the full algorithm, so its result is *always* what recompute-from-scratch
+would produce — bit-identical for BFS/CC, within a documented float
+tolerance for PageRank (see ``docs/streaming.md``).
+
+PageRank correctness sketch: the iteration is the affine map
+``F(r) = α·Mᵀr + α·(Σ_dangling r)/n·1 + (1-α)/n·1``, an L1-contraction
+with factor α.  The handle keeps the invariant ``res = F(r) - r``; a
+delta updates ``res`` locally (changed out-rows and dangling-set moves),
+then the push loop absorbs residual mass: absorbing ``res[u]`` into
+``r[u]`` forwards ``α·res[u]`` along u's out-row, shrinking ``‖res‖₁``
+geometrically.  Terminating at per-entry ``|res| < tol`` leaves both the
+incremental and the from-scratch result within ``O(tol·n/(1-α))`` of the
+unique fixed point in L1.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .. import context
+from ..containers.matrix import Matrix
+from ..containers.vector import Vector
+from ..info import DimensionMismatch, InvalidValue
+from ..obs import metrics
+from ..types import INT32
+from .delta import EdgeDelta
+
+__all__ = [
+    "IncrementalPagerank",
+    "IncrementalBFS",
+    "IncrementalCC",
+    "make_handle",
+]
+
+#: delta/base-nnz ratio above which full recompute is assumed cheaper
+MAX_DELTA_FRACTION = 0.25
+
+#: push-loop work budget as a multiple of nnz before giving up on the
+#: incremental path (beyond this the "fast" path has lost anyway)
+_PUSH_WORK_FACTOR = 10
+
+#: exact residual refresh cadence (kills float drift in the invariant)
+_REFRESH_EVERY = 32
+
+
+def _record(algo: str, mode: str, work: int, nnz: int, reason: str = "") -> None:
+    reg = metrics.registry
+    reg.inc(f"stream.algo.{mode}")
+    reg.inc(f"stream.algo.{algo}.{mode}")
+    if reason:
+        reg.inc(f"stream.algo.fallback.{reason}")
+    # delta-vs-full work ratio: edges the incremental path touched per
+    # edge a full recompute would touch at least once
+    reg.observe("stream.algo.work_ratio", work / max(nnz, 1))
+
+
+class _HandleBase:
+    """Shared guard/accounting plumbing of the three handles."""
+
+    algo = ""
+
+    def __init__(self, A: Matrix):
+        if not isinstance(A, Matrix):
+            raise InvalidValue("incremental handles require a Matrix")
+        if A.nrows != A.ncols:
+            raise DimensionMismatch("incremental handles require a square matrix")
+        self._n = A.nrows
+        self.updates = 0
+        self.full_recomputes = 0
+        self.last_mode = "init"
+        self.last_work_ratio = 1.0
+
+    def _pre_update(self, A: Matrix, delta: EdgeDelta) -> None:
+        if A.nrows != self._n or A.ncols != self._n:
+            raise DimensionMismatch("graph was resized; recreate the handle")
+        context.complete(A)
+        self.updates += 1
+
+    def _finish(self, mode: str, work: int, nnz: int, reason: str = "") -> dict:
+        if mode == "full":
+            self.full_recomputes += 1
+            work = max(work, nnz)
+        self.last_mode = mode
+        self.last_work_ratio = work / max(nnz, 1)
+        _record(self.algo, mode, work, nnz, reason)
+        return {"mode": mode, "work_ratio": self.last_work_ratio}
+
+
+# ---------------------------------------------------------------------------
+# PageRank
+# ---------------------------------------------------------------------------
+
+class IncrementalPagerank(_HandleBase):
+    """Delta-push PageRank with a residual queue.
+
+    Matches :func:`repro.algorithms.pagerank` within a documented float
+    tolerance (both land within ``O(tol·n/(1-α))`` of the same fixed
+    point; per-entry disagreement stays under ``1e-5`` at the default
+    ``tol=1e-8``).
+    """
+
+    algo = "pagerank"
+
+    def __init__(
+        self,
+        A: Matrix,
+        damping: float = 0.85,
+        tol: float = 1e-8,
+        max_iters: int = 100,
+    ):
+        super().__init__(A)
+        self._damping = float(damping)
+        self._tol = float(tol)
+        self._max_iters = int(max_iters)
+        self._r = np.zeros(self._n)
+        self._res = np.zeros(self._n)
+        self._deg = np.zeros(self._n)
+        self._counts = np.zeros(self._n, dtype=np.int64)
+        self._healthy = False
+        self._full_refresh(A)
+
+    # ------------------------------------------------------------ internals
+    def _scan_graph(self, A: Matrix) -> None:
+        """Recompute exact weighted degrees / row counts / health."""
+        view = A.csr()
+        vals = view.values.astype(np.float64, copy=False)
+        self._counts = view.row_counts().astype(np.int64)
+        deg = np.zeros(self._n)
+        np.add.at(deg, view.row_ids(), vals)
+        # structurally empty rows are exactly 0 — float drift here would
+        # silently move a vertex in/out of the dangling set
+        deg[self._counts == 0] = 0.0
+        self._deg = deg
+        self._healthy = bool(
+            (len(vals) == 0 or vals.min() >= 0.0)
+            and not np.any((self._counts > 0) & (deg <= 0.0))
+        )
+
+    def _apply_F(self, A: Matrix, r: np.ndarray) -> np.ndarray:
+        """One exact application of the PageRank affine map to *r*."""
+        n = self._n
+        a = self._damping
+        view = A.csr()
+        safe = np.where(self._deg > 0.0, self._deg, 1.0)
+        scaled = np.where(self._deg > 0.0, r / safe, 0.0)
+        out = np.zeros(n)
+        if view.nnz:
+            np.add.at(
+                out,
+                view.indices,
+                scaled[view.row_ids()] * view.values.astype(np.float64),
+            )
+        dangling_mass = float(r[self._deg == 0.0].sum())
+        return (1.0 - a) / n + a * dangling_mass / n + a * out
+
+    def _full_refresh(self, A: Matrix) -> None:
+        """Exact-fallback: from-scratch PageRank plus a fresh residual."""
+        from ..algorithms import pagerank
+
+        self._r = pagerank(
+            A, damping=self._damping, tol=self._tol, max_iters=self._max_iters
+        )
+        self._scan_graph(A)
+        if self._healthy:
+            self._res = self._apply_F(A, self._r) - self._r
+        else:
+            self._res = np.zeros(self._n)
+
+    def _push_loop(self, A: Matrix, work_cap: int) -> int:
+        """Absorb residual mass until per-entry ``|res| <= tol``.
+
+        Synchronous batched sweeps: every over-threshold vertex absorbs
+        its residual at once, and the pushed mass is distributed through
+        one flat gather over the CSR segments of the whole active set.
+        Push *order* never affects correctness — each absorb+distribute
+        preserves the invariant ``res = F(r) - r`` — so batching is pure
+        speed: per-sweep cost is vectorized over active edges instead of
+        paying Python-loop overhead per vertex.  Total |res| decays by at
+        least the damping factor per sweep, so sweeps stay bounded.
+
+        Returns edges-touched work, or -1 when the budget is exhausted
+        (caller falls back to the exact full recompute).
+        """
+        n = self._n
+        a = self._damping
+        theta = self._tol
+        r, res, deg = self._r, self._res, self._deg
+        view = A.csr()
+        indptr = view.indptr
+        work = 0
+        while True:
+            active = np.nonzero(np.abs(res) > theta)[0]
+            if len(active) == 0:
+                return work
+            ru = res[active].copy()
+            r[active] += ru
+            res[active] = 0.0
+            push = a * ru
+            work += len(active)
+
+            live = deg[active] > 0.0
+            src = active[live]
+            if len(src):
+                starts = indptr[src]
+                lens = indptr[src + 1] - starts
+                total = int(lens.sum())
+                if total:
+                    # flat positions of every out-edge of the active set
+                    offs = np.cumsum(lens) - lens
+                    flat = (
+                        np.arange(total, dtype=np.int64)
+                        - np.repeat(offs, lens)
+                        + np.repeat(starts, lens)
+                    )
+                    mass = np.repeat(push[live] / deg[src], lens)
+                    np.add.at(
+                        res,
+                        view.indices[flat],
+                        mass * view.values[flat].astype(np.float64),
+                    )
+                    work += total
+            dangling = push[~live]
+            if len(dangling):
+                res += float(dangling.sum()) / n
+                work += n
+            if work > work_cap:
+                return -1
+
+    # --------------------------------------------------------------- update
+    def update(self, A: Matrix, delta: EdgeDelta) -> dict:
+        """Advance the maintained result across one flushed delta.
+
+        *A* is the post-flush matrix (the handle never aliases it — each
+        snapshot publication may carry a fresh copy-on-write duplicate).
+        """
+        self._pre_update(A, delta)
+        nnz = A.nvals()
+        if delta.is_empty():
+            return self._finish("incremental", 0, nnz)
+        if not self._healthy:
+            # previous state carries no valid residual invariant
+            self._full_refresh(A)
+            return self._finish("full", nnz, nnz, reason="degenerate")
+        if delta.fraction() > MAX_DELTA_FRACTION:
+            self._full_refresh(A)
+            return self._finish("full", nnz, nnz, reason="large-delta")
+
+        n = self._n
+        a = self._damping
+        r, res = self._r, self._res
+        old_deg = self._deg
+        old_counts = self._counts
+        work = 0
+
+        # exact per-row refresh of degrees/counts for touched rows
+        touched = delta.touched_rows()
+        new_deg = old_deg.copy()
+        new_counts = old_counts.copy()
+        view = A.dcsr()
+        new_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        healthy = True
+        for i in touched.tolist():
+            cols, vals = view.row(i)
+            fvals = vals.astype(np.float64)
+            new_rows[i] = (cols, fvals)
+            new_counts[i] = len(cols)
+            new_deg[i] = float(fvals.sum()) if len(cols) else 0.0
+            if len(cols) and (fvals.min() < 0.0 or new_deg[i] <= 0.0):
+                healthy = False
+        if not healthy:
+            self._deg, self._counts = new_deg, new_counts
+            self._healthy = False
+            self._full_refresh(A)
+            return self._finish("full", nnz, nnz, reason="degenerate")
+
+        # rebuild each touched row's *old* content from the delta, then
+        # swap its contribution inside the residual: res stays F_new(r) - r
+        by_row: dict[int, list[int]] = {}
+        for k in range(delta.size):
+            by_row.setdefault(int(delta.rows[k]), []).append(k)
+        uniform = 0.0
+        for i in touched.tolist():
+            cols, fvals = new_rows[i]
+            row_map = dict(zip(cols.tolist(), fvals.tolist()))
+            for k in by_row.get(i, ()):
+                j = int(delta.cols[k])
+                if delta.old_mask[k]:
+                    row_map[j] = float(delta.old_values[k])
+                else:
+                    row_map.pop(j, None)
+            ri = r[i]
+            if old_deg[i] > 0.0 and row_map:
+                oc = np.fromiter(row_map.keys(), dtype=np.int64)
+                ov = np.fromiter(row_map.values(), dtype=np.float64)
+                np.add.at(res, oc, -a * ri * (ov / old_deg[i]))
+                work += len(oc)
+            if new_deg[i] > 0.0 and len(cols):
+                np.add.at(res, cols, a * ri * (fvals / new_deg[i]))
+                work += len(cols)
+            was_dangling = old_deg[i] == 0.0
+            is_dangling = new_deg[i] == 0.0
+            if was_dangling != is_dangling:
+                uniform += a * ri * ((1.0 if is_dangling else -1.0) / n)
+        if uniform != 0.0:
+            res += uniform
+            work += n
+        self._deg, self._counts = new_deg, new_counts
+
+        pushed = self._push_loop(A, work_cap=max(_PUSH_WORK_FACTOR * nnz, 10_000))
+        if pushed < 0:
+            self._full_refresh(A)
+            return self._finish("full", nnz, nnz, reason="push-budget")
+        work += pushed
+
+        if self.updates % _REFRESH_EVERY == 0:
+            # periodic exact residual refresh bounds float drift
+            self._res = self._apply_F(A, self._r) - self._r
+            work += nnz
+        return self._finish("incremental", work, nnz)
+
+    def result(self) -> np.ndarray:
+        """Dense FP64 scores summing to 1 (the scratch contract)."""
+        if not self._healthy:
+            # full-fallback state is scratch's own (already normalized)
+            # output; renormalizing degenerate-weight scores — huge values
+            # cancelling to sum ≈ 1 — would perturb them measurably
+            return self._r.copy()
+        total = self._r.sum()
+        return self._r / total if total else self._r.copy()
+
+
+# ---------------------------------------------------------------------------
+# BFS levels
+# ---------------------------------------------------------------------------
+
+class IncrementalBFS(_HandleBase):
+    """Frontier-repair BFS levels from a fixed source.
+
+    Exact for edge insertions (decrease-only multi-source relaxation) and
+    for deletions that keep every reached vertex supported by another
+    in-neighbor one level up; any unsupported deletion, or any falsy
+    stored edge value (which :func:`repro.algorithms.bfs_levels`
+    propagates nonstandardly), falls back to the full algorithm.
+    """
+
+    algo = "bfs_levels"
+
+    def __init__(self, A: Matrix, source: int):
+        super().__init__(A)
+        src = int(source)
+        if not 0 <= src < self._n:
+            raise InvalidValue(f"BFS source {source} out of range")
+        self._source = src
+        self._levels = np.full(self._n, -1, dtype=np.int64)
+        self._clean = False
+        self._full_refresh(A)
+
+    def _full_refresh(self, A: Matrix) -> None:
+        from ..algorithms import bfs_levels
+
+        out = bfs_levels(A, self._source)
+        idx, vals = out.extract_tuples()
+        out.free()
+        levels = np.full(self._n, -1, dtype=np.int64)
+        levels[idx] = vals.astype(np.int64)
+        self._levels = levels
+        self._clean = self._graph_clean(A)
+
+    @staticmethod
+    def _graph_clean(A: Matrix) -> bool:
+        """No stored falsy values anywhere (BFS fast-path precondition)."""
+        _keys, values = A._content()
+        return bool(len(values) == 0 or values.all())
+
+    def update(self, A: Matrix, delta: EdgeDelta) -> dict:
+        self._pre_update(A, delta)
+        nnz = A.nvals()
+        if delta.is_empty():
+            return self._finish("incremental", 0, nnz)
+        was_clean = self._clean
+        now_clean = was_clean and bool(
+            not delta.new_mask.any()
+            or delta.new_values[delta.new_mask].all()
+        )
+        if not was_clean:
+            # a removal may have scrubbed the falsy values out again
+            now_clean = self._graph_clean(A)
+        if not (was_clean and now_clean):
+            self._full_refresh(A)
+            reason = "falsy-values" if not now_clean else "was-unclean"
+            return self._finish("full", nnz, nnz, reason=reason)
+        if delta.fraction() > MAX_DELTA_FRACTION:
+            self._full_refresh(A)
+            return self._finish("full", nnz, nnz, reason="large-delta")
+
+        levels = self._levels
+        work = 0
+
+        # deletions: every removed forward edge's target must keep an
+        # alternative parent one level up, else levels may grow — full
+        removed = delta.removed
+        if len(removed):
+            csc = A.csc()
+            for k in removed.tolist():
+                u = int(delta.rows[k])
+                v = int(delta.cols[k])
+                lu, lv = levels[u], levels[v]
+                if lu < 0 or lv <= lu:
+                    continue
+                sl = csc.row_slice(v)
+                parents = csc.indices[sl]
+                work += len(parents) + 1
+                if not np.any(levels[parents] == lv - 1):
+                    self._full_refresh(A)
+                    return self._finish("full", nnz, nnz, reason="unsupported")
+
+        # insertions: decrease-only multi-source relaxation from improved
+        # endpoints (exact — added edges only ever shorten paths)
+        heap: list[tuple[int, int]] = []
+        for k in delta.added.tolist():
+            u = int(delta.rows[k])
+            v = int(delta.cols[k])
+            lu = levels[u]
+            if lu < 0:
+                continue
+            if levels[v] == -1 or levels[v] > lu + 1:
+                levels[v] = lu + 1
+                heapq.heappush(heap, (lu + 1, v))
+        view = A.dcsr()
+        while heap:
+            lv, v = heapq.heappop(heap)
+            if levels[v] != lv:
+                continue  # superseded by a better path
+            cols, _vals = view.row(v)
+            work += len(cols) + 1
+            for w in cols.tolist():
+                if levels[w] == -1 or levels[w] > lv + 1:
+                    levels[w] = lv + 1
+                    heapq.heappush(heap, (lv + 1, w))
+        self._clean = now_clean
+        return self._finish("incremental", work, nnz)
+
+    def result(self) -> Vector:
+        """Sparse INT32 level vector (the scratch contract: reached only)."""
+        idx = np.nonzero(self._levels >= 0)[0]
+        return Vector.from_coo(
+            INT32, self._n, idx, self._levels[idx].astype(np.int32)
+        )
+
+    def levels_dense(self) -> np.ndarray:
+        """Dense int64 levels, -1 for unreached (test/bench convenience)."""
+        return self._levels.copy()
+
+
+# ---------------------------------------------------------------------------
+# Connected components
+# ---------------------------------------------------------------------------
+
+class IncrementalCC(_HandleBase):
+    """Union-merge connected components (min-label contract).
+
+    Edge insertions merge two labels exactly.  A deletion is a no-op on
+    the partition when its endpoints stay connected through a common
+    neighbor (cheap triangle check); otherwise the component may split
+    and the handle falls back to the full algorithm.  The fast path
+    requires a symmetric pattern — what
+    :func:`repro.algorithms.connected_components` itself assumes — and
+    verifies that delta-by-delta, falling back whenever it breaks.
+    """
+
+    algo = "connected_components"
+
+    def __init__(self, A: Matrix):
+        super().__init__(A)
+        self._labels = np.arange(self._n, dtype=np.int64)
+        self._symmetric = False
+        self._full_refresh(A)
+
+    def _full_refresh(self, A: Matrix) -> None:
+        from ..algorithms import connected_components
+
+        self._labels = connected_components(A).astype(np.int64)
+        self._symmetric = self._pattern_symmetric(A)
+
+    @staticmethod
+    def _pattern_symmetric(A: Matrix) -> bool:
+        keys, _vals = A._content()
+        if not len(keys):
+            return True
+        n = A.ncols
+        rows = keys // np.int64(n)
+        cols = keys % np.int64(n)
+        t_keys = cols * np.int64(n) + rows
+        t_keys.sort()
+        return bool(np.array_equal(t_keys, keys))
+
+    @staticmethod
+    def _delta_symmetric(delta: EdgeDelta) -> bool:
+        """Every structural change must be mirrored in the same delta."""
+        pat = delta.pattern_changes()
+        if not len(pat):
+            return True
+        adds = set()
+        dels = set()
+        for k in pat.tolist():
+            u = int(delta.rows[k])
+            v = int(delta.cols[k])
+            (adds if delta.new_mask[k] else dels).add((u, v))
+        return all((v, u) in adds for (u, v) in adds if u != v) and all(
+            (v, u) in dels for (u, v) in dels if u != v
+        )
+
+    def update(self, A: Matrix, delta: EdgeDelta) -> dict:
+        self._pre_update(A, delta)
+        nnz = A.nvals()
+        if delta.is_empty():
+            return self._finish("incremental", 0, nnz)
+        was_symmetric = self._symmetric
+        if was_symmetric and self._delta_symmetric(delta):
+            now_symmetric = True
+        else:
+            now_symmetric = self._pattern_symmetric(A)
+        if not (was_symmetric and now_symmetric):
+            self._full_refresh(A)
+            return self._finish("full", nnz, nnz, reason="asymmetric")
+        if delta.fraction() > MAX_DELTA_FRACTION:
+            self._full_refresh(A)
+            return self._finish("full", nnz, nnz, reason="large-delta")
+
+        labels = self._labels
+        view = A.dcsr()
+        work = 0
+
+        # deletions first: a removal whose endpoints share a surviving
+        # neighbor cannot change the partition (reroute through the
+        # triangle); anything else may split a component — full
+        for k in delta.removed.tolist():
+            u = int(delta.rows[k])
+            v = int(delta.cols[k])
+            if u == v:
+                continue
+            cu, _ = view.row(u)
+            cv, _ = view.row(v)
+            work += len(cu) + len(cv)
+            if not len(np.intersect1d(cu, cv, assume_unique=True)):
+                self._full_refresh(A)
+                return self._finish("full", nnz, nnz, reason="possible-split")
+
+        # insertions: union-merge — relabel the larger-id component
+        for k in delta.added.tolist():
+            u = int(delta.rows[k])
+            v = int(delta.cols[k])
+            lu = int(labels[u])
+            lv = int(labels[v])
+            if lu == lv:
+                continue
+            lo, hi = (lu, lv) if lu < lv else (lv, lu)
+            labels[labels == hi] = lo
+            work += self._n
+        self._symmetric = now_symmetric
+        return self._finish("incremental", work, nnz)
+
+    def result(self) -> np.ndarray:
+        """Dense int64 min-member labels (the scratch contract)."""
+        return self._labels.copy()
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+def make_handle(algo: str, A: Matrix, args: dict | None = None):
+    """Build an incremental handle for *algo*, or None when unsupported.
+
+    Argument combinations the handles cannot honor exactly (a truncated
+    ``max_iters`` for components, say) return None — the caller keeps
+    using full recomputation.
+    """
+    args = dict(args or {})
+    try:
+        if algo == "pagerank":
+            return IncrementalPagerank(A, **args)
+        if algo == "bfs_levels":
+            if "source" not in args:
+                return None
+            return IncrementalBFS(A, source=args["source"])
+        if algo == "connected_components":
+            if args.get("max_iters") is not None:
+                return None
+            return IncrementalCC(A)
+    except (TypeError, DimensionMismatch, InvalidValue):
+        return None
+    return None

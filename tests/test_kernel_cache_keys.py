@@ -162,3 +162,64 @@ class TestSplitting:
         monkeypatch.setattr(chain_mod, "CACHE_VERSION",
                             chain_mod.CACHE_VERSION + 1)
         assert chain_key(sig, "stitch") != key
+
+
+class TestOpNameSplitting:
+    """Operator-name parsing feeding numba eligibility: dtype suffixes
+    split off, suffix-less singletons (GrB_LNOT) survive whole."""
+
+    def test_split_op(self):
+        from repro.kernels.chain import _split_op
+
+        assert _split_op("GrB_MINV_FP32") == ("GrB_MINV", "FP32")
+        assert _split_op("GxB_SQRT_FP64") == ("GxB_SQRT", "FP64")
+        assert _split_op("GrB_BNOT_UINT8") == ("GrB_BNOT", "UINT8")
+        assert _split_op("GrB_LNOT") == ("GrB_LNOT", "")
+        assert _split_op("GrB_FP64") == ("GrB", "FP64")
+        assert _split_op("GrB_BOOL") == ("GrB", "BOOL")
+
+    @staticmethod
+    def _apply_sig(op, dtype):
+        t = f"GrB_{dtype}"
+        link = {"role": "apply", "op": op, "in": t, "t": t, "out": t,
+                "mask": None, "replace": False, "accum": None}
+        return {
+            "producer": {"kind": "mxm", "op": "GrB_PLUS_TIMES", "out": t,
+                         "mask": None, "replace": False},
+            "links": [link],
+        }
+
+    def test_numba_eligibility_of_widened_families(self):
+        from repro.kernels.chain import numba_eligible
+
+        assert numba_eligible(self._apply_sig("GrB_LNOT", "BOOL"))
+        assert numba_eligible(self._apply_sig("GrB_BNOT_INT32", "INT32"))
+        assert numba_eligible(self._apply_sig("GxB_SQRT_FP32", "FP32"))
+        assert numba_eligible(self._apply_sig("GxB_SQRT_FP64", "FP64"))
+        assert numba_eligible(self._apply_sig("GxB_EXP_FP64", "FP64"))
+        assert numba_eligible(self._apply_sig("GxB_LOG_FP64", "FP64"))
+        assert numba_eligible(self._apply_sig("GrB_IDENTITY_UINT16", "UINT16"))
+
+    def test_precision_and_domain_exclusions(self):
+        from repro.kernels.chain import numba_eligible
+
+        # exp/log are FP64-only: float32 libm may differ at the last ulp
+        assert not numba_eligible(self._apply_sig("GxB_EXP_FP32", "FP32"))
+        assert not numba_eligible(self._apply_sig("GxB_LOG_FP32", "FP32"))
+        # LNOT is BOOL-only; BNOT never runs on floats
+        assert not numba_eligible(self._apply_sig("GrB_LNOT", "FP64"))
+        assert not numba_eligible(self._apply_sig("GrB_BNOT_FP64", "FP64"))
+        # op dtype must agree with the pipeline dtype
+        assert not numba_eligible(self._apply_sig("GxB_SQRT_FP32", "FP64"))
+
+    def test_generated_source_binds_the_new_exprs(self):
+        from repro.kernels.chain import numba_eligible
+        from repro.kernels.codegen import build_numba_source
+
+        sig = self._apply_sig("GxB_SQRT_FP64", "FP64")
+        assert numba_eligible(sig)
+        src = build_numba_source(sig)
+        assert "np.sqrt(x)" in src
+        sig = self._apply_sig("GrB_LNOT", "BOOL")
+        src = build_numba_source(sig)
+        assert "not x" in src

@@ -111,3 +111,42 @@ class TestArrayScalarAgreement:
         arr = op.apply_array(x)
         for k in range(len(x)):
             assert op(x[k]) == arr[k], (op.name, x[k])
+
+
+class TestFloatMath:
+    """GxB float-math families (SQRT/EXP/LOG): float domains only, with
+    C math.h domain-error semantics (NaN / -inf land in the output)."""
+
+    def test_values(self):
+        assert unary.SQRT[grb.FP64](4.0) == 2.0
+        assert unary.SQRT[grb.FP32](9.0) == np.float32(3.0)
+        assert unary.EXP[grb.FP64](0.0) == 1.0
+        assert unary.LOG[grb.FP64](1.0) == 0.0
+        assert unary.LOG[grb.FP64](np.e) == pytest.approx(1.0)
+
+    def test_matches_numpy_in_the_native_precision(self):
+        # the kernel must run numpy's float32-native loop, not compute in
+        # float64 and round (those differ at the last ulp)
+        x = np.linspace(0.1, 7.0, 23, dtype=np.float32)
+        assert np.array_equal(unary.SQRT[grb.FP32].apply_array(x), np.sqrt(x))
+        assert np.array_equal(unary.EXP[grb.FP32].apply_array(x), np.exp(x))
+        assert np.array_equal(unary.LOG[grb.FP32].apply_array(x), np.log(x))
+
+    def test_domain_errors_follow_math_h(self):
+        assert np.isnan(unary.SQRT[grb.FP64](-1.0))
+        assert np.isnan(unary.LOG[grb.FP64](-1.0))
+        assert unary.LOG[grb.FP64](0.0) == -np.inf
+        assert unary.EXP[grb.FP64](-np.inf) == 0.0
+        assert unary.EXP[grb.FP64](1e9) == np.inf
+
+    def test_spec_names_and_float_only_domains(self):
+        assert grb.unary_op("GxB_SQRT_FP64").name == "GxB_SQRT_FP64"
+        assert grb.unary_op("GxB_EXP_FP32").name == "GxB_EXP_FP32"
+        assert grb.unary_op("LOG_FP64").name == "GxB_LOG_FP64"
+        for bad in ("GxB_SQRT_INT32", "GxB_EXP_BOOL", "GxB_LOG_UINT8"):
+            with pytest.raises(grb.InvalidValue):
+                grb.unary_op(bad)
+
+    def test_registered_in_the_family_table(self):
+        for name in ("SQRT", "EXP", "LOG"):
+            assert name in unary.ALL_UNARY_FAMILIES

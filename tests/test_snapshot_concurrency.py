@@ -5,12 +5,17 @@ old reader/writer lock is gone from the service surface entirely.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
+import numpy as np
 import pytest
 
 import repro.service as service_pkg
+from repro import algorithms
+from repro.containers import Matrix
+from repro.types import FP64
 from repro.service import (
     SHARED_PREFIX,
     SHARED_SESSION,
@@ -171,6 +176,179 @@ class TestServiceSnapshots:
             assert after["timing"]["shared_version"] \
                 == before["timing"]["shared_version"] + 1
             assert after["nvals"] == before["nvals"] + 2
+
+
+class TestMutationBursts:
+    """Publish storms driven through ``stream_mutate``: retirement stays
+    bounded, readers stay torn-free, incremental handles keep advancing,
+    and the delta-aware memo never serves stale entries."""
+
+    def test_stream_mutate_storm_keeps_retirement_bounded(self):
+        n = 8
+        with Service(ServiceConfig(workers=2)) as svc:
+            svc.request(SHARED_SESSION, "define", {
+                "name": "G", "kind": "matrix", "dtype": "FP64",
+                "shape": [n, n], "entries": [[0, 1, 1.0], [2, 3, 2.0]],
+            })
+            model = {(0, 1): 1.0, (2, 3): 2.0}
+            rng = random.Random(7)
+            rounds = 40
+            for _ in range(rounds):
+                sets = [[rng.randrange(n), rng.randrange(n),
+                         round(rng.uniform(0.1, 2.0), 3)]
+                        for _ in range(rng.randrange(1, 4))]
+                removes = ([list(k) for k in rng.sample(sorted(model), 1)]
+                           if model and rng.random() < 0.4 else [])
+                svc.request(SHARED_SESSION, "stream_mutate",
+                            {"graph": "G", "set": sets, "remove": removes})
+                # mirror the buffer's last-writer-wins call order: the
+                # executor stages sets before removes, so an overlapping
+                # remove wins within one batch
+                for i, j, v in sets:
+                    model[(i, j)] = v
+                for i, j in removes:
+                    model.pop((i, j), None)
+            rsp = svc.request(
+                svc.open_session("storm-check"), "query",
+                {"name": SHARED_PREFIX + "G", "what": "tuples"},
+            )
+            got = sorted(zip(rsp["rows"], rsp["cols"], rsp["values"]))
+            want = sorted((i, j, v) for (i, j), v in model.items())
+            assert got == want
+
+            st = svc.stats()["snapshots"]
+            # every mutation published a version, none leaked or stayed
+            # pinned once the storm drained
+            assert st["published"] >= rounds
+            assert st["pinned"] == 0
+            assert st["live_versions"] == 1
+            assert st["retired"] == st["published"]
+
+    def test_readers_never_torn_under_stream_mutate_storm(self):
+        # same two-cell invariant as the update-driven test above, but the
+        # writer mutates through the streaming ingest path: each batch must
+        # flush atomically into one published version
+        with Service(ServiceConfig(workers=4)) as svc:
+            svc.request(SHARED_SESSION, "define", {
+                "name": "G", "kind": "matrix", "dtype": "FP64",
+                "shape": [4, 4], "entries": [[0, 0, 1.0], [1, 1, 1.0]],
+            })
+            stop = threading.Event()
+            torn: list = []
+            reader_errors: list = []
+
+            def writer():
+                k = 1.0
+                while not stop.is_set():
+                    k += 1.0
+                    svc.request(SHARED_SESSION, "stream_mutate", {
+                        "graph": "G",
+                        "set": [[0, 0, k], [1, 1, k]],
+                        "remove": [],
+                    })
+
+            def reader(i: int):
+                sess = svc.open_session(f"srd{i}")
+                while not stop.is_set():
+                    try:
+                        rsp = svc.request(
+                            sess, "query",
+                            {"name": SHARED_PREFIX + "G", "what": "tuples"},
+                        )
+                    except Exception as exc:   # noqa: BLE001
+                        reader_errors.append(exc)
+                        return
+                    if len(set(rsp["values"])) != 1:
+                        torn.append(rsp["values"])
+
+            threads = [threading.Thread(target=reader, args=(i,))
+                       for i in range(3)]
+            threads.append(threading.Thread(target=writer))
+            for t in threads:
+                t.start()
+            time.sleep(0.6)
+            stop.set()
+            for t in threads:
+                t.join()
+
+            assert reader_errors == []
+            assert torn == []
+            st = svc.stats()
+            assert st["snapshots"]["published"] > 2
+            assert st["snapshots"]["pinned"] == 0
+            assert st["snapshots"]["live_versions"] == 1
+
+    def test_incremental_pagerank_stays_fresh_under_burst(self):
+        n = 32
+        with Service(ServiceConfig(workers=2, cache=True)) as svc:
+            svc.request(SHARED_SESSION, "define", shared_graph_payload(3))
+            sess = svc.open_session("inc")
+            read = ("algorithm",
+                    {"algo": "pagerank", "graph": SHARED_PREFIX + "G",
+                     "args": {}})
+            svc.request(sess, *read)        # creates the handle
+            rng = random.Random(11)
+            for _ in range(25):
+                sets = [[rng.randrange(n), rng.randrange(n),
+                         round(rng.uniform(0.2, 1.5), 3)]
+                        for _ in range(2)]
+                svc.request(SHARED_SESSION, "stream_mutate",
+                            {"graph": "G", "set": sets, "remove": []})
+                svc.request(sess, *read)    # advance + serve each round
+
+            served = svc.request(sess, *read)["result"]
+            tup = svc.request(
+                sess, "query",
+                {"name": SHARED_PREFIX + "G", "what": "tuples"},
+            )
+            scratch = algorithms.pagerank(Matrix.from_coo(
+                FP64, n, n,
+                np.asarray(tup["rows"]), np.asarray(tup["cols"]),
+                np.asarray(tup["values"], dtype=np.float64),
+            ))
+            dense = np.zeros(n)
+            dense[np.asarray(served["indices"], dtype=np.int64)] = \
+                served["values"]
+            assert np.allclose(dense, scratch, rtol=0, atol=1e-5)
+
+            streams = svc.stats()["streams"]
+            assert streams["advanced"] > 0
+            assert streams["served"] > 0
+
+    def test_memo_rekey_keeps_untouched_entries_and_drops_touched(self):
+        with Service(ServiceConfig(workers=2, cache=True)) as svc:
+            for name in ("G", "H"):
+                svc.request(SHARED_SESSION, "define", {
+                    "name": name, "kind": "matrix", "dtype": "FP64",
+                    "shape": [6, 6],
+                    "entries": [[0, 1, 1.0], [1, 2, 1.0], [2, 0, 1.0]],
+                })
+            sess = svc.open_session("memo")
+            probe = ("query", {"name": SHARED_PREFIX + "H", "what": "nvals"})
+            first = svc.request(sess, *probe, timing=True)
+            assert first["timing"]["cache"] == "miss"
+            assert svc.request(sess, *probe, timing=True)[
+                "timing"]["cache"] == "hit"
+
+            # a burst touching only G must not evict H's entry: the memo
+            # re-keys it to each new version instead of dropping everything
+            for k in range(10):
+                svc.request(SHARED_SESSION, "stream_mutate", {
+                    "graph": "G", "set": [[3, 4, float(k + 1)]],
+                    "remove": [],
+                })
+            again = svc.request(sess, *probe, timing=True)
+            assert again["timing"]["cache"] == "hit"
+            assert again["nvals"] == first["nvals"]
+            assert svc.stats()["cache"]["rekeys"] >= 10
+
+            # touching H itself must drop the entry and serve fresh data
+            svc.request(SHARED_SESSION, "stream_mutate", {
+                "graph": "H", "set": [[4, 5, 9.0]], "remove": [],
+            })
+            after = svc.request(sess, *probe, timing=True)
+            assert after["timing"]["cache"] == "miss"
+            assert after["nvals"] == first["nvals"] + 1
 
 
 class TestRWLockExcised:

@@ -1,0 +1,195 @@
+"""Incremental-algorithm identity: handles advanced edge-delta by
+edge-delta must agree with from-scratch recomputation after every flush —
+exactly for BFS levels and components, within the documented
+O(tol·n/(1-α)) envelope for PageRank — across random delta schedules and
+both execution modes.  The guards (hostile weights, asymmetric deltas,
+oversized batches) must *fall back*, never drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro import algorithms
+from repro.stream import EdgeBuffer
+from repro.stream.incremental import make_handle
+
+
+@pytest.fixture(autouse=True)
+def _run_in_both_modes(exec_mode):
+    """Every test here runs under blocking AND nonblocking+planner mode."""
+
+
+_PR_ATOL = 1e-5       # the incremental PageRank residual-push envelope
+
+
+def _random_graph(rng: np.random.Generator, n: int, symmetric: bool):
+    nnz = int(rng.integers(n, 3 * n))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.uniform(0.1, 2.0, nnz)
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    model: dict[tuple[int, int], float] = {}
+    for i, j, v in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+        model[(i, j)] = model.get((j, i), v) if symmetric else v
+        if symmetric:
+            model[(j, i)] = model[(i, j)]
+    r = np.array([k[0] for k in model], dtype=np.int64)
+    c = np.array([k[1] for k in model], dtype=np.int64)
+    v = np.array(list(model.values()))
+    return grb.Matrix.from_coo(grb.FP64, n, n, r, c, v), model
+
+
+def _random_batch(rng, buf: EdgeBuffer, model: dict, n: int, symmetric: bool):
+    """Buffer 1-3 random append calls, mirroring the edits for symmetric
+    graphs, and advance the last-writer-wins dict model in call order."""
+    for _ in range(int(rng.integers(1, 4))):
+        if rng.random() < 0.7 or not model:
+            k = int(rng.integers(1, 4))
+            rows = rng.integers(0, n, k)
+            cols = rng.integers(0, n, k)
+            vals = rng.uniform(0.1, 2.0, k)
+            buf.set_edges(rows, cols, vals)
+            if symmetric:
+                buf.set_edges(cols, rows, vals)
+            for i, j, v in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+                model[(i, j)] = v
+                if symmetric:
+                    model[(j, i)] = v
+        else:
+            pick = sorted(model)[int(rng.integers(0, len(model)))]
+            buf.remove_edges([pick[0]], [pick[1]])
+            model.pop(pick, None)
+            if symmetric:
+                buf.remove_edges([pick[1]], [pick[0]])
+                model.pop((pick[1], pick[0]), None)
+
+
+def _scratch_graph(model: dict, n: int) -> grb.Matrix:
+    r = np.array([k[0] for k in model], dtype=np.int64)
+    c = np.array([k[1] for k in model], dtype=np.int64)
+    v = np.array(list(model.values()))
+    return grb.Matrix.from_coo(grb.FP64, n, n, r, c, v)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_incremental_matches_scratch_across_delta_schedules(seed):
+    rng = np.random.default_rng(seed * 7919 + 3)
+    n = int(rng.integers(5, 16))
+    symmetric = bool(rng.random() < 0.5)
+    A, model = _random_graph(rng, n, symmetric)
+    source = int(rng.integers(0, n))
+
+    pr = make_handle("pagerank", A)
+    bfs = make_handle("bfs_levels", A, {"source": source})
+    cc = make_handle("connected_components", A)
+    assert pr is not None and bfs is not None and cc is not None
+
+    buf = EdgeBuffer(A)
+    for _ in range(int(rng.integers(2, 5))):
+        _random_batch(rng, buf, model, n, symmetric)
+        delta = buf.flush().delta
+        pr.update(A, delta)
+        bfs.update(A, delta)
+        cc.update(A, delta)
+
+        S = _scratch_graph(model, n)
+        assert np.allclose(
+            pr.result(), algorithms.pagerank(S),
+            rtol=0, atol=_PR_ATOL, equal_nan=True,
+        )
+        want_levels = algorithms.bfs_levels(S, source)
+        gi, gv = bfs.result().extract_tuples()
+        wi, wv = want_levels.extract_tuples()
+        assert gi.tolist() == wi.tolist()
+        assert gv.tolist() == wv.tolist()
+        assert np.array_equal(cc.result(), algorithms.connected_components(S))
+
+
+class TestGuards:
+    def test_oversized_delta_falls_back_to_full(self):
+        A, model = _random_graph(np.random.default_rng(0), 10, False)
+        h = make_handle("pagerank", A)
+        buf = EdgeBuffer(A)
+        # rewrite well over 25% of the graph in one batch
+        keys = sorted(model)
+        rows = [k[0] for k in keys]
+        cols = [k[1] for k in keys]
+        buf.set_edges(rows, cols, [3.3] * len(keys))
+        info = h.update(A, buf.flush().delta)
+        assert info["mode"] == "full"
+        assert np.allclose(
+            h.result(), algorithms.pagerank(A), rtol=0, atol=_PR_ATOL
+        )
+
+    def test_small_delta_is_incremental_and_cheaper(self):
+        A, model = _random_graph(np.random.default_rng(1), 14, False)
+        h = make_handle("pagerank", A)
+        buf = EdgeBuffer(A)
+        buf.set_edges([0], [1], [1.5])
+        info = h.update(A, buf.flush().delta)
+        assert info["mode"] == "incremental"
+        assert info["work_ratio"] < 10.0    # bounded push work, not O(iters·nnz)
+
+    def test_degenerate_weights_match_scratch_exactly(self):
+        # negative weights make the PageRank affine map unhealthy: the
+        # handle must serve scratch's own full-recompute output verbatim
+        # (renormalizing huge cancelling scores would perturb them)
+        A = grb.Matrix.from_coo(
+            grb.FP64, 4, 4, [0, 1, 1, 2], [1, 0, 2, 3], [1.0, -1.0, 1.0, 0.5]
+        )
+        h = make_handle("pagerank", A)
+        buf = EdgeBuffer(A)
+        buf.set_edges([3], [0], [-2.0])
+        info = h.update(A, buf.flush().delta)
+        assert info["mode"] == "full"
+        assert np.array_equal(
+            h.result(), algorithms.pagerank(A), equal_nan=True
+        )
+
+    def test_asymmetric_delta_on_symmetric_graph_refreshes_cc(self):
+        A, model = _random_graph(np.random.default_rng(2), 8, True)
+        h = make_handle("connected_components", A)
+        buf = EdgeBuffer(A)
+        # a *structurally new* edge with no mirrored add: value-only edits
+        # keep the pattern symmetric, so pick a pair the graph lacks
+        i, j = next(
+            (i, j) for i in range(8) for j in range(8)
+            if i != j and (i, j) not in model
+        )
+        buf.set_edges([i], [j], [1.0])
+        info = h.update(A, buf.flush().delta)
+        assert info["mode"] == "full"
+        assert np.array_equal(h.result(), algorithms.connected_components(A))
+
+    def test_unclean_graph_refreshes_bfs(self):
+        # a zero-valued edge breaks the "stored implies reachable" reading
+        # the incremental frontier repair depends on
+        A, _ = _random_graph(np.random.default_rng(3), 8, False)
+        h = make_handle("bfs_levels", A, {"source": 0})
+        buf = EdgeBuffer(A)
+        buf.set_edges([2], [5], [0.0])
+        info = h.update(A, buf.flush().delta)
+        assert info["mode"] == "full"
+        gi, gv = h.result().extract_tuples()
+        wi, wv = algorithms.bfs_levels(A, 0).extract_tuples()
+        assert gi.tolist() == wi.tolist() and gv.tolist() == wv.tolist()
+
+
+class TestFactory:
+    def test_unsupported_combinations_return_none(self):
+        A = grb.Matrix(grb.FP64, 4, 4)
+        assert make_handle("triangle_count", A) is None
+        assert make_handle("bfs_levels", A) is None          # no source
+        assert make_handle(
+            "connected_components", A, {"max_iters": 3}
+        ) is None
+
+    def test_supported_combinations_build(self):
+        A = grb.Matrix.from_coo(grb.FP64, 4, 4, [0], [1], [1.0])
+        assert make_handle("pagerank", A) is not None
+        assert make_handle("bfs_levels", A, {"source": 2}) is not None
+        assert make_handle("connected_components", A) is not None

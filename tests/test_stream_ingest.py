@@ -1,0 +1,222 @@
+"""Streaming ingest: DCSR hypersparse views, the EdgeBuffer COO append
+buffer with last-writer-wins merge semantics, and the deferred rebuild's
+hazard ordering inside the planner DAG (reads submitted before a flush
+see pre-flush content; reads after see post-flush content)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as grb
+from repro.algebra import predefined
+from repro.containers.formats.dcsr import dcsr_from_keys
+from repro.info import InvalidValue
+from repro.stream import EdgeBuffer
+
+
+@pytest.fixture(autouse=True)
+def _run_in_both_modes(exec_mode):
+    """Every test here runs under blocking AND nonblocking+planner mode."""
+
+
+def _tuples(m: grb.Matrix) -> list[tuple[int, int, float]]:
+    rows, cols, vals = m.extract_tuples()
+    return sorted(zip(rows.tolist(), cols.tolist(), vals.tolist()))
+
+
+class TestDCSRView:
+    def test_hypersparse_rows_compressed(self):
+        # 3 hot rows of a 10k-row vertex space: the view stores 3 row ids,
+        # not a 10k-long pointer
+        n = 10_000
+        rows = [7, 7, 512, 512, 512, 9999]
+        cols = [1, 3, 0, 2, 4, 9998]
+        vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        m = grb.Matrix.from_coo(grb.FP64, n, n, rows, cols, vals)
+        m.nvals()                       # sequence point before the view
+        d = m.dcsr()
+        assert d.nvec == 3
+        assert d.nnz == 6
+        assert d.row_ids.tolist() == [7, 512, 9999]
+        assert d.hypersparsity == pytest.approx(3 / n)
+        assert d.row_counts().tolist() == [2, 3, 1]
+
+    def test_row_lookup_present_and_absent(self):
+        m = grb.Matrix.from_coo(
+            grb.FP64, 100, 100, [5, 5, 80], [2, 9, 0], [1.0, 2.0, 3.0]
+        )
+        m.nvals()
+        d = m.dcsr()
+        idx, vals = d.row(5)
+        assert idx.tolist() == [2, 9]
+        assert vals.tolist() == [1.0, 2.0]
+        idx, vals = d.row(6)            # never stored
+        assert len(idx) == 0 and len(vals) == 0
+        assert d.row_slice(6) == slice(0, 0)
+
+    def test_empty_matrix(self):
+        m = grb.Matrix(grb.FP64, 50, 50)
+        m.nvals()
+        d = m.dcsr()
+        assert d.nvec == 0 and d.nnz == 0
+        assert d.hypersparsity == 0.0
+        idx, vals = d.row(0)
+        assert len(idx) == 0 and len(vals) == 0
+
+    def test_agrees_with_csr(self):
+        rng = np.random.default_rng(42)
+        keys = np.sort(rng.choice(30 * 30, size=40, replace=False))
+        vals = rng.uniform(0.5, 2.0, 40)
+        d = dcsr_from_keys(keys.astype(np.int64), vals, 30, 30)
+        m = grb.Matrix.from_coo(
+            grb.FP64, 30, 30, keys // 30, keys % 30, vals
+        )
+        m.nvals()
+        c = m.csr()
+        for i in range(30):
+            ci = c.indices[c.indptr[i]:c.indptr[i + 1]]
+            di, _ = d.row(i)
+            assert ci.tolist() == di.tolist()
+
+    def test_view_cached_and_invalidated_on_mutation(self):
+        m = grb.Matrix.from_coo(grb.FP64, 20, 20, [1], [1], [1.0])
+        m.nvals()
+        first = m.dcsr()
+        assert m.dcsr() is first        # cached per content version
+        m.set_element(3, 4, 2.0)
+        m.nvals()                       # force the deferred write
+        after = m.dcsr()
+        assert after is not first
+        assert after.row(3)[0].tolist() == [4]
+
+
+class TestEdgeBuffer:
+    def _graph(self) -> grb.Matrix:
+        return grb.Matrix.from_coo(
+            grb.FP64, 8, 8, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0]
+        )
+
+    def test_batched_sets_and_removes(self):
+        m = self._graph()
+        buf = EdgeBuffer(m)
+        buf.set_edges([4, 5], [4, 5], [9.0, 8.0])
+        buf.remove_edges([1], [2])
+        assert buf.pending == 3
+        fr = buf.flush()
+        assert buf.pending == 0
+        assert _tuples(m) == [
+            (0, 1, 1.0), (2, 3, 3.0), (4, 4, 9.0), (5, 5, 8.0)
+        ]
+        d = fr.delta
+        assert d.size == 3
+        assert len(d.added) == 2 and len(d.removed) == 1
+
+    def test_last_writer_wins_within_a_batch(self):
+        m = self._graph()
+        buf = EdgeBuffer(m)
+        # set then remove deletes; remove then set stores; two sets keep
+        # the newer value
+        buf.set_edges([0], [1], [7.0]).remove_edges([0], [1])
+        buf.remove_edges([2], [3]).set_edges([2], [3], [5.0])
+        buf.set_edges([6], [6], [1.0]).set_edges([6], [6], [2.0])
+        buf.flush()
+        assert _tuples(m) == [(1, 2, 2.0), (2, 3, 5.0), (6, 6, 2.0)]
+
+    def test_noop_writes_are_filtered_from_the_delta(self):
+        m = self._graph()
+        buf = EdgeBuffer(m)
+        buf.set_edges([0], [1], [1.0])          # rewrite of existing value
+        buf.remove_edges([7], [7])              # absent edge
+        fr = buf.flush()
+        assert fr.delta.is_empty()
+        assert _tuples(m) == [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]
+
+    def test_value_change_recorded_as_changed(self):
+        m = self._graph()
+        fr = EdgeBuffer(m).set_edges([0], [1], [4.5]).flush()
+        d = fr.delta
+        assert d.size == 1
+        assert len(d.changed) == 1
+        assert d.old_values[0] == 1.0 and d.new_values[0] == 4.5
+        assert d.base_nnz == 3
+
+    def test_scalar_value_broadcasts(self):
+        m = grb.Matrix(grb.FP64, 4, 4)
+        EdgeBuffer(m).set_edges([0, 1, 2], [1, 2, 3], 6.0).flush()
+        assert _tuples(m) == [(0, 1, 6.0), (1, 2, 6.0), (2, 3, 6.0)]
+
+    def test_empty_flush_is_ready_immediately(self):
+        m = self._graph()
+        fr = EdgeBuffer(m).flush()
+        assert fr.ready
+        assert fr.delta.is_empty()
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(InvalidValue):
+            EdgeBuffer("not a matrix")
+        m = self._graph()
+        with pytest.raises(InvalidValue):
+            EdgeBuffer(m).set_edges([0, 1], [0], [1.0, 2.0])
+        with pytest.raises(InvalidValue):
+            EdgeBuffer(m).remove_edges([0], [0, 1])
+        with pytest.raises(grb.IndexOutOfBounds):
+            EdgeBuffer(m).set_edges([99], [0], [1.0])
+
+    def test_buffer_accumulates_across_flushes(self):
+        m = grb.Matrix(grb.FP64, 6, 6)
+        buf = EdgeBuffer(m)
+        buf.set_edges([0], [0], [1.0]).flush()
+        buf.set_edges([1], [1], [2.0]).flush()
+        assert _tuples(m) == [(0, 0, 1.0), (1, 1, 2.0)]
+
+
+class TestHazardOrdering:
+    """The rebuild is a planner node: RAW/WAW edges, not wall-clock order,
+    decide what each read sees."""
+
+    def test_reads_straddling_a_flush_see_their_side(self, exec_mode):
+        m = grb.Matrix.from_coo(grb.FP64, 4, 4, [0], [0], [1.0])
+        u = grb.Vector.from_coo(grb.FP64, 4, [0, 1, 2, 3], [1.0] * 4)
+        ring = predefined.PLUS_TIMES[grb.FP64]
+
+        before = grb.Vector(grb.FP64, 4)
+        after = grb.Vector(grb.FP64, 4)
+        grb.mxv(before, None, None, ring, m, u)     # reads pre-flush m
+        fr = EdgeBuffer(m).set_edges([1], [1], [5.0]).flush()
+        grb.mxv(after, None, None, ring, m, u)      # reads post-flush m
+        if exec_mode == "nonblocking_planner":
+            # nothing forced yet: the rebuild is still a deferred node
+            assert not fr.ready
+
+        assert after.to_dense(0.0).tolist() == [1.0, 5.0, 0.0, 0.0]
+        assert before.to_dense(0.0).tolist() == [1.0, 0.0, 0.0, 0.0]
+        assert fr.ready
+
+    def test_flush_orders_against_point_updates(self):
+        # WAW: set_element, flush, set_element — last writer must win in
+        # program order even when every write is deferred
+        m = grb.Matrix(grb.FP64, 4, 4)
+        m.set_element(0, 0, 1.0)
+        EdgeBuffer(m).set_edges([0], [0], [2.0]).set_edges(
+            [1], [1], [7.0]
+        ).flush()
+        m.set_element(0, 0, 3.0)
+        assert _tuples(m) == [(0, 0, 3.0), (1, 1, 7.0)]
+
+    def test_two_flushes_apply_in_order(self):
+        m = grb.Matrix(grb.FP64, 4, 4)
+        buf = EdgeBuffer(m)
+        buf.set_edges([2], [2], [1.0]).flush()
+        buf.set_edges([2], [2], [9.0]).remove_edges([3], [3]).flush()
+        assert _tuples(m) == [(2, 2, 9.0)]
+
+    def test_delta_is_exact_after_hazard_predecessors(self):
+        # the first flush's write is still deferred when the second flush
+        # is submitted; the second delta must still be computed against
+        # the post-first-flush content
+        m = grb.Matrix(grb.FP64, 4, 4)
+        buf = EdgeBuffer(m)
+        buf.set_edges([1], [1], [4.0]).flush()
+        fr2 = buf.set_edges([1], [1], [4.0]).flush()   # rewrite, same value
+        assert fr2.delta.is_empty()

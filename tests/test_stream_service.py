@@ -1,0 +1,191 @@
+"""The streaming service surface: ``stream_mutate`` end-to-end, the
+incremental-handle lifecycle behind ``algorithm`` requests, and the
+loadgen helpers (tolerant replay diffing, per-kind latency breakdown)
+the streaming workload mixes depend on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.containers import Matrix
+from repro.service import (
+    SHARED_PREFIX,
+    SHARED_SESSION,
+    Service,
+    ServiceConfig,
+)
+from repro.service.errors import BadRequest, ObjectNotFound
+from repro.service.loadgen import _approx_eq, diff_results, timing_summary
+from repro.types import FP64
+
+_G = {
+    "name": "G", "kind": "matrix", "dtype": "FP64", "shape": [8, 8],
+    "entries": [[0, 1, 1.0], [1, 2, 2.0], [2, 0, 3.0]],
+}
+
+
+@pytest.fixture
+def svc():
+    with Service(ServiceConfig(workers=2, cache=True)) as s:
+        yield s
+
+
+class TestStreamMutate:
+    def test_shared_roundtrip(self, svc):
+        svc.request(SHARED_SESSION, "define", _G)
+        rsp = svc.request(SHARED_SESSION, "stream_mutate", {
+            "graph": "G",
+            "set": [[3, 4, 9.0], [0, 1, 5.0]],
+            "remove": [[2, 0]],
+        })
+        assert rsp["accepted"] == {"set": 2, "remove": 1}
+        sess = svc.open_session("r")
+        tup = svc.request(
+            sess, "query", {"name": SHARED_PREFIX + "G", "what": "tuples"}
+        )
+        assert sorted(zip(tup["rows"], tup["cols"], tup["values"])) == [
+            (0, 1, 5.0), (1, 2, 2.0), (3, 4, 9.0)
+        ]
+
+    def test_session_private_graph(self, svc):
+        sess = svc.open_session("mine")
+        svc.request(sess, "define", _G)
+        svc.request(sess, "stream_mutate", {
+            "graph": "G", "set": [[5, 5, 1.5]], "remove": [],
+        })
+        tup = svc.request(sess, "query", {"name": "G", "what": "tuples"})
+        assert (5, 5, 1.5) in set(zip(tup["rows"], tup["cols"], tup["values"]))
+
+    def test_rejects_non_matrix_and_unknown(self, svc):
+        sess = svc.open_session("bad")
+        svc.request(sess, "define", {
+            "name": "v", "kind": "vector", "dtype": "FP64",
+            "shape": [4], "entries": [[0, 1.0]],
+        })
+        with pytest.raises(BadRequest):
+            svc.request(sess, "stream_mutate",
+                        {"graph": "v", "set": [[0, 0, 1.0]], "remove": []})
+        with pytest.raises(ObjectNotFound):
+            svc.request(sess, "stream_mutate",
+                        {"graph": "nope", "set": [], "remove": []})
+
+    def test_mutation_publishes_and_reports_delta(self, svc):
+        svc.request(SHARED_SESSION, "define", _G)
+        before = svc.stats()["snapshots"]["published"]
+        svc.request(SHARED_SESSION, "stream_mutate", {
+            "graph": "G", "set": [[4, 4, 1.0]], "remove": [],
+        })
+        assert svc.stats()["snapshots"]["published"] == before + 1
+
+
+class TestHandleLifecycle:
+    def _pagerank(self, svc, sess):
+        return svc.request(sess, "algorithm", {
+            "algo": "pagerank", "graph": SHARED_PREFIX + "G", "args": {},
+        })
+
+    def test_handles_create_advance_and_serve(self, svc):
+        svc.request(SHARED_SESSION, "define", _G)
+        sess = svc.open_session("h")
+        self._pagerank(svc, sess)
+        st = svc.stats()["streams"]
+        assert st["created"] == 1
+        svc.request(SHARED_SESSION, "stream_mutate", {
+            "graph": "G", "set": [[3, 0, 1.0]], "remove": [],
+        })
+        served = self._pagerank(svc, sess)["result"]
+        st = svc.stats()["streams"]
+        assert st["advanced"] >= 1
+        assert st["served"] >= 1
+
+        tup = svc.request(
+            sess, "query", {"name": SHARED_PREFIX + "G", "what": "tuples"}
+        )
+        scratch = algorithms.pagerank(Matrix.from_coo(
+            FP64, 8, 8,
+            np.asarray(tup["rows"]), np.asarray(tup["cols"]),
+            np.asarray(tup["values"], dtype=np.float64),
+        ))
+        dense = np.zeros(8)
+        dense[np.asarray(served["indices"], dtype=np.int64)] = served["values"]
+        assert np.allclose(dense, scratch, rtol=0, atol=1e-5)
+
+    def test_point_update_drops_handles(self, svc):
+        # a plain update mutates without an edge delta: the handle cannot
+        # advance and must be dropped, never served stale
+        svc.request(SHARED_SESSION, "define", _G)
+        sess = svc.open_session("d")
+        self._pagerank(svc, sess)
+        assert svc.stats()["streams"]["handles"] == 1
+        svc.request(SHARED_SESSION, "update", {
+            "graph": "G", "set": [[6, 6, 1.0]], "remove": [],
+        })
+        st = svc.stats()["streams"]
+        assert st["dropped"] >= 1
+        assert st["handles"] == 0
+
+    def test_free_drops_handles(self, svc):
+        svc.request(SHARED_SESSION, "define", _G)
+        sess = svc.open_session("f")
+        self._pagerank(svc, sess)
+        svc.request(SHARED_SESSION, "free", {"name": "G"})
+        assert svc.stats()["streams"]["handles"] == 0
+
+
+class TestApproxEq:
+    def test_float_tolerance_is_floats_only(self):
+        assert _approx_eq(1.0, 1.0 + 5e-6)
+        assert not _approx_eq(1.0, 1.0 + 5e-5)
+        # ints and strings stay exact: a count drift must never hide
+        assert not _approx_eq(3, 4)
+        assert not _approx_eq("a", "b")
+        # mixed int/float pairs take the tolerance (JSON encoders may
+        # round-trip 1.0 as 1), but non-numerics never do
+        assert _approx_eq(1, 1.0 + 5e-6)
+        assert not _approx_eq("1.0", 1.0)
+
+    def test_nan_and_inf(self):
+        assert _approx_eq(float("nan"), float("nan"))
+        assert _approx_eq(float("inf"), float("inf"))
+        assert not _approx_eq(float("inf"), float("-inf"))
+        assert not _approx_eq(float("inf"), 1.0)
+
+    def test_nested_structures(self):
+        a = {"v": [1.0, 2.0, {"x": 3.0}], "n": 7}
+        b = {"v": [1.0 + 1e-7, 2.0, {"x": 3.0 - 1e-7}], "n": 7}
+        assert _approx_eq(a, b)
+        assert not _approx_eq(a, {"v": a["v"], "n": 8})
+        assert not _approx_eq([1.0], [1.0, 2.0])
+        assert not _approx_eq({"a": 1}, {"b": 1})
+
+    def test_diff_results_uses_the_tolerance(self):
+        live = [[{"result": {"values": [0.5, 0.25]}}]]
+        replay = [[{"result": {"values": [0.5 + 1e-7, 0.25]}}]]
+        assert diff_results(live, replay) == []
+        replay = [[{"result": {"values": [0.6, 0.25]}}]]
+        assert len(diff_results(live, replay)) == 1
+
+
+class TestTimingByKind:
+    def _row(self, total):
+        return {"timing": {
+            "queue_wait_us": 1.0, "issue_us": 2.0,
+            "drain_share_us": 3.0, "total_us": total,
+        }}
+
+    def test_split_follows_the_submitted_kinds(self):
+        results = [[self._row(10.0), self._row(100.0), self._row(20.0)]]
+        streams = [[("query", {}), ("stream_mutate", {}), ("algorithm", {})]]
+        out = timing_summary(results, streams)
+        assert out["count"] == 3
+        kinds = out["by_kind"]
+        assert kinds["read"]["count"] == 2
+        assert kinds["mutate"]["count"] == 1
+        assert kinds["mutate"]["total_us"]["p50"] == 100.0
+        assert kinds["read"]["total_us"]["p99"] == 20.0
+
+    def test_without_streams_no_breakdown(self):
+        out = timing_summary([[self._row(10.0)]])
+        assert "by_kind" not in out

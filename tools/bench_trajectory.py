@@ -117,18 +117,36 @@ def trajectory(docs: list[tuple[str, dict]]) -> dict:
     return traj
 
 
+def single_core_labels(docs: list[tuple[str, dict]]) -> set[str]:
+    """Baselines recorded on a 1-core host (``env.host_cores: 1``).
+
+    Parallel-backend numbers from such hosts measure serialization, not
+    speedup, so the table flags them instead of letting a later multi-core
+    rerun look like a regression (or vice versa).
+    """
+    return {
+        label for label, doc in docs
+        if isinstance(doc.get("env"), dict)
+        and doc["env"].get("host_cores") == 1
+    }
+
+
 def render_table(docs: list[tuple[str, dict]]) -> str:
     """The human-facing regression table over all baselines."""
+    flagged = single_core_labels(docs)
     labels = [label for label, _ in docs]
+    shown = {lb: (lb + "*" if lb in flagged else lb) for lb in labels}
     traj = trajectory(docs)
     name_w = max([len("benchmark")] + [len(n) for n in traj])
-    col_w = max([12] + [len(lb) + 9 for lb in labels])
+    col_w = max([12] + [len(shown[lb]) + 9 for lb in labels])
 
     def cell(text: str) -> str:
         return text.rjust(col_w)
 
     lines = [
-        " ".join([("benchmark").ljust(name_w)] + [cell(lb) for lb in labels]),
+        " ".join(
+            [("benchmark").ljust(name_w)] + [cell(shown[lb]) for lb in labels]
+        ),
         " ".join(["-" * name_w] + ["-" * col_w for _ in labels]),
     ]
     for name in sorted(traj):
@@ -144,6 +162,13 @@ def render_table(docs: list[tuple[str, dict]]) -> str:
                 text += f" {delta * 100:+.0f}%"
             row.append(cell(text))
         lines.append(" ".join(row))
+    if flagged:
+        lines.append("")
+        lines.append(
+            f"* single-core host baseline ({', '.join(sorted(flagged))}): "
+            "parallel-backend medians reflect serialization on 1 core and "
+            "are not comparable against multi-core columns"
+        )
     return "\n".join(lines)
 
 
@@ -174,8 +199,15 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table(docs))
 
     if args.json and docs:
+        flagged = single_core_labels(docs)
         doc = {
             "baselines": [label for label, _ in docs],
+            "single_core_baselines": sorted(flagged),
+            "notes": {
+                lb: "recorded on a 1-core host (env.host_cores: 1); "
+                    "parallel-backend numbers are not cross-comparable"
+                for lb in sorted(flagged)
+            },
             "trajectory": {
                 name: [
                     {"baseline": lb, "median_s": med, "delta": d}
