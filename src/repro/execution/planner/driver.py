@@ -62,11 +62,14 @@ def _attach_runners(g: Graph) -> None:
     realized flops tallied per request id (bound by closure, so nodes
     dispatched to pool threads still report back).
     """
+    from ...obs import diag as _diag
     from ...obs import tracing as _tracing
     from ...operations.common import execute_chain, execute_standard
     from ..trace import wrap_thunk
 
     acct = _tracing.current_accounting()
+    detector = _diag.detector()
+    backend_name = _kernel_backend_name() if detector is not None else ""
     provenance = _node_provenance(g)
     cache: dict[int, tuple] = {}
     for node in g.alive_nodes():
@@ -116,7 +119,97 @@ def _attach_runners(g: Graph) -> None:
                 "prov": prov or None,
                 "rids": rids,
             }
+        if detector is not None:
+            runner = _anomaly_wrap(runner, node.label, backend_name)
         node.runner = acct.wrap(runner, rids) if acct is not None else runner
+
+
+def _kernel_backend_name() -> str:
+    from ...kernels.interface import active_backend
+
+    try:
+        return active_backend().name
+    except Exception:
+        return "interpreter"
+
+
+def _anomaly_wrap(runner, label: str, backend: str):
+    """Time *runner* for the installed anomaly detector (nested tallies
+    propagate, so this composes with :meth:`DrainAccounting.wrap`)."""
+    import time as _time
+
+    from ...obs import diag as _diag
+    from ...obs.tracing import _tally_begin, _tally_end
+
+    def observed():
+        token = _tally_begin()
+        t0 = _time.perf_counter()
+        try:
+            runner()
+        finally:
+            _diag.observe_kernel(
+                label, backend,
+                seconds=_time.perf_counter() - t0,
+                flops=_tally_end(token),
+            )
+
+    return observed
+
+
+def _explain_record(g: Graph, levels: list, elided: int) -> dict:
+    """One EXPLAIN entry for a built plan: every surviving node with its
+    rewrite kind, hazard predecessors, provenance, and backend choice."""
+    from ...parallel import get_backend as _get_backend
+
+    kb = _kernel_backend_name()
+    provenance = _node_provenance(g)
+    nodes: list[dict] = []
+    fused = cse = 0
+    for node in sorted(g.alive_nodes(), key=lambda n: (n.level, n.index)):
+        rids, tids = provenance[node.index]
+        entry: dict = {
+            "index": node.index,
+            "label": node.label,
+            "ops": [op.label for op in node.ops],
+            "level": node.level,
+            "preds": sorted(node.preds),
+            "request_ids": rids,
+            "trace_ids": tids,
+            "kind": "plain",
+            "backend": kb,
+        }
+        if node.fused_chain is not None:
+            entry["kind"] = "fused"
+            fused += 1
+            if kb == "codegen":
+                entry["compile_eligible"] = _compile_eligible(node.fused_chain)
+        elif node.cse_source is not None:
+            entry["kind"] = "cse"
+            entry["cse_source"] = node.cse_source
+            cse += 1
+        elif node.capture:
+            entry["kind"] = "capture"
+        nodes.append(entry)
+    return {
+        "optimize": True,
+        "kernel_backend": kb,
+        "exec_backend": _get_backend(),
+        "levels": len(levels),
+        "elided": elided,
+        "fused_chains": fused,
+        "cse_merged": cse,
+        "nodes": nodes,
+    }
+
+
+def _compile_eligible(chain) -> bool:
+    """Would the codegen backend compile this fused chain's signature?"""
+    try:
+        from ...kernels.codegen import chain_signature
+
+        return chain_signature(list(chain)) is not None
+    except Exception:
+        return False
 
 
 class ExecutionPlan:
@@ -249,15 +342,22 @@ def build_plan(
     ops: list[DeferredOp], stats: QueueStats, optimize: bool = True
 ):
     """Lift *ops* into the DAG, run the enabled passes, attach runners."""
+    from ...obs.diag import explain as _explain
+
     opts = options()
+    col = _explain.current_explain()
     if not optimize or not opts.enabled:
+        if col is not None:
+            col.record_plan(_serial_explain_record(ops))
         return _SerialPlan(ops, stats)
 
     if opts.dead_op:
         live, elided = dead_op_pass(ops)
         stats.elided += len(elided)
+        n_elided = len(elided)
     else:
         live = ops
+        n_elided = 0
 
     g = build_graph(live)
     owner = list(range(len(live)))
@@ -266,4 +366,37 @@ def build_plan(
     if opts.cse:
         stats.cse += cse_pass(g, live, owner)
     _attach_runners(g)
-    return ExecutionPlan(g.assign_levels(), stats, parallel=opts.parallel)
+    levels = g.assign_levels()
+    if col is not None:
+        col.record_plan(_explain_record(g, levels, n_elided))
+    return ExecutionPlan(levels, stats, parallel=opts.parallel)
+
+
+def _serial_explain_record(ops: list[DeferredOp]) -> dict:
+    """The planner-off EXPLAIN: plain program order, one node per op."""
+    nodes = []
+    for i, op in enumerate(ops):
+        rids = [str(op.trace.request_id)] if op.trace is not None else []
+        tids = [op.trace.trace_id] if op.trace is not None else []
+        nodes.append(
+            {
+                "index": i,
+                "label": op.label,
+                "ops": [op.label],
+                "level": i,
+                "preds": [i - 1] if i else [],
+                "request_ids": rids,
+                "trace_ids": tids,
+                "kind": "plain",
+                "backend": _kernel_backend_name(),
+            }
+        )
+    return {
+        "optimize": False,
+        "kernel_backend": _kernel_backend_name(),
+        "levels": len(ops),
+        "elided": 0,
+        "fused_chains": 0,
+        "cse_merged": 0,
+        "nodes": nodes,
+    }

@@ -20,6 +20,7 @@ when nothing is armed (literally zero extra work per op).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -172,6 +173,20 @@ def wrap_thunk(
     sink = _spans.current()
     if sink is None:
         return thunk
+
+    fast = getattr(sink, "fast_append", None)
+    if fast is not None:
+        # ring-only retention: no capture is watching, so skip the full
+        # span machinery and retain a raw timing tuple
+        def timed_ring():
+            t0 = _time.perf_counter()
+            try:
+                thunk()
+            finally:
+                fast(label, "op", t0, _time.perf_counter(), provenance,
+                     deferred)
+
+        return timed_ring
 
     def timed():
         sp = sink.open(label, "op", deferred=deferred)

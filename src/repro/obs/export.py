@@ -286,9 +286,26 @@ h1{font-size:18px} h2{font-size:15px;margin-top:28px}
 
 
 def _request_ids_of(sp: Span) -> tuple:
+    """Every request id stamped on *sp*, deduplicated, insertion-ordered.
+
+    Provenance attrs arrive in several shapes — a list/tuple from the
+    planner, a set from ad-hoc annotation, a bare string from hand-rolled
+    spans — and a fused node carries *all* its contributing requests'
+    ids.  Dropping the non-list shapes used to collapse cross-request
+    fused nodes onto whichever lane happened to survive.
+    """
     rids = sp.attrs.get("request_ids")
-    if isinstance(rids, (list, tuple)):
-        return tuple(str(r) for r in rids)
+    if rids is None:
+        return ()
+    if isinstance(rids, str):
+        return (rids,)
+    if isinstance(rids, (list, tuple, set, frozenset)):
+        out: list[str] = []
+        for r in sorted(rids, key=str) if isinstance(rids, (set, frozenset)) else rids:
+            s = str(r)
+            if s not in out:
+                out.append(s)
+        return tuple(out)
     return ()
 
 

@@ -244,6 +244,17 @@ class SLOTracker:
             self.total += 1
             self.breaches += 1
 
+    def budget_exhausted(self, min_total: int = 20) -> bool:
+        """True once the lifetime breach fraction has consumed the whole
+        error budget.  Cheap (two counter reads, no window sort) so it can
+        gate a flight-recorder dump on every breach; *min_total* suppresses
+        cold-start noise where one early breach is 100% of traffic."""
+        with self._lock:
+            total, breaches = self.total, self.breaches
+        if total < min_total or not self.error_budget:
+            return False
+        return (breaches / total) >= self.error_budget
+
     def summary(self) -> dict:
         now = self._clock()
         with self._lock:

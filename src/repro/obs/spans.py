@@ -34,12 +34,19 @@ __all__ = [
     "arm",
     "disarm",
     "force_disarm",
+    "arm_ring",
+    "disarm_ring",
+    "current_ring",
     "annotate",
     "annotate_add",
 ]
 
 _lock = threading.Lock()
 _sink: "SpanSink | None" = None  # read lock-free on every hot path
+#: an always-on bounded recorder sink (the flight recorder's ring); only
+#: consulted when no capture sink is armed, plus teed into on close so the
+#: ring keeps rolling through capture windows
+_ring: "SpanSink | None" = None
 _tls = threading.local()
 
 
@@ -117,6 +124,16 @@ class SpanSink:
             stack.remove(sp)
         with _lock:
             self.spans.append(sp)
+        ring = _ring
+        if ring is not None and ring is not self:
+            # the flight recorder keeps rolling even while a capture owns
+            # the spans — a dump during a capture window must not be blind
+            ring.record(sp)
+
+    def record(self, sp: Span) -> None:
+        """Append an already-closed span (the ring tee path)."""
+        with _lock:
+            self.spans.append(sp)
 
 
 class span:
@@ -135,6 +152,8 @@ class span:
 
     def __enter__(self) -> Span | None:
         sink = _sink
+        if sink is None:
+            sink = _ring
         self._sink = sink
         if sink is not None:
             self._sp = sink.open(self._label, self._kind, **self._attrs)
@@ -146,8 +165,13 @@ class span:
 
 
 def current() -> SpanSink | None:
-    """The armed sink, or None (the zero-cost disabled check)."""
-    return _sink
+    """The sink hot paths should emit into, or None (the zero-cost check).
+
+    A full capture (:func:`arm`) wins; otherwise the flight-recorder ring
+    (:func:`arm_ring`), if installed, keeps receiving spans.
+    """
+    sink = _sink
+    return sink if sink is not None else _ring
 
 
 def arm(sink: SpanSink) -> None:
@@ -169,11 +193,32 @@ def disarm(sink: SpanSink) -> None:
             _sink = None
 
 
+def arm_ring(sink: SpanSink) -> None:
+    """Install *sink* as the always-on recorder ring (replace semantics —
+    unlike :func:`arm`, a later ring simply supersedes the previous one)."""
+    global _ring
+    with _lock:
+        _ring = sink
+
+
+def disarm_ring(sink: SpanSink) -> None:
+    """Remove *sink* as the recorder ring; a different ring is untouched."""
+    global _ring
+    with _lock:
+        if _ring is sink:
+            _ring = None
+
+
+def current_ring() -> SpanSink | None:
+    return _ring
+
+
 def force_disarm() -> None:
     """Clear any armed sink unconditionally (test isolation; ``context._reset``)."""
-    global _sink
+    global _sink, _ring
     with _lock:
         _sink = None
+        _ring = None
     _tls.stack = []
 
 
@@ -184,7 +229,7 @@ def annotate(**attrs) -> None:
     report measurements without threading a span handle through every
     signature.  No-op when disarmed or when no span is open here.
     """
-    if _sink is None:
+    if _sink is None and _ring is None:
         return
     stack = getattr(_tls, "stack", None)
     if stack:
@@ -193,7 +238,7 @@ def annotate(**attrs) -> None:
 
 def annotate_add(key: str, value) -> None:
     """Accumulate *value* into attr *key* of the innermost open span."""
-    if _sink is None:
+    if _sink is None and _ring is None:
         return
     stack = getattr(_tls, "stack", None)
     if stack:

@@ -20,6 +20,8 @@ ordered key ranges, so concatenation preserves global sort order.
 
 from __future__ import annotations
 
+import time as _time
+
 import numpy as np
 
 from .._sparseutil import group_starts, ranges_concat, segment_reduce
@@ -220,16 +222,20 @@ def _observed_kernel(
     hand-written one.
     """
     sink = _obs_spans.current()
+    fast = getattr(sink, "fast_append", None) if sink is not None else None
     acc: list = []
-    sp = (
-        sink.open(
+    sp = None
+    t0 = 0.0
+    if fast is not None:
+        # ring-only retention: skip full span construction on the kernel
+        # hot path; the attrs dict is only built when the kernel finishes
+        t0 = _time.perf_counter()
+    elif sink is not None:
+        sp = sink.open(
             label, "kernel",
             flops_estimated=flops_estimated, nnz_in=nnz_in,
             backend=backend, compiled=compiled,
         )
-        if sink is not None
-        else None
-    )
     try:
         keys, vals = run(acc)
         realized = int(sum(acc))
@@ -239,6 +245,17 @@ def _observed_kernel(
                 nnz_out=len(keys),
                 blocks=max(len(acc), 1),
             )
+        elif fast is not None:
+            fast(label, "kernel", t0, _time.perf_counter(), {
+                "flops_estimated": flops_estimated,
+                "nnz_in": nnz_in,
+                "backend": backend,
+                "compiled": compiled,
+                "flops_realized": realized,
+                "nnz_out": len(keys),
+                "blocks": max(len(acc), 1),
+            }, False)
+            fast = None  # consumed: the error path below must not re-log
         reg = _metrics.registry
         reg.inc("kernel.invocations")
         reg.inc("kernel.flops_estimated", flops_estimated)
@@ -250,6 +267,15 @@ def _observed_kernel(
     finally:
         if sp is not None:
             sink.close(sp)
+        elif fast is not None:
+            # run() raised: still retain the failed kernel's timing
+            fast(label, "kernel", t0, _time.perf_counter(), {
+                "flops_estimated": flops_estimated,
+                "nnz_in": nnz_in,
+                "backend": backend,
+                "compiled": compiled,
+                "failed": True,
+            }, False)
 
 
 def spmv(

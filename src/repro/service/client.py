@@ -190,13 +190,15 @@ class TCPClient:
         timeout: float | None = None,
         trace: TraceContext | None = None,
         timing: bool = False,
+        explain: bool = False,
     ) -> dict:
         """Send one request and wait for its response (raises typed errors).
 
         A :class:`TraceContext` is minted per call (or supplied) and rides
         the wire, so server-side spans and drain accounting attribute back
         to this client call; *timing* asks the server to include the
-        request's latency decomposition in the result.
+        request's latency decomposition in the result; *explain* asks for
+        the drain-time planner's EXPLAIN record under ``result["explain"]``.
         """
         self._ids += 1
         doc = {
@@ -208,6 +210,8 @@ class TCPClient:
         }
         if timing:
             doc["timing"] = True
+        if explain:
+            doc["explain"] = True
         if timeout is not None:
             doc["timeout"] = timeout
         self._sock.sendall(wire_encode(doc))

@@ -27,6 +27,7 @@ over-approximation ``GrB_wait`` itself makes when a sequence fails.
 from __future__ import annotations
 
 import base64
+import contextlib
 import time
 from typing import Any, Callable
 
@@ -40,7 +41,8 @@ from ..fuzz.executor import build_decl, dispatch_call
 from ..fuzz.program import _CANONICAL, Call, Decl
 from ..info import GraphBLASError, NoValue
 from ..io.serialize import deserialize, serialize
-from ..obs import metrics, spans, tracing
+from ..obs import diag, metrics, spans, tracing
+from ..obs.diag import explain as diag_explain
 from ..stream import EdgeBuffer
 from ..types.grb_type import lookup_type
 from .errors import BadRequest, DeadlineExceeded, ObjectNotFound
@@ -543,6 +545,10 @@ def _fail(service, req, exc: BaseException) -> None:
     slo = getattr(service, "slo", None)
     if slo is not None:
         slo.record_failure()
+        if slo.budget_exhausted():
+            diag.trigger_dump(
+                "slo-budget", detail={"request": req.rid, "kind": req.kind}
+            )
     req.future.set_exception(exc)
 
 
@@ -555,6 +561,13 @@ def _fulfil(service, req, result: dict) -> None:
     slo = getattr(service, "slo", None)
     if slo is not None:
         slo.observe(latency_us)
+        # the exhaustion check only runs on a breach — the happy path pays
+        # one float compare
+        if latency_us > slo.target_us and slo.budget_exhausted():
+            diag.trigger_dump(
+                "slo-budget",
+                detail={"request": req.rid, "latency_us": round(latency_us)},
+            )
     req.future.set_result(result)
 
 
@@ -577,7 +590,19 @@ def run_batch(service, session: Session, batch: list) -> None:
     is_writer = session.is_shared
     memo = getattr(service, "memo", None)
     snapshots = getattr(service, "snapshots", None)
-    with context.activate(session.context):
+    # EXPLAIN is collected batch-wide (the planner sees the whole batch, so
+    # per-request records are a filtered view of shared plans) but only
+    # when at least one member opted in — otherwise zero recording cost
+    col = (
+        diag_explain.ExplainCollector()
+        if any(getattr(req, "explain", False) for req in batch)
+        else None
+    )
+    with context.activate(session.context), (
+        diag_explain.collect(col)
+        if col is not None
+        else contextlib.nullcontext()
+    ):
         bsp = (
             sink.open("batch", "batch", session=session.name, requests=len(batch))
             if sink is not None
@@ -597,6 +622,16 @@ def run_batch(service, session: Session, batch: list) -> None:
                 if req.expired(req.t_start):
                     reg.inc("service.deadline_exceeded")
                     session.failed += 1
+                    diag.trigger_dump(
+                        "deadline",
+                        detail={
+                            "request": req.rid,
+                            "kind": req.kind,
+                            "queued_us": round(
+                                (req.t_start - req.t_submit) * 1e6
+                            ),
+                        },
+                    )
                     _fail(service, req, DeadlineExceeded(
                         f"request {req.rid} ({req.kind}) expired in queue"
                     ))
@@ -771,8 +806,23 @@ def run_batch(service, session: Session, batch: list) -> None:
                         "total_us": (time.monotonic() - req.t_submit) * 1e6,
                         **meta,
                     }
+                if col is not None and getattr(req, "explain", False):
+                    record = col.for_request(rid_key)
+                    record["memo"] = meta.get("cache")
+                    record["snapshot"] = (
+                        meta.get("shared_version")
+                        if meta.get("shared_version") is not None
+                        else meta.get("published_version")
+                    )
+                    record["text"] = diag_explain.render_text(record)
+                    result = dict(result)
+                    result["explain"] = record
                 session.completed += 1
                 _fulfil(service, req, result)
+            if col is not None:
+                # the wire `explain` command replays the last collected
+                # batch, so opted-in runs are inspectable after the fact
+                service.last_explain = col.record()
         finally:
             # a batch must never leave deferred tenant work behind on this
             # worker thread, whatever went wrong above

@@ -346,12 +346,13 @@ def run_direct(
     backend: str = "threads",
     shard_workers: int | None = None,
     cache: bool = True,
+    diag_dir: str | None = None,
 ) -> dict:
     """Run the streams in-process; returns results, errors, and stats."""
     svc = Service(ServiceConfig(
         workers=workers, queue_capacity=queue_capacity, batching=batching,
         slo_p99_ms=slo_p99_ms, backend=backend, shard_workers=shard_workers,
-        cache=cache,
+        cache=cache, diag_dir=diag_dir,
     ))
     before = metrics.registry.snapshot()
     try:
@@ -398,6 +399,7 @@ def run_direct(
             t.join()
         elapsed = time.perf_counter() - t0
         stats = svc.stats()
+        diag_st = svc.diag_stats()
     finally:
         svc.shutdown()
     delta = metrics.MetricsRegistry.delta(before, metrics.registry.snapshot())
@@ -407,6 +409,7 @@ def run_direct(
         "errors": errors,
         "elapsed_s": elapsed,
         "stats": stats,
+        "diag": diag_st,
         "counters": delta["counters"],
         "latency_p50_us": percentile(lat, 0.50) if lat else None,
         "latency_p99_us": percentile(lat, 0.99) if lat else None,
@@ -658,6 +661,7 @@ def timing_summary(results: list[list], streams: list[list] | None = None) -> di
     rows: list[dict] = []
     read_rows: list[dict] = []
     mutate_rows: list[dict] = []
+    kind_rows: dict[str, list[dict]] = {}
     for ci, stream in enumerate(results):
         for oi, r in enumerate(stream):
             if not (isinstance(r, dict) and "timing" in r):
@@ -668,11 +672,19 @@ def timing_summary(results: list[list], streams: list[list] | None = None) -> di
                     and oi < len(streams[ci]):
                 kind = streams[ci][oi][0]
                 (mutate_rows if kind in _MUTATE_KINDS else read_rows).append(row)
+                kind_rows.setdefault(kind, []).append(row)
     out = _aggregate_timings(rows)
     if streams is not None and rows:
         out["by_kind"] = {
             "read": _aggregate_timings(read_rows),
             "mutate": _aggregate_timings(mutate_rows),
+        }
+        # the coarse read/mutate split hides that a stream_mutate pays for
+        # a whole deferred rebuild while an update pays per element — keep
+        # every submitted kind separately addressable
+        out["by_request_kind"] = {
+            kind: _aggregate_timings(krows)
+            for kind, krows in sorted(kind_rows.items())
         }
     return out
 
@@ -733,6 +745,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--min-hit-rate", type=float, default=None,
                    help="fail (exit nonzero) when the run's cache hit "
                         "rate falls below this fraction")
+    p.add_argument("--diag-dir", default=None,
+                   help="flight-recorder dump directory (direct mode); "
+                        "dumps land here on SLO-budget exhaustion, "
+                        "deadline misses, panics, or anomaly flags")
     args = p.parse_args(argv)
 
     zipf_mode = args.zipf_s is not None or args.unique_mix
@@ -761,6 +777,7 @@ def main(argv: list[str] | None = None) -> int:
             queue_capacity=args.queue_capacity, pipeline=args.pipeline,
             slo_p99_ms=args.slo_p99_ms, backend=args.backend,
             shard_workers=args.shard_workers, cache=args.cache,
+            diag_dir=args.diag_dir,
         )
 
     st = live["stats"]
@@ -808,6 +825,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"    {group}: {g['count']} reqs  "
                       f"p50 {g['total_us']['p50']:.0f}us  "
                       f"p99 {g['total_us']['p99']:.0f}us", flush=True)
+    diag_st = live.get("diag")
+    if diag_st and diag_st.get("dumps"):
+        print(f"  diag: {diag_st['dumps']} flight dump(s) -> "
+              f"{diag_st['dump_dir']}", flush=True)
     streams_st = st.get("streams")
     if streams_st and (streams_st["created"] or streams_st["served"]):
         print(f"  streams: handles {streams_st['handles']}  "
@@ -833,7 +854,13 @@ def main(argv: list[str] | None = None) -> int:
             "stats": st,
             "errors": len(live["errors"]),
             "request_timing": timings,
+            # pinned schema: memo re-key activity must stay visible even
+            # when st["cache"] is absent (cache off), and dashboards key
+            # on cache_rekeys without digging through the stats tree
+            "cache_rekeys": (st.get("cache") or {}).get("rekeys", 0),
         }
+        if live.get("diag") is not None:
+            doc["diag"] = live["diag"]
         if args.slo_p99_ms is not None:
             doc["slo_p99_ms"] = args.slo_p99_ms
             doc["slo_missed"] = slo_missed

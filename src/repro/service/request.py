@@ -59,7 +59,7 @@ DATA_KINDS = frozenset(
 )
 ADMIN_KINDS = frozenset(
     ("open_session", "close_session", "metrics", "stats", "health",
-     "validate", "ping")
+     "validate", "ping", "dump", "explain")
 )
 
 _ids = itertools.count(1)
@@ -85,6 +85,8 @@ class Request:
     trace: TraceContext | None = None
     #: include the latency decomposition in the response dict
     timing: bool = False
+    #: include the drain-time planner's EXPLAIN record in the response
+    explain: bool = False
     #: shared-store :class:`~repro.service.snapshot.GraphVersion` pinned at
     #: admission (None for shared-session requests, which see live state)
     version: Any = None
@@ -122,6 +124,7 @@ def new_request(
     timeout: float | None = None,
     trace: TraceContext | None = None,
     timing: bool = False,
+    explain: bool = False,
 ) -> Request:
     """Build a :class:`Request`, validating the kind eagerly.
 
@@ -149,4 +152,5 @@ def new_request(
         t_submit=now,
         trace=trace,
         timing=timing,
+        explain=explain,
     )

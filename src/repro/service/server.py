@@ -9,10 +9,12 @@ echo the ``id`` with either ``{"ok": true, "result": {...}}`` or
 Binary blobs travel base64-encoded under ``<field>_b64`` keys at any
 nesting depth.
 
-Two bare plaintext commands escape the JSON protocol for probes and
+Four bare plaintext commands escape the JSON protocol for probes and
 scrapers: a line reading exactly ``metrics`` answers with Prometheus
-text exposition and ``health`` with a one-line JSON health document;
-both close the connection after answering, so
+text exposition, ``health`` with a one-line JSON health document,
+``dump`` forces a flight-recorder dump and answers with its path, and
+``explain`` renders the most recent EXPLAIN-collected batch as text;
+all close the connection after answering, so
 ``printf 'metrics\\n' | nc HOST PORT`` just works.
 
 Each connection gets a handler thread; requests on one connection are
@@ -39,7 +41,7 @@ from .service import Service, ServiceConfig
 __all__ = ["Server", "serve"]
 
 #: bare (non-JSON) one-shot commands: answer in plaintext, close the socket
-PLAIN_COMMANDS = frozenset((b"metrics", b"health"))
+PLAIN_COMMANDS = frozenset((b"metrics", b"health", b"dump", b"explain"))
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -116,6 +118,7 @@ class Server:
                     session, kind, payload, timeout=doc.get("timeout"),
                     trace=TraceContext.from_wire(doc.get("trace")),
                     timing=bool(doc.get("timing")),
+                    explain=bool(doc.get("explain")),
                 )
             else:
                 raise BadRequest(f"unknown request kind {kind!r}")
@@ -152,7 +155,24 @@ class Server:
             return {"objects_checked": svc.validate_all()}
         if kind == "ping":
             return {"pong": True}
+        if kind == "dump":
+            return self._dump(payload.get("reason") or "wire")
+        if kind == "explain":
+            if svc.last_explain is None:
+                raise BadRequest(
+                    "no EXPLAIN record yet — submit a request with "
+                    "'explain': true first"
+                )
+            return svc.last_explain
         raise BadRequest(f"unhandled admin kind {kind!r}")  # pragma: no cover
+
+    def _dump(self, reason: str) -> dict:
+        from ..obs import diag
+
+        path = diag.trigger_dump(reason, force=True)
+        if path is None:
+            raise ServiceError("flight recorder not installed")
+        return {"dump": path}
 
     def handle_plain(self, cmd: str) -> str:
         """Answer a bare plaintext ``metrics`` / ``health`` probe line."""
@@ -174,10 +194,28 @@ class Server:
                 gauges["service.cache_entries"] = cache["entries"]
                 gauges["service.cache_bytes"] = cache["bytes"]
                 gauges["service.cache_hit_rate"] = cache["hit_rate"]
+            streams = self.service.streams.stats()
+            gauges["stream.handles"] = streams["handles"]
+            gauges["stream.handles_created"] = streams["created"]
+            gauges["stream.handles_advanced"] = streams["advanced"]
+            gauges["stream.handles_dropped"] = streams["dropped"]
+            gauges["stream.handles_served"] = streams["served"]
             return prometheus_text(self.service.metrics_snapshot(),
                                    gauges=gauges)
         if cmd == "health":
             return json.dumps(self.service.health()) + "\n"
+        if cmd == "dump":
+            try:
+                return json.dumps(self._dump("wire")) + "\n"
+            except ServiceError as exc:
+                return json.dumps({"error": str(exc)}) + "\n"
+        if cmd == "explain":
+            record = self.service.last_explain
+            if record is None:
+                return json.dumps({"error": "no EXPLAIN record yet"}) + "\n"
+            from ..obs.diag.explain import render_text
+
+            return render_text(record)
         raise BadRequest(f"unknown plain command {cmd!r}")  # pragma: no cover
 
     # ------------------------------------------------------------- lifecycle

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from .. import context
-from ..obs import metrics
+from ..obs import diag, metrics
 from ..obs.metrics import SLOTracker, percentile
 from ..obs.tracing import TraceContext
 from .. import parallel
@@ -90,6 +90,16 @@ class ServiceConfig:
     cache: bool = True
     #: LRU byte budget of the result cache
     cache_bytes: int = 64 * 1024 * 1024
+    #: install the diagnostics layer (flight recorder + anomaly detector)
+    diag: bool = True
+    #: flight-recorder dump directory (None → $REPRO_DIAG_DIR or tmpdir)
+    diag_dir: str | None = None
+    #: flight-recorder ring capacity (spans retained)
+    diag_capacity: int = 4096
+    #: dump horizon: only spans younger than this many seconds are written
+    diag_horizon_s: float = 30.0
+    #: rate limit between *automatic* dumps (explicit ``dump`` bypasses)
+    diag_min_dump_interval_s: float = 5.0
 
     def worker_count(self) -> int:
         if self.workers:
@@ -146,6 +156,19 @@ class Service:
             else None
         )
         metrics.registry.enable()
+        # the production diagnostics layer: an always-on flight-recorder
+        # ring plus the online anomaly detector (both process-global, so a
+        # later Service instance supersedes an earlier one's installation)
+        self.diag_recorder = self.diag_detector = None
+        #: the most recent drain's EXPLAIN record (the `explain` wire command)
+        self.last_explain: dict | None = None
+        if config.diag:
+            self.diag_recorder, self.diag_detector = diag.install(
+                dump_dir=config.diag_dir,
+                capacity=config.diag_capacity,
+                horizon_s=config.diag_horizon_s,
+                min_dump_interval_s=config.diag_min_dump_interval_s,
+            )
         parallel.set_backend(config.backend)
         parallel.set_kernel_backend(config.kernel_backend)
         if config.shard_workers is not None:
@@ -207,6 +230,10 @@ class Service:
             self._work.notify_all()
         for t in self._workers:
             t.join(timeout=5.0)
+        if self.diag_recorder is not None:
+            # only tears down if still the installed pair (a later Service
+            # instance's install wins)
+            diag.uninstall(self.diag_recorder)
 
     def __enter__(self) -> "Service":
         return self
@@ -270,6 +297,7 @@ class Service:
         timeout: float | None = None,
         trace: TraceContext | None = None,
         timing: bool = False,
+        explain: bool = False,
     ) -> Future:
         """Admit one request; returns its :class:`Future`.
 
@@ -278,12 +306,13 @@ class Service:
         travel through the future.  *trace* carries a client-minted
         :class:`TraceContext` (one is minted at admission otherwise);
         *timing* opts the response into the per-request latency
-        decomposition.
+        decomposition; *explain* attaches the drain-time planner's
+        EXPLAIN record for this request (Descriptor-style opt-in).
         """
         req = new_request(
             session, kind, payload,
             timeout=self.config.default_timeout if timeout is None else timeout,
-            trace=trace, timing=timing,
+            trace=trace, timing=timing, explain=explain,
         )
         if self.memo is not None:
             # pure in (kind, payload): canonicalize on the submitting
@@ -326,10 +355,12 @@ class Service:
         wait_timeout: float | None = 60.0,
         trace: TraceContext | None = None,
         timing: bool = False,
+        explain: bool = False,
     ) -> dict:
         """Submit and wait: the synchronous convenience the Client uses."""
         fut = self.submit(
-            session, kind, payload, timeout=timeout, trace=trace, timing=timing
+            session, kind, payload, timeout=timeout, trace=trace,
+            timing=timing, explain=explain,
         )
         return fut.result(timeout=wait_timeout)
 
@@ -420,6 +451,20 @@ class Service:
             "snapshots": self.snapshots.stats(),
             "cache": self.memo.stats() if self.memo is not None else None,
             "streams": self.streams.stats(),
+            "diag": self.diag_stats(),
+        }
+
+    def diag_stats(self) -> dict | None:
+        """Flight-recorder / anomaly-detector view (None when diag is off)."""
+        rec, det = self.diag_recorder, self.diag_detector
+        if rec is None:
+            return None
+        return {
+            "dump_dir": rec.dump_dir,
+            "dumps": len(rec.dumps),
+            "ring_spans": len(rec.ring.ring),
+            "anomaly": det.stats() if det is not None else None,
+            "suspects": det.suspects() if det is not None else [],
         }
 
     def health(self) -> dict:
@@ -436,6 +481,13 @@ class Service:
                 else "ok" if self._started
                 else "idle"
             )
+        suspects: list = []
+        if status == "ok" and self.diag_detector is not None:
+            # a running service with sustained kernel-latency anomalies is
+            # degraded: alive, serving, but someone should look at it
+            suspects = self.diag_detector.suspects()
+            if suspects:
+                status = "degraded"
         out = {
             "status": status,
             "uptime_s": time.monotonic() - self._t0,
@@ -443,6 +495,8 @@ class Service:
             "sessions": sessions,
             "queue_depth": depth,
         }
+        if suspects:
+            out["suspects"] = suspects
         if self.slo is not None:
             s = self.slo.summary()
             out["slo_met"] = s["window_met"]

@@ -17,12 +17,15 @@ registered segment, so even a crashed drain leaks nothing in ``/dev/shm``.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context
 
 from ..info import Panic
-from .protocol import Free, Hello, Shutdown, Task, recv_msg, send_msg
+from ..obs import diag as _diag
+from ..obs import metrics as _metrics
+from .protocol import Free, Hello, Result, Shutdown, Task, recv_msg, send_msg
 from .worker import worker_main
 
 __all__ = ["ShardPool", "get_pool", "shutdown_pool", "pool_stats"]
@@ -38,6 +41,9 @@ class ShardPool:
         self._workers: list = []  # (Process, Connection)
         self.tasks_done = 0
         self.task_seconds = 0.0
+        #: worker_id -> parent-clock minus worker-clock at handshake (the
+        #: flight-recorder stitch maps shipped span times through this)
+        self.clock_offsets: dict[int, float] = {}
         ctx = get_context("spawn")
         try:
             for wid in range(self.size):
@@ -57,6 +63,9 @@ class ShardPool:
                 hello = recv_msg(conn)
                 if not isinstance(hello, Hello):
                     raise Panic(f"bad shard handshake: {hello!r}")
+                self.clock_offsets[hello.worker_id] = (
+                    time.perf_counter() - hello.t_mono
+                )
         except BaseException:
             self._kill()
             raise
@@ -106,10 +115,28 @@ class ShardPool:
                         results[msg.task_id] = msg
                         self.tasks_done += 1
                         self.task_seconds += getattr(msg, "seconds", 0.0)
-            except BaseException:
+                        if isinstance(msg, Result):
+                            self._absorb(msg)
+            except BaseException as exc:
                 self._kill()
+                if isinstance(exc, Panic):
+                    _diag.trigger_dump("panic", detail=str(exc))
                 raise
             return results
+
+    def _absorb(self, msg: Result) -> None:
+        """Merge a Result's piggybacked counter deltas into the parent
+        registry and stitch its shipped spans into the flight recorder."""
+        reg = _metrics.registry
+        for name, delta in msg.metrics:
+            reg.inc(name, delta)
+        if msg.spans:
+            _diag.note_worker_spans(
+                msg.worker_id,
+                msg.pid,
+                self.clock_offsets.get(msg.worker_id, 0.0),
+                msg.spans,
+            )
 
     def broadcast_free(self, names) -> None:
         """Tell every worker to drop cached attachments for *names*."""

@@ -29,10 +29,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Hello:
-    """Worker → parent, once at startup: the handshake the pool awaits."""
+    """Worker → parent, once at startup: the handshake the pool awaits.
+
+    ``t_mono`` is the worker's ``perf_counter`` reading at handshake time;
+    the parent subtracts it from its own clock to get the per-worker
+    offset that maps shipped span timestamps onto the parent's axis (the
+    flight-recorder stitch).
+    """
 
     worker_id: int
     pid: int
+    t_mono: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -45,7 +52,16 @@ class Task:
 
 @dataclass(frozen=True)
 class Result:
-    """Worker → parent: one block partial as sorted flat keys/values."""
+    """Worker → parent: one block partial as sorted flat keys/values.
+
+    ``spans`` piggybacks the worker's flight-recorder ring entries closed
+    since its last ship — ``(label, kind, t0, t1, attrs)`` tuples in the
+    worker's clock — and ``metrics`` carries ``(counter, delta)`` pairs
+    since the last ship.  Shipping *deltas* with completed work is what
+    makes parent-side aggregation double-count-proof and respawn-proof: a
+    fresh worker starts all counters at zero, and a SIGKILLed worker's
+    already-shipped history survives in the parent.
+    """
 
     task_id: int
     keys: object
@@ -54,6 +70,8 @@ class Result:
     pid: int
     seconds: float
     flops: int = 0
+    spans: tuple = ()
+    metrics: tuple = ()
 
 
 @dataclass(frozen=True)

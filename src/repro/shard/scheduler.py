@@ -32,9 +32,11 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 
+from ..obs import diag as _diag
 from ..obs import metrics as _metrics
 from ..obs import spans as _spans
 from ..obs import tracing as _tracing
+from ..obs.diag import explain as _explain
 from ..parallel import shard_workers
 from . import pool as _pool_mod
 from .layout import publish_csr, stripe_cuts
@@ -226,6 +228,15 @@ def run_level(nodes) -> list:
             for r in results.values():
                 if not isinstance(r, Error):
                     _metrics.registry.observe("shard.task_seconds", r.seconds)
+        if _diag.detector() is not None:
+            # per-(task kind, worker) baselines: a single sick worker shows
+            # up as its own suspect, not as noise on the kernel's average
+            for tid, r in results.items():
+                if not isinstance(r, Error):
+                    _diag.observe_kernel(
+                        f"shard.{tasks[tid].op.kind}", "shard", r.worker_id,
+                        seconds=r.seconds, flops=r.flops,
+                    )
 
         acct = _tracing.current_accounting()
         for plan in plans:
@@ -257,6 +268,14 @@ def run_level(nodes) -> list:
                 "merge": plan.merge,
                 "flops": flops,
             }
+            col = _explain.current_explain()
+            if col is not None:
+                col.note_shard(
+                    node.index,
+                    tasks=len(plan.tasks),
+                    merge=plan.merge,
+                    workers=sorted({r.worker_id for r in node_results}),
+                )
             runner = wrap_thunk(
                 completion, node.label, deferred=True, provenance=prov
             )

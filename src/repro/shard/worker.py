@@ -84,7 +84,42 @@ def _free_segments(names, seg_cache: dict, cast_cache: dict) -> None:
                 pass
 
 
+def _drain_ring(ring) -> tuple:
+    """Pop every closed span off the worker's ring as wire-safe tuples."""
+    out = []
+    q = ring.ring
+    while q:
+        try:
+            sp = q.popleft()
+        except IndexError:  # pragma: no cover - single-threaded worker
+            break
+        if type(sp) is tuple:  # fast-append entry: already wire-shaped
+            label, kind, t0, t1, attrs, _deferred = sp
+            out.append((label, kind, t0, t1, dict(attrs) if attrs else {}))
+        else:
+            out.append((sp.label, sp.kind, sp.t0, sp.t1, dict(sp.attrs)))
+    return tuple(out)
+
+
+def _counter_deltas(last: dict) -> tuple:
+    """(name, delta) pairs since the previous ship; updates *last*."""
+    from ..obs import metrics as _metrics
+
+    snap = _metrics.registry.snapshot()["counters"]
+    deltas = []
+    for name, v in snap.items():
+        d = v - last.get(name, 0)
+        if d:
+            deltas.append((name, d))
+    last.clear()
+    last.update(snap)
+    return tuple(deltas)
+
+
 def worker_main(conn, worker_id: int) -> None:
+    from ..obs import metrics as _metrics
+    from ..obs import spans as _spans
+    from ..obs.diag.recorder import RingSink
     from ..parallel import set_backend, set_kernel_backend
     from .protocol import Free, Hello, Shutdown, Task, Error, Result, recv_msg, send_msg
 
@@ -92,9 +127,20 @@ def worker_main(conn, worker_id: int) -> None:
     # workers compute unfused T blocks only — chains never ship, so the
     # interpreter suite is pinned regardless of the parent's selection
     set_kernel_backend("interpreter")
+    # the worker's own flight-recorder ring + always-on counters: spans
+    # and counter deltas ship back piggybacked on each Result, so the
+    # parent can stitch a causally-ordered dump even if this process is
+    # later SIGKILLed
+    _metrics.registry.enable()
+    ring = RingSink(256)
+    _spans.arm_ring(ring)
+    shipped_counters: dict = {}
     seg_cache: dict = {}
     cast_cache: dict = {}
-    send_msg(conn, Hello(worker_id=worker_id, pid=os.getpid()))
+    send_msg(
+        conn,
+        Hello(worker_id=worker_id, pid=os.getpid(), t_mono=time.perf_counter()),
+    )
     try:
         while True:
             try:
@@ -110,8 +156,13 @@ def worker_main(conn, worker_id: int) -> None:
                 continue
             t0 = time.perf_counter()
             try:
-                keys, vals, flops = _run_task(msg.op, seg_cache, cast_cache)
+                with _spans.span(
+                    f"shard.{msg.op.kind}", "kernel",
+                    task_id=msg.task_id, worker_id=worker_id,
+                ):
+                    keys, vals, flops = _run_task(msg.op, seg_cache, cast_cache)
             except BaseException:
+                _metrics.registry.inc("shard.worker.task_errors")
                 send_msg(
                     conn,
                     Error(
@@ -121,6 +172,7 @@ def worker_main(conn, worker_id: int) -> None:
                     ),
                 )
                 continue
+            _metrics.registry.inc("shard.worker.tasks")
             send_msg(
                 conn,
                 Result(
@@ -131,6 +183,8 @@ def worker_main(conn, worker_id: int) -> None:
                     pid=os.getpid(),
                     seconds=time.perf_counter() - t0,
                     flops=flops,
+                    spans=_drain_ring(ring),
+                    metrics=_counter_deltas(shipped_counters),
                 ),
             )
     finally:

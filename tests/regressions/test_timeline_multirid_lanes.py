@@ -1,0 +1,121 @@
+"""Regression: spans stamped with multiple request ids must render on
+*every* contributing request's timeline lane.
+
+``timeline_html`` used to recognise only the planner's list-shaped
+``request_ids`` attr; bare-string and set-shaped stamps were dropped, and
+a cross-request CSE'd kernel therefore appeared on a single (arbitrary)
+lane — hiding exactly the sharing the timeline exists to show.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import _request_ids_of, timeline_html
+from repro.obs.spans import Span
+from repro.obs.tracing import TraceContext
+from repro.service.service import Service, ServiceConfig
+
+ENTRIES = [[0, 1, 1.0], [1, 2, 2.0], [2, 0, 3.0], [0, 3, 0.5], [3, 1, 1.5]]
+SEMIRING = "GrB_PLUS_TIMES_SEMIRING_FP64"
+
+
+def _span(sid, label, kind, rids, t0=0.0, t1=0.001):
+    attrs = {} if rids is None else {"request_ids": rids}
+    return Span(sid=sid, parent=None, label=label, kind=kind,
+                t0=t0, t1=t1, thread="main", tid=1, attrs=attrs)
+
+
+def _lanes(html: str) -> dict[str, str]:
+    """request id -> the inner HTML of that request's lane."""
+    out = {}
+    for chunk in html.split('<div class="lane">')[1:]:
+        chunk = chunk.split("<h2>")[0]  # last lane runs into the flamegraph
+        if 'class="name">request ' in chunk:
+            rid = chunk.split('class="name">request ')[1].split("<")[0]
+            out[rid.split(" ")[0]] = chunk
+    return out
+
+
+class TestRequestIdShapes:
+    def test_every_stamp_shape_is_honoured(self):
+        assert _request_ids_of(_span(1, "a", "op", ["r1", "r2"])) == ("r1", "r2")
+        assert _request_ids_of(_span(2, "b", "op", ("r1",))) == ("r1",)
+        assert _request_ids_of(_span(3, "c", "op", "r1")) == ("r1",)
+        assert _request_ids_of(_span(4, "d", "op", {"r2", "r1"})) == ("r1", "r2")
+        assert _request_ids_of(_span(5, "e", "op", ["r1", "r1", "r2"])) == (
+            "r1", "r2",
+        )
+        assert _request_ids_of(_span(6, "f", "op", None)) == ()
+        assert _request_ids_of(_span(7, "g", "op", 42)) == ()
+
+    def test_multi_rid_span_lands_on_every_lane(self):
+        spans = [
+            _span(1, "only-a", "op", ["rq-a"], t0=0.0, t1=0.001),
+            _span(2, "shared", "op", ["rq-a", "rq-b"], t0=0.001, t1=0.002),
+            _span(3, "stringy", "op", "rq-b", t0=0.002, t1=0.003),
+            _span(4, "setty", "op", {"rq-b", "rq-a"}, t0=0.003, t1=0.004),
+        ]
+        lanes = _lanes(timeline_html(spans))
+        assert set(lanes) == {"rq-a", "rq-b"}
+        for rid in ("rq-a", "rq-b"):
+            assert "shared" in lanes[rid]
+            assert "setty" in lanes[rid]
+        assert "only-a" in lanes["rq-a"] and "only-a" not in lanes["rq-b"]
+        assert "stringy" in lanes["rq-b"] and "stringy" not in lanes["rq-a"]
+
+
+class TestPinnedTwoRequestFusion:
+    def test_shared_kernel_renders_on_both_lanes(self):
+        """The pinned fused+CSE batch (see test_diag_explain): the CSE'd
+        mxm survives once but must be drawn on both request lanes."""
+        from repro import obs
+
+        svc = Service(ServiceConfig(workers=1, autostart=False))
+        try:
+            sess = svc.open_session("tl")
+            f0 = svc.submit(sess, "define", {
+                "name": "g", "kind": "matrix", "dtype": "FP64",
+                "shape": [8, 8], "entries": ENTRIES,
+            })
+            futs = []
+            for rid in ("rq-a", "rq-b"):
+                futs.append(svc.submit(sess, "program", {
+                    "declare": [
+                        {"name": f"t_{rid}", "kind": "matrix",
+                         "dtype": "FP64", "shape": [8, 8]},
+                        {"name": f"s_{rid}", "kind": "matrix",
+                         "dtype": "FP64", "shape": [8, 8]},
+                    ],
+                    "calls": [
+                        {"kind": "mxm", "out": f"t_{rid}",
+                         "args": {"a": "g", "b": "g", "semiring": SEMIRING}},
+                        {"kind": "apply", "out": f"t_{rid}",
+                         "args": {"a": f"t_{rid}",
+                                  "unary": "GrB_AINV_FP64"}},
+                        {"kind": "mxm", "out": f"s_{rid}",
+                         "args": {"a": "g", "b": "g", "semiring": SEMIRING}},
+                    ],
+                }, trace=TraceContext.mint(request_id=rid)))
+            with obs.capture() as cap:
+                svc.start()
+                f0.result(timeout=30)
+                for f in futs:
+                    f.result(timeout=30)
+        finally:
+            svc.shutdown()
+
+        shared = [
+            sp for sp in cap.spans
+            if set(_request_ids_of(sp)) == {"rq-a", "rq-b"}
+            and sp.kind == "op"
+        ]
+        assert shared, "batch did not CSE across the two requests"
+
+        lanes = _lanes(timeline_html(cap.spans))
+        assert {"rq-a", "rq-b"} <= set(lanes)
+        for rid in ("rq-a", "rq-b"):
+            assert (
+                "requests=rq-a,rq-b" in lanes[rid]
+                or "requests=rq-b,rq-a" in lanes[rid]
+            ), f"shared kernel missing from lane {rid}"
+            # each request also keeps its own fused chain on its lane
+            assert 'class="seg fused"' in lanes[rid]

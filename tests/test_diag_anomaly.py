@@ -1,0 +1,211 @@
+"""Online anomaly detection: EWMA/MAD baselines, the three-guard
+deviation test, sustained-deviation flagging with automatic dump, health
+degradation, and the zero-false-positive fuzz run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+import repro as grb
+from repro.obs import diag
+from repro.obs.diag.anomaly import LOCAL_WORKER, AnomalyDetector
+from repro.obs.diag.recorder import FlightRecorder
+
+from tests.conftest import random_matrix
+
+
+@pytest.fixture(autouse=True)
+def _clean_diag():
+    yield
+    diag.uninstall()
+
+
+def _detector(**kw) -> AnomalyDetector:
+    base = dict(
+        alpha=0.25, threshold=4.0, min_ratio=3.0, min_us=50.0,
+        min_samples=5, sustain=3, window_s=10.0,
+    )
+    base.update(kw)
+    return AnomalyDetector(**base)
+
+
+class TestDetectorUnit:
+    def test_learns_baseline_without_flagging(self):
+        det = _detector()
+        for _ in range(50):
+            assert det.observe("mxm", "interpreter", LOCAL_WORKER,
+                               seconds=100e-6) is None
+        ewma, dev, n, _rate = det.baseline("mxm", "interpreter")
+        assert ewma == pytest.approx(100.0, rel=0.01)
+        assert n == 50
+        assert det.suspects() == []
+
+    def test_three_guards_each_block_alone(self):
+        # score high but latency under the absolute floor: never a deviation
+        det = _detector(min_us=1e6)
+        for _ in range(20):
+            det.observe("k", "b", 0, seconds=100e-6)
+        for _ in range(10):
+            det.observe("k", "b", 0, seconds=5000e-6)
+        assert det.suspects() == []
+        # score high, floor cleared, but below the baseline multiple
+        det = _detector(min_ratio=100.0)
+        for _ in range(20):
+            det.observe("k", "b", 0, seconds=100e-6)
+        for _ in range(10):
+            det.observe("k", "b", 0, seconds=5000e-6)
+        assert det.suspects() == []
+        # too few samples: the baseline is still warming up
+        det = _detector(min_samples=1000)
+        for _ in range(20):
+            det.observe("k", "b", 0, seconds=100e-6)
+        for _ in range(10):
+            det.observe("k", "b", 0, seconds=5000e-6)
+        assert det.suspects() == []
+
+    def test_sustained_deviation_flags_and_quarantines(self):
+        det = _detector()
+        for _ in range(20):
+            det.observe("mxm", "interpreter", LOCAL_WORKER, seconds=100e-6)
+        before = det.baseline("mxm", "interpreter")[0]
+        suspects = []
+        for _ in range(3):
+            s = det.observe("mxm", "interpreter", LOCAL_WORKER,
+                            seconds=10_000e-6)
+            if s:
+                suspects.append(s)
+        assert len(suspects) == 1
+        s = suspects[0]
+        assert s["kernel"] == "mxm" and s["backend"] == "interpreter"
+        assert s["latency_us"] == pytest.approx(10_000, rel=0.01)
+        # quarantine: the slow burst must not have taught the baseline
+        assert det.baseline("mxm", "interpreter")[0] == pytest.approx(
+            before, rel=1e-6
+        )
+        assert det.suspects() and det.suspects()[0]["kernel"] == "mxm"
+
+    def test_strikes_outside_window_do_not_accumulate(self):
+        now = [0.0]
+        det = _detector(window_s=1.0, clock=lambda: now[0])
+        for _ in range(20):
+            det.observe("k", "b", 0, seconds=100e-6)
+        for _ in range(5):
+            # one deviation per 2 seconds: never 3 inside any 1s window
+            assert det.observe("k", "b", 0, seconds=10_000e-6) is None
+            now[0] += 2.0
+        assert det.suspects() == []
+
+    def test_suspects_expire_after_ttl(self):
+        now = [0.0]
+        det = _detector(suspect_ttl_s=5.0, clock=lambda: now[0])
+        for _ in range(20):
+            det.observe("k", "b", 0, seconds=100e-6)
+        for _ in range(3):
+            det.observe("k", "b", 0, seconds=10_000e-6)
+        assert det.suspects()
+        now[0] += 10.0
+        assert det.suspects() == []
+
+    def test_per_worker_keys_are_independent(self):
+        det = _detector()
+        for w in (0, 1):
+            for _ in range(20):
+                det.observe("shard.mxm", "shard", w, seconds=100e-6)
+        for _ in range(3):
+            det.observe("shard.mxm", "shard", 1, seconds=10_000e-6)
+        sus = det.suspects()
+        assert len(sus) == 1 and sus[0]["worker"] == 1
+        # worker 0's baseline is untouched
+        assert det.baseline("shard.mxm", "shard", 0)[0] == pytest.approx(
+            100.0, rel=0.05
+        )
+
+
+class TestPlannedDrainIntegration:
+    """The acceptance pin: an artificially slowed kernel (monkeypatched
+    sleep) is flagged within one rolling window and dumps the recorder."""
+
+    def test_slowed_kernel_flagged_and_dumped(self, tmp_path, monkeypatch,
+                                              rng):
+        from repro.operations import common as op_common
+
+        # min_us well above an honest 10x10 mxm so organic jitter in the
+        # warm-up can never strike; the 20ms sleep clears it easily
+        rec = FlightRecorder(dump_dir=str(tmp_path))
+        det = _detector(min_us=2000.0)
+        diag.install(recorder=rec, detector=det)
+
+        grb.init(grb.Mode.NONBLOCKING)
+        A = random_matrix(rng, 10, 10, 0.3, domain=grb.FP64)
+
+        def drain_once():
+            C = grb.Matrix(grb.FP64, 10, 10)
+            grb.mxm(C, None, None, grb.PLUS_TIMES[grb.FP64], A, A)
+            grb.wait()
+
+        for _ in range(12):  # warm the per-(mxm, interpreter) baseline
+            drain_once()
+        assert det.baseline("mxm", "interpreter") is not None
+        assert det.suspects() == []
+
+        real = op_common.execute_standard
+
+        def slowed(spec, *a, **kw):
+            time.sleep(0.02)
+            return real(spec, *a, **kw)
+
+        monkeypatch.setattr(op_common, "execute_standard", slowed)
+        for _ in range(det.sustain):  # one rolling window's worth
+            drain_once()
+        sus = det.suspects()
+        assert sus, "slowed kernel was not flagged within one window"
+        assert sus[0]["kernel"] == "mxm"
+        assert sus[0]["backend"] == "interpreter"
+        assert sus[0]["latency_us"] > sus[0]["baseline_us"] * 3
+        assert rec.dumps, "flagging did not dump the flight recorder"
+        doc = json.loads(open(rec.dumps[-1]).read())
+        assert doc["otherData"]["reason"] == "anomaly"
+        assert doc["otherData"]["detail"]["kernel"] == "mxm"
+
+    def test_health_degrades_with_named_suspects(self):
+        from repro.service.service import Service, ServiceConfig
+
+        svc = Service(ServiceConfig(workers=1))
+        try:
+            assert svc.health()["status"] == "ok"
+            det = svc.diag_detector
+            for _ in range(20):
+                det.observe("mxm", "interpreter", LOCAL_WORKER,
+                            seconds=100e-6)
+            for _ in range(3):
+                det.observe("mxm", "interpreter", LOCAL_WORKER,
+                            seconds=10_000e-6)
+            h = svc.health()
+            assert h["status"] == "degraded"
+            assert h["suspects"][0]["kernel"] == "mxm"
+            assert svc.stats()["diag"]["suspects"]
+        finally:
+            svc.shutdown()
+
+
+class TestFuzzZeroFalsePositives:
+    def test_hundred_program_corpus_flags_nothing(self, tmp_path):
+        """Default thresholds over 100 fuzz programs on one detector:
+        organic latency variation must never produce a suspect."""
+        from repro.fuzz.executor import _nb, run_optimized
+        from repro.fuzz.generator import generate_program
+
+        rec, det = diag.install(dump_dir=str(tmp_path))
+        dumps_before = len(rec.dumps)
+        for i in range(100):
+            prog = generate_program(23, i)
+            run_optimized(prog, _nb("nb-anomaly-fuzz"))
+        assert det.suspects() == []
+        assert det.stats()["suspects"] == 0
+        assert len(rec.dumps) == dumps_before, (
+            "fuzz run produced a false-positive anomaly dump"
+        )

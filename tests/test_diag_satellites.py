@@ -1,0 +1,104 @@
+"""Observability satellites: stream gauges on the Prometheus surface and
+the loadgen ``--stats-out`` schema dashboards key on.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.service import SHARED_PREFIX, SHARED_SESSION
+from repro.service.loadgen import main as loadgen_main
+from repro.service.server import Server
+
+_G = {
+    "name": "G", "kind": "matrix", "dtype": "FP64", "shape": [8, 8],
+    "entries": [[0, 1, 1.0], [1, 2, 2.0], [2, 0, 3.0]],
+}
+
+
+def _gauge(text: str, name: str) -> float:
+    m = re.search(rf"^{re.escape(name)} (\S+)$", text, re.M)
+    assert m, f"gauge {name} missing from metrics exposition"
+    return float(m.group(1))
+
+
+class TestStreamGaugesOnMetricsWire:
+    def test_plaintext_metrics_export_stream_counters(self):
+        with Server(port=0).start() as server:
+            svc = server.service
+            svc.request(SHARED_SESSION, "define", _G)
+            sess = svc.open_session("m")
+
+            def pagerank():
+                return svc.request(sess, "algorithm", {
+                    "algo": "pagerank", "graph": SHARED_PREFIX + "G",
+                    "args": {},
+                })
+
+            pagerank()  # creates the incremental handle
+            svc.request(SHARED_SESSION, "stream_mutate", {
+                "graph": "G", "set": [[3, 0, 1.0]], "remove": [],
+            })
+            pagerank()  # advances + serves it
+
+            text = server.handle_plain("metrics")
+            st = svc.streams.stats()
+            assert st["created"] >= 1 and st["served"] >= 1
+            for dotted, key in (
+                ("repro_stream_handles", "handles"),
+                ("repro_stream_handles_created", "created"),
+                ("repro_stream_handles_advanced", "advanced"),
+                ("repro_stream_handles_dropped", "dropped"),
+                ("repro_stream_handles_served", "served"),
+            ):
+                assert f"# TYPE {dotted} gauge" in text
+                assert _gauge(text, dotted) == st[key]
+
+
+class TestLoadgenStatsOutSchema:
+    @pytest.fixture(scope="class")
+    def stats_doc(self, tmp_path_factory):
+        """One small CLI run shared by the schema assertions (seed 5 over
+        48 requests deterministically mixes in 6 stream_mutate ops)."""
+        path = tmp_path_factory.mktemp("loadgen") / "stats.json"
+        rc = loadgen_main([
+            "--requests", "48", "--clients", "4", "--seed", "5",
+            "--pipeline", "4", "--no-replay", "--stats-out", str(path),
+        ])
+        assert rc == 0
+        return json.loads(path.read_text())
+
+    def test_memo_rekey_counter_is_top_level(self, stats_doc):
+        assert "cache_rekeys" in stats_doc
+        assert isinstance(stats_doc["cache_rekeys"], int)
+        assert stats_doc["cache_rekeys"] >= 0
+        # and it mirrors the nested cache stats when the cache ran
+        cache = (stats_doc["stats"].get("cache") or {})
+        if cache:
+            assert stats_doc["cache_rekeys"] == cache["rekeys"]
+
+    def test_per_kind_latency_includes_stream_mutate(self, stats_doc):
+        timing = stats_doc["request_timing"]
+        assert timing["count"] > 0
+        by_kind = timing["by_request_kind"]
+        assert "stream_mutate" in by_kind, sorted(by_kind)
+        sm = by_kind["stream_mutate"]
+        assert sm["count"] > 0
+        for metric in ("total_us", "queue_wait_us", "issue_us",
+                       "drain_share_us"):
+            assert sm[metric]["p50"] >= 0.0
+            assert sm[metric]["p99"] >= sm[metric]["p50"]
+        # the coarse split stays alongside the per-kind one
+        assert by_kind["stream_mutate"]["count"] <= (
+            timing["by_kind"]["mutate"]["count"]
+        )
+
+    def test_diag_summary_rides_along(self, stats_doc):
+        assert "diag" in stats_doc
+        assert "dumps" in stats_doc["diag"]
+        assert stats_doc["diag"]["dumps"] == 0, (
+            "healthy loadgen run should not dump the flight recorder"
+        )
